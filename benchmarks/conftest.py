@@ -1,0 +1,32 @@
+"""Benchmark harness configuration.
+
+Each ``test_fig*``/``test_table*`` file regenerates one table or figure of
+the paper's evaluation: it runs the corresponding experiment under
+pytest-benchmark (single round for the heavy ones — these measure the
+*reproduction output*, not library micro-performance), prints the same
+rows/series the paper reports, and attaches paper-vs-measured values to
+``benchmark.extra_info``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def record(benchmark, **info):
+    """Attach paper-vs-measured values to the benchmark report."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,31 @@
+"""Figure 10: performance models for BERT-Large (GPipe/1F1B and Chimera)."""
+
+from benchmarks.conftest import record
+from repro.experiments.perfmodel_figs import format_perf_figure, run_fig9_10
+
+
+def test_fig10_bert_large(once, benchmark):
+    def run():
+        return (run_fig9_10("BERT-Large", "gpipe"),
+                run_fig9_10("BERT-Large", "chimera"))
+
+    gpipe, chimera = once(run)
+    print("\n=== Figure 10: BERT-Large performance model ===")
+    print(format_perf_figure(gpipe))
+    print()
+    print(format_perf_figure(chimera))
+
+    base = run_fig9_10("BERT-Base", "chimera")
+    for key in chimera.grid:
+        # Large model: lower throughput than Base at the same config.
+        assert (chimera.grid[key].throughput_pipeline
+                < base.grid[key].throughput_pipeline), key
+        # Chimera beats GPipe on throughput for Large too.
+        assert (chimera.grid[key].throughput_pipeline
+                > gpipe.grid[key].throughput_pipeline), key
+
+    # Memory: BERT-Large at B=32, D=16 approaches P100 capacity without R
+    # (the paper plots ~7-8 GB for GPipe/1F1B).
+    m = gpipe.grid[(32, 16)].memory.total_gb()
+    record(benchmark, bert_large_mem_gb_b32_d16=round(m, 2))
+    assert 3.0 < m < 16.0

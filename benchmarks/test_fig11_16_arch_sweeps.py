@@ -1,0 +1,64 @@
+"""Figures 11-16: Chimera+PipeFisher sweeps for all Table 3 architectures.
+
+Fig. 11/12: BERT-Base/Large (B_micro up to 64); Fig. 13/14: T5-Base/Large
+(S=512); Fig. 15/16: OPT-125M/350M (S=2048, B_micro up to 8 only — long
+sequences exhaust memory at larger micro-batches).
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.experiments.perfmodel_figs import run_arch_sweep, run_fig6_sweep
+
+SWEEPS = {
+    "BERT-Large": dict(b_micro_values=(1, 2, 4, 8, 16, 32, 64)),
+    "T5-Base": dict(b_micro_values=(1, 2, 4, 8, 16, 32, 64)),
+    "T5-Large": dict(b_micro_values=(1, 2, 4, 8, 16, 32, 64)),
+    "OPT-125M": dict(b_micro_values=(1, 2, 4, 8)),
+    "OPT-350M": dict(b_micro_values=(1, 2, 4, 8)),
+}
+
+
+@pytest.mark.parametrize("arch", list(SWEEPS))
+def test_arch_sweep(arch, once, benchmark):
+    out = once(run_arch_sweep, arch, SWEEPS[arch]["b_micro_values"])
+    p1 = out[("P100", 1)]
+    bs = SWEEPS[arch]["b_micro_values"]
+    print(f"\n=== Figures 11-16 panel: {arch} (Chimera, P100, N=D) ===")
+    print(f"{'B':>4s} {'D':>4s} {'thr':>9s} {'ratio':>7s} {'vs skip':>8s}")
+    for b in bs:
+        for d in (8, 16):
+            r = p1.grid[(b, d)]
+            print(f"{b:4d} {d:4d} {r.throughput_pipeline:9.2f} "
+                  f"{r.ratio:7.2f} {r.speedup_vs_kfac_skip:8.3f}")
+
+    # Universal shapes: ratio falls with B and D on every architecture.
+    for d in (8, 16):
+        series = [p1.grid[(b, d)].ratio for b in bs]
+        assert series == sorted(series, reverse=True), (arch, d)
+    ratios_d = [p1.grid[(bs[-1], d)].ratio for d in (4, 8, 16, 32)]
+    assert ratios_d == sorted(ratios_d, reverse=True), arch
+
+    record(benchmark, arch=arch,
+           ratio_largest_b_d8=round(p1.grid[(bs[-1], 8)].ratio, 2),
+           throughput_largest_b_d8=round(
+               p1.grid[(bs[-1], 8)].throughput_pipeline, 2))
+
+
+def test_long_sequences_lower_ratio(once, benchmark):
+    """Paper: 'Transformers with longer sequence lengths S have larger
+    bubbles and smaller ratios.'  BERT (128) vs T5 (512) vs OPT (2048)."""
+    def run():
+        bert = run_fig6_sweep("BERT-Base", ("P100",), (8,), (8,), (1,))
+        t5 = run_fig6_sweep("T5-Base", ("P100",), (8,), (8,), (1,))
+        opt = run_fig6_sweep("OPT-125M", ("P100",), (8,), (8,), (1,))
+        return (bert[("P100", 1)].grid[(8, 8)].ratio,
+                t5[("P100", 1)].grid[(8, 8)].ratio,
+                opt[("P100", 1)].grid[(8, 8)].ratio)
+
+    bert_r, t5_r, opt_r = once(run)
+    print(f"\nratio @ B=8, D=8: BERT-Base {bert_r:.2f} > T5-Base {t5_r:.2f} "
+          f"> OPT-125M {opt_r:.2f}")
+    record(benchmark, bert=round(bert_r, 2), t5=round(t5_r, 2),
+           opt=round(opt_r, 2))
+    assert bert_r > t5_r > opt_r

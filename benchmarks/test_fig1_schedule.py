@@ -1,0 +1,19 @@
+"""Figure 1: schematic GPipe vs PipeFisher-for-GPipe schedules."""
+
+from benchmarks.conftest import record
+from repro.experiments.fig1 import format_fig1, run_fig1
+
+
+def test_fig1_schematic(once, benchmark):
+    result = once(run_fig1)
+    print("\n=== Figure 1: GPipe vs PipeFisher for GPipe ===")
+    print(format_fig1(result))
+    r = result.report
+    record(
+        benchmark,
+        baseline_utilization=round(r.baseline_utilization, 4),
+        pipefisher_utilization=round(r.pipefisher_utilization, 4),
+        refresh_steps=r.refresh_steps,
+    )
+    assert r.refresh_steps == 2  # the schematic's two-step refresh cycle
+    assert r.pipefisher_utilization > r.baseline_utilization

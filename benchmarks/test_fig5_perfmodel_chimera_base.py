@@ -1,0 +1,52 @@
+"""Figure 5: performance model for Chimera with BERT-Base blocks.
+
+Regenerates the paper's panels: per-step time breakdown, memory breakdown,
+throughput of the four execution strategies, and the
+(curvature+inversion)/bubble ratio, for B_micro in {8,16,32} and
+D in {4,8,16}, with and without activation recomputation.
+"""
+
+from benchmarks.conftest import record
+from repro.experiments.perfmodel_figs import format_perf_figure, run_fig5
+
+
+def test_fig5_time_and_memory(once, benchmark):
+    fig = once(run_fig5)
+    print("\n=== Figure 5: Chimera + BERT-Base performance model ===")
+    print(format_perf_figure(fig))
+    print("\nPer-step time breakdown (seconds):")
+    print(f"{'B':>4s} {'D':>4s} {'T_fwd':>8s} {'T_bwd':>8s} {'T_prec':>8s} "
+          f"{'T_bubble':>9s} {'N*T_curv':>9s} {'T_inv':>8s}")
+    for (b, d), r in sorted(fig.grid.items()):
+        print(f"{b:4d} {d:4d} {r.t_fwd:8.4f} {r.t_bwd:8.4f} {r.t_prec:8.4f} "
+              f"{r.t_bubble:9.4f} {r.t_curv_total:9.4f} {r.t_inv:8.4f}")
+    print("\nMemory breakdown (GB):")
+    print(f"{'B':>4s} {'D':>4s} {'act':>7s} {'pk_err':>7s} {'sv_err':>7s} "
+          f"{'curv+inv':>9s} {'par+grad':>9s} {'total':>7s}")
+    for (b, d), r in sorted(fig.grid.items()):
+        m = r.memory
+        print(f"{b:4d} {d:4d} {m.act/1e9:7.2f} {m.peak_err/1e9:7.2f} "
+              f"{m.save_err/1e9:7.2f} {m.curv_inv/1e9:9.2f} "
+              f"{m.param_grad/1e9:9.2f} {m.total_gb():7.2f}")
+
+    r32 = fig.grid[(32, 8)]
+    record(benchmark, ratio_b32_d8=round(r32.ratio, 2),
+           throughput_b32_d8=round(r32.throughput_pipeline, 1),
+           memory_gb_b32_d8=round(r32.memory.total_gb(), 2))
+    # Fig. 5 shapes: ratio ~2-4 at (32, 8); recomputation enlarges bubbles.
+    assert 1.5 < r32.ratio < 5.0
+    rec = run_fig5(recompute=True)
+    assert rec.grid[(32, 8)].t_bubble > r32.t_bubble
+    assert rec.grid[(32, 8)].memory.total < r32.memory.total
+
+
+def test_fig5_strategy_ordering(benchmark):
+    fig = run_fig5()
+
+    def check():
+        for r in fig.grid.values():
+            assert (r.throughput_pipefisher >= r.throughput_kfac_skip
+                    >= r.throughput_kfac_naive)
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,43 @@
+"""Figures 6/11: Chimera + PipeFisher sweeps for BERT-Base across hardware.
+
+Regenerates the throughput, (curv+inv)/bubble ratio, and speedup-vs-
+"K-FAC+skip" series over B_micro in {1..64}, D in {4..32},
+N_micro in {D, 2D, 3D} on P100 / V100 / RTX3090, and asserts every scaling
+observation from the paper's bullet list.
+"""
+
+from benchmarks.conftest import record
+from repro.experiments.perfmodel_figs import run_fig6_sweep
+
+
+def test_fig6_sweep(once, benchmark):
+    out = once(run_fig6_sweep)
+    print("\n=== Figure 6: Chimera w/ PipeFisher sweeps (BERT-Base) ===")
+    print(f"{'hw':>8s} {'NF':>3s} {'B':>4s} {'D':>4s} {'thr':>8s} "
+          f"{'ratio':>7s} {'vs skip':>8s}")
+    for (hw, factor), fig in sorted(out.items()):
+        for (b, d) in ((8, 8), (32, 8), (64, 16)):
+            r = fig.grid[(b, d)]
+            print(f"{hw:>8s} {factor:3d} {b:4d} {d:4d} "
+                  f"{r.throughput_pipeline:8.1f} {r.ratio:7.2f} "
+                  f"{r.speedup_vs_kfac_skip:8.3f}")
+
+    p1 = out[("P100", 1)]
+    # Paper observation: ratio falls with B_micro and with D.
+    for d in (8, 16):
+        series = [p1.grid[(b, d)].ratio for b in (1, 4, 16, 64)]
+        assert series == sorted(series, reverse=True)
+    for b in (8, 32):
+        series = [p1.grid[(b, d)].ratio for d in (4, 8, 16, 32)]
+        assert series == sorted(series, reverse=True)
+    # Ratio rises with N_micro.
+    assert out[("P100", 3)].grid[(32, 8)].ratio > p1.grid[(32, 8)].ratio
+    # Speedup vs K-FAC+skip peaks at N=D with large B (paper: up to ~1.4x).
+    big = p1.grid[(64, 8)].speedup_vs_kfac_skip
+    small = out[("P100", 3)].grid[(2, 8)].speedup_vs_kfac_skip
+    assert 1.05 < big < 1.6
+    assert small < big
+
+    record(benchmark, speedup_large_b=round(big, 3),
+           speedup_small_b=round(small, 3),
+           ratio_b32_d8=round(p1.grid[(32, 8)].ratio, 2))

@@ -1,0 +1,79 @@
+"""Figure 7: Phase-1 pretraining convergence, NVLAMB vs K-FAC.
+
+Paper: K-FAC reaches NVLAMB's final loss (3.41) in 42.0% of the steps and
+48.7% of the wall-clock time (using Chimera step times measured on 256
+P100s: 847.8 ms/step NVLAMB, 980.2 ms/step PipeFisher).
+
+Scaled-down protocol (DESIGN.md §2): structurally identical BERT on the
+synthetic corpus; warmup fractions preserved (2000/7038 vs 600/7038); same
+base LR for both optimizers — the paper's single-hyperparameter change.
+Wall-clock times come from our own Chimera simulation of the same setup.
+
+The shape claims asserted:
+  1. K-FAC's final loss is lower than NVLAMB's;
+  2. K-FAC reaches intermediate loss targets in fewer steps (ratio < 1);
+  3. PipeFisher's step-time premium (<10%) does not erase the advantage.
+The magnitude (42%) is not reproducible at mini-batch 32 vs the paper's
+8,192 — see EXPERIMENTS.md for the discussion.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record
+from repro.experiments.fig7 import FIG7_PAPER, format_fig7, run_fig7
+from repro.perfmodel.arch import BERT_BASE
+from repro.perfmodel.hardware import P100
+from repro.pipefisher import PipeFisherRun
+from repro.training.convergence import smooth_loss
+
+
+def test_fig7_convergence(once, benchmark):
+    # Step times from our pipeline simulator, same config as the paper's
+    # wall-clock source (Chimera, BERT-Base, 4 stages, 64 model copies).
+    sim = PipeFisherRun(
+        schedule="chimera", arch=BERT_BASE, hardware=P100, b_micro=32,
+        depth=4, n_micro=4, layers_per_stage=3, world_multiplier=32,
+        inversion_parallel=True,
+    ).execute()
+
+    result = once(
+        run_fig7,
+        total_steps=160,
+        nvlamb_step_time_s=sim.baseline_step_time,
+        kfac_step_time_s=sim.pipefisher_step_time,
+    )
+    print("\n=== Figure 7: NVLAMB vs K-FAC convergence ===")
+    print(format_fig7(result))
+    print(f"\nsimulated step times: NVLAMB {sim.baseline_step_time*1000:.1f} ms "
+          f"(paper {FIG7_PAPER['nvlamb_step_time_s']*1000:.1f}), "
+          f"PipeFisher {sim.pipefisher_step_time*1000:.1f} ms "
+          f"(paper {FIG7_PAPER['kfac_step_time_s']*1000:.1f})")
+
+    sl = smooth_loss(result.nvlamb_losses)
+    sk = smooth_loss(result.kfac_losses)
+    print("\nloss curves (smoothed, every 20 steps):")
+    for i in range(0, result.total_steps, 20):
+        print(f"  step {i:4d}  NVLAMB {sl[i]:.4f}  K-FAC {sk[i]:.4f}")
+
+    record(
+        benchmark,
+        nvlamb_final=round(result.nvlamb_final, 4),
+        kfac_final=round(result.kfac_final, 4),
+        step_fraction_paper=FIG7_PAPER["step_fraction"],
+        step_fraction_measured=result.step_fraction,
+        target_ratios={str(k): round(v, 3) for k, v in result.target_ratios.items()},
+        sim_step_nvlamb_ms=round(sim.baseline_step_time * 1000, 1),
+        sim_step_kfac_ms=round(sim.pipefisher_step_time * 1000, 1),
+    )
+
+    # Shape claim 1: K-FAC converges to a lower final loss.
+    assert result.kfac_final < result.nvlamb_final
+    # Shape claim 2: K-FAC leads at intermediate targets.
+    assert result.target_ratios, "no intermediate target was crossed by both"
+    assert min(result.target_ratios.values()) < 1.0
+    # Shape claim 3: step-time premium stays below 10%.
+    premium = sim.pipefisher_step_time / sim.baseline_step_time - 1.0
+    assert 0.0 < premium < 0.10
+    # Simulated NVLAMB step time within 15% of the paper's measurement.
+    assert abs(sim.baseline_step_time - FIG7_PAPER["nvlamb_step_time_s"]) \
+        / FIG7_PAPER["nvlamb_step_time_s"] < 0.15

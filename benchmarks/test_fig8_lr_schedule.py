@@ -1,0 +1,23 @@
+"""Figure 8: NVLAMB vs K-FAC learning-rate schedules (Appendix B.2)."""
+
+import numpy as np
+
+from benchmarks.conftest import record
+from repro.experiments.fig8 import run_fig8
+
+
+def test_fig8_lr_schedules(once, benchmark):
+    r = once(run_fig8)
+    print("\n=== Figure 8: learning-rate schedules ===")
+    print(f"{'step':>6s} {'NVLAMB':>10s} {'K-FAC':>10s}")
+    for step in (1, 300, 600, 1000, 2000, 4000, 7038):
+        print(f"{step:6d} {r.nvlamb_lr[step-1]:10.6f} {r.kfac_lr[step-1]:10.6f}")
+    record(benchmark, crossover_step=r.crossover_step,
+           kfac_peak_step=int(r.kfac_lr.argmax()) + 1,
+           nvlamb_peak_step=int(r.nvlamb_lr.argmax()) + 1)
+    assert int(r.kfac_lr.argmax()) + 1 == 600
+    assert int(r.nvlamb_lr.argmax()) + 1 == 2000
+    assert 1500 < r.crossover_step <= 2000
+    # Both decay to ~0 by the end (poly power 0.5).
+    assert r.nvlamb_lr[-1] < 1e-4
+    np.testing.assert_allclose(r.kfac_lr[2500:], r.nvlamb_lr[2500:], rtol=1e-9)

@@ -1,0 +1,39 @@
+"""Figure 9: performance models for BERT-Base — GPipe/1F1B vs Chimera.
+
+Regenerates both panel families and asserts the §3.3 tradeoff: Chimera has
+higher throughput (smaller T_bubble) but refreshes curvature less often.
+"""
+
+from benchmarks.conftest import record
+from repro.experiments.perfmodel_figs import format_perf_figure, run_fig9_10
+
+
+def test_fig9_bert_base(once, benchmark):
+    def run():
+        return (run_fig9_10("BERT-Base", "gpipe"),
+                run_fig9_10("BERT-Base", "chimera"),
+                run_fig9_10("BERT-Base", "gpipe", recompute=True),
+                run_fig9_10("BERT-Base", "chimera", recompute=True))
+
+    gpipe, chimera, gpipe_r, chimera_r = once(run)
+    print("\n=== Figure 9: BERT-Base performance model ===")
+    print(format_perf_figure(gpipe))
+    print()
+    print(format_perf_figure(chimera))
+
+    for key in gpipe.grid:
+        g, c = gpipe.grid[key], chimera.grid[key]
+        assert c.throughput_pipeline > g.throughput_pipeline, key
+        assert c.ratio > g.ratio, key
+        # Activation recomputation: larger bubble, lower ratio, less memory.
+        gr = gpipe_r.grid[key]
+        assert gr.t_bubble > g.t_bubble
+        assert gr.ratio < g.ratio
+        assert gr.memory.total < g.memory.total
+
+    b, d = 32, 8
+    record(benchmark,
+           gpipe_thr=round(gpipe.grid[(b, d)].throughput_pipeline, 1),
+           chimera_thr=round(chimera.grid[(b, d)].throughput_pipeline, 1),
+           gpipe_ratio=round(gpipe.grid[(b, d)].ratio, 2),
+           chimera_ratio=round(chimera.grid[(b, d)].ratio, 2))

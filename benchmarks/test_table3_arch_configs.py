@@ -1,0 +1,14 @@
+"""Table 3: architecture configurations (exact match required)."""
+
+from benchmarks.conftest import record
+from repro.experiments.table3 import format_table3, run_table3
+
+
+def test_table3(once, benchmark):
+    r = once(run_table3)
+    print("\n=== Table 3: Transformer architectures ===")
+    print(format_table3(r))
+    record(benchmark, matches_paper=r.matches_paper,
+           runnable_blocks=r.runnable_blocks)
+    assert r.matches_paper
+    assert r.runnable_blocks

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Fill pipeline bubbles with work other than K-FAC (paper §5).
+
+The paper's closing argument is that PipeFisher is one instance of a
+general pattern — "assigning extra work to bubbles in pipeline for
+auxiliary benefits".  This example fills the same GPipe bubbles with three
+different payloads and compares:
+
+* K-FAC      (second-order optimization; the paper's choice)
+* Shampoo    (Kronecker-factored AdaGrad; eigendecompositions split into
+              bubble-sized pieces)
+* SAM        (sharpness-aware minimization; a second forward/backward)
+
+Run:  python examples/bubble_filling_extensions.py
+"""
+
+from repro.extensions import build_sam_queues, build_shampoo_queues
+from repro.perfmodel.arch import BERT_BASE
+from repro.perfmodel.calibration import host_overhead
+from repro.perfmodel.costs import compute_stage_costs
+from repro.perfmodel.hardware import P100
+from repro.pipefisher import BubbleFiller, build_device_queues
+from repro.pipeline import PipelineConfig, make_schedule, simulate_tasks
+from repro.profiler import Timeline, render_timeline, utilization
+
+
+def main() -> None:
+    costs = compute_stage_costs(BERT_BASE, P100, 32, layers_per_stage=3,
+                                overhead_s=host_overhead("gpipe"))
+    cfg = PipelineConfig(depth=4, n_micro=4, costs=costs, precondition=True,
+                         stage_param_bytes=3 * BERT_BASE.param_bytes())
+    builder = make_schedule("gpipe", cfg)
+    template = simulate_tasks(builder.build(), builder.num_devices)
+    base_util = utilization(template.timeline, (0.0, template.makespan))
+    print(f"GPipe baseline utilization: {base_util:.1%}\n")
+
+    payloads = {
+        "K-FAC (PipeFisher)": lambda: build_device_queues(builder, costs),
+        "Shampoo": lambda: build_shampoo_queues(builder, costs),
+        "SAM 2nd fwd/bwd": lambda: build_sam_queues(builder, costs),
+    }
+    for name, make_queues in payloads.items():
+        queues = make_queues()
+        result = BubbleFiller(template, queues).fill()
+        span = template.makespan
+        combined = Timeline(builder.num_devices)
+        for k in range(result.refresh_steps):
+            combined.extend(e.shifted(k * span)
+                            for e in template.timeline.events)
+        combined.extend(result.events())
+        util = utilization(combined, (0.0, result.refresh_steps * span))
+        work = sum(q.total_duration for q in queues.values())
+        print(f"--- {name}: utilization {base_util:.1%} -> {util:.1%}, "
+              f"{work:.2f}s of extra work per {result.refresh_steps} steps ---")
+        print(render_timeline(combined, width=100,
+                              window=(0.0, min(2, result.refresh_steps) * span),
+                              show_legend=False))
+        print()
+    print("legend: F=fwd B=bwd c=stats/extra-fwd i=eig/inv/extra-bwd "
+          "p=precondition ~=host .=idle")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Capacity planning for pipeline-parallel LLM pretraining.
+
+The intro's motivating scenario: you have a cluster of accelerators and a
+target model; which (schedule, depth, micro-batch, recomputation) settings
+fit device memory and maximize throughput — and what curvature-refresh
+frequency would PipeFisher buy you there?
+
+Uses the §3.3 performance/memory models to search the configuration space.
+
+Run:  python examples/capacity_planner.py [--arch BERT-Large] [--mem-gb 16]
+"""
+
+import argparse
+
+from repro.perfmodel import MemoryModel, PipelinePerfModel
+from repro.perfmodel.arch import ARCHITECTURES
+from repro.perfmodel.hardware import HARDWARE
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--arch", default="BERT-Large", choices=sorted(ARCHITECTURES))
+    parser.add_argument("--hardware", default="P100", choices=sorted(HARDWARE))
+    parser.add_argument("--mem-gb", type=float, default=None,
+                        help="memory budget (defaults to the device's)")
+    parser.add_argument("--layers-per-stage", type=int, default=1)
+    args = parser.parse_args()
+
+    arch = ARCHITECTURES[args.arch]
+    hw = HARDWARE[args.hardware]
+    budget = args.mem_gb if args.mem_gb is not None else hw.memory_gb
+
+    print(f"planning {arch.name} on {hw.name} ({budget:.0f} GB budget)\n")
+    print(f"{'schedule':>9s} {'D':>4s} {'B':>4s} {'R':>2s} {'mem GB':>7s} "
+          f"{'thr PF':>8s} {'refresh':>8s}  fits")
+
+    feasible = []
+    for schedule in ("gpipe", "1f1b", "chimera"):
+        stages_dev = 2 if schedule == "chimera" else 1
+        model = PipelinePerfModel(arch, hw, schedule,
+                                  layers_per_stage=args.layers_per_stage)
+        for depth in (4, 8, 16):
+            for b_micro in (8, 16, 32, 64):
+                for recompute in (False, True):
+                    mm = MemoryModel(arch, args.layers_per_stage, stages_dev)
+                    bd = mm.breakdown(b_micro, depth, recompute=recompute)
+                    fits = bd.total_gb() <= budget
+                    r = model.report(b_micro, depth, recompute=recompute)
+                    flag = "R" if recompute else "-"
+                    print(f"{schedule:>9s} {depth:4d} {b_micro:4d} {flag:>2s} "
+                          f"{bd.total_gb():7.2f} {r.throughput_pipefisher:8.1f} "
+                          f"{r.refresh_steps:8d}  {'yes' if fits else 'NO'}")
+                    if fits:
+                        feasible.append(
+                            (r.throughput_pipefisher, schedule, depth, b_micro,
+                             recompute, r.refresh_steps, bd.total_gb())
+                        )
+
+    if not feasible:
+        print("\nno feasible configuration — increase the memory budget")
+        return
+    thr, schedule, depth, b_micro, recompute, refresh, mem = max(feasible)
+    print(f"\nbest feasible: {schedule} D={depth} B_micro={b_micro}"
+          f"{' +recompute' if recompute else ''} -> "
+          f"{thr:.1f} seqs/s, {mem:.1f} GB, curvature refresh every "
+          f"{refresh} steps")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` for PEP 660 editable builds; this
+offline environment lacks it, so ``python setup.py develop`` provides the
+equivalent legacy editable install.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""PipeFisher reproduction (Osawa, Li & Hoefler, MLSys 2023).
+
+A from-scratch Python implementation of pipeline-parallel LLM training
+with K-FAC bubble filling: a NumPy autograd engine and BERT models, K-FAC
+with its distributed execution schemes, a discrete-event simulator for
+GPipe/1F1B/Chimera pipeline schedules, the PipeFisher automatic work
+assignment, and the paper's performance model -- plus benchmarks
+regenerating every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.pipefisher import run_pipefisher
+    from repro.perfmodel import P100
+    from repro.perfmodel.arch import BERT_BASE
+
+    report = run_pipefisher(schedule="gpipe", arch=BERT_BASE, hardware=P100,
+                            b_micro=32, depth=4, n_micro=4, layers_per_stage=3)
+    print(report.baseline_utilization, report.pipefisher_utilization)
+"""
+
+__version__ = "1.0.0"
+
+from repro import (
+    data,
+    extensions,
+    kfac,
+    models,
+    nn,
+    optim,
+    perfmodel,
+    pipefisher,
+    pipeline,
+    profiler,
+    tensor,
+    training,
+)
+
+__all__ = [
+    "data",
+    "extensions",
+    "kfac",
+    "models",
+    "nn",
+    "optim",
+    "perfmodel",
+    "pipefisher",
+    "pipeline",
+    "profiler",
+    "tensor",
+    "training",
+    "__version__",
+]

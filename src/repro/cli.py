@@ -1,0 +1,128 @@
+"""Command-line reproduction runner: ``python -m repro.cli [experiment]``.
+
+Runs one (or all) of the paper's experiments and prints the same rows and
+series the paper reports — the no-pytest path to the results.
+
+Examples::
+
+    python -m repro.cli fig3
+    python -m repro.cli table2
+    python -m repro.cli all          # everything except the slow fig7
+    python -m repro.cli fig7         # the convergence run (~40 s)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _fig1() -> None:
+    from repro.experiments.fig1 import format_fig1, run_fig1
+
+    print(format_fig1(run_fig1()))
+
+
+def _fig3() -> None:
+    from repro.experiments.fig3 import format_fig3, run_fig3
+
+    print(format_fig3(run_fig3()))
+
+
+def _fig4() -> None:
+    from repro.experiments.fig4 import format_fig4, run_fig4
+
+    print(format_fig4(run_fig4()))
+
+
+def _fig5() -> None:
+    from repro.experiments.perfmodel_figs import format_perf_figure, run_fig5
+
+    print(format_perf_figure(run_fig5()))
+
+
+def _fig6() -> None:
+    from repro.experiments.perfmodel_figs import format_perf_figure, run_fig6_sweep
+
+    out = run_fig6_sweep(b_micro_values=(1, 4, 16, 64), depth_values=(4, 8, 16))
+    for key in (("P100", 1), ("V100", 1), ("RTX3090", 1)):
+        print(format_perf_figure(out[key]))
+        print()
+
+
+def _fig7() -> None:
+    from repro.experiments.fig7 import format_fig7, run_fig7
+
+    print("training NVLAMB and K-FAC (this takes ~40 s) ...")
+    print(format_fig7(run_fig7()))
+
+
+def _fig8() -> None:
+    from repro.experiments.fig8 import run_fig8
+
+    r = run_fig8()
+    print(f"{'step':>6s} {'NVLAMB':>10s} {'K-FAC':>10s}")
+    for step in (1, 300, 600, 1000, 2000, 4000, 7038):
+        print(f"{step:6d} {r.nvlamb_lr[step - 1]:10.6f} {r.kfac_lr[step - 1]:10.6f}")
+    print(f"crossover at step {r.crossover_step} (paper: ~2,000)")
+
+
+def _fig9_10() -> None:
+    from repro.experiments.perfmodel_figs import format_perf_figure, run_fig9_10
+
+    for arch in ("BERT-Base", "BERT-Large"):
+        for sched in ("gpipe", "chimera"):
+            print(format_perf_figure(run_fig9_10(arch, sched)))
+            print()
+
+
+def _table2() -> None:
+    from repro.experiments.table2 import format_table2, run_table2
+
+    print(format_table2(run_table2()))
+
+
+def _table3() -> None:
+    from repro.experiments.table3 import format_table3, run_table3
+
+    print(format_table3(run_table3()))
+
+
+EXPERIMENTS = {
+    "fig1": _fig1,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9-10": _fig9_10,
+    "table2": _table2,
+    "table3": _table3,
+}
+
+#: "all" excludes the training run, which dominates wall-clock time.
+FAST = [k for k in EXPERIMENTS if k != "fig7"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Reproduce PipeFisher (MLSys 2023) tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which paper artifact to regenerate ('all' = everything but fig7)",
+    )
+    args = parser.parse_args(argv)
+
+    targets = FAST if args.experiment == "all" else [args.experiment]
+    for name in targets:
+        print(f"\n{'=' * 70}\n{name.upper()}\n{'=' * 70}")
+        EXPERIMENTS[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Data substrate: synthetic Wikipedia-equivalent pretraining corpus.
+
+The paper pretrains on 14 GB of English Wikipedia (Appendix B.1), which is
+unavailable offline.  We substitute a synthetic corpus with the properties
+the MLM+NSP objectives actually exercise (see DESIGN.md §2):
+
+* Zipfian unigram distribution (natural-language-like token frequencies);
+* Markov bigram structure, so masked tokens are predictable from context
+  (the loss is learnable, giving Fig. 7 its shape);
+* documents of sentences, so next-sentence pairs are meaningful;
+* a trainable subword (BPE/WordPiece-style) tokenizer over the raw text.
+"""
+
+from repro.data.corpus import SyntheticCorpus, CorpusConfig
+from repro.data.tokenizer import WordPieceTokenizer, SPECIAL_TOKENS
+from repro.data.mlm import MLMExampleBuilder, PretrainBatch
+from repro.data.dataloader import PretrainDataLoader
+
+__all__ = [
+    "SyntheticCorpus",
+    "CorpusConfig",
+    "WordPieceTokenizer",
+    "SPECIAL_TOKENS",
+    "MLMExampleBuilder",
+    "PretrainBatch",
+    "PretrainDataLoader",
+]

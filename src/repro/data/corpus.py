@@ -1,0 +1,119 @@
+"""Synthetic corpus generator with natural-language-like statistics.
+
+Words are built from a syllable inventory (so subword tokenization is
+meaningful), drawn from a Zipfian unigram prior, and chained through a
+sparse Markov bigram model (so context predicts masked words — the
+property MLM training needs to show convergence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_ONSETS = ["b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z",
+           "st", "tr", "pl", "kr"]
+_NUCLEI = ["a", "e", "i", "o", "u", "ai", "ou"]
+_CODAS = ["", "n", "r", "s", "t", "l", "nd", "rk"]
+
+
+@dataclass
+class CorpusConfig:
+    """Parameters of the synthetic language.
+
+    Attributes
+    ----------
+    num_word_types:
+        Vocabulary size of the underlying language.
+    zipf_exponent:
+        Unigram frequency follows rank^-s.
+    branching:
+        Successors per word in the Markov bigram model; smaller values mean
+        more predictable text (lower achievable MLM loss).
+    mean_sentence_len, mean_doc_sentences:
+        Geometric means of sentence length (words) and document length
+        (sentences).
+    seed:
+        Generator seed (language identity and text are reproducible).
+    """
+
+    num_word_types: int = 2000
+    zipf_exponent: float = 1.1
+    branching: int = 12
+    mean_sentence_len: int = 12
+    mean_doc_sentences: int = 8
+    seed: int = 0
+
+
+class SyntheticCorpus:
+    """Generates documents of sentences over a fixed synthetic language."""
+
+    def __init__(self, config: CorpusConfig | None = None) -> None:
+        self.config = config or CorpusConfig()
+        cfg = self.config
+        if cfg.num_word_types < 10:
+            raise ValueError("need at least 10 word types")
+        rng = np.random.default_rng(cfg.seed)
+
+        # Word surface forms: 1-3 syllables, lower ranks get shorter words
+        # (Zipf's law of abbreviation).
+        self.words: list[str] = []
+        seen: set[str] = set()
+        while len(self.words) < cfg.num_word_types:
+            n_syll = 1 + (len(self.words) > 50) + (len(self.words) > 800)
+            w = "".join(
+                _ONSETS[rng.integers(len(_ONSETS))]
+                + _NUCLEI[rng.integers(len(_NUCLEI))]
+                + _CODAS[rng.integers(len(_CODAS))]
+                for _ in range(n_syll)
+            )
+            if w not in seen:
+                seen.add(w)
+                self.words.append(w)
+
+        # Zipfian unigram prior.
+        ranks = np.arange(1, cfg.num_word_types + 1, dtype=np.float64)
+        self.unigram = ranks**-cfg.zipf_exponent
+        self.unigram /= self.unigram.sum()
+
+        # Sparse Markov bigram model: each word type transitions to
+        # `branching` successors sampled from the unigram prior, with
+        # Zipfian weights among them.
+        self.successors = rng.choice(
+            cfg.num_word_types,
+            size=(cfg.num_word_types, cfg.branching),
+            p=self.unigram,
+        )
+        w = np.arange(1, cfg.branching + 1, dtype=np.float64) ** -1.0
+        self.successor_probs = w / w.sum()
+
+    # -- sampling ----------------------------------------------------------------
+
+    def sample_sentence(self, rng: np.random.Generator) -> list[str]:
+        """One sentence as a list of word strings."""
+        n = max(2, rng.geometric(1.0 / self.config.mean_sentence_len))
+        idx = int(rng.choice(self.config.num_word_types, p=self.unigram))
+        out = [idx]
+        for _ in range(n - 1):
+            idx = int(self.successors[idx][rng.choice(
+                self.config.branching, p=self.successor_probs)])
+            out.append(idx)
+        return [self.words[i] for i in out]
+
+    def sample_document(self, rng: np.random.Generator) -> list[list[str]]:
+        """One document: a list of sentences."""
+        n = max(2, rng.geometric(1.0 / self.config.mean_doc_sentences))
+        return [self.sample_sentence(rng) for _ in range(n)]
+
+    def documents(self, count: int, seed: int = 1) -> list[list[list[str]]]:
+        """Generate ``count`` documents deterministically."""
+        rng = np.random.default_rng(seed)
+        return [self.sample_document(rng) for _ in range(count)]
+
+    def text(self, num_documents: int, seed: int = 1) -> str:
+        """Raw text (one sentence per line, blank line between documents)."""
+        parts = []
+        for doc in self.documents(num_documents, seed):
+            parts.append("\n".join(" ".join(s) for s in doc))
+        return "\n\n".join(parts)

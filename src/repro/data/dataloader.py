@@ -1,0 +1,60 @@
+"""End-to-end pretraining data pipeline: corpus -> tokenizer -> batches."""
+
+from __future__ import annotations
+
+from repro.data.corpus import CorpusConfig, SyntheticCorpus
+from repro.data.mlm import MLMExampleBuilder, PretrainBatch
+from repro.data.tokenizer import WordPieceTokenizer
+
+
+class PretrainDataLoader:
+    """Deterministic stream of :class:`PretrainBatch` for BERT pretraining.
+
+    Builds the synthetic corpus, trains the subword tokenizer on it,
+    pre-tokenizes a pool of documents, and then samples batches.
+
+    Parameters
+    ----------
+    vocab_size:
+        Subword vocabulary size (BERT uses 30,522; scaled-down models use
+        proportionally smaller values).
+    seq_len:
+        Maximum sequence length (Phase 1 uses 128).
+    num_documents:
+        Size of the pre-tokenized document pool.
+    corpus_config:
+        Underlying language parameters.
+    seed:
+        Controls masking and batch sampling.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int = 1000,
+        seq_len: int = 128,
+        num_documents: int = 500,
+        corpus_config: CorpusConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.corpus = SyntheticCorpus(corpus_config or CorpusConfig(seed=seed))
+        self.tokenizer = WordPieceTokenizer()
+        train_text = self.corpus.text(min(num_documents, 300), seed=seed + 1)
+        self.tokenizer.train(train_text, vocab_size=vocab_size)
+        self.documents: list[list[list[int]]] = [
+            [self.tokenizer.encode(" ".join(sent)) for sent in doc]
+            for doc in self.corpus.documents(num_documents, seed=seed + 2)
+        ]
+        # Drop empty sentences (possible after UNK collapse).
+        self.documents = [
+            [s for s in doc if s] for doc in self.documents
+        ]
+        self.documents = [d for d in self.documents if len(d) >= 2]
+        self.builder = MLMExampleBuilder(self.tokenizer, seq_len=seq_len, seed=seed + 3)
+
+    @property
+    def vocab_size(self) -> int:
+        return self.tokenizer.vocab_size
+
+    def next_batch(self, batch_size: int) -> PretrainBatch:
+        """Sample the next training batch."""
+        return self.builder.build_batch(self.documents, batch_size)

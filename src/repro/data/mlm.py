@@ -1,0 +1,124 @@
+"""MLM masking and next-sentence pairing (Devlin et al. 2019, §3.1).
+
+Examples are ``[CLS] A [SEP] B [SEP]`` with B the true next sentence
+(label 0) or a random sentence (label 1), 50/50.  15% of tokens are
+selected for prediction; of those 80% become ``[MASK]``, 10% a random
+token, 10% unchanged.  Unselected positions carry label -100 (ignored).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.tokenizer import WordPieceTokenizer
+from repro.nn.losses import IGNORE_INDEX
+
+
+@dataclass
+class PretrainBatch:
+    """One training batch for BERT pretraining."""
+
+    input_ids: np.ndarray       # (B, S) int64
+    token_type_ids: np.ndarray  # (B, S) 0 for A segment, 1 for B
+    attention_mask: np.ndarray  # (B, S) 1 = real token
+    mlm_labels: np.ndarray      # (B, S) original id or IGNORE_INDEX
+    nsp_labels: np.ndarray      # (B,)   0 = is-next, 1 = random
+
+    def __len__(self) -> int:
+        return self.input_ids.shape[0]
+
+
+class MLMExampleBuilder:
+    """Builds masked sentence-pair examples from tokenized sentences."""
+
+    def __init__(
+        self,
+        tokenizer: WordPieceTokenizer,
+        seq_len: int = 128,
+        mask_prob: float = 0.15,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < mask_prob < 1.0:
+            raise ValueError(f"mask_prob must be in (0, 1), got {mask_prob}")
+        self.tokenizer = tokenizer
+        self.seq_len = seq_len
+        self.mask_prob = mask_prob
+        self.rng = np.random.default_rng(seed)
+        v = tokenizer.vocab
+        self.cls_id = v["[CLS]"]
+        self.sep_id = v["[SEP]"]
+        self.mask_id = v["[MASK]"]
+        self.pad_id = v["[PAD]"]
+        self.vocab_size = tokenizer.vocab_size
+
+    def build_example(
+        self, sent_a: list[int], sent_b: list[int], is_random_next: bool
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Assemble and mask one example; returns (ids, types, mask, labels)."""
+        S = self.seq_len
+        budget = S - 3  # [CLS], 2x [SEP]
+        # Truncate the pair proportionally (longest-first, as in BERT).
+        a, b = list(sent_a), list(sent_b)
+        while len(a) + len(b) > budget:
+            (a if len(a) >= len(b) else b).pop()
+
+        ids = np.full(S, self.pad_id, dtype=np.int64)
+        types = np.zeros(S, dtype=np.int64)
+        attn = np.zeros(S, dtype=np.int64)
+        seq = [self.cls_id, *a, self.sep_id, *b, self.sep_id]
+        n = len(seq)
+        ids[:n] = seq
+        attn[:n] = 1
+        types[len(a) + 2 : n] = 1
+
+        labels = np.full(S, IGNORE_INDEX, dtype=np.int64)
+        # Candidate positions: real tokens that are not [CLS]/[SEP].
+        special = {0, len(a) + 1, n - 1}
+        candidates = [i for i in range(n) if i not in special]
+        k = max(1, int(round(len(candidates) * self.mask_prob)))
+        picked = self.rng.choice(len(candidates), size=k, replace=False)
+        for pi in picked:
+            pos = candidates[int(pi)]
+            labels[pos] = ids[pos]
+            r = self.rng.random()
+            if r < 0.8:
+                ids[pos] = self.mask_id
+            elif r < 0.9:
+                # Random non-special replacement token.
+                ids[pos] = int(self.rng.integers(5, self.vocab_size))
+            # else: keep the original token (10%).
+        return ids, types, attn, labels
+
+    def build_batch(
+        self, documents: list[list[list[int]]], batch_size: int
+    ) -> PretrainBatch:
+        """Sample ``batch_size`` sentence-pair examples from documents."""
+        if not documents:
+            raise ValueError("no documents provided")
+        B = batch_size
+        ids = np.zeros((B, self.seq_len), dtype=np.int64)
+        types = np.zeros_like(ids)
+        attn = np.zeros_like(ids)
+        labels = np.zeros_like(ids)
+        nsp = np.zeros(B, dtype=np.int64)
+        for i in range(B):
+            d = int(self.rng.integers(len(documents)))
+            doc = documents[d]
+            if len(doc) < 2:
+                doc = doc + doc  # degenerate single-sentence document
+            si = int(self.rng.integers(len(doc) - 1))
+            sent_a = doc[si]
+            if self.rng.random() < 0.5:
+                sent_b = doc[si + 1]
+                nsp[i] = 0
+            else:
+                dj = int(self.rng.integers(len(documents)))
+                other = documents[dj]
+                sent_b = other[int(self.rng.integers(len(other)))]
+                nsp[i] = 1
+            ids[i], types[i], attn[i], labels[i] = self.build_example(
+                sent_a, sent_b, bool(nsp[i])
+            )
+        return PretrainBatch(ids, types, attn, labels, nsp)

@@ -1,0 +1,126 @@
+"""Trainable WordPiece-style subword tokenizer.
+
+BERT uses a 30,522-entry WordPiece vocabulary.  This implementation learns
+a subword inventory by greedy pair merging (BPE) over a training corpus,
+then tokenizes words by longest-match-first with ``##`` continuation
+prefixes, exactly the WordPiece runtime algorithm.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+#: Special tokens and their fixed low ids (BERT convention).
+SPECIAL_TOKENS = {
+    "[PAD]": 0,
+    "[UNK]": 1,
+    "[CLS]": 2,
+    "[SEP]": 3,
+    "[MASK]": 4,
+}
+
+
+class WordPieceTokenizer:
+    """Subword tokenizer with BPE training and WordPiece-style encoding."""
+
+    def __init__(self) -> None:
+        self.vocab: dict[str, int] = dict(SPECIAL_TOKENS)
+        self.inv_vocab: dict[int, str] = {i: t for t, i in self.vocab.items()}
+        self._max_piece_len = 1
+
+    # -- training ---------------------------------------------------------------
+
+    def train(self, text: str, vocab_size: int = 1000) -> None:
+        """Learn a subword vocabulary of ``vocab_size`` entries from text."""
+        if vocab_size <= len(SPECIAL_TOKENS) + 8:
+            raise ValueError(f"vocab_size {vocab_size} too small")
+        word_freq = Counter(text.split())
+        # Start from characters; merge the most frequent adjacent pair.
+        symbol_seqs: dict[tuple[str, ...], int] = {
+            tuple(w): f for w, f in word_freq.items()
+        }
+        pieces: set[str] = set()
+        for seq in symbol_seqs:
+            pieces.update(seq)
+
+        while len(pieces) + len(SPECIAL_TOKENS) < vocab_size:
+            pair_freq: Counter = Counter()
+            for seq, f in symbol_seqs.items():
+                for a, b in zip(seq, seq[1:]):
+                    pair_freq[(a, b)] += f
+            if not pair_freq:
+                break
+            (a, b), freq = pair_freq.most_common(1)[0]
+            if freq < 2:
+                break
+            merged = a + b
+            pieces.add(merged)
+            new_seqs: dict[tuple[str, ...], int] = {}
+            for seq, f in symbol_seqs.items():
+                out: list[str] = []
+                i = 0
+                while i < len(seq):
+                    if i + 1 < len(seq) and seq[i] == a and seq[i + 1] == b:
+                        out.append(merged)
+                        i += 2
+                    else:
+                        out.append(seq[i])
+                        i += 1
+                new_seqs[tuple(out)] = new_seqs.get(tuple(out), 0) + f
+            symbol_seqs = new_seqs
+
+        self.vocab = dict(SPECIAL_TOKENS)
+        for piece in sorted(pieces, key=lambda p: (len(p), p)):
+            if len(self.vocab) >= vocab_size:
+                break
+            self.vocab[piece] = len(self.vocab)
+            if len(self.vocab) < vocab_size:
+                self.vocab["##" + piece] = len(self.vocab)
+        self.inv_vocab = {i: t for t, i in self.vocab.items()}
+        self._max_piece_len = max(
+            (len(p) for p in pieces), default=1
+        )
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+    # -- runtime ------------------------------------------------------------------
+
+    def tokenize_word(self, word: str) -> list[str]:
+        """Longest-match-first WordPiece split of one word."""
+        out: list[str] = []
+        i = 0
+        n = len(word)
+        while i < n:
+            end = min(n, i + self._max_piece_len)
+            piece = None
+            for j in range(end, i, -1):
+                cand = word[i:j] if i == 0 else "##" + word[i:j]
+                if cand in self.vocab:
+                    piece = cand
+                    i = j
+                    break
+            if piece is None:
+                return ["[UNK]"]
+            out.append(piece)
+        return out
+
+    def encode(self, text: str) -> list[int]:
+        """Token ids of whitespace-split text (no special tokens added)."""
+        ids: list[int] = []
+        for word in text.split():
+            for piece in self.tokenize_word(word):
+                ids.append(self.vocab[piece])
+        return ids
+
+    def decode(self, ids: list[int]) -> str:
+        """Inverse of encode (best effort; joins continuations)."""
+        words: list[str] = []
+        for i in ids:
+            tok = self.inv_vocab.get(int(i), "[UNK]")
+            if tok.startswith("##") and words:
+                words[-1] += tok[2:]
+            else:
+                words.append(tok)
+        return " ".join(words)

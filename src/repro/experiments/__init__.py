@@ -1,0 +1,41 @@
+"""One module per paper table/figure: the reproduction harness.
+
+Each ``fig*``/``table*`` module exposes a ``run_*`` function returning a
+structured result with paper-reported values alongside reproduced ones,
+plus a ``format_*`` helper printing the same rows/series the paper shows.
+The benchmarks under ``benchmarks/`` are thin wrappers over these.
+"""
+
+from repro.experiments.fig1 import run_fig1, format_fig1
+from repro.experiments.fig3 import run_fig3, FIG3_PAPER
+from repro.experiments.fig4 import run_fig4, FIG4_PAPER
+from repro.experiments.perfmodel_figs import (
+    run_fig5,
+    run_fig6_sweep,
+    run_fig9_10,
+    run_arch_sweep,
+)
+from repro.experiments.fig7 import run_fig7, Fig7Result
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.table2 import run_table2, TABLE2_PAPER
+from repro.experiments.table3 import run_table3, TABLE3_PAPER
+
+__all__ = [
+    "run_fig1",
+    "format_fig1",
+    "run_fig3",
+    "FIG3_PAPER",
+    "run_fig4",
+    "FIG4_PAPER",
+    "run_fig5",
+    "run_fig6_sweep",
+    "run_fig9_10",
+    "run_arch_sweep",
+    "run_fig7",
+    "Fig7Result",
+    "run_fig8",
+    "run_table2",
+    "TABLE2_PAPER",
+    "run_table3",
+    "TABLE3_PAPER",
+]

@@ -1,0 +1,85 @@
+"""Figure 3: GPipe and 1F1B profiles, BERT-Base, with/without PipeFisher.
+
+Setup (caption): pretraining BERT-Base (L=12) with 4 stages (3 layers per
+stage), 4 or 8 GPUs, 4 micro-batches of size 32 per GPU per step, sequence
+length 128, on P100s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.arch import BERT_BASE
+from repro.perfmodel.hardware import P100
+from repro.pipefisher.runner import PipeFisherReport, PipeFisherRun
+
+#: Paper-reported GPU utilizations for each panel.
+FIG3_PAPER = {
+    "gpipe_baseline": 0.417,
+    "gpipe_pipefisher": 0.890,
+    "gpipe_pipefisher_dp": 0.862,
+    "1f1b_baseline": 0.415,
+    "1f1b_pipefisher": 0.887,
+    "1f1b_pipefisher_dp": 0.863,
+    "max_refresh_steps": 2,
+}
+
+
+@dataclass
+class Fig3Result:
+    panels: dict[str, PipeFisherReport]
+
+    def utilizations(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for sched in ("gpipe", "1f1b"):
+            r = self.panels[sched]
+            out[f"{sched}_baseline"] = r.baseline_utilization
+            out[f"{sched}_pipefisher"] = r.pipefisher_utilization
+            out[f"{sched}_pipefisher_dp"] = self.panels[
+                f"{sched}_dp"
+            ].pipefisher_utilization
+        return out
+
+
+def run_fig3() -> Fig3Result:
+    """Reproduce all six panels of Fig. 3."""
+    panels: dict[str, PipeFisherReport] = {}
+    for sched in ("gpipe", "1f1b"):
+        panels[sched] = PipeFisherRun(
+            schedule=sched,
+            arch=BERT_BASE,
+            hardware=P100,
+            b_micro=32,
+            depth=4,
+            n_micro=4,
+            layers_per_stage=3,
+        ).execute()
+        panels[f"{sched}_dp"] = PipeFisherRun(
+            schedule=sched,
+            arch=BERT_BASE,
+            hardware=P100,
+            b_micro=32,
+            depth=4,
+            n_micro=4,
+            layers_per_stage=3,
+            dp=2,
+            inversion_parallel=True,
+        ).execute()
+    return Fig3Result(panels=panels)
+
+
+def format_fig3(result: Fig3Result) -> str:
+    lines = [
+        f"{'panel':26s} {'paper':>7s} {'measured':>9s}",
+    ]
+    measured = result.utilizations()
+    for key, paper in FIG3_PAPER.items():
+        if key == "max_refresh_steps":
+            continue
+        lines.append(f"{key:26s} {paper:7.1%} {measured[key]:9.1%}")
+    for sched in ("gpipe", "1f1b"):
+        lines.append(
+            f"{sched} refresh interval: {result.panels[sched].refresh_steps} steps "
+            f"(paper: <= {FIG3_PAPER['max_refresh_steps']})"
+        )
+    return "\n".join(lines)

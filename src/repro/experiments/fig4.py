@@ -1,0 +1,64 @@
+"""Figure 4: Chimera profile, BERT-Large, with/without PipeFisher.
+
+Setup (caption): BERT-Large (L=24) with 8 stages (3 layers per stage), 8
+GPUs, 8 micro-batches of size 32 per GPU per step, sequence length 128;
+PipeFisher runs with data and inversion parallelism across the pipeline
+pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.arch import BERT_LARGE
+from repro.perfmodel.hardware import P100
+from repro.pipefisher.runner import PipeFisherReport, PipeFisherRun
+
+FIG4_PAPER = {
+    "baseline_utilization": 0.598,
+    "pipefisher_utilization": 0.976,
+    "refresh_steps_range": (2, 4),
+    #: Table 2 cites these step times from this exact setup.
+    "baseline_step_time_s": 2.3456,
+    "pipefisher_step_time_s": 2.4995,
+}
+
+
+@dataclass
+class Fig4Result:
+    report: PipeFisherReport
+
+
+def run_fig4() -> Fig4Result:
+    report = PipeFisherRun(
+        schedule="chimera",
+        arch=BERT_LARGE,
+        hardware=P100,
+        b_micro=32,
+        depth=8,
+        n_micro=8,
+        layers_per_stage=3,
+        inversion_parallel=True,
+    ).execute()
+    return Fig4Result(report=report)
+
+
+def format_fig4(result: Fig4Result) -> str:
+    r = result.report
+    p = FIG4_PAPER
+    lo, hi = p["refresh_steps_range"]
+    return "\n".join(
+        [
+            f"{'quantity':28s} {'paper':>10s} {'measured':>10s}",
+            f"{'baseline GPU util':28s} {p['baseline_utilization']:10.1%} "
+            f"{r.baseline_utilization:10.1%}",
+            f"{'PipeFisher GPU util':28s} {p['pipefisher_utilization']:10.1%} "
+            f"{r.pipefisher_utilization:10.1%}",
+            f"{'baseline time/step':28s} {p['baseline_step_time_s']:9.3f}s "
+            f"{r.baseline_step_time:9.3f}s",
+            f"{'PipeFisher time/step':28s} {p['pipefisher_step_time_s']:9.3f}s "
+            f"{r.pipefisher_step_time:9.3f}s",
+            f"{'refresh interval (steps)':28s} {f'{lo}-{hi}':>10s} "
+            f"{r.refresh_steps:>10d}",
+        ]
+    )

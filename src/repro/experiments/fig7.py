@@ -1,0 +1,173 @@
+"""Figure 7: Phase-1 pretraining convergence, NVLAMB vs K-FAC.
+
+Paper setup: BERT-Base on English Wikipedia, mini-batch 8,192, 7,038
+steps; K-FAC differs only in warmup (600 vs 2,000 steps).  K-FAC reaches
+NVLAMB's final loss (3.41) in 2,961 steps (42.0%); with Chimera step times
+(847.8 / 980.2 ms on 256 P100s), 48.4 vs 99.4 minutes (48.7%).
+
+Scaled-down protocol (see DESIGN.md §2): a structurally identical BERT
+(2 layers, d=64) on the synthetic corpus, with the warmup fractions and
+the single-hyperparameter change preserved.  The mini-batch is 32 rather
+than 8,192 (CPU), which shrinks — but preserves the sign of — K-FAC's
+advantage; EXPERIMENTS.md discusses the magnitude gap.
+
+Wall-clock times come from the same source as the paper's: time/step of
+Chimera without/with PipeFisher from the pipeline simulator (Fig. 7 right).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.corpus import CorpusConfig
+from repro.data.dataloader import PretrainDataLoader
+from repro.kfac.kfac import KFAC
+from repro.models.bert import BertConfig, BertForPreTraining
+from repro.optim.lamb import NVLAMB
+from repro.optim.lr_scheduler import PolyWarmupSchedule
+from repro.training.convergence import smooth_loss, steps_to_target
+from repro.training.trainer import TrainConfig, Trainer
+
+FIG7_PAPER = {
+    "nvlamb_final_loss": 3.41,
+    "kfac_final_loss": 2.92,
+    "nvlamb_steps": 7038,
+    "kfac_steps_to_target": 2961,
+    "step_fraction": 0.420,
+    "time_fraction": 0.487,
+    "nvlamb_step_time_s": 0.8478,
+    "kfac_step_time_s": 0.9802,
+}
+
+#: Paper warmup fractions: 2000/7038 and 600/7038.
+NVLAMB_WARMUP_FRAC = 2000 / 7038
+KFAC_WARMUP_FRAC = 600 / 7038
+
+
+@dataclass
+class Fig7Result:
+    total_steps: int
+    nvlamb_losses: np.ndarray
+    kfac_losses: np.ndarray
+    nvlamb_final: float
+    kfac_final: float
+    kfac_steps_to_nvlamb_final: int | None
+    #: Steps-to-intermediate-target ratios (stable at small scale).
+    target_ratios: dict[float, float] = field(default_factory=dict)
+    nvlamb_step_time_s: float = FIG7_PAPER["nvlamb_step_time_s"]
+    kfac_step_time_s: float = FIG7_PAPER["kfac_step_time_s"]
+
+    @property
+    def step_fraction(self) -> float | None:
+        if self.kfac_steps_to_nvlamb_final is None:
+            return None
+        return self.kfac_steps_to_nvlamb_final / self.total_steps
+
+    @property
+    def time_fraction(self) -> float | None:
+        f = self.step_fraction
+        if f is None:
+            return None
+        return f * self.kfac_step_time_s / self.nvlamb_step_time_s
+
+
+def _train(
+    use_kfac: bool,
+    total_steps: int,
+    base_lr: float,
+    batch_size: int,
+    seed: int,
+) -> np.ndarray:
+    corpus = CorpusConfig(seed=7, branching=4, num_word_types=1500)
+    data = PretrainDataLoader(
+        vocab_size=300, seq_len=32, num_documents=200, corpus_config=corpus, seed=7
+    )
+    cfg = BertConfig.tiny(
+        vocab_size=data.vocab_size, seed=seed, max_position_embeddings=32
+    )
+    model = BertForPreTraining(cfg)
+    inner = NVLAMB(model.parameters(), lr=base_lr)
+    if use_kfac:
+        stepper: NVLAMB | KFAC = KFAC(
+            model.encoder_linear_layers(),
+            inner,
+            damping=0.03,
+            curvature_interval=2,
+            inverse_interval=2,
+        )
+        warmup = max(2, int(round(KFAC_WARMUP_FRAC * total_steps)))
+    else:
+        stepper = inner
+        warmup = max(2, int(round(NVLAMB_WARMUP_FRAC * total_steps)))
+    sched = PolyWarmupSchedule(base_lr, warmup, total_steps, optimizer=stepper)
+    trainer = Trainer(
+        model, stepper, data, sched, TrainConfig(batch_size=batch_size)
+    )
+    trainer.train(total_steps)
+    return trainer.losses
+
+
+def run_fig7(
+    total_steps: int = 160,
+    base_lr: float = 5e-2,
+    batch_size: int = 32,
+    seed: int = 0,
+    nvlamb_step_time_s: float | None = None,
+    kfac_step_time_s: float | None = None,
+) -> Fig7Result:
+    """Train both optimizers and measure the convergence advantage."""
+    lamb = _train(False, total_steps, base_lr, batch_size, seed)
+    kfac = _train(True, total_steps, base_lr, batch_size, seed)
+    skip = max(5, total_steps // 10)
+    lamb_final = float(smooth_loss(lamb)[-1])
+    kfac_final = float(smooth_loss(kfac)[-1])
+    steps = steps_to_target(kfac, lamb_final, skip_initial=skip)
+
+    # Intermediate targets on the steep part of the curve.
+    ratios: dict[float, float] = {}
+    hi = float(smooth_loss(lamb)[skip:].max())
+    lo = lamb_final
+    for frac in (0.25, 0.5, 0.75):
+        tgt = hi - frac * (hi - lo)
+        a = steps_to_target(lamb, tgt, skip_initial=skip)
+        b = steps_to_target(kfac, tgt, skip_initial=skip)
+        if a and b:
+            ratios[round(tgt, 4)] = b / a
+
+    return Fig7Result(
+        total_steps=total_steps,
+        nvlamb_losses=lamb,
+        kfac_losses=kfac,
+        nvlamb_final=lamb_final,
+        kfac_final=kfac_final,
+        kfac_steps_to_nvlamb_final=steps,
+        target_ratios=ratios,
+        nvlamb_step_time_s=nvlamb_step_time_s or FIG7_PAPER["nvlamb_step_time_s"],
+        kfac_step_time_s=kfac_step_time_s or FIG7_PAPER["kfac_step_time_s"],
+    )
+
+
+def format_fig7(r: Fig7Result) -> str:
+    lines = [
+        f"{'quantity':38s} {'paper':>12s} {'measured':>12s}",
+        f"{'NVLAMB final loss (smoothed)':38s} {FIG7_PAPER['nvlamb_final_loss']:12.2f} "
+        f"{r.nvlamb_final:12.4f}",
+        f"{'K-FAC final loss (smoothed)':38s} {FIG7_PAPER['kfac_final_loss']:12.2f} "
+        f"{r.kfac_final:12.4f}",
+        f"{'K-FAC final < NVLAMB final':38s} {'yes':>12s} "
+        f"{'yes' if r.kfac_final < r.nvlamb_final else 'NO':>12s}",
+    ]
+    if r.step_fraction is not None:
+        lines.append(
+            f"{'steps to NVLAMB final (fraction)':38s} "
+            f"{FIG7_PAPER['step_fraction']:12.1%} {r.step_fraction:12.1%}"
+        )
+        lines.append(
+            f"{'wall-clock fraction':38s} "
+            f"{FIG7_PAPER['time_fraction']:12.1%} {r.time_fraction:12.1%}"
+        )
+    for tgt, ratio in r.target_ratios.items():
+        lines.append(f"  steps ratio @ loss {tgt:<8.3f} {'<1':>19s} {ratio:12.2f}")
+    return "\n".join(lines)

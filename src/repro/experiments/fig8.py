@@ -1,0 +1,37 @@
+"""Figure 8: learning-rate schedules for NVLAMB and K-FAC (Appendix B.2).
+
+Base LR 6e-3, 7,038 total steps, polynomial decay with power 0.5; linear
+warmup of 2,000 (NVLAMB) or 600 (K-FAC) steps — so K-FAC sees larger
+learning rates than NVLAMB until the 2,000th step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.optim.lr_scheduler import kfac_schedule, nvlamb_schedule
+
+
+@dataclass
+class Fig8Result:
+    steps: np.ndarray
+    nvlamb_lr: np.ndarray
+    kfac_lr: np.ndarray
+
+    @property
+    def crossover_step(self) -> int:
+        """Last step at which K-FAC's LR exceeds NVLAMB's (paper: ~2,000)."""
+        ahead = np.nonzero(self.kfac_lr > self.nvlamb_lr + 1e-12)[0]
+        return int(ahead[-1]) + 1 if ahead.size else 0
+
+
+def run_fig8(total_steps: int = 7038, base_lr: float = 6e-3) -> Fig8Result:
+    nv = nvlamb_schedule(base_lr=base_lr, total_steps=total_steps)
+    kf = kfac_schedule(base_lr=base_lr, total_steps=total_steps)
+    return Fig8Result(
+        steps=np.arange(1, total_steps + 1),
+        nvlamb_lr=nv.series(total_steps),
+        kfac_lr=kf.series(total_steps),
+    )

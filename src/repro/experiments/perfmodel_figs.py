@@ -1,0 +1,113 @@
+"""Performance-model figures: Fig. 5 (Chimera + BERT-Base), Fig. 6 / 11-16
+(sweeps over micro-batch size, depth, N_micro, hardware, architecture),
+and Figs. 9-10 (GPipe/1F1B and Chimera for BERT-Base/Large).
+
+Each run returns the same series the paper plots: per-step time breakdown,
+memory breakdown, throughput for the four execution strategies, and the
+(curvature+inversion)/bubble ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.arch import ARCHITECTURES, TransformerArch
+from repro.perfmodel.hardware import HARDWARE, Hardware
+from repro.perfmodel.model import PerfReport, PipelinePerfModel
+
+
+@dataclass
+class PerfFigure:
+    """One panel grid: (b_micro, depth) -> report, for a schedule/arch/hw."""
+
+    arch: str
+    hardware: str
+    schedule: str
+    n_micro_factor: int
+    recompute: bool
+    grid: dict[tuple[int, int], PerfReport]
+
+    def series(self, field: str) -> dict[tuple[int, int], float]:
+        return {k: getattr(r, field) for k, r in self.grid.items()}
+
+
+def run_fig5(
+    b_micro_values=(8, 16, 32),
+    depth_values=(4, 8, 16),
+    recompute: bool = False,
+) -> PerfFigure:
+    """Fig. 5: Chimera with BERT-Base blocks on P100, N_micro = D."""
+    model = PipelinePerfModel(ARCHITECTURES["BERT-Base"], HARDWARE["P100"], "chimera")
+    grid = model.sweep(list(b_micro_values), list(depth_values), recompute=recompute)
+    return PerfFigure("BERT-Base", "P100", "chimera", 1, recompute, grid)
+
+
+def run_fig9_10(
+    arch_name: str,
+    schedule: str,
+    b_micro_values=(8, 16, 32),
+    depth_values=(4, 8, 16),
+    recompute: bool = False,
+) -> PerfFigure:
+    """Figs. 9/10: GPipe/1F1B and Chimera models for BERT-Base/-Large."""
+    model = PipelinePerfModel(ARCHITECTURES[arch_name], HARDWARE["P100"], schedule)
+    grid = model.sweep(list(b_micro_values), list(depth_values), recompute=recompute)
+    return PerfFigure(arch_name, "P100", schedule, 1, recompute, grid)
+
+
+def run_fig6_sweep(
+    arch_name: str = "BERT-Base",
+    hardware_names=("P100", "V100", "RTX3090"),
+    b_micro_values=(1, 2, 4, 8, 16, 32, 64),
+    depth_values=(4, 8, 16, 32),
+    n_micro_factors=(1, 2, 3),
+) -> dict[tuple[str, int], PerfFigure]:
+    """Fig. 6 (and Figs. 11-16 per architecture): Chimera+PipeFisher sweeps.
+
+    Returns ``{(hardware, n_micro_factor): PerfFigure}``.
+    """
+    out: dict[tuple[str, int], PerfFigure] = {}
+    arch = ARCHITECTURES[arch_name]
+    for hw_name in hardware_names:
+        model = PipelinePerfModel(arch, HARDWARE[hw_name], "chimera")
+        for factor in n_micro_factors:
+            grid = model.sweep(
+                list(b_micro_values), list(depth_values), n_micro_factor=factor
+            )
+            out[(hw_name, factor)] = PerfFigure(
+                arch_name, hw_name, "chimera", factor, False, grid
+            )
+    return out
+
+
+def run_arch_sweep(
+    arch_name: str,
+    b_micro_values=(1, 2, 4, 8),
+    depth_values=(4, 8, 16, 32),
+) -> dict[tuple[str, int], PerfFigure]:
+    """Figs. 13-16: T5/OPT sweeps (long sequences, smaller micro-batches)."""
+    return run_fig6_sweep(
+        arch_name=arch_name,
+        b_micro_values=b_micro_values,
+        depth_values=depth_values,
+    )
+
+
+def format_perf_figure(fig: PerfFigure) -> str:
+    """Render a panel as the throughput/ratio table the paper plots."""
+    lines = [
+        f"{fig.schedule} + {fig.arch} on {fig.hardware} "
+        f"(N_micro = {fig.n_micro_factor} * D"
+        + (", recompute" if fig.recompute else "")
+        + ")",
+        f"{'B_micro':>8s} {'D':>4s} {'thr pipe':>9s} {'thr PF':>9s} "
+        f"{'thr skip':>9s} {'thr naive':>10s} {'(c+i)/bub':>10s} {'mem GB':>7s}",
+    ]
+    for (b, d), r in sorted(fig.grid.items()):
+        lines.append(
+            f"{b:8d} {d:4d} {r.throughput_pipeline:9.1f} "
+            f"{r.throughput_pipefisher:9.1f} {r.throughput_kfac_skip:9.1f} "
+            f"{r.throughput_kfac_naive:10.1f} {r.ratio:10.2f} "
+            f"{r.memory.total_gb():7.2f}"
+        )
+    return "\n".join(lines)

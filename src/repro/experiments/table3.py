@@ -1,0 +1,54 @@
+"""Table 3: Transformer architecture configurations.
+
+Verifies our :mod:`repro.perfmodel.arch` presets against the paper's
+table (d_model, d_ff, heads, sequence length, block class) and checks
+that the runnable block classes in :mod:`repro.nn` exist for each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.transformer import BLOCK_CLASSES
+from repro.perfmodel.arch import ARCHITECTURES
+
+#: The paper's Table 3, verbatim.
+TABLE3_PAPER = {
+    "BERT-Base": ("BertLayer", 768, 3072, 12, 128),
+    "BERT-Large": ("BertLayer", 1024, 4096, 16, 128),
+    "T5-Base": ("T5Block", 768, 3072, 12, 512),
+    "T5-Large": ("T5Block", 1024, 4096, 16, 512),
+    "OPT-125M": ("OPTDecoderLayer", 768, 3072, 12, 2048),
+    "OPT-350M": ("OPTDecoderLayer", 1024, 4096, 16, 2048),
+}
+
+
+@dataclass
+class Table3Result:
+    rows: dict[str, tuple[str, int, int, int, int]]
+    matches_paper: bool
+    runnable_blocks: bool
+
+
+def run_table3() -> Table3Result:
+    rows = {
+        name: (a.block_class, a.d_model, a.d_ff, a.num_heads, a.seq_len)
+        for name, a in ARCHITECTURES.items()
+    }
+    matches = rows == TABLE3_PAPER
+    runnable = all(
+        a.block_class in BLOCK_CLASSES for a in ARCHITECTURES.values()
+    )
+    return Table3Result(rows=rows, matches_paper=matches, runnable_blocks=runnable)
+
+
+def format_table3(r: Table3Result) -> str:
+    lines = [
+        f"{'Architecture':12s} {'Block class':18s} {'d_model':>8s} "
+        f"{'d_ff':>6s} {'h':>4s} {'S':>6s}"
+    ]
+    for name, (cls, dm, dff, h, s) in r.rows.items():
+        lines.append(f"{name:12s} {cls:18s} {dm:8d} {dff:6d} {h:4d} {s:6d}")
+    lines.append(f"matches paper Table 3: {r.matches_paper}; "
+                 f"all block classes runnable: {r.runnable_blocks}")
+    return "\n".join(lines)

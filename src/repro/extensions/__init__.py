@@ -1,0 +1,32 @@
+"""Extensions sketched in the paper's Discussion (§5) and Appendix C.
+
+"The application of the idea of 'assigning extra work to bubbles in
+pipeline for auxiliary benefits' is not limited to K-FAC":
+
+* :mod:`repro.extensions.shampoo` — the Shampoo optimizer (Gupta et al.
+  2018), whose Kronecker-factored second-moment matrices have the same
+  shapes as K-FAC's factors; its eigendecomposition work is placed into
+  bubbles via :func:`build_shampoo_queues`, split into pieces as §5
+  prescribes.
+* :mod:`repro.extensions.sam` — Sharpness-Aware Minimization (Foret et
+  al. 2021), which "contains twice the work of regular SGD and has the
+  potential to double the accelerator utilization"; its extra
+  forward/backward per micro-batch fills bubbles via
+  :func:`build_sam_queues`.
+* :mod:`repro.extensions.async_pipeline` — the asynchronous (no-flush)
+  pipeline of Appendix C.1, itself a "filling bubbles" approach where the
+  filler is gradient computation with stale weights.
+"""
+
+from repro.extensions.shampoo import Shampoo, build_shampoo_queues
+from repro.extensions.sam import SAM, build_sam_queues
+from repro.extensions.async_pipeline import AsyncOneFOneBSchedule, stale_gradient_descent
+
+__all__ = [
+    "Shampoo",
+    "build_shampoo_queues",
+    "SAM",
+    "build_sam_queues",
+    "AsyncOneFOneBSchedule",
+    "stale_gradient_descent",
+]

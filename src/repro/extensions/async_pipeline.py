@@ -1,0 +1,92 @@
+"""Asynchronous pipelines (paper Appendix C.1).
+
+An asynchronous method (PipeDream-style) removes the pipeline flush:
+bubbles are "filled by the gradient calculation with the stale model
+parameters", trading staleness for throughput —
+``theta_{t+1} = theta_t - eta * g_{t-m}`` with m up to D.
+
+Two artifacts here:
+
+* :class:`AsyncOneFOneBSchedule` — a 1F1B schedule whose steps are NOT
+  separated by a flush barrier: step k+1's forwards may start while step
+  k's backwards drain, eliminating startup/teardown bubbles in steady
+  state.  Used to quantify the utilization an async scheme recovers and
+  what PipeFisher matches *without* giving up synchronous semantics.
+* :func:`stale_gradient_descent` — the C.1 update rule on a quadratic, to
+  exhibit the convergence degradation staleness causes (why the paper
+  stays synchronous).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pipeline.schedules import OneFOneBSchedule
+from repro.pipeline.work import Task, WorkKind
+
+
+class AsyncOneFOneBSchedule(OneFOneBSchedule):
+    """1F1B without the inter-step flush barrier.
+
+    The per-step task graphs are chained only by per-stage weight-version
+    order (a stage's step-k+1 forward waits for its *own* step-k backward
+    of the same micro-batch slot, not for the global barrier), which is
+    how PipeDream keeps every device busy.  Overhead/optimizer tasks run
+    per device without synchronizing the others.
+    """
+
+    name = "async-1f1b"
+
+    def build(self, steps: int = 1) -> list[Task]:
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        tasks: list[Task] = []
+        for k in range(steps):
+            step_tasks, _ = self._build_step(k, prev_barrier=None)
+            # Drop the global barrier; chain step k+1's forward of
+            # micro-batch m at stage s to step k's backward of the same
+            # (m, s) — the weight-version dependency.
+            step_tasks = [t for t in step_tasks if t.kind != WorkKind.BARRIER]
+            if k > 0:
+                for t in step_tasks:
+                    if t.kind == WorkKind.FORWARD:
+                        m, s = t.meta["micro_batch"], t.meta["stage"]
+                        r = t.meta["replica"]
+                        t.deps = t.deps + (f"B.{k - 1}.{r}.{m}.{s}",)
+            tasks.extend(step_tasks)
+        return tasks
+
+    def _tail_tasks(self, step: int, body: list[Task]) -> list[Task]:
+        """Async schemes update weights per device without a flush; model
+        the optimizer as a zero-cost event (it overlaps compute)."""
+        return []
+
+
+def stale_gradient_descent(
+    staleness: int,
+    lr: float = 0.15,
+    steps: int = 200,
+    dim: int = 8,
+    condition: float = 25.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Gradient descent on an ill-conditioned quadratic with stale gradients.
+
+    Returns the loss trajectory of ``theta_{t+1} = theta_t - lr * g_{t-m}``
+    (Appendix C.1's async update) for staleness ``m``.  Staleness slows or
+    destabilizes convergence — the cost PipeFisher avoids by filling
+    bubbles with K-FAC work instead of stale gradient work.
+    """
+    if staleness < 0:
+        raise ValueError(f"staleness must be >= 0, got {staleness}")
+    rng = np.random.default_rng(seed)
+    eigs = np.linspace(1.0, condition, dim)
+    theta = rng.standard_normal(dim)
+    history: list[np.ndarray] = []
+    losses = []
+    for _ in range(steps):
+        losses.append(0.5 * float(np.sum(eigs * theta**2)))
+        history.append(eigs * theta)  # gradient at the current iterate
+        g = history[max(0, len(history) - 1 - staleness)]
+        theta = theta - lr / condition * g
+    return np.asarray(losses)

@@ -1,0 +1,122 @@
+"""Sharpness-Aware Minimization (Foret et al. 2021) and its bubble work.
+
+SAM seeks parameters in flat minima by taking the gradient at an
+adversarially-perturbed point:
+
+    eps  = rho * g / ||g||          (ascent to the sharpest nearby point)
+    step with  grad L(theta + eps)  evaluated at the perturbed weights
+
+Each training step therefore needs a second forward+backward — "twice the
+work of regular SGD" (paper §5) — which PipeFisher-style assignment can
+hide in pipeline bubbles: :func:`build_sam_queues` emits one extra
+forward and one extra backward work item per (stage, micro-batch).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.base import Optimizer, global_grad_norm
+from repro.perfmodel.costs import StageCosts
+from repro.pipefisher.workqueue import KFACWorkItem, KFACWorkQueue
+from repro.pipeline.schedules import ChimeraSchedule, ScheduleBuilder
+
+
+class SAM:
+    """SAM wrapper around any inner optimizer.
+
+    Usage::
+
+        sam = SAM(model.parameters(), inner, rho=0.05)
+        loss = compute_loss(); loss.backward()
+        sam.first_step()              # perturb to theta + eps
+        loss2 = compute_loss(); loss2.backward()
+        sam.second_step()             # restore theta, inner.step()
+    """
+
+    def __init__(self, params, inner: Optimizer, rho: float = 0.05) -> None:
+        if rho <= 0:
+            raise ValueError(f"rho must be positive, got {rho}")
+        self.params: list[Parameter] = list(params)
+        self.inner = inner
+        self.rho = rho
+        self._backup: list[np.ndarray] | None = None
+
+    def first_step(self) -> None:
+        """Move to the adversarial point theta + rho * g / ||g||."""
+        norm = global_grad_norm(self.params)
+        scale = self.rho / (norm + 1e-12)
+        self._backup = []
+        for p in self.params:
+            self._backup.append(p.data.copy())
+            if p.grad is not None:
+                p.data = p.data + scale * p.grad
+            p.grad = None
+
+    def second_step(self) -> None:
+        """Restore weights and apply the inner update with the SAM gradient."""
+        if self._backup is None:
+            raise RuntimeError("second_step() called before first_step()")
+        for p, saved in zip(self.params, self._backup):
+            p.data = saved
+        self._backup = None
+        self.inner.step()
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    @property
+    def lr(self) -> float:
+        return self.inner.lr
+
+    @lr.setter
+    def lr(self, value: float) -> None:
+        self.inner.lr = value
+
+
+def build_sam_queues(
+    builder: ScheduleBuilder, costs: StageCosts
+) -> dict[int, KFACWorkQueue]:
+    """SAM's second forward/backward as bubble work items.
+
+    The extra forward of micro-batch m (at the perturbed weights) becomes
+    ready after m's *backward* (which produces the gradient defining the
+    perturbation); the extra backward follows its extra forward.  Items
+    reuse the K-FAC work-item machinery ("curvature" kind = extra forward,
+    "inversion" kind = extra backward) so the standard assigner places them.
+    """
+    cfg = builder.config
+    L = costs.layers_per_stage
+    queues = {d: KFACWorkQueue(d) for d in range(builder.num_devices)}
+    counter = itertools.count()
+    for dev in range(builder.num_devices):
+        q = queues[dev]
+        for s in builder.stages_of_device(dev):
+            if isinstance(builder, ChimeraSchedule):
+                base = dev // cfg.dp
+                pipes = ["down" if s == base else "up"]
+                micro = range(cfg.n_micro // 2)
+            else:
+                pipes = [None]
+                micro = range(cfg.n_micro)
+            for pipe in pipes:
+                for m in micro:
+                    fwd_id = f"sam{next(counter)}.d{dev}"
+                    q.items.append(KFACWorkItem(
+                        iid=fwd_id, device=dev, kind="curvature", factor="F",
+                        stage=s, block=0, micro_batch=m, pipeline=pipe,
+                        duration=costs.block.t_fwd * L,
+                        trigger=("backward", s, m, pipe),
+                    ))
+                    q.items.append(KFACWorkItem(
+                        iid=f"sam{next(counter)}.d{dev}", device=dev,
+                        kind="inversion", factor="B", stage=s, block=0,
+                        micro_batch=m, pipeline=pipe,
+                        duration=costs.block.t_bwd * L,
+                        trigger=("items", (fwd_id,)),
+                    ))
+    return queues

@@ -1,0 +1,168 @@
+"""Emulated distributed K-FAC schemes (paper §2.3.2).
+
+These are the prior-art execution strategies PipeFisher is compared
+against.  We run them on one process but faithfully reproduce their
+*dataflow* — sharding, collective averaging, per-worker layer assignment,
+and inverse staleness — so tests can verify numerical equivalence with
+serial K-FAC and benchmarks can model their costs.
+
+* :class:`DataInversionParallelKFAC` — Osawa et al. (2019): every worker
+  computes curvature for its micro-batch shard, factors are allreduce-
+  averaged, and the *inversion* work is split layer-wise across workers
+  (Figure 2(ii,b)).
+* :class:`CPUOffloadKFAC` — Ba et al. (2017): a stats worker computes
+  factors and inverses asynchronously with a multi-step lag, so the
+  preconditioner always uses inverses that are ``lag`` steps stale.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.kfac.factors import compute_factor_from_rows
+from repro.kfac.inverse import damped_cholesky_inverse, pi_damping
+from repro.kfac.layer import KFACLayerState
+
+
+def round_robin_layer_assignment(num_layers: int, num_workers: int) -> list[list[int]]:
+    """Assign layer indices to workers round-robin (inversion parallelism).
+
+    This scheme "scales to as many distributed accelerators as the number
+    of layers in the model" (§2.3.2); extra workers sit idle.
+    """
+    if num_workers <= 0:
+        raise ValueError(f"num_workers must be positive, got {num_workers}")
+    assignment: list[list[int]] = [[] for _ in range(num_workers)]
+    for layer in range(num_layers):
+        assignment[layer % num_workers].append(layer)
+    return assignment
+
+
+class DataInversionParallelKFAC:
+    """Data-parallel curvature + layer-parallel inversion, emulated.
+
+    Parameters
+    ----------
+    states:
+        Per-layer :class:`KFACLayerState` (shared with the training loop).
+    num_workers:
+        Number of emulated accelerators.
+    damping, use_pi:
+        Inversion hyperparameters.
+    """
+
+    def __init__(
+        self,
+        states: list[KFACLayerState],
+        num_workers: int,
+        damping: float = 0.03,
+        use_pi: bool = True,
+    ) -> None:
+        self.states = states
+        self.num_workers = num_workers
+        self.damping = damping
+        self.use_pi = use_pi
+        self.assignment = round_robin_layer_assignment(len(states), num_workers)
+        #: Bytes of dense factor traffic in the last allreduce (cost model).
+        self.last_allreduce_bytes = 0
+
+    def curvature_step(
+        self,
+        worker_inputs: list[list[np.ndarray]],
+        worker_grads: list[list[np.ndarray]],
+        loss_scales: list[list[float]],
+    ) -> None:
+        """Each worker contributes shard factors; allreduce-average them.
+
+        ``worker_inputs[w][l]`` is worker ``w``'s captured input rows for
+        layer ``l`` (similarly for grads); ``loss_scales[w][l]`` converts
+        mean-loss grads to per-example error signals.
+        """
+        if len(worker_inputs) != self.num_workers:
+            raise ValueError(
+                f"expected {self.num_workers} worker shards, got {len(worker_inputs)}"
+            )
+        bytes_moved = 0
+        for l, state in enumerate(self.states):
+            a_dim = state.din + (1 if state.include_bias else 0)
+            a_acc = np.zeros((a_dim, a_dim), dtype=np.float64)
+            b_acc = np.zeros((state.dout, state.dout), dtype=np.float64)
+            total_rows = 0
+            for w in range(self.num_workers):
+                rows_in = worker_inputs[w][l]
+                rows_g = worker_grads[w][l] * np.float32(loss_scales[w][l])
+                n = rows_in.shape[0]
+                a_acc += compute_factor_from_rows(
+                    rows_in, include_bias=state.include_bias
+                ) * n
+                b_acc += compute_factor_from_rows(rows_g) * n
+                total_rows += n
+            # Allreduce = row-weighted average across workers.
+            state.a_factor.update((a_acc / total_rows).astype(np.float32))
+            state.b_factor.update((b_acc / total_rows).astype(np.float32))
+            bytes_moved += 4 * (a_dim * a_dim + state.dout * state.dout)
+        self.last_allreduce_bytes = bytes_moved * (self.num_workers - 1)
+
+    def inversion_step(self) -> dict[int, list[int]]:
+        """Each worker inverts its assigned layers; returns worker -> layers.
+
+        After this (emulated) phase every worker broadcast/allgathers its
+        inverses, so all states end up populated.
+        """
+        done: dict[int, list[int]] = {}
+        for w, layers in enumerate(self.assignment):
+            done[w] = list(layers)
+            for l in layers:
+                self.states[l].update_inverses(self.damping, use_pi=self.use_pi)
+        return done
+
+
+class CPUOffloadKFAC:
+    """Asynchronous CPU-offloaded curvature/inversion with fixed lag.
+
+    The stats worker receives factor snapshots and returns inverses ``lag``
+    submissions later — modeling "the inverse matrices used for
+    preconditioning can be stale for many steps (e.g., 100-1000)" (§2.3.2).
+    """
+
+    def __init__(
+        self,
+        states: list[KFACLayerState],
+        lag: int,
+        damping: float = 0.03,
+        use_pi: bool = True,
+    ) -> None:
+        if lag < 0:
+            raise ValueError(f"lag must be non-negative, got {lag}")
+        self.states = states
+        self.lag = lag
+        self.damping = damping
+        self.use_pi = use_pi
+        self._queue: deque[list[tuple[np.ndarray, np.ndarray]]] = deque()
+
+    def submit_factors(self) -> None:
+        """Snapshot current factors and enqueue them for the stats worker."""
+        snapshot = [
+            (s.a_factor.value.copy(), s.b_factor.value.copy()) for s in self.states
+        ]
+        self._queue.append(snapshot)
+
+    def poll_inverses(self) -> bool:
+        """If a snapshot has aged past ``lag``, invert it and install results.
+
+        Returns True when fresh (well, lag-stale) inverses were installed.
+        """
+        if len(self._queue) <= self.lag:
+            return False
+        snapshot = self._queue.popleft()
+        for state, (a, b) in zip(self.states, snapshot):
+            if self.use_pi:
+                da, db = pi_damping(a, b, self.damping)
+            else:
+                da = db = float(np.sqrt(self.damping))
+            state.a_inv = damped_cholesky_inverse(a, da)
+            state.b_inv = damped_cholesky_inverse(b, db)
+            state.inverse_staleness = self.lag
+        return True

@@ -1,0 +1,61 @@
+"""Factor inversion (the paper's *inversion work*).
+
+Each Kronecker factor is symmetric PSD, so the paper inverts via Cholesky:
+``torch.linalg.cholesky`` + ``cholesky_inverse``.  Here we use SciPy's
+``cho_factor``/``cho_solve`` against the identity, with Tikhonov damping to
+guarantee positive definiteness.
+
+Damping follows Martens & Grosse (2015) §6.2: with overall damping
+``lambda``, the factors receive ``pi * sqrt(lambda)`` and
+``sqrt(lambda) / pi`` respectively, where
+``pi = sqrt((trace(A)/dim_A) / (trace(B)/dim_B))`` balances the two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg as sla
+
+
+def damped_cholesky_inverse(mat: np.ndarray, damping: float) -> np.ndarray:
+    """Return ``(mat + damping * I)^{-1}`` via Cholesky factorization.
+
+    Parameters
+    ----------
+    mat:
+        Symmetric positive semidefinite ``(d, d)`` matrix.
+    damping:
+        Non-negative Tikhonov term added to the diagonal.
+    """
+    if damping < 0:
+        raise ValueError(f"damping must be non-negative, got {damping}")
+    d = mat.shape[0]
+    if mat.shape != (d, d):
+        raise ValueError(f"expected square matrix, got {mat.shape}")
+    damped = mat.astype(np.float64) + damping * np.eye(d)
+    try:
+        c, low = sla.cho_factor(damped, check_finite=False)
+        inv = sla.cho_solve((c, low), np.eye(d), check_finite=False)
+    except sla.LinAlgError:
+        # PSD estimate degraded by fp error: retry with boosted damping.
+        boosted = damped + max(damping, 1e-4) * 10.0 * np.eye(d)
+        c, low = sla.cho_factor(boosted, check_finite=False)
+        inv = sla.cho_solve((c, low), np.eye(d), check_finite=False)
+    return inv.astype(np.float32)
+
+
+def pi_damping(a: np.ndarray, b: np.ndarray, damping: float) -> tuple[float, float]:
+    """Split overall ``damping`` between factors A and B (Martens & Grosse).
+
+    Returns ``(damping_A, damping_B)`` with
+    ``damping_A * damping_B = damping`` and the ratio set by the average
+    trace of each factor.
+    """
+    tr_a = float(np.trace(a)) / a.shape[0]
+    tr_b = float(np.trace(b)) / b.shape[0]
+    if tr_a <= 0 or tr_b <= 0:
+        root = float(np.sqrt(damping))
+        return root, root
+    pi = float(np.sqrt(tr_a / tr_b))
+    root = float(np.sqrt(damping))
+    return root * pi, root / pi

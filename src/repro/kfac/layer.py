@@ -1,0 +1,106 @@
+"""Per-layer K-FAC state: factors, inverses, and staleness bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kfac.factors import KroneckerFactor
+from repro.kfac.inverse import damped_cholesky_inverse, pi_damping
+
+
+@dataclass
+class KFACLayerState:
+    """Curvature state for one linear layer.
+
+    Tracks the Kronecker factors ``A`` (inputs, possibly bias-augmented) and
+    ``B`` (output-grad errors), their damped inverses, and how stale the
+    inverses are — the paper's §3.1 uses previously-computed inverses for
+    preconditioning whenever fresh ones are not yet ready.
+    """
+
+    name: str
+    din: int
+    dout: int
+    include_bias: bool = True
+    stat_decay: float = 0.0
+    a_factor: KroneckerFactor = field(init=False)
+    b_factor: KroneckerFactor = field(init=False)
+    a_inv: np.ndarray | None = None
+    b_inv: np.ndarray | None = None
+    #: Steps since the inverses were last refreshed (-1 = never computed).
+    inverse_staleness: int = -1
+
+    def __post_init__(self) -> None:
+        a_dim = self.din + (1 if self.include_bias else 0)
+        self.a_factor = KroneckerFactor(a_dim, stat_decay=self.stat_decay)
+        self.b_factor = KroneckerFactor(self.dout, stat_decay=self.stat_decay)
+
+    # -- curvature work ---------------------------------------------------------
+
+    def update_curvature(
+        self, input_batches: list[np.ndarray], grad_batches: list[np.ndarray],
+        loss_scale: float = 1.0,
+    ) -> None:
+        """Refresh A and B from captured micro-batch rows.
+
+        ``loss_scale`` converts mean-loss output gradients back to
+        per-example error signals (multiply by the number of rows the mean
+        was taken over); pass 1.0 when the loss is a sum.
+        """
+        if not input_batches or not grad_batches:
+            raise ValueError(f"layer {self.name}: no captured rows")
+        self.a_factor.accumulate_microbatches(input_batches, include_bias=self.include_bias)
+        scaled = [g * np.float32(loss_scale) for g in grad_batches]
+        self.b_factor.accumulate_microbatches(scaled, include_bias=False)
+
+    # -- inversion work -----------------------------------------------------------
+
+    def update_inverses(self, damping: float, use_pi: bool = True) -> None:
+        """Recompute the damped inverses from the current factors."""
+        if self.a_factor.updates == 0 or self.b_factor.updates == 0:
+            raise RuntimeError(f"layer {self.name}: inversion before any curvature")
+        if use_pi:
+            da, db = pi_damping(self.a_factor.value, self.b_factor.value, damping)
+        else:
+            da = db = float(np.sqrt(damping))
+        self.a_inv = damped_cholesky_inverse(self.a_factor.value, da)
+        self.b_inv = damped_cholesky_inverse(self.b_factor.value, db)
+        self.inverse_staleness = 0
+
+    def tick_staleness(self) -> None:
+        """Mark one optimization step elapsed since the last inverse refresh."""
+        if self.inverse_staleness >= 0:
+            self.inverse_staleness += 1
+
+    @property
+    def ready(self) -> bool:
+        """Whether preconditioning can run (inverses exist, fresh or stale)."""
+        return self.a_inv is not None and self.b_inv is not None
+
+    # -- precondition work -----------------------------------------------------------
+
+    def precondition(
+        self, weight_grad: np.ndarray, bias_grad: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Apply ``B^{-1} G A^{-1}`` to a (dout, din) weight gradient.
+
+        When ``include_bias`` the bias gradient is folded in as the last
+        column of the homogeneous-coordinate gradient matrix.
+        """
+        if not self.ready:
+            raise RuntimeError(f"layer {self.name}: precondition before any inversion")
+        if weight_grad.shape != (self.dout, self.din):
+            raise ValueError(
+                f"layer {self.name}: grad shape {weight_grad.shape} != "
+                f"({self.dout}, {self.din})"
+            )
+        if self.include_bias and bias_grad is not None:
+            g = np.concatenate([weight_grad, bias_grad.reshape(-1, 1)], axis=1)
+        else:
+            g = weight_grad
+        nat = self.b_inv @ g @ self.a_inv
+        if self.include_bias and bias_grad is not None:
+            return nat[:, :-1].astype(np.float32), nat[:, -1].astype(np.float32)
+        return nat.astype(np.float32), bias_grad

@@ -1,0 +1,22 @@
+"""Model definitions: BERT for pretraining plus pipeline-stage partitioning."""
+
+from repro.models.bert import (
+    BertConfig,
+    BertEmbeddings,
+    BertEncoder,
+    BertPooler,
+    BertPreTrainingHeads,
+    BertForPreTraining,
+)
+from repro.models.partition import partition_layers, StagePartition
+
+__all__ = [
+    "BertConfig",
+    "BertEmbeddings",
+    "BertEncoder",
+    "BertPooler",
+    "BertPreTrainingHeads",
+    "BertForPreTraining",
+    "partition_layers",
+    "StagePartition",
+]

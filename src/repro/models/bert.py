@@ -1,0 +1,234 @@
+"""BERT for pretraining (Devlin et al. 2019) in the repro NN framework.
+
+Implements the full pretraining model: token/position/segment embeddings,
+the encoder stack of :class:`repro.nn.BertLayer` blocks, the pooler, the
+MLM head (dense + GELU + LayerNorm + vocabulary decoder tied to the token
+embedding) and the NSP classifier.
+
+``BertConfig`` carries the named presets the paper evaluates (Base, Large)
+plus arbitrarily scaled-down variants for CPU-feasible convergence
+experiments (see DESIGN.md §2 on substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn import (
+    BertLayer,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    Tanh,
+    masked_lm_loss,
+    next_sentence_loss,
+)
+from repro.nn.activations import GELU
+from repro.tensor import Tensor
+
+
+@dataclass
+class BertConfig:
+    """Hyperparameters of a BERT model.
+
+    Defaults match BERT-Base; use the classmethod presets for named sizes.
+    """
+
+    vocab_size: int = 30522
+    hidden_size: int = 768
+    num_hidden_layers: int = 12
+    num_attention_heads: int = 12
+    intermediate_size: int = 3072
+    max_position_embeddings: int = 512
+    type_vocab_size: int = 2
+    hidden_dropout: float = 0.1
+    attention_dropout: float = 0.1
+    seed: int = 0
+
+    @classmethod
+    def bert_base(cls, **overrides) -> "BertConfig":
+        return cls(**overrides)
+
+    @classmethod
+    def bert_large(cls, **overrides) -> "BertConfig":
+        params = dict(
+            hidden_size=1024,
+            num_hidden_layers=24,
+            num_attention_heads=16,
+            intermediate_size=4096,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+    @classmethod
+    def tiny(cls, vocab_size: int = 512, seed: int = 0, **overrides) -> "BertConfig":
+        """A CPU-trainable model preserving BERT's structure (see DESIGN.md)."""
+        params = dict(
+            vocab_size=vocab_size,
+            hidden_size=64,
+            num_hidden_layers=2,
+            num_attention_heads=4,
+            intermediate_size=256,
+            max_position_embeddings=64,
+            hidden_dropout=0.0,
+            attention_dropout=0.0,
+            seed=seed,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+
+class BertEmbeddings(Module):
+    """Sum of token, position and segment embeddings, then LayerNorm+dropout."""
+
+    def __init__(self, config: BertConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.word_embeddings = Embedding(config.vocab_size, config.hidden_size, rng=rng)
+        self.position_embeddings = Embedding(
+            config.max_position_embeddings, config.hidden_size, rng=rng
+        )
+        self.token_type_embeddings = Embedding(
+            config.type_vocab_size, config.hidden_size, rng=rng
+        )
+        self.norm = LayerNorm(config.hidden_size)
+        self.dropout = Dropout(config.hidden_dropout, rng=rng)
+
+    def forward(
+        self, input_ids: np.ndarray, token_type_ids: np.ndarray | None = None
+    ) -> Tensor:
+        input_ids = np.asarray(input_ids)
+        batch, seq = input_ids.shape
+        positions = np.broadcast_to(np.arange(seq), (batch, seq))
+        if token_type_ids is None:
+            token_type_ids = np.zeros((batch, seq), dtype=np.int64)
+        x = (
+            self.word_embeddings(input_ids)
+            + self.position_embeddings(positions)
+            + self.token_type_embeddings(token_type_ids)
+        )
+        return self.dropout(self.norm(x))
+
+
+class BertEncoder(Module):
+    """Stack of ``num_hidden_layers`` :class:`BertLayer` blocks."""
+
+    def __init__(self, config: BertConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.layers = ModuleList(
+            BertLayer(
+                config.hidden_size,
+                config.num_attention_heads,
+                config.intermediate_size,
+                dropout=config.hidden_dropout,
+                rng=rng,
+            )
+            for _ in range(config.num_hidden_layers)
+        )
+
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, attention_mask)
+        return x
+
+
+class BertPooler(Module):
+    """Dense + tanh on the [CLS] (first) token, feeding the NSP classifier."""
+
+    def __init__(self, config: BertConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.dense = Linear(config.hidden_size, config.hidden_size, rng=rng)
+        self.activation = Tanh()
+
+    def forward(self, hidden: Tensor) -> Tensor:
+        cls = hidden[:, 0, :]
+        return self.activation(self.dense(cls))
+
+
+class BertPreTrainingHeads(Module):
+    """MLM transform + tied vocabulary decoder, and the NSP classifier.
+
+    The vocabulary projection reuses (ties) the word-embedding matrix with a
+    separate output bias, as in the original BERT.  Note §4 of the paper:
+    K-FAC is *not* applied to this final classification head because B_L
+    would be vocab_size x vocab_size; the tied projection here is likewise
+    expressed directly (not as a ``Linear``), so the K-FAC layer scan never
+    sees it.
+    """
+
+    def __init__(
+        self, config: BertConfig, word_embedding_weight: Parameter, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.transform_dense = Linear(config.hidden_size, config.hidden_size, rng=rng)
+        self.transform_act = GELU()
+        self.transform_norm = LayerNorm(config.hidden_size)
+        self.decoder_weight = word_embedding_weight  # tied; registered in embeddings
+        self.decoder_bias = Parameter(np.zeros(config.vocab_size, dtype=np.float32))
+        self.seq_relationship = Linear(config.hidden_size, 2, rng=rng)
+
+    def forward(self, hidden: Tensor, pooled: Tensor) -> tuple[Tensor, Tensor]:
+        x = self.transform_norm(self.transform_act(self.transform_dense(hidden)))
+        mlm_logits = x @ self.decoder_weight.T + self.decoder_bias
+        nsp_logits = self.seq_relationship(pooled)
+        return mlm_logits, nsp_logits
+
+
+class BertForPreTraining(Module):
+    """Complete BERT pretraining model: MLM + NSP objective."""
+
+    def __init__(self, config: BertConfig) -> None:
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.embeddings = BertEmbeddings(config, rng)
+        self.encoder = BertEncoder(config, rng)
+        self.pooler = BertPooler(config, rng)
+        self.heads = BertPreTrainingHeads(config, self.embeddings.word_embeddings.weight, rng)
+
+    def forward(
+        self,
+        input_ids: np.ndarray,
+        token_type_ids: np.ndarray | None = None,
+        attention_mask: np.ndarray | None = None,
+    ) -> tuple[Tensor, Tensor]:
+        """Return ``(mlm_logits, nsp_logits)``."""
+        x = self.embeddings(input_ids, token_type_ids)
+        hidden = self.encoder(x, attention_mask)
+        pooled = self.pooler(hidden)
+        return self.heads(hidden, pooled)
+
+    def loss(
+        self,
+        input_ids: np.ndarray,
+        mlm_labels: np.ndarray,
+        nsp_labels: np.ndarray,
+        token_type_ids: np.ndarray | None = None,
+        attention_mask: np.ndarray | None = None,
+    ) -> tuple[Tensor, dict[str, float]]:
+        """Compute the summed pretraining loss and a metrics dict."""
+        mlm_logits, nsp_logits = self.forward(input_ids, token_type_ids, attention_mask)
+        mlm = masked_lm_loss(mlm_logits, mlm_labels)
+        nsp = next_sentence_loss(nsp_logits, nsp_labels)
+        total = mlm + nsp
+        return total, {
+            "loss": float(total.item()),
+            "mlm_loss": float(mlm.item()),
+            "nsp_loss": float(nsp.item()),
+        }
+
+    def encoder_linear_layers(self) -> list[tuple[str, Linear]]:
+        """Named Linear layers eligible for K-FAC (paper §4's selection rule).
+
+        All fully-connected layers except the final classification head —
+        which in this implementation is a tied matmul, not a Linear — so the
+        rule reduces to "every Linear in the model".
+        """
+        return [
+            (name, m) for name, m in self.named_modules() if isinstance(m, Linear)
+        ]

@@ -1,0 +1,54 @@
+"""Pipeline stage partitioning.
+
+Splits a transformer's encoder blocks into ``D`` contiguous stages
+("sequences of the layers", paper §2.1).  The paper's experiments use equal
+stages (e.g. 12 layers / 4 stages = 3 layers per stage for Fig. 3); the
+partitioner also handles non-divisible cases by distributing the remainder
+to the earliest stages, and reports the per-stage layer lists used by both
+the numeric pipeline executor and the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StagePartition:
+    """Assignment of transformer block indices to pipeline stages."""
+
+    num_layers: int
+    num_stages: int
+    stage_layers: tuple[tuple[int, ...], ...]
+
+    @property
+    def layers_per_stage(self) -> tuple[int, ...]:
+        return tuple(len(s) for s in self.stage_layers)
+
+    def stage_of_layer(self, layer: int) -> int:
+        """Return the stage index owning ``layer``."""
+        for stage, layers in enumerate(self.stage_layers):
+            if layer in layers:
+                return stage
+        raise IndexError(f"layer {layer} not in any stage (num_layers={self.num_layers})")
+
+
+def partition_layers(num_layers: int, num_stages: int) -> StagePartition:
+    """Split ``num_layers`` blocks into ``num_stages`` contiguous stages.
+
+    Raises ``ValueError`` if there are more stages than layers.
+    """
+    if num_stages <= 0:
+        raise ValueError(f"num_stages must be positive, got {num_stages}")
+    if num_layers < num_stages:
+        raise ValueError(
+            f"cannot split {num_layers} layers into {num_stages} stages"
+        )
+    base, rem = divmod(num_layers, num_stages)
+    stages: list[tuple[int, ...]] = []
+    start = 0
+    for s in range(num_stages):
+        count = base + (1 if s < rem else 0)
+        stages.append(tuple(range(start, start + count)))
+        start += count
+    return StagePartition(num_layers, num_stages, tuple(stages))

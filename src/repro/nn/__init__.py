@@ -1,0 +1,37 @@
+"""Neural-network modules built on :mod:`repro.tensor`.
+
+Provides the layer zoo the paper's models need: linear, layer norm,
+embeddings, dropout, multi-head attention, transformer blocks for the three
+architecture families of Table 3 (BERT ``BertLayer``, T5 ``T5Block``,
+OPT ``OPTDecoderLayer``), and the pretraining losses.
+"""
+
+from repro.nn.module import Module, Parameter, ModuleList
+from repro.nn.linear import Linear
+from repro.nn.layernorm import LayerNorm
+from repro.nn.embedding import Embedding
+from repro.nn.dropout import Dropout
+from repro.nn.activations import GELU, ReLU, Tanh
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.transformer import FeedForward, BertLayer, T5Block, OPTDecoderLayer
+from repro.nn.losses import masked_lm_loss, next_sentence_loss
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "ModuleList",
+    "Linear",
+    "LayerNorm",
+    "Embedding",
+    "Dropout",
+    "GELU",
+    "ReLU",
+    "Tanh",
+    "MultiHeadSelfAttention",
+    "FeedForward",
+    "BertLayer",
+    "T5Block",
+    "OPTDecoderLayer",
+    "masked_lm_loss",
+    "next_sentence_loss",
+]

@@ -1,0 +1,38 @@
+"""Activation modules."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import Tensor, functional as F
+
+
+class GELU(Module):
+    """Gaussian error linear unit (BERT's hidden activation)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+class ReLU(Module):
+    """Rectified linear unit (T5/OPT feed-forward activation)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent (BERT pooler activation)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+ACTIVATIONS = {"gelu": GELU, "relu": ReLU, "tanh": Tanh}
+
+
+def get_activation(name: str) -> Module:
+    """Instantiate an activation module by name."""
+    try:
+        return ACTIVATIONS[name]()
+    except KeyError:
+        raise ValueError(f"unknown activation {name!r}; choose from {sorted(ACTIVATIONS)}")

@@ -1,0 +1,92 @@
+"""Multi-head self-attention (Vaswani et al. 2017), BERT-style.
+
+The four projections (query/key/value/output) are :class:`repro.nn.Linear`
+layers, so K-FAC treats each as a Kronecker-factored block exactly as the
+paper does for "all fully-connected layers" (§4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.tensor import Tensor, functional as F
+
+_NEG_INF = np.float32(-1e9)
+
+
+class MultiHeadSelfAttention(Module):
+    """Self-attention over sequences ``(batch, seq, d_model)``.
+
+    Parameters
+    ----------
+    d_model:
+        Model width (Table 3's ``d_model``).
+    num_heads:
+        Number of attention heads ``h``; must divide ``d_model``.
+    dropout:
+        Attention-probability dropout rate.
+    causal:
+        Apply a lower-triangular mask (used by :class:`OPTDecoderLayer`).
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        dropout: float = 0.1,
+        causal: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError(f"d_model={d_model} not divisible by num_heads={num_heads}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.head_dim = d_model // num_heads
+        self.causal = causal
+        self.query = Linear(d_model, d_model, rng=rng)
+        self.key = Linear(d_model, d_model, rng=rng)
+        self.value = Linear(d_model, d_model, rng=rng)
+        self.output = Linear(d_model, d_model, rng=rng)
+        self.attn_dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        # (B, S, d) -> (B, h, S, d_h)
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+        """Apply attention.
+
+        Parameters
+        ----------
+        x:
+            ``(batch, seq, d_model)`` input.
+        attention_mask:
+            Optional ``(batch, seq)`` array, 1 for real tokens and 0 for
+            padding; padded keys receive -inf scores.
+        """
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.query(x), batch, seq)
+        k = self._split_heads(self.key(x), batch, seq)
+        v = self._split_heads(self.value(x), batch, seq)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        bias = np.zeros((batch, 1, 1, seq), dtype=np.float32)
+        if attention_mask is not None:
+            mask = np.asarray(attention_mask, dtype=bool).reshape(batch, 1, 1, seq)
+            bias = np.where(mask, 0.0, _NEG_INF).astype(np.float32)
+        if self.causal:
+            causal_bias = np.triu(np.full((seq, seq), _NEG_INF, dtype=np.float32), k=1)
+            bias = bias + causal_bias.reshape(1, 1, seq, seq)
+        if np.any(bias):
+            scores = scores + Tensor(bias)
+
+        probs = F.softmax(scores, axis=-1)
+        probs = self.attn_dropout(probs)
+        context = probs @ v  # (B, h, S, d_h)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.d_model)
+        return self.output(merged)

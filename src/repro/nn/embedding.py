@@ -1,0 +1,38 @@
+"""Embedding table module."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, functional as F
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator | None = None,
+        init_std: float = 0.02,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            (rng.standard_normal((num_embeddings, embedding_dim)) * init_std).astype(
+                np.float32
+            )
+        )
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids)
+        if ids.max(initial=0) >= self.num_embeddings or ids.min(initial=0) < 0:
+            raise IndexError(
+                f"embedding ids out of range [0, {self.num_embeddings}): "
+                f"[{ids.min()}, {ids.max()}]"
+            )
+        return F.embedding(self.weight, ids)

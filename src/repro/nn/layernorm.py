@@ -1,0 +1,22 @@
+"""Layer normalization module (BERT default eps = 1e-12)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, functional as F
+
+
+class LayerNorm(Module):
+    """Normalize over the last axis with learnable scale and shift."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-12) -> None:
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_shape, dtype=np.float32))
+        self.bias = Parameter(np.zeros(normalized_shape, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)

@@ -1,0 +1,78 @@
+"""Fully-connected layer with K-FAC capture points.
+
+K-FAC (paper §2.3) needs, for every linear layer l, the layer *inputs*
+a_l (to build the Kronecker factor A_l) and the gradients w.r.t. the layer
+*outputs* e_l (to build B_l).  ``Linear`` exposes both through an opt-in
+capture mechanism so the optimizer never has to touch the forward code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class Linear(Module):
+    """``y = x @ W^T + b`` over the last axis.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        d_in^l and d_out^l in the paper's notation.
+    bias:
+        Whether to include the additive bias (BERT uses biases everywhere).
+    rng:
+        Generator for weight init (scaled normal, std 0.02 as in BERT).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+        init_std: float = 0.02,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            (rng.standard_normal((out_features, in_features)) * init_std).astype(
+                np.float32
+            )
+        )
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float32)) if bias else None
+        # K-FAC capture state. When `kfac_capture` is True the layer stores
+        # flattened (rows, features) copies of its inputs and output grads for
+        # each forward/backward pass until `kfac_pop()` is called.
+        self.kfac_capture = False
+        self.captured_inputs: list[np.ndarray] = []
+        self.captured_output_grads: list[np.ndarray] = []
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.kfac_capture:
+            self.captured_inputs.append(x.data.reshape(-1, self.in_features).copy())
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        if self.kfac_capture:
+            dout = self.out_features
+
+            def hook(g: np.ndarray) -> None:
+                self.captured_output_grads.append(g.reshape(-1, dout).copy())
+
+            out = out.with_grad_hook(hook)
+        return out
+
+    def kfac_pop(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Return and clear the captured (inputs, output-grads) lists."""
+        inputs, grads = self.captured_inputs, self.captured_output_grads
+        self.captured_inputs = []
+        self.captured_output_grads = []
+        return inputs, grads
+
+    def extra_repr(self) -> str:  # pragma: no cover - debugging aid
+        return f"in={self.in_features}, out={self.out_features}"

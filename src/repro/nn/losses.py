@@ -1,0 +1,44 @@
+"""Pretraining losses: masked language modeling and next-sentence prediction.
+
+The paper's task (§4) is "the sum of the masked language modeling loss
+(classification with vocabulary size 30,522) and next sentence prediction
+loss (binary classification)".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor, functional as F
+
+#: Label value marking positions excluded from the MLM loss.
+IGNORE_INDEX = -100
+
+
+def masked_lm_loss(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy over masked positions only.
+
+    Parameters
+    ----------
+    logits:
+        ``(batch, seq, vocab)`` prediction scores.
+    labels:
+        ``(batch, seq)`` integer labels, :data:`IGNORE_INDEX` where unmasked.
+    """
+    b, s, v = logits.shape
+    return F.cross_entropy(
+        logits.reshape(b * s, v), np.asarray(labels).reshape(-1), ignore_index=IGNORE_INDEX
+    )
+
+
+def next_sentence_loss(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Binary (2-class) cross-entropy for the NSP head.
+
+    Parameters
+    ----------
+    logits:
+        ``(batch, 2)`` scores.
+    labels:
+        ``(batch,)`` in {0 = is-next, 1 = not-next}.
+    """
+    return F.cross_entropy(logits, np.asarray(labels).reshape(-1))

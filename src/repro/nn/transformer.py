@@ -1,0 +1,131 @@
+"""Transformer blocks for the architecture families in the paper's Table 3.
+
+* ``BertLayer`` — post-LN encoder block (``BertLayer`` in Hugging Face),
+  GELU feed-forward.  Used by BERT-Base/Large.
+* ``T5Block`` — pre-LN encoder block with ReLU feed-forward (T5-Base/Large).
+* ``OPTDecoderLayer`` — pre-LN causal decoder block with ReLU feed-forward
+  (OPT-125M/350M).
+
+Each block is "a multi-head self-attention followed by a feed forward
+layer" (Table 3 caption) and contains six Linear layers, which is what the
+K-FAC work inventory per stage counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import get_activation
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.dropout import Dropout
+from repro.nn.layernorm import LayerNorm
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward: Linear(d, d_ff) -> act -> Linear(d_ff, d)."""
+
+    def __init__(
+        self,
+        d_model: int,
+        d_ff: int,
+        activation: str = "gelu",
+        dropout: float = 0.1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.dense_in = Linear(d_model, d_ff, rng=rng)
+        self.act = get_activation(activation)
+        self.dense_out = Linear(d_ff, d_model, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.dropout(self.dense_out(self.act(self.dense_in(x))))
+
+
+class BertLayer(Module):
+    """Post-LN BERT encoder block (residual -> LayerNorm after each sublayer)."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        d_ff: int,
+        dropout: float = 0.1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.attention = MultiHeadSelfAttention(d_model, num_heads, dropout=dropout, rng=rng)
+        self.attn_dropout = Dropout(dropout, rng=rng)
+        self.attn_norm = LayerNorm(d_model)
+        self.ffn = FeedForward(d_model, d_ff, activation="gelu", dropout=dropout, rng=rng)
+        self.ffn_norm = LayerNorm(d_model)
+
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+        attn = self.attn_dropout(self.attention(x, attention_mask))
+        x = self.attn_norm(x + attn)
+        x = self.ffn_norm(x + self.ffn(x))
+        return x
+
+
+class T5Block(Module):
+    """Pre-LN encoder block with ReLU feed-forward (simplified T5 encoder)."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        d_ff: int,
+        dropout: float = 0.1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.attn_norm = LayerNorm(d_model, eps=1e-6)
+        self.attention = MultiHeadSelfAttention(d_model, num_heads, dropout=dropout, rng=rng)
+        self.attn_dropout = Dropout(dropout, rng=rng)
+        self.ffn_norm = LayerNorm(d_model, eps=1e-6)
+        self.ffn = FeedForward(d_model, d_ff, activation="relu", dropout=dropout, rng=rng)
+
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+        x = x + self.attn_dropout(self.attention(self.attn_norm(x), attention_mask))
+        x = x + self.ffn(self.ffn_norm(x))
+        return x
+
+
+class OPTDecoderLayer(Module):
+    """Pre-LN causal decoder block with ReLU feed-forward (OPT family)."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        d_ff: int,
+        dropout: float = 0.1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.attn_norm = LayerNorm(d_model, eps=1e-5)
+        self.attention = MultiHeadSelfAttention(
+            d_model, num_heads, dropout=dropout, causal=True, rng=rng
+        )
+        self.attn_dropout = Dropout(dropout, rng=rng)
+        self.ffn_norm = LayerNorm(d_model, eps=1e-5)
+        self.ffn = FeedForward(d_model, d_ff, activation="relu", dropout=dropout, rng=rng)
+
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+        x = x + self.attn_dropout(self.attention(self.attn_norm(x), attention_mask))
+        x = x + self.ffn(self.ffn_norm(x))
+        return x
+
+
+BLOCK_CLASSES = {
+    "BertLayer": BertLayer,
+    "T5Block": T5Block,
+    "OPTDecoderLayer": OPTDecoderLayer,
+}

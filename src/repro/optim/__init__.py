@@ -1,0 +1,35 @@
+"""First-order optimizers and learning-rate schedules.
+
+Implements the baselines the paper compares against: Adam (Fig. 3/4
+timelines) and NVLAMB — NVIDIA's LAMB variant used for BERT pretraining
+(Fig. 7, Table 2) — plus SGD with momentum and the polynomial-decay warmup
+schedule of Appendix B.2.
+"""
+
+from repro.optim.base import Optimizer, clip_grad_norm, global_grad_norm
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam, AdamW
+from repro.optim.lamb import LAMB, NVLAMB
+from repro.optim.lr_scheduler import (
+    LRSchedule,
+    ConstantSchedule,
+    PolyWarmupSchedule,
+    nvlamb_schedule,
+    kfac_schedule,
+)
+
+__all__ = [
+    "Optimizer",
+    "clip_grad_norm",
+    "global_grad_norm",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "LAMB",
+    "NVLAMB",
+    "LRSchedule",
+    "ConstantSchedule",
+    "PolyWarmupSchedule",
+    "nvlamb_schedule",
+    "kfac_schedule",
+]

@@ -1,0 +1,58 @@
+"""Adam and AdamW optimizers (Kingma & Ba 2015; Loshchilov & Hutter 2019)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.base import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias correction; L2-style weight decay (added to gradient)."""
+
+    def __init__(
+        self,
+        params,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.betas = (b1, b2)
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def _adam_direction(self, param: Parameter, grad: np.ndarray, state: dict) -> np.ndarray:
+        b1, b2 = self.betas
+        m = state.get("m")
+        v = state.get("v")
+        if m is None:
+            m = np.zeros_like(param.data)
+            v = np.zeros_like(param.data)
+        m = b1 * m + (1 - b1) * grad
+        v = b2 * v + (1 - b2) * grad * grad
+        state["m"], state["v"] = m, v
+        t = self.step_count
+        m_hat = m / (1 - b1**t)
+        v_hat = v / (1 - b2**t)
+        return m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _update(self, param: Parameter, grad: np.ndarray, state: dict) -> None:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        param.data = param.data - self.lr * self._adam_direction(param, grad, state)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay applied directly to the parameters."""
+
+    def _update(self, param: Parameter, grad: np.ndarray, state: dict) -> None:
+        direction = self._adam_direction(param, grad, state)
+        if self.weight_decay:
+            direction = direction + self.weight_decay * param.data
+        param.data = param.data - self.lr * direction

@@ -1,0 +1,65 @@
+"""Optimizer base class and gradient utilities."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a list of :class:`Parameter`.
+
+    Subclasses implement :meth:`_update` which receives the parameter, its
+    gradient, and a per-parameter state dict.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr < 0:
+            raise ValueError(f"learning rate must be non-negative, got {lr}")
+        self.lr = float(lr)
+        self.state: list[dict] = [dict() for _ in self.params]
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using each parameter's accumulated ``.grad``."""
+        self.step_count += 1
+        for p, state in zip(self.params, self.state):
+            if p.grad is None:
+                continue
+            self._update(p, p.grad, state)
+
+    def _update(self, param: Parameter, grad: np.ndarray, state: dict) -> None:
+        raise NotImplementedError
+
+
+def global_grad_norm(params: Sequence[Parameter]) -> float:
+    """L2 norm of the concatenated gradient vector."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float(np.sum(p.grad.astype(np.float64) ** 2))
+    return float(np.sqrt(total))
+
+
+def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so the global norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (PyTorch convention).
+    """
+    norm = global_grad_norm(params)
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for p in params:
+            if p.grad is not None:
+                p.grad = p.grad * scale
+    return norm

@@ -1,0 +1,104 @@
+"""LAMB (You et al. 2020) and NVLAMB, NVIDIA's variant used as the paper's
+first-order baseline for BERT pretraining.
+
+LAMB computes an AdamW-style update per layer and rescales it by the
+*trust ratio* ||theta|| / ||update||, which is what makes very large batch
+(8K-64K) BERT pretraining stable.  NVLAMB differs from vanilla LAMB by
+pre-normalizing all gradients by the *global* gradient norm before the
+per-layer moments are updated (NVIDIA DeepLearningExamples implementation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.base import Optimizer, global_grad_norm
+
+
+class LAMB(Optimizer):
+    """Layer-wise Adaptive Moments optimizer for Batch training.
+
+    Parameters
+    ----------
+    params, lr, betas, eps:
+        As in Adam.
+    weight_decay:
+        Decoupled decay added to the Adam direction before the trust-ratio
+        scaling (as in the LAMB paper's Algorithm 1).
+    clamp_trust:
+        Upper bound on the trust ratio (10.0 in common implementations;
+        ``None`` disables clamping).
+    """
+
+    def __init__(
+        self,
+        params,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-6,
+        weight_decay: float = 0.01,
+        clamp_trust: float | None = 10.0,
+    ) -> None:
+        super().__init__(params, lr)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.betas = (b1, b2)
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.clamp_trust = clamp_trust
+
+    def _preprocess_grad(self, grad: np.ndarray) -> np.ndarray:
+        return grad
+
+    def step(self) -> None:
+        self.step_count += 1
+        for p, state in zip(self.params, self.state):
+            if p.grad is None:
+                continue
+            self._update(p, self._preprocess_grad(p.grad), state)
+
+    def _update(self, param: Parameter, grad: np.ndarray, state: dict) -> None:
+        b1, b2 = self.betas
+        m = state.get("m")
+        v = state.get("v")
+        if m is None:
+            m = np.zeros_like(param.data)
+            v = np.zeros_like(param.data)
+        m = b1 * m + (1 - b1) * grad
+        v = b2 * v + (1 - b2) * grad * grad
+        state["m"], state["v"] = m, v
+        t = self.step_count
+        m_hat = m / (1 - b1**t)
+        v_hat = v / (1 - b2**t)
+        update = m_hat / (np.sqrt(v_hat) + self.eps)
+        if self.weight_decay:
+            update = update + self.weight_decay * param.data
+
+        w_norm = float(np.linalg.norm(param.data))
+        u_norm = float(np.linalg.norm(update))
+        if w_norm > 0 and u_norm > 0:
+            trust = w_norm / u_norm
+            if self.clamp_trust is not None:
+                trust = min(trust, self.clamp_trust)
+        else:
+            trust = 1.0
+        param.data = param.data - self.lr * trust * update
+
+
+class NVLAMB(LAMB):
+    """NVIDIA's LAMB: gradients pre-normalized by the global gradient norm.
+
+    This is the exact baseline optimizer named in the paper ("NVLAMB,
+    NVIDIA's implementation of the LAMB optimizer", §4).
+    """
+
+    def step(self) -> None:
+        self.step_count += 1
+        gnorm = global_grad_norm(self.params)
+        scale = 1.0 / gnorm if gnorm > 0 else 1.0
+        for p, state in zip(self.params, self.state):
+            if p.grad is None:
+                continue
+            self._update(p, p.grad * scale, state)

@@ -1,0 +1,107 @@
+"""Learning-rate schedules (paper Appendix B.2 and Fig. 8).
+
+The paper's Phase-1 schedule: linear warmup to ``base_lr`` over
+``warmup_steps``, then polynomial decay
+``lr_t = base_lr * (1 - t / total_steps) ** power`` with power 0.5.
+NVLAMB warms up over 2,000 steps, K-FAC over 600 — the *only*
+hyperparameter the paper changes (§4) — so K-FAC sees larger learning
+rates until ~step 2,000.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+
+
+class LRSchedule:
+    """Base class: maps a step index to a learning rate and drives an optimizer."""
+
+    def __init__(self, optimizer: Optimizer | None = None) -> None:
+        self.optimizer = optimizer
+        self.last_step = 0
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step; update the bound optimizer's lr. Returns the lr."""
+        self.last_step += 1
+        lr = self.lr_at(self.last_step)
+        if self.optimizer is not None:
+            self.optimizer.lr = lr
+        return lr
+
+    def series(self, total_steps: int) -> np.ndarray:
+        """Vector of learning rates for steps 1..total_steps (for Fig. 8)."""
+        return np.array([self.lr_at(t) for t in range(1, total_steps + 1)])
+
+
+class ConstantSchedule(LRSchedule):
+    """Fixed learning rate."""
+
+    def __init__(self, base_lr: float, optimizer: Optimizer | None = None) -> None:
+        super().__init__(optimizer)
+        self.base_lr = base_lr
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr
+
+
+class PolyWarmupSchedule(LRSchedule):
+    """Linear warmup then polynomial decay (the BERT Phase-1 schedule).
+
+    lr(t) = base_lr * t / warmup_steps                      for t <= warmup
+    lr(t) = base_lr * (1 - t / total_steps) ** power        for t > warmup
+    """
+
+    def __init__(
+        self,
+        base_lr: float,
+        warmup_steps: int,
+        total_steps: int,
+        power: float = 0.5,
+        optimizer: Optimizer | None = None,
+    ) -> None:
+        super().__init__(optimizer)
+        if warmup_steps < 0 or total_steps <= 0:
+            raise ValueError("warmup_steps must be >= 0 and total_steps > 0")
+        if warmup_steps > total_steps:
+            raise ValueError(
+                f"warmup_steps ({warmup_steps}) exceeds total_steps ({total_steps})"
+            )
+        self.base_lr = base_lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.power = power
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps > 0 and step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        frac = 1.0 - min(step, self.total_steps) / self.total_steps
+        return self.base_lr * frac**self.power
+
+
+def nvlamb_schedule(
+    optimizer: Optimizer | None = None,
+    base_lr: float = 6e-3,
+    total_steps: int = 7038,
+    warmup_steps: int = 2000,
+) -> PolyWarmupSchedule:
+    """The paper's NVLAMB Phase-1 schedule (Appendix B.2)."""
+    return PolyWarmupSchedule(base_lr, warmup_steps, total_steps, power=0.5,
+                              optimizer=optimizer)
+
+
+def kfac_schedule(
+    optimizer: Optimizer | None = None,
+    base_lr: float = 6e-3,
+    total_steps: int = 7038,
+    warmup_steps: int = 600,
+) -> PolyWarmupSchedule:
+    """The paper's K-FAC Phase-1 schedule: warmup shortened 2000 -> 600."""
+    return PolyWarmupSchedule(base_lr, warmup_steps, total_steps, power=0.5,
+                              optimizer=optimizer)

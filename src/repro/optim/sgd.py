@@ -1,0 +1,33 @@
+"""Stochastic gradient descent with momentum and decoupled weight decay."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.base import Optimizer
+
+
+class SGD(Optimizer):
+    """SGD with classical (heavy-ball) momentum.
+
+    update: v <- mu * v + g;  theta <- theta - lr * (v + wd * theta)
+    """
+
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+
+    def _update(self, param: Parameter, grad: np.ndarray, state: dict) -> None:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum:
+            buf = state.get("momentum")
+            buf = grad.copy() if buf is None else self.momentum * buf + grad
+            state["momentum"] = buf
+            grad = buf
+        param.data = param.data - self.lr * grad

@@ -1,0 +1,167 @@
+"""Transformer architecture configurations (paper Table 3) and FLOP counts.
+
+Table 3 lists the six architectures whose performance models appear in
+Figs. 9-16: BERT-Base/Large (S=128), T5-Base/Large (S=512), and
+OPT-125M/350M (S=2048).  A pipeline stage is one (or more) transformer
+*block* — "a multi-head self-attention followed by a feed forward layer".
+
+FLOP counts below count one multiply-add as 2 FLOPs and cover the six
+linear layers per block (query/key/value/output, FF-in, FF-out) plus the
+attention score/context batched matmuls.  K-FAC work counts follow §2.3.1:
+
+* curvature: ``A_l = U_A U_A^T`` costs ``2 * tokens * d_in^2`` and
+  ``B_l`` costs ``2 * tokens * d_out^2`` per linear layer;
+* inversion: Cholesky factorization + inverse ~ ``(4/3) d^3`` FLOPs per
+  factor;
+* precondition: ``B^{-1} G A^{-1}`` costs ``2 d_out^2 d_in + 2 d_out d_in^2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TransformerArch:
+    """One row of the paper's Table 3."""
+
+    name: str
+    block_class: str  # the HF class name the paper cites
+    d_model: int
+    d_ff: int
+    num_heads: int
+    seq_len: int
+    vocab_size: int = 30522
+
+    # -- structural inventories --------------------------------------------------
+
+    @property
+    def linear_dims(self) -> list[tuple[int, int]]:
+        """(d_in, d_out) of the six Linear layers in one block."""
+        d, f = self.d_model, self.d_ff
+        return [(d, d), (d, d), (d, d), (d, d), (d, f), (f, d)]
+
+    @property
+    def params_per_block(self) -> int:
+        """Parameter count of one block (weights + biases + 2 LayerNorms)."""
+        lin = sum(di * do + do for di, do in self.linear_dims)
+        return lin + 2 * (2 * self.d_model)
+
+    # -- per-(micro-batch, block) FLOP counts -------------------------------------
+
+    def tokens(self, batch: int) -> int:
+        return batch * self.seq_len
+
+    def forward_flops(self, batch: int) -> float:
+        """Forward FLOPs for one block and one micro-batch of ``batch`` seqs."""
+        t = self.tokens(batch)
+        linear = sum(2.0 * t * di * do for di, do in self.linear_dims)
+        # Attention scores QK^T and context AV: 2 * 2 * t * S * d_model.
+        attn = 4.0 * t * self.seq_len * self.d_model
+        return linear + attn
+
+    def backward_flops(self, batch: int) -> float:
+        """Backward is ~2x forward (grad w.r.t. inputs + weights)."""
+        return 2.0 * self.forward_flops(batch)
+
+    def curvature_flops_a(self, batch: int) -> float:
+        """Curvature work for all A factors of one block, one micro-batch."""
+        t = self.tokens(batch)
+        return sum(2.0 * t * di * di for di, _ in self.linear_dims)
+
+    def curvature_flops_b(self, batch: int) -> float:
+        """Curvature work for all B factors of one block, one micro-batch."""
+        t = self.tokens(batch)
+        return sum(2.0 * t * do * do for _, do in self.linear_dims)
+
+    def curvature_flops(self, batch: int) -> float:
+        return self.curvature_flops_a(batch) + self.curvature_flops_b(batch)
+
+    def inversion_flops(self, factor_blocks: int = 1) -> float:
+        """Cholesky factorize + explicit inverse of every factor of a block.
+
+        Independent of batch size and sequence length (paper §3.3: "T_inv
+        is constant regardless of B_micro or D").
+
+        ``factor_blocks > 1`` applies Appendix A.2's K-block-diagonal
+        approximation: a d-dim factor splits into K blocks of d/K, cutting
+        inversion FLOPs by ~K^2.
+        """
+        if factor_blocks < 1:
+            raise ValueError(f"factor_blocks must be >= 1, got {factor_blocks}")
+        if factor_blocks == 1:
+            return sum(
+                (4.0 / 3.0) * di**3 + (4.0 / 3.0) * do**3
+                for di, do in self.linear_dims
+            )
+        from repro.kfac.block_diagonal import block_diag_inversion_flops
+
+        dims = [d for pair in self.linear_dims for d in pair]
+        return block_diag_inversion_flops(dims, factor_blocks)
+
+    def scaled(self, k: int) -> "TransformerArch":
+        """Widen d_model and d_ff by ``k`` (Appendix A.2's scaling thought
+        experiment; heads scale too so head_dim stays constant)."""
+        if k < 1:
+            raise ValueError(f"scale factor must be >= 1, got {k}")
+        return TransformerArch(
+            name=f"{self.name}-x{k}",
+            block_class=self.block_class,
+            d_model=self.d_model * k,
+            d_ff=self.d_ff * k,
+            num_heads=self.num_heads * k,
+            seq_len=self.seq_len,
+            vocab_size=self.vocab_size,
+        )
+
+    def precondition_flops(self) -> float:
+        """Two-sided preconditioning of every weight gradient of a block."""
+        return sum(2.0 * do * do * di + 2.0 * do * di * di
+                   for di, do in self.linear_dims)
+
+    # -- per-(micro-batch, block) memory (bytes, fp32) ------------------------------
+
+    def activation_bytes(self, batch: int) -> float:
+        """Activations a backward pass must retain for one block.
+
+        Rough inventory per token: block input, QKV projections, attention
+        probabilities (h*S per token), context, FF intermediate, FF output.
+        """
+        t = self.tokens(batch)
+        per_token = 6 * self.d_model + self.d_ff
+        attn_probs = self.num_heads * self.seq_len  # per token
+        return 4.0 * t * (per_token + attn_probs)
+
+    def boundary_activation_bytes(self, batch: int) -> float:
+        """Stage-boundary activation (what recomputation keeps): one tensor."""
+        return 4.0 * self.tokens(batch) * self.d_model
+
+    def peak_error_bytes(self, batch: int) -> float:
+        """Peak transient error-signal memory during one block's backward."""
+        t = self.tokens(batch)
+        return 4.0 * t * (2 * self.d_model + self.d_ff)
+
+    def saved_error_bytes(self, batch: int) -> float:
+        """Errors e_l kept for B-factor curvature (M_err^save, §3.3)."""
+        t = self.tokens(batch)
+        return 4.0 * t * sum(do for _, do in self.linear_dims)
+
+    def factor_bytes(self) -> float:
+        """One copy of all Kronecker factors of a block (M_curv = M_inv)."""
+        return 4.0 * sum(di * di + do * do for di, do in self.linear_dims)
+
+    def param_bytes(self) -> float:
+        return 4.0 * self.params_per_block
+
+
+BERT_BASE = TransformerArch("BERT-Base", "BertLayer", 768, 3072, 12, 128)
+BERT_LARGE = TransformerArch("BERT-Large", "BertLayer", 1024, 4096, 16, 128)
+T5_BASE = TransformerArch("T5-Base", "T5Block", 768, 3072, 12, 512)
+T5_LARGE = TransformerArch("T5-Large", "T5Block", 1024, 4096, 16, 512)
+OPT_125M = TransformerArch("OPT-125M", "OPTDecoderLayer", 768, 3072, 12, 2048)
+OPT_350M = TransformerArch("OPT-350M", "OPTDecoderLayer", 1024, 4096, 16, 2048)
+
+ARCHITECTURES: dict[str, TransformerArch] = {
+    a.name: a
+    for a in (BERT_BASE, BERT_LARGE, T5_BASE, T5_LARGE, OPT_125M, OPT_350M)
+}

@@ -1,0 +1,146 @@
+"""Work-duration model: maps (architecture, hardware, micro-batch, stage
+depth) to the per-work times the pipeline simulator and the §3.3 analytic
+model consume.
+
+This replaces the paper's GPU microbenchmarks (Appendix A.1): every work
+type's duration = FLOPs / (peak * per-kind efficiency), with efficiencies
+calibrated once (see ``calibration.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.arch import TransformerArch
+from repro.perfmodel.hardware import Hardware
+
+
+@dataclass(frozen=True)
+class WorkCosts:
+    """Durations (seconds) of each work type for ONE transformer block and
+    one micro-batch (curvature) — the unit the assignment algorithm places.
+    """
+
+    t_fwd: float           # forward, one micro-batch
+    t_bwd: float           # backward, one micro-batch
+    t_curv_a: float        # curvature for all A factors, one micro-batch
+    t_curv_b: float        # curvature for all B factors, one micro-batch
+    t_inv: float           # inversion of all factors of the block
+    t_prec: float          # preconditioning all gradients of the block
+
+    @property
+    def t_curv(self) -> float:
+        return self.t_curv_a + self.t_curv_b
+
+
+@dataclass(frozen=True)
+class StageCosts:
+    """Durations for one pipeline stage (= ``layers_per_stage`` blocks)."""
+
+    block: WorkCosts
+    layers_per_stage: int
+    #: Uncolored host-side per-step overhead (optimizer math, data loading,
+    #: Python/launch overhead) — calibrated; counts against GPU utilization.
+    t_overhead: float
+    #: Kernel-active fraction inside fwd/bwd work (utilization metric).
+    kernel_density: float
+
+    @property
+    def t_fwd(self) -> float:
+        return self.block.t_fwd * self.layers_per_stage
+
+    @property
+    def t_bwd(self) -> float:
+        return self.block.t_bwd * self.layers_per_stage
+
+    @property
+    def t_curv(self) -> float:
+        """Curvature for the whole stage, one micro-batch."""
+        return self.block.t_curv * self.layers_per_stage
+
+    @property
+    def t_inv(self) -> float:
+        """Inversion for the whole stage."""
+        return self.block.t_inv * self.layers_per_stage
+
+    @property
+    def t_prec(self) -> float:
+        """Precondition for the whole stage (every step, critical path)."""
+        return self.block.t_prec * self.layers_per_stage
+
+
+#: Host/optimizer overhead per optimization step, seconds.  Calibrated so
+#: the simulated GPipe BERT-Base profile reproduces the paper's Fig. 3
+#: baseline GPU utilization (41.7%); see calibration.py and EXPERIMENTS.md.
+DEFAULT_OVERHEAD_S = 0.145
+
+
+#: Kernel-launch + dispatch latency per CUDA kernel (host-side floor that
+#: dominates tiny micro-batches, giving Fig. 6's sub-linear small-B_micro
+#: throughput).
+KERNEL_LAUNCH_S = 7e-6
+
+#: Approximate kernel counts per transformer block for each work type.
+KERNELS_PER_BLOCK = {
+    "fwd": 60,
+    "bwd": 110,
+    "curv_a": 6,
+    "curv_b": 6,
+    "inv": 12,
+    "prec": 18,
+}
+
+
+def compute_block_costs(
+    arch: TransformerArch, hw: Hardware, b_micro: int, factor_blocks: int = 1
+) -> WorkCosts:
+    """Per-block work durations: roofline time plus kernel-launch floor.
+
+    ``factor_blocks`` applies Appendix A.2's K-block-diagonal factor
+    approximation to the inversion work.
+    """
+    if b_micro <= 0:
+        raise ValueError(f"b_micro must be positive, got {b_micro}")
+    k = KERNELS_PER_BLOCK
+    launch = KERNEL_LAUNCH_S
+    return WorkCosts(
+        t_fwd=arch.forward_flops(b_micro) / hw.flops_fwd + k["fwd"] * launch,
+        t_bwd=arch.backward_flops(b_micro) / hw.flops_fwd + k["bwd"] * launch,
+        t_curv_a=arch.curvature_flops_a(b_micro) / hw.flops_gemm
+        + k["curv_a"] * launch,
+        t_curv_b=arch.curvature_flops_b(b_micro) / hw.flops_gemm
+        + k["curv_b"] * launch,
+        t_inv=arch.inversion_flops(factor_blocks) / hw.flops_inv
+        + k["inv"] * factor_blocks * launch,
+        t_prec=arch.precondition_flops() / hw.flops_gemm + k["prec"] * launch,
+    )
+
+
+def compute_stage_costs(
+    arch: TransformerArch,
+    hw: Hardware,
+    b_micro: int,
+    layers_per_stage: int = 1,
+    overhead_s: float = DEFAULT_OVERHEAD_S,
+    factor_blocks: int = 1,
+) -> StageCosts:
+    """Stage-level durations for the simulator and analytic model.
+
+    Parameters
+    ----------
+    arch, hw, b_micro:
+        Architecture, hardware, micro-batch size.
+    layers_per_stage:
+        Blocks per pipeline stage (Fig. 3/4 use 3; the perf-model figures
+        use 1).
+    overhead_s:
+        Uncolored per-step host overhead.
+    """
+    if layers_per_stage <= 0:
+        raise ValueError(f"layers_per_stage must be positive, got {layers_per_stage}")
+    return StageCosts(
+        block=compute_block_costs(arch, hw, b_micro, factor_blocks=factor_blocks),
+        layers_per_stage=layers_per_stage,
+        t_overhead=overhead_s,
+        kernel_density=hw.kernel_density,
+    )

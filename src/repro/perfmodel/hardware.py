@@ -1,0 +1,88 @@
+"""Hardware models for the accelerators the paper benchmarks on.
+
+The paper measures microbenchmarks on NVIDIA P100, V100, and RTX3090 GPUs
+(Appendix A.1).  We replace physical measurement with a roofline-style
+model: each work type runs at the device's fp32 peak scaled by a per-kind
+efficiency factor.  Efficiencies are calibrated once against the paper's
+published BERT-Base P100 profile (see ``repro.perfmodel.calibration``) and
+then reused for every architecture/hardware combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Hardware:
+    """An accelerator's roofline parameters.
+
+    Attributes
+    ----------
+    name:
+        Display name.
+    fp32_tflops:
+        Peak fp32 throughput in TFLOP/s.
+    memory_gb:
+        Device memory capacity (limits model/micro-batch size).
+    mem_bw_gbs:
+        Memory bandwidth in GB/s (drives elementwise/optimizer work).
+    interconnect_gbs:
+        Point-to-point/collective bandwidth per device in GB/s.
+    eff_gemm:
+        Fraction of peak achieved by large dense matmuls (curvature,
+        preconditioning, the GEMM-dominated parts of fwd/bwd).
+    eff_fwd:
+        Fraction of peak achieved by a full transformer-layer forward pass
+        (mixed GEMM + attention + elementwise kernels).
+    eff_inv:
+        Fraction of peak achieved by Cholesky factorize+inverse on factor
+        matrices (low parallelism, small matrices).
+    kernel_density:
+        Fraction of a fwd/bwd work interval during which a CUDA kernel is
+        actually executing — the paper's "GPU utilization" counts only
+        kernel-active time (Appendix B.4), and profiles of mixed workloads
+        show inter-kernel gaps.  Dense K-FAC matmul work has density ~1.
+    """
+
+    name: str
+    fp32_tflops: float
+    memory_gb: float
+    mem_bw_gbs: float
+    interconnect_gbs: float = 1.1
+    eff_gemm: float = 0.45
+    eff_fwd: float = 0.62
+    eff_inv: float = 0.15
+    kernel_density: float = 0.88
+
+    @property
+    def flops_gemm(self) -> float:
+        """Effective FLOP/s for dense matmul work."""
+        return self.fp32_tflops * 1e12 * self.eff_gemm
+
+    @property
+    def flops_fwd(self) -> float:
+        """Effective FLOP/s for transformer forward/backward work."""
+        return self.fp32_tflops * 1e12 * self.eff_fwd
+
+    @property
+    def flops_inv(self) -> float:
+        """Effective FLOP/s for Cholesky inversion work."""
+        return self.fp32_tflops * 1e12 * self.eff_inv
+
+
+#: Pascal P100 (the paper's main platform; 16 GB, ~9.3 TFLOP/s fp32).
+#: ``interconnect_gbs`` is the *effective allreduce bus bandwidth* fitted to
+#: the paper's measured Chimera step times (Table 2, Fig. 7) — a 2018-era
+#: P100 cluster over InfiniBand, not per-link peak.
+P100 = Hardware("P100", fp32_tflops=9.3, memory_gb=16.0, mem_bw_gbs=732.0)
+
+#: Volta V100 (Appendix A.1 microbenchmarks; 14 TFLOP/s fp32, no tensor cores).
+V100 = Hardware("V100", fp32_tflops=14.0, memory_gb=32.0, mem_bw_gbs=900.0,
+                interconnect_gbs=1.5)
+
+#: Ampere RTX3090 (35.6 TFLOP/s fp32, 24 GB).
+RTX3090 = Hardware("RTX3090", fp32_tflops=35.6, memory_gb=24.0, mem_bw_gbs=936.0,
+                   interconnect_gbs=1.0)
+
+HARDWARE: dict[str, Hardware] = {h.name: h for h in (P100, V100, RTX3090)}

@@ -1,0 +1,109 @@
+"""Memory-consumption model (paper §3.3).
+
+Worst-case per-device memory:
+
+    M_pipe   = 2 * (D * W / #devices) * M_theta + N_micro * M_act + M_err^peak
+    M_kfac^+ = M_curv + M_inv + N_micro * M_err^save
+
+With activation recomputation (R), stored per-micro-batch activations
+shrink to the stage-boundary tensor, at the cost of one extra forward per
+backward; M_err^save, M_curv and M_inv then dominate (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.arch import TransformerArch
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Per-device memory in bytes, one field per bar segment of Fig. 5a."""
+
+    param_grad: float      # 2 * M_theta * stages/device ("param+grad")
+    act: float             # N_micro * M_act (or boundary tensors under R)
+    peak_err: float        # transient backward errors
+    save_err: float        # N_micro * M_err^save kept for B factors
+    curv_inv: float        # M_curv + M_inv
+
+    @property
+    def pipeline_total(self) -> float:
+        """M_pipe — memory without K-FAC."""
+        return self.param_grad + self.act + self.peak_err
+
+    @property
+    def kfac_extra(self) -> float:
+        """M_kfac^+ — additional memory of PipeFisher."""
+        return self.curv_inv + self.save_err
+
+    @property
+    def total(self) -> float:
+        return self.pipeline_total + self.kfac_extra
+
+    def total_gb(self) -> float:
+        return self.total / 1e9
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Memory model for one pipeline stage of ``layers_per_stage`` blocks.
+
+    Parameters
+    ----------
+    arch:
+        Transformer architecture.
+    layers_per_stage:
+        Blocks per stage.
+    stages_per_device:
+        ``D * W / #devices`` in the paper's formula — 1 for GPipe/1F1B,
+        2 for Chimera's bidirectional pipelines.
+    """
+
+    arch: TransformerArch
+    layers_per_stage: int = 1
+    stages_per_device: int = 1
+
+    def breakdown(
+        self,
+        b_micro: int,
+        n_micro: int,
+        recompute: bool = False,
+        with_kfac: bool = True,
+    ) -> MemoryBreakdown:
+        """Worst-case memory for ``n_micro`` in-flight micro-batches."""
+        if b_micro <= 0 or n_micro <= 0:
+            raise ValueError("b_micro and n_micro must be positive")
+        a = self.arch
+        L = self.layers_per_stage
+        S = self.stages_per_device
+
+        param_grad = 2.0 * S * L * a.param_bytes()
+        if recompute:
+            # Only the stage input is stored per micro-batch; full
+            # activations exist transiently for one micro-batch during its
+            # recomputed backward.
+            act = n_micro * S * a.boundary_activation_bytes(b_micro) \
+                + L * a.activation_bytes(b_micro)
+        else:
+            act = n_micro * S * L * a.activation_bytes(b_micro)
+        peak_err = a.peak_error_bytes(b_micro)
+        if with_kfac:
+            save_err = n_micro * S * L * a.saved_error_bytes(b_micro)
+            curv_inv = 2.0 * S * L * a.factor_bytes()
+        else:
+            save_err = 0.0
+            curv_inv = 0.0
+        return MemoryBreakdown(
+            param_grad=param_grad,
+            act=act,
+            peak_err=peak_err,
+            save_err=save_err,
+            curv_inv=curv_inv,
+        )
+
+    def fits(self, memory_gb: float, b_micro: int, n_micro: int,
+             recompute: bool = False, with_kfac: bool = True) -> bool:
+        """Whether the configuration fits in ``memory_gb`` of device memory."""
+        bd = self.breakdown(b_micro, n_micro, recompute=recompute, with_kfac=with_kfac)
+        return bd.total_gb() <= memory_gb

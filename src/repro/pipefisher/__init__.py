@@ -1,0 +1,30 @@
+"""PipeFisher: automatic assignment of K-FAC work to pipeline bubbles.
+
+The paper's §3: given *any* synchronous pipeline schedule, profile one
+step, then greedily place curvature, inversion, and (critical-path)
+precondition work into the bubbles under the §3.1 rules:
+
+1. curvature for A_l (resp. B_l) of a micro-batch goes after that
+   micro-batch's forward (resp. backward) on the owning stage;
+2. inversion of A_l (resp. B_l) goes after the curvature of A_l (resp.
+   B_l) for *all* micro-batches;
+3. precondition goes after all backwards of a stage, before the next step.
+
+The resulting static schedule repeats every ``refresh_steps`` pipeline
+steps — the frequency at which the curvature information is refreshed.
+"""
+
+from repro.pipefisher.workqueue import KFACWorkItem, KFACWorkQueue, build_device_queues
+from repro.pipefisher.assignment import BubbleFiller, AssignmentResult
+from repro.pipefisher.runner import PipeFisherRun, PipeFisherReport, run_pipefisher
+
+__all__ = [
+    "KFACWorkItem",
+    "KFACWorkQueue",
+    "build_device_queues",
+    "BubbleFiller",
+    "AssignmentResult",
+    "PipeFisherRun",
+    "PipeFisherReport",
+    "run_pipefisher",
+]

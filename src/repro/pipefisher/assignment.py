@@ -1,0 +1,255 @@
+"""The automatic work-assignment algorithm (paper §3.1).
+
+Profile one pipeline step (here: simulate it), extract the bubbles, then
+place K-FAC work items into them in readiness order:
+
+    "we pick one work from the 'queue' of all the K-FAC work and assign it
+    to a bubble if its duration is shorter than the bubble duration
+    (otherwise, subsequent bubbles are utilized) according to the rules
+    above.  We repeat this procedure until all the K-FAC work are assigned
+    to bubbles."
+
+Because the synchronous schedule repeats identically every step, bubbles
+in step ``k`` are the step-0 bubbles shifted by ``k * span``; an item
+triggered by "forward of micro-batch m at stage s" is ready at that
+forward's end *within the step it is placed in*.  The number of steps
+needed to drain the queue is the curvature refresh interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pipefisher.workqueue import KFACWorkItem, KFACWorkQueue
+from repro.pipeline.bubbles import bubble_intervals
+from repro.pipeline.executor import SimulationResult
+from repro.profiler.timeline import TimelineEvent
+
+_EPS = 1e-9
+
+
+@dataclass
+class AssignmentResult:
+    """Outcome of bubble filling."""
+
+    queues: dict[int, KFACWorkQueue]
+    refresh_steps: int
+    span: float
+    #: device -> steps its own queue needed (per-stage refresh frequency).
+    device_refresh_steps: dict[int, int] = field(default_factory=dict)
+
+    def events(self) -> list[TimelineEvent]:
+        """Assigned K-FAC work as timeline events (one per segment)."""
+        out = []
+        for q in self.queues.values():
+            for i in q.items:
+                if not i.assigned:
+                    raise RuntimeError(f"unassigned item {i.iid} in result")
+                for s, e in i.segments:
+                    out.append(
+                        TimelineEvent(
+                            device=i.device,
+                            kind=i.kind,
+                            start=s,
+                            end=e,
+                            label=i.label,
+                            meta={
+                                "stage": i.stage,
+                                "block": i.block,
+                                "factor": i.factor,
+                                "micro_batch": i.micro_batch,
+                                "step": int(s // self.span),
+                            },
+                        )
+                    )
+        return out
+
+    @property
+    def total_filled(self) -> float:
+        return sum(q.total_duration for q in self.queues.values())
+
+
+class BubbleFiller:
+    """Places per-device K-FAC work queues into a step template's bubbles.
+
+    Parameters
+    ----------
+    template:
+        Simulation of ONE steady-state pipeline step (with PipeFisher's
+        precondition already on the critical path).
+    queues:
+        Per-device work inventories from :func:`build_device_queues`.
+    dp:
+        Data-parallel degree (to resolve which replica's forward/backward
+        events trigger a device's items).
+    max_steps:
+        Safety bound on the refresh interval.
+    min_bubble:
+        Ignore bubbles shorter than this (kernel-launch granularity).
+    """
+
+    def __init__(
+        self,
+        template: SimulationResult,
+        queues: dict[int, KFACWorkQueue],
+        dp: int = 1,
+        max_steps: int = 64,
+        min_bubble: float = 1e-5,
+        min_chunk: float = 2e-3,
+        steady_state: bool = True,
+    ) -> None:
+        self.template = template
+        self.queues = queues
+        self.dp = dp
+        self.max_steps = max_steps
+        self.min_bubble = min_bubble
+        #: Smallest placeable piece of a split work (~one CUDA kernel).
+        self.min_chunk = min_chunk
+        #: In the repeating (static) schedule, every trigger event has
+        #: already occurred in the previous step, so startup bubbles before
+        #: a cycle's own forward/backward may compute factors from the
+        #: previous step's saved tensors — the same staleness the paper
+        #: embraces ("the first precondition ... is performed with the
+        #: stale inverse matrices calculated at previous steps").  Set
+        #: False to model the very first cycle after initialization.
+        self.steady_state = steady_state
+        self.span = template.makespan
+        self._event_end: dict[tuple, float] = {}
+        for e in template.timeline.events:
+            if e.kind in ("forward", "backward"):
+                key = (
+                    e.kind,
+                    e.meta["stage"],
+                    e.meta["micro_batch"],
+                    e.meta.get("pipeline"),
+                    e.meta.get("replica", 0),
+                )
+                self._event_end[key] = max(self._event_end.get(key, 0.0), e.end)
+
+    # -- readiness ----------------------------------------------------------------
+
+    def _ready_time(
+        self, item: KFACWorkItem, by_id: dict[str, KFACWorkItem]
+    ) -> float | None:
+        """Absolute readiness time of ``item``.
+
+        A curvature item becomes ready at the end of its trigger event in
+        the *first* step and stays ready afterwards: activations are held
+        for A factors and error signals are saved for B factors (that is
+        what M_act and M_err^save in the §3.3 memory model pay for), so an
+        item that misses step k's bubbles computes its factor from the
+        saved step-k tensors inside step k+1's bubbles.
+
+        Returns None while blocked (inversion whose curvature items have
+        not all been assigned yet).
+        """
+        kind = item.trigger[0]
+        if kind in ("forward", "backward"):
+            _, s, m, pipe = item.trigger
+            replica = item.device % self.dp
+            rel = self._event_end.get((kind, s, m, pipe, replica))
+            if rel is None:
+                raise KeyError(
+                    f"no {kind} event for stage {s}, micro-batch {m}, "
+                    f"pipeline {pipe}, replica {replica}"
+                )
+            return rel - self.span if self.steady_state else rel
+        if kind == "items":
+            ends = []
+            for dep in item.trigger[1]:
+                dep_item = by_id[dep]
+                if not dep_item.assigned:
+                    return None
+                ends.append(dep_item.end)
+            return max(ends) if ends else 0.0
+        raise ValueError(f"unknown trigger {item.trigger!r}")
+
+    # -- filling -----------------------------------------------------------------
+
+    def _fill_device(self, device: int) -> int:
+        """Drain one device's queue; returns the number of steps used."""
+        q = self.queues[device]
+        if not q.items:
+            return 0
+        by_id = q.by_id()
+        bubbles0 = bubble_intervals(
+            self.template.timeline,
+            device,
+            (0.0, self.span),
+            min_duration=self.min_bubble,
+        )
+        if not bubbles0:
+            raise RuntimeError(
+                f"device {device} has no bubbles to fill (span {self.span:.4f}s)"
+            )
+        remaining = len(q.items)
+        last_placed_duration = -1.0
+        for step in range(self.max_steps):
+            offset = step * self.span
+            for b0, b1 in ((a + offset, b + offset) for a, b in bubbles0):
+                t = b0
+                while True:
+                    # Most-constrained-first among items startable earliest:
+                    # pick the earliest feasible start; break ties by the
+                    # LATEST readiness (items with narrow windows, e.g. B
+                    # curvature behind the backward phase, must not lose
+                    # their window to always-ready A items).
+                    best: tuple[float, float, int] | None = None
+                    for pos, item in enumerate(q.items):
+                        if item.assigned:
+                            continue
+                        rt = self._ready_time(item, by_id)
+                        if rt is None:
+                            continue
+                        st = max(t, rt)
+                        room = b1 - st
+                        if room < item.remaining - _EPS:
+                            # Placing a fragment: the fragment and the rest
+                            # must both be at least one kernel (min_chunk).
+                            if (room < self.min_chunk - _EPS
+                                    or item.remaining - room < self.min_chunk):
+                                continue
+                        elif room <= _EPS:
+                            continue
+                        cand = (st, -rt, pos)
+                        if best is None or cand < best:
+                            best = cand
+                    if best is None:
+                        break
+                    st, _, pos = best
+                    item = q.items[pos]
+                    piece = min(item.remaining, b1 - st)
+                    item.segments.append((st, st + piece))
+                    t = st + piece
+                    if item.assigned:
+                        remaining -= 1
+                if remaining == 0:
+                    return step + 1
+            if remaining == 0:
+                return step + 1
+            placed = sum(i.placed_duration for i in q.items)
+            if placed <= last_placed_duration + _EPS:
+                # No progress for a full step: items are permanently blocked.
+                stuck = [i.iid for i in q.items if not i.assigned]
+                raise RuntimeError(
+                    f"device {device}: no placement progress in step {step}; "
+                    f"stuck items: {stuck[:5]}"
+                )
+            last_placed_duration = placed
+        raise RuntimeError(
+            f"device {device}: {remaining} K-FAC items still unassigned after "
+            f"{self.max_steps} steps; bubbles too small for the work"
+        )
+
+    def fill(self) -> AssignmentResult:
+        """Assign every queue; the refresh interval is the slowest device."""
+        per_device: dict[int, int] = {}
+        for device in sorted(self.queues):
+            per_device[device] = self._fill_device(device)
+        refresh = max(per_device.values(), default=1)
+        return AssignmentResult(
+            queues=self.queues,
+            refresh_steps=max(refresh, 1),
+            span=self.span,
+            device_refresh_steps=per_device,
+        )

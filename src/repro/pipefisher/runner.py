@@ -1,0 +1,151 @@
+"""End-to-end PipeFisher experiment driver.
+
+``run_pipefisher`` reproduces a Fig. 3/4-style experiment in one call:
+simulate the baseline schedule (first-order optimizer), simulate the
+PipeFisher step template (baseline + precondition), run the automatic
+work assignment, and report utilizations, step times, and the refresh
+interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.arch import TransformerArch
+from repro.perfmodel.calibration import host_overhead
+from repro.perfmodel.costs import compute_stage_costs
+from repro.perfmodel.hardware import Hardware
+from repro.pipefisher.assignment import AssignmentResult, BubbleFiller
+from repro.pipefisher.workqueue import build_device_queues
+from repro.pipeline.comm import CommModel
+from repro.pipeline.executor import simulate_tasks
+from repro.pipeline.schedules import PipelineConfig, make_schedule
+from repro.profiler.timeline import Timeline
+from repro.profiler.utilization import utilization
+
+
+@dataclass
+class PipeFisherReport:
+    """Everything a Fig. 3/4 panel shows, as numbers."""
+
+    schedule: str
+    num_devices: int
+    #: Baseline (first-order optimizer) results.
+    baseline_step_time: float
+    baseline_utilization: float
+    baseline_timeline: Timeline
+    #: PipeFisher results.
+    pipefisher_step_time: float
+    pipefisher_utilization: float
+    pipefisher_timeline: Timeline
+    refresh_steps: int
+    device_refresh_steps: dict[int, int]
+    assignment: AssignmentResult
+
+    @property
+    def step_time_overhead(self) -> float:
+        """Relative per-step cost of PipeFisher (precondition only)."""
+        return self.pipefisher_step_time / self.baseline_step_time - 1.0
+
+
+@dataclass
+class PipeFisherRun:
+    """Configuration of one experiment (a Fig. 3/4 panel)."""
+
+    schedule: str
+    arch: TransformerArch
+    hardware: Hardware
+    b_micro: int
+    depth: int
+    n_micro: int
+    layers_per_stage: int = 1
+    dp: int = 1
+    world_multiplier: int = 1
+    inversion_parallel: bool = False
+    recompute: bool = False
+    #: Steps in the utilization window (the paper plots ~2 steps).
+    window_steps: int = 2
+
+    def _config(self, precondition: bool) -> PipelineConfig:
+        costs = compute_stage_costs(
+            self.arch,
+            self.hardware,
+            self.b_micro,
+            layers_per_stage=self.layers_per_stage,
+            overhead_s=host_overhead(self.schedule),
+        )
+        comm = CommModel(allreduce_gbs=self.hardware.interconnect_gbs)
+        return PipelineConfig(
+            depth=self.depth,
+            n_micro=self.n_micro,
+            costs=costs,
+            comm=comm,
+            dp=self.dp,
+            world_multiplier=self.world_multiplier,
+            recompute=self.recompute,
+            precondition=precondition,
+            stage_param_bytes=self.layers_per_stage * self.arch.param_bytes(),
+        )
+
+    def execute(self) -> PipeFisherReport:
+        # -- baseline: first-order optimizer, no K-FAC work ---------------------
+        base_cfg = self._config(precondition=False)
+        base_builder = make_schedule(self.schedule, base_cfg)
+        base_sim = simulate_tasks(base_builder.build(steps=1), base_builder.num_devices)
+        base_span = base_sim.makespan
+        base_window = Timeline(base_builder.num_devices)
+        for k in range(self.window_steps):
+            base_window.extend([e.shifted(k * base_span) for e in base_sim.timeline.events])
+        base_util = utilization(base_window, (0.0, self.window_steps * base_span))
+
+        # -- PipeFisher template: baseline + precondition on the critical path --
+        pf_cfg = self._config(precondition=True)
+        pf_builder = make_schedule(self.schedule, pf_cfg)
+        template = simulate_tasks(pf_builder.build(steps=1), pf_builder.num_devices)
+        span = template.makespan
+
+        sync_curv_s = 0.0
+        if self.inversion_parallel:
+            factor_bytes = (
+                self.layers_per_stage
+                * len(pf_builder.stages_of_device(0))
+                * self.arch.factor_bytes()
+            )
+            world = pf_builder.allreduce_world(0)
+            sync_curv_s = pf_cfg.comm.allreduce_time(factor_bytes, world)
+
+        queues = build_device_queues(
+            pf_builder,
+            pf_cfg.costs,
+            inversion_parallel=self.inversion_parallel,
+            sync_curv_seconds=sync_curv_s,
+        )
+        filler = BubbleFiller(template, queues, dp=self.dp)
+        assignment = filler.fill()
+
+        # -- combined timeline over the refresh cycle ---------------------------
+        cycle = max(assignment.refresh_steps, self.window_steps)
+        combined = Timeline(pf_builder.num_devices)
+        for k in range(cycle):
+            combined.extend([e.shifted(k * span) for e in template.timeline.events])
+        combined.extend(assignment.events())
+        pf_util = utilization(combined, (0.0, assignment.refresh_steps * span))
+
+        return PipeFisherReport(
+            schedule=self.schedule,
+            num_devices=pf_builder.num_devices,
+            baseline_step_time=base_span,
+            baseline_utilization=base_util,
+            baseline_timeline=base_window,
+            pipefisher_step_time=span,
+            pipefisher_utilization=pf_util,
+            pipefisher_timeline=combined,
+            refresh_steps=assignment.refresh_steps,
+            device_refresh_steps=assignment.device_refresh_steps,
+            assignment=assignment,
+        )
+
+
+def run_pipefisher(**kwargs) -> PipeFisherReport:
+    """Convenience wrapper: ``run_pipefisher(schedule="gpipe", ...)``."""
+    return PipeFisherRun(**kwargs).execute()

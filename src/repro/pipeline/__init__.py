@@ -1,0 +1,43 @@
+"""Pipeline-parallel training substrate.
+
+Implements the three synchronous pipeline schedules the paper targets —
+**GPipe** (Huang et al. 2019), **1F1B** (PipeDream-Flush, Narayanan et al.
+2019), and **Chimera** (Li & Hoefler 2021, bidirectional, two pipelines) —
+as dependency graphs of work items executed by a discrete-event simulator
+with per-device clocks, plus a numerically-executing pipeline used to
+verify that pipelined gradient computation is exact.
+"""
+
+from repro.pipeline.work import Task, WorkKind, COMPUTE_KINDS
+from repro.pipeline.comm import CommModel
+from repro.pipeline.schedules import (
+    PipelineConfig,
+    ScheduleBuilder,
+    GPipeSchedule,
+    OneFOneBSchedule,
+    ChimeraSchedule,
+    make_schedule,
+    SCHEDULES,
+)
+from repro.pipeline.executor import simulate_tasks, SimulationResult
+from repro.pipeline.bubbles import bubble_time, bubble_fraction
+from repro.pipeline.numeric import NumericPipeline
+
+__all__ = [
+    "Task",
+    "WorkKind",
+    "COMPUTE_KINDS",
+    "CommModel",
+    "PipelineConfig",
+    "ScheduleBuilder",
+    "GPipeSchedule",
+    "OneFOneBSchedule",
+    "ChimeraSchedule",
+    "make_schedule",
+    "SCHEDULES",
+    "simulate_tasks",
+    "SimulationResult",
+    "bubble_time",
+    "bubble_fraction",
+    "NumericPipeline",
+]

@@ -1,0 +1,49 @@
+"""Bubble accounting over simulated timelines."""
+
+from __future__ import annotations
+
+from repro.profiler.timeline import Timeline
+
+#: Kinds that occupy the device for bubble purposes.  OVERHEAD is a host
+#: wait, not device occupancy — PipeFisher may fill it with K-FAC kernels.
+OCCUPYING_KINDS = {
+    "forward",
+    "backward",
+    "recompute",
+    "curvature",
+    "inversion",
+    "precondition",
+    "sync_grad",
+    "sync_curv",
+}
+
+
+def bubble_intervals(
+    timeline: Timeline, device: int, window: tuple[float, float],
+    min_duration: float = 0.0,
+) -> list[tuple[float, float]]:
+    """Idle (fillable) intervals on one device within ``window``."""
+    return timeline.idle_intervals(
+        device, window, kinds=OCCUPYING_KINDS, min_duration=min_duration
+    )
+
+
+def bubble_time(timeline: Timeline, window: tuple[float, float] | None = None) -> float:
+    """Total idle seconds summed over devices."""
+    if window is None:
+        window = timeline.span
+    total = 0.0
+    for d in range(timeline.num_devices):
+        for a, b in bubble_intervals(timeline, d, window):
+            total += b - a
+    return total
+
+
+def bubble_fraction(timeline: Timeline, window: tuple[float, float] | None = None) -> float:
+    """Idle fraction of the (devices x window) area."""
+    if window is None:
+        window = timeline.span
+    t0, t1 = window
+    if t1 <= t0:
+        raise ValueError(f"empty window {window}")
+    return bubble_time(timeline, window) / (timeline.num_devices * (t1 - t0))

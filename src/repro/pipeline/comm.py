@@ -1,0 +1,56 @@
+"""Communication cost model.
+
+P2P (send/recv of stage-boundary activations) is "small and can easily be
+overlapped with forward and backward passes" (paper §1); the §3.3 model
+ignores it, and so does the simulator by default (a latency knob exists for
+ablations).  Collective allreduce (sync-grad, sync-curvature) is the real
+cost and uses the standard ring model:
+
+    t = latency * 2 (W - 1) + 2 (W - 1) / W * bytes / bus_bandwidth
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """Bandwidth/latency parameters for one cluster.
+
+    Attributes
+    ----------
+    allreduce_gbs:
+        Effective allreduce bus bandwidth per device, GB/s (calibrated to
+        the paper's P100 cluster; see perfmodel.calibration).
+    p2p_gbs:
+        Point-to-point bandwidth for stage-boundary sends.
+    latency_s:
+        Per-hop latency.
+    """
+
+    allreduce_gbs: float = 1.1
+    intra_node_gbs: float = 5.0
+    intra_node_world: int = 4
+    p2p_gbs: float = 8.0
+    latency_s: float = 20e-6
+
+    def allreduce_time(self, nbytes: float, world: int) -> float:
+        """Ring allreduce duration across ``world`` participants.
+
+        Groups of up to ``intra_node_world`` devices communicate over the
+        fast intra-node fabric; larger groups cross the cluster
+        interconnect (the fitted effective bus bandwidth).
+        """
+        if world < 1:
+            raise ValueError(f"world must be >= 1, got {world}")
+        if world == 1:
+            return 0.0
+        gbs = self.intra_node_gbs if world <= self.intra_node_world else self.allreduce_gbs
+        steps = 2 * (world - 1)
+        bw = gbs * 1e9
+        return self.latency_s * steps + (steps / world) * nbytes / bw
+
+    def p2p_time(self, nbytes: float) -> float:
+        """Point-to-point transfer duration."""
+        return self.latency_s + nbytes / (self.p2p_gbs * 1e9)

@@ -1,0 +1,169 @@
+"""Discrete-event execution of pipeline task graphs.
+
+Greedy list scheduling with per-device clocks: whenever a device is free it
+starts the highest-priority *ready and eligible* task assigned to it; if
+nothing is ready it waits for the next dependency to complete.  The
+schedule-specific behaviour (GPipe's phase order, 1F1B's backward priority
+and in-flight limit, Chimera's injection order) lives entirely in the
+tasks' ``priority`` tuples and in-flight metadata, so one executor serves
+every schedule.
+
+Eligibility (activation-memory admission control) uses two meta keys:
+
+* ``inflight_key``/``inflight_limit`` on a FORWARD: the forward may start
+  only while fewer than ``limit`` micro-batches are in flight for that key.
+* ``inflight_release`` on a BACKWARD: completing it releases one slot.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.pipeline.work import Task, WorkKind
+from repro.profiler.timeline import Timeline, TimelineEvent
+
+
+@dataclass
+class SimulationResult:
+    """Output of a pipeline simulation."""
+
+    timeline: Timeline
+    start_times: dict[str, float]
+    end_times: dict[str, float]
+    makespan: float
+    #: Peak number of in-flight micro-batches seen per inflight key.
+    peak_inflight: dict = field(default_factory=dict)
+
+    def end_of(self, tid: str) -> float:
+        return self.end_times[tid]
+
+
+def simulate_tasks(
+    tasks: list[Task],
+    num_devices: int,
+    start_time: float = 0.0,
+) -> SimulationResult:
+    """Simulate a task graph and return the resulting timeline.
+
+    Raises ``RuntimeError`` on dependency cycles or unknown deps.
+    """
+    by_id: dict[str, Task] = {}
+    for t in tasks:
+        if t.tid in by_id:
+            raise ValueError(f"duplicate task id {t.tid}")
+        by_id[t.tid] = t
+    for t in tasks:
+        for d in t.deps:
+            if d not in by_id:
+                raise RuntimeError(f"task {t.tid} depends on unknown task {d}")
+
+    dependents: dict[str, list[str]] = defaultdict(list)
+    missing: dict[str, int] = {}
+    for t in tasks:
+        missing[t.tid] = len(t.deps)
+        for d in t.deps:
+            dependents[d].append(t.tid)
+
+    device_free: dict[int, float] = defaultdict(lambda: start_time)
+    # ready_time = max over completed deps' end times.
+    ready_time: dict[str, float] = {t.tid: start_time for t in tasks}
+    ready: dict[int, set[str]] = defaultdict(set)
+    control_ready: list[str] = []
+    start_times: dict[str, float] = {}
+    end_times: dict[str, float] = {}
+    inflight: dict = defaultdict(int)
+    peak_inflight: dict = defaultdict(int)
+    timeline = Timeline(num_devices)
+
+    def mark_ready(tid: str) -> None:
+        t = by_id[tid]
+        if t.device is None:
+            control_ready.append(tid)
+        else:
+            ready[t.device].add(tid)
+
+    for t in tasks:
+        if missing[t.tid] == 0:
+            mark_ready(t.tid)
+
+    def complete(tid: str, end: float) -> None:
+        end_times[tid] = end
+        t = by_id[tid]
+        rel = t.meta.get("inflight_release")
+        if rel is not None:
+            inflight[rel] -= 1
+        for dep_id in dependents[tid]:
+            missing[dep_id] -= 1
+            ready_time[dep_id] = max(ready_time[dep_id], end)
+            if missing[dep_id] == 0:
+                mark_ready(dep_id)
+
+    remaining = len(tasks)
+    while remaining > 0:
+        # Control tasks complete instantly once their deps are done.
+        while control_ready:
+            tid = control_ready.pop()
+            start_times[tid] = ready_time[tid]
+            complete(tid, ready_time[tid])
+            remaining -= 1
+        if remaining == 0:
+            break
+
+        # Each device proposes its next (start, priority, tid).
+        best: tuple | None = None
+        for dev, pool in ready.items():
+            if not pool:
+                continue
+            eligible = []
+            blocked_min_start = None
+            for tid in pool:
+                t = by_id[tid]
+                key = t.meta.get("inflight_key")
+                if key is not None:
+                    limit = t.meta["inflight_limit"]
+                    if inflight[key] >= limit:
+                        continue  # admission-blocked; may free up later
+                eligible.append(tid)
+            if not eligible:
+                continue
+            t_star = max(device_free[dev], min(ready_time[t] for t in eligible))
+            avail = [t for t in eligible if ready_time[t] <= t_star + 1e-12]
+            tid = min(avail, key=lambda x: by_id[x].priority)
+            cand = (t_star, by_id[tid].priority, dev, tid)
+            if best is None or cand < best:
+                best = cand
+
+        if best is None:
+            stuck = [t for t in by_id.values() if t.tid not in end_times]
+            raise RuntimeError(
+                f"deadlock: {len(stuck)} tasks cannot run "
+                f"(first few: {[t.tid for t in stuck[:5]]}); check deps and "
+                "in-flight limits"
+            )
+
+        t_start, _, dev, tid = best
+        task = by_id[tid]
+        ready[dev].discard(tid)
+        key = task.meta.get("inflight_key")
+        if key is not None:
+            inflight[key] += 1
+            peak_inflight[key] = max(peak_inflight[key], inflight[key])
+        t_end = t_start + task.duration
+        device_free[dev] = t_end
+        start_times[tid] = t_start
+        timeline.add(
+            TimelineEvent(dev, task.kind.value, t_start, t_end, task.label, task.meta)
+        )
+        complete(tid, t_end)
+        remaining -= 1
+
+    makespan = max(end_times.values(), default=start_time)
+    return SimulationResult(
+        timeline=timeline,
+        start_times=start_times,
+        end_times=end_times,
+        makespan=makespan,
+        peak_inflight=dict(peak_inflight),
+    )

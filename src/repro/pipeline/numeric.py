@@ -1,0 +1,88 @@
+"""Numerically-executing pipeline: proves schedule transparency.
+
+Synchronous pipeline parallelism computes *exactly* the same gradients as
+non-pipelined training — only the execution order changes.  This module
+actually runs a stage-partitioned BERT over micro-batches in pipeline
+order and accumulates gradients, so tests can assert bit-level agreement
+(up to fp summation order) with a monolithic backward pass.  It is also
+the numeric substrate for the convergence experiment's gradient
+accumulation (Appendix B.2 simulates an 8K mini-batch the same way).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.bert import BertForPreTraining
+from repro.models.partition import StagePartition, partition_layers
+from repro.tensor import Tensor
+
+
+class NumericPipeline:
+    """Micro-batched gradient computation over a stage-partitioned model.
+
+    Parameters
+    ----------
+    model:
+        The full pretraining model (stages share its parameters, as real
+        pipeline stages hold partitions of the same network).
+    num_stages:
+        Pipeline depth; encoder blocks are split contiguously.
+    """
+
+    def __init__(self, model: BertForPreTraining, num_stages: int) -> None:
+        self.model = model
+        self.partition: StagePartition = partition_layers(
+            model.config.num_hidden_layers, num_stages
+        )
+
+    def _forward_stage(self, stage: int, x: Tensor, attention_mask) -> Tensor:
+        for layer_idx in self.partition.stage_layers[stage]:
+            x = self.model.encoder.layers[layer_idx](x, attention_mask)
+        return x
+
+    def forward(self, input_ids, token_type_ids=None, attention_mask=None):
+        """Full forward pass routed stage by stage (same math as model())."""
+        x = self.model.embeddings(input_ids, token_type_ids)
+        for s in range(self.partition.num_stages):
+            x = self._forward_stage(s, x, attention_mask)
+        pooled = self.model.pooler(x)
+        return self.model.heads(x, pooled)
+
+    def run_step(
+        self,
+        input_ids: np.ndarray,
+        mlm_labels: np.ndarray,
+        nsp_labels: np.ndarray,
+        n_micro: int,
+        token_type_ids: np.ndarray | None = None,
+        attention_mask: np.ndarray | None = None,
+    ) -> float:
+        """One pipelined optimization step's gradient computation.
+
+        Splits the mini-batch into ``n_micro`` micro-batches, runs each
+        through the stages, and accumulates gradients scaled by 1/n_micro
+        (so the result equals the full-batch mean-loss gradient when
+        micro-batches are equal-sized).  Returns the mean loss.
+        """
+        batch = input_ids.shape[0]
+        if batch % n_micro != 0:
+            raise ValueError(
+                f"batch size {batch} not divisible into {n_micro} micro-batches"
+            )
+        mb = batch // n_micro
+        total_loss = 0.0
+        for m in range(n_micro):
+            sl = slice(m * mb, (m + 1) * mb)
+            tt = token_type_ids[sl] if token_type_ids is not None else None
+            am = attention_mask[sl] if attention_mask is not None else None
+            mlm_logits, nsp_logits = self.forward(input_ids[sl], tt, am)
+            from repro.nn.losses import masked_lm_loss, next_sentence_loss
+
+            loss = masked_lm_loss(mlm_logits, mlm_labels[sl]) + next_sentence_loss(
+                nsp_logits, nsp_labels[sl]
+            )
+            scaled = loss * (1.0 / n_micro)
+            scaled.backward()
+            total_loss += float(loss.item()) / n_micro
+        return total_loss

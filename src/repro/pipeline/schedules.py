@@ -1,0 +1,468 @@
+"""Builders for GPipe, 1F1B, and Chimera task graphs.
+
+Every builder turns a :class:`PipelineConfig` into the task graph of one or
+more synchronous optimization steps:
+
+* forward/backward tasks per (micro-batch, stage) with P2P dependencies,
+* optional activation recomputation before each backward,
+* sync-grad allreduce tasks per data-parallel group,
+* an optional precondition task (PipeFisher's only per-step overhead),
+* an uncolored host-overhead interval, and
+* a global barrier (the pipeline flush) between steps.
+
+Schedule policy is expressed through task priorities and in-flight
+(activation memory) limits, executed by :func:`repro.pipeline.executor.simulate_tasks`:
+
+============  =========================  ==========================
+schedule      forward priority            in-flight limit per stage
+============  =========================  ==========================
+GPipe         before backwards, m asc     N_micro (unbounded)
+1F1B          after backwards, m asc      D - stage
+Chimera       after backwards, inj asc    D - local stage, per pipeline
+============  =========================  ==========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perfmodel.costs import StageCosts
+from repro.pipeline.comm import CommModel
+from repro.pipeline.work import Task, WorkKind
+
+
+@dataclass
+class PipelineConfig:
+    """Everything a schedule builder needs.
+
+    Attributes
+    ----------
+    depth:
+        Number of pipeline stages D.
+    n_micro:
+        Micro-batches per device per step (paper's N_micro).
+    costs:
+        Per-stage work durations.
+    comm:
+        Communication model for collectives.
+    dp:
+        Simulated data-parallel replicas (devices = dp * depth).
+    world_multiplier:
+        Extra un-simulated replicas that only enlarge the allreduce world
+        (e.g. Fig. 7's 64 model copies simulated as one instance).
+    recompute:
+        Activation recomputation (R in the figures).
+    precondition:
+        Append PipeFisher's per-step precondition work to the critical path.
+    stage_param_bytes:
+        Parameter bytes per stage (sync-grad allreduce volume).
+    """
+
+    depth: int
+    n_micro: int
+    costs: StageCosts
+    comm: CommModel = field(default_factory=CommModel)
+    dp: int = 1
+    world_multiplier: int = 1
+    recompute: bool = False
+    precondition: bool = False
+    stage_param_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.depth < 2:
+            raise ValueError(f"pipeline depth must be >= 2, got {self.depth}")
+        if self.n_micro < 1:
+            raise ValueError(f"n_micro must be >= 1, got {self.n_micro}")
+        if self.dp < 1 or self.world_multiplier < 1:
+            raise ValueError("dp and world_multiplier must be >= 1")
+
+
+class ScheduleBuilder:
+    """Base class: unidirectional schedules (GPipe, 1F1B) differ only in
+    priorities and in-flight limits; Chimera overrides device mapping."""
+
+    name: str = "base"
+
+    def __init__(self, config: PipelineConfig) -> None:
+        self.config = config
+
+    # -- device topology --------------------------------------------------------
+
+    @property
+    def num_devices(self) -> int:
+        return self.config.depth * self.config.dp
+
+    def device(self, stage: int, replica: int) -> int:
+        """Device executing ``stage`` for data-parallel ``replica``."""
+        return stage * self.config.dp + replica
+
+    def stages_of_device(self, dev: int) -> list[int]:
+        """Stages hosted by a device (one here; two for Chimera)."""
+        return [dev // self.config.dp]
+
+    def dp_group(self, dev: int) -> list[int]:
+        """Devices holding a replica of ``dev``'s stage (allreduce group)."""
+        stage = dev // self.config.dp
+        return [self.device(stage, r) for r in range(self.config.dp)]
+
+    def allreduce_world(self, dev: int) -> int:
+        return len(self.dp_group(dev)) * self.config.world_multiplier
+
+    # -- schedule policy ----------------------------------------------------------
+
+    def fwd_priority(self, m: int) -> tuple:
+        raise NotImplementedError
+
+    def bwd_priority(self, m: int) -> tuple:
+        raise NotImplementedError
+
+    def inflight_limit(self, stage: int) -> int:
+        raise NotImplementedError
+
+    # -- task-graph construction ----------------------------------------------------
+
+    def build(self, steps: int = 1) -> list[Task]:
+        """Task graph for ``steps`` consecutive optimization steps."""
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        tasks: list[Task] = []
+        prev_barrier: str | None = None
+        for k in range(steps):
+            step_tasks, barrier = self._build_step(k, prev_barrier)
+            tasks.extend(step_tasks)
+            prev_barrier = barrier
+        return tasks
+
+    def _build_step(
+        self, step: int, prev_barrier: str | None
+    ) -> tuple[list[Task], str]:
+        cfg = self.config
+        c = cfg.costs
+        tasks: list[Task] = []
+        entry_deps = (prev_barrier,) if prev_barrier else ()
+
+        for r in range(cfg.dp):
+            for m in range(cfg.n_micro):
+                for s in range(cfg.depth):
+                    dev = self.device(s, r)
+                    fid = f"F.{step}.{r}.{m}.{s}"
+                    deps = list(entry_deps)
+                    if s > 0:
+                        deps.append(f"F.{step}.{r}.{m}.{s - 1}")
+                    tasks.append(
+                        Task(
+                            tid=fid,
+                            device=dev,
+                            kind=WorkKind.FORWARD,
+                            duration=c.t_fwd,
+                            deps=tuple(deps),
+                            priority=self.fwd_priority(m),
+                            label=f"F m{m} s{s}",
+                            meta={
+                                "stage": s,
+                                "micro_batch": m,
+                                "replica": r,
+                                "step": step,
+                                "inflight_key": (r, "uni", s),
+                                "inflight_limit": self.inflight_limit(s),
+                            },
+                        )
+                    )
+                for s in reversed(range(cfg.depth)):
+                    dev = self.device(s, r)
+                    bid = f"B.{step}.{r}.{m}.{s}"
+                    deps = [f"F.{step}.{r}.{m}.{s}"]
+                    if s < cfg.depth - 1:
+                        deps.append(f"B.{step}.{r}.{m}.{s + 1}")
+                    dur = c.t_bwd + (c.t_fwd if cfg.recompute else 0.0)
+                    tasks.append(
+                        Task(
+                            tid=bid,
+                            device=dev,
+                            kind=WorkKind.BACKWARD,
+                            duration=dur,
+                            deps=tuple(deps),
+                            priority=self.bwd_priority(m),
+                            label=f"B m{m} s{s}",
+                            meta={
+                                "stage": s,
+                                "micro_batch": m,
+                                "replica": r,
+                                "step": step,
+                                "inflight_release": (r, "uni", s),
+                                "recompute": cfg.recompute,
+                            },
+                        )
+                    )
+
+        tasks.extend(self._tail_tasks(step, tasks))
+        barrier_id = f"BAR.{step}"
+        tail_ids = [t.tid for t in tasks if t.meta.get("tail") and t.meta["step"] == step]
+        tasks.append(
+            Task(
+                tid=barrier_id,
+                device=None,
+                kind=WorkKind.BARRIER,
+                duration=0.0,
+                deps=tuple(tail_ids),
+                label=f"flush step {step}",
+                meta={"step": step},
+            )
+        )
+        return tasks, barrier_id
+
+    def _last_backward_ids(self, step: int, dev: int, tasks: list[Task]) -> list[str]:
+        """All backward tids of this step on this device (sync-grad deps)."""
+        return [
+            t.tid
+            for t in tasks
+            if t.kind == WorkKind.BACKWARD
+            and t.device == dev
+            and t.meta["step"] == step
+        ]
+
+    def _tail_tasks(self, step: int, body: list[Task]) -> list[Task]:
+        """Per-device sync-grad -> precondition -> overhead chain."""
+        cfg = self.config
+        c = cfg.costs
+        tail: list[Task] = []
+        for dev in range(self.num_devices):
+            own_bwd = self._last_backward_ids(step, dev, body)
+            if not own_bwd:
+                continue
+            last_dep_ids = list(own_bwd)
+            world = self.allreduce_world(dev)
+            if world > 1 and cfg.stage_param_bytes > 0:
+                group = self.dp_group(dev)
+                group_bwd: list[str] = []
+                for g in group:
+                    group_bwd.extend(self._last_backward_ids(step, g, body))
+                n_stages = len(self.stages_of_device(dev))
+                dur = cfg.comm.allreduce_time(
+                    cfg.stage_param_bytes * n_stages, world
+                )
+                sid = f"SG.{step}.{dev}"
+                tail.append(
+                    Task(
+                        tid=sid,
+                        device=dev,
+                        kind=WorkKind.SYNC_GRAD,
+                        duration=dur,
+                        deps=tuple(group_bwd),
+                        priority=(2, 0),
+                        label=f"sync-grad d{dev}",
+                        meta={"step": step, "tail": False},
+                    )
+                )
+                last_dep_ids = [sid]
+            if cfg.precondition:
+                pid = f"PC.{step}.{dev}"
+                n_stages = len(self.stages_of_device(dev))
+                tail.append(
+                    Task(
+                        tid=pid,
+                        device=dev,
+                        kind=WorkKind.PRECONDITION,
+                        duration=c.t_prec * n_stages,
+                        deps=tuple(last_dep_ids),
+                        priority=(2, 1),
+                        label=f"precond d{dev}",
+                        meta={"step": step, "tail": False},
+                    )
+                )
+                last_dep_ids = [pid]
+            oid = f"OH.{step}.{dev}"
+            tail.append(
+                Task(
+                    tid=oid,
+                    device=dev,
+                    kind=WorkKind.OVERHEAD,
+                    duration=c.t_overhead,
+                    deps=tuple(last_dep_ids),
+                    priority=(3, 0),
+                    label=f"overhead d{dev}",
+                    meta={"step": step, "tail": True},
+                )
+            )
+        return tail
+
+
+class GPipeSchedule(ScheduleBuilder):
+    """GPipe: all forwards, then all backwards (reverse micro-batch order)."""
+
+    name = "gpipe"
+
+    def fwd_priority(self, m: int) -> tuple:
+        return (0, m)
+
+    def bwd_priority(self, m: int) -> tuple:
+        return (1, self.config.n_micro - 1 - m)
+
+    def inflight_limit(self, stage: int) -> int:
+        return self.config.n_micro  # GPipe keeps every micro-batch in flight
+
+
+class OneFOneBSchedule(ScheduleBuilder):
+    """1F1B (PipeDream-Flush): backward-priority with D - s in-flight cap."""
+
+    name = "1f1b"
+
+    def fwd_priority(self, m: int) -> tuple:
+        return (1, m)
+
+    def bwd_priority(self, m: int) -> tuple:
+        return (0, m)
+
+    def inflight_limit(self, stage: int) -> int:
+        return self.config.depth - stage
+
+
+class ChimeraSchedule(ScheduleBuilder):
+    """Chimera with two bidirectional pipelines (Li & Hoefler 2021).
+
+    The *down* pipeline maps stage s to device s; the *up* pipeline maps
+    stage s to device D-1-s, so every device hosts two stages and the two
+    pipelines' bubbles interlock.  Micro-batches are split evenly; the
+    model weights are replicated across the pipeline pair, giving the
+    inherent 2-way data parallelism whose sync-grad appears in Fig. 4.
+    """
+
+    name = "chimera"
+
+    def __init__(self, config: PipelineConfig) -> None:
+        super().__init__(config)
+        if config.depth % 2 != 0:
+            raise ValueError("Chimera needs an even number of stages")
+        if config.n_micro % 2 != 0:
+            raise ValueError("Chimera needs an even number of micro-batches")
+
+    def device(self, stage: int, replica: int, pipeline: str = "down") -> int:
+        base = stage if pipeline == "down" else self.config.depth - 1 - stage
+        return base * self.config.dp + replica
+
+    def stages_of_device(self, dev: int) -> list[int]:
+        base = dev // self.config.dp
+        return sorted({base, self.config.depth - 1 - base})
+
+    def dp_group(self, dev: int) -> list[int]:
+        """The pipeline pair (plus outer replicas) holding the same stages."""
+        base = dev // self.config.dp
+        mirror = self.config.depth - 1 - base
+        group = set()
+        for b in (base, mirror):
+            for r in range(self.config.dp):
+                group.add(b * self.config.dp + r)
+        return sorted(group)
+
+    def fwd_priority(self, m: int) -> tuple:
+        return (1, m)
+
+    def bwd_priority(self, m: int) -> tuple:
+        return (0, m)
+
+    def inflight_limit(self, stage: int) -> int:
+        return self.config.depth - stage
+
+    def _build_step(
+        self, step: int, prev_barrier: str | None
+    ) -> tuple[list[Task], str]:
+        cfg = self.config
+        c = cfg.costs
+        tasks: list[Task] = []
+        entry_deps = (prev_barrier,) if prev_barrier else ()
+        half = cfg.n_micro // 2
+
+        for r in range(cfg.dp):
+            for pipe in ("down", "up"):
+                for m in range(half):
+                    for s in range(cfg.depth):
+                        dev = self.device(s, r, pipe)
+                        fid = f"F.{step}.{r}.{pipe}.{m}.{s}"
+                        deps = list(entry_deps)
+                        if s > 0:
+                            deps.append(f"F.{step}.{r}.{pipe}.{m}.{s - 1}")
+                        tasks.append(
+                            Task(
+                                tid=fid,
+                                device=dev,
+                                kind=WorkKind.FORWARD,
+                                duration=c.t_fwd,
+                                deps=tuple(deps),
+                                priority=self.fwd_priority(m),
+                                label=f"F {pipe[0]}{m} s{s}",
+                                meta={
+                                    "stage": s,
+                                    "micro_batch": m,
+                                    "pipeline": pipe,
+                                    "replica": r,
+                                    "step": step,
+                                    "inflight_key": (r, pipe, s),
+                                    "inflight_limit": self.inflight_limit(s),
+                                },
+                            )
+                        )
+                    for s in reversed(range(cfg.depth)):
+                        dev = self.device(s, r, pipe)
+                        bid = f"B.{step}.{r}.{pipe}.{m}.{s}"
+                        deps = [f"F.{step}.{r}.{pipe}.{m}.{s}"]
+                        if s < cfg.depth - 1:
+                            deps.append(f"B.{step}.{r}.{pipe}.{m}.{s + 1}")
+                        dur = c.t_bwd + (c.t_fwd if cfg.recompute else 0.0)
+                        tasks.append(
+                            Task(
+                                tid=bid,
+                                device=dev,
+                                kind=WorkKind.BACKWARD,
+                                duration=dur,
+                                deps=tuple(deps),
+                                priority=self.bwd_priority(m),
+                                label=f"B {pipe[0]}{m} s{s}",
+                                meta={
+                                    "stage": s,
+                                    "micro_batch": m,
+                                    "pipeline": pipe,
+                                    "replica": r,
+                                    "step": step,
+                                    "inflight_release": (r, pipe, s),
+                                    "recompute": cfg.recompute,
+                                },
+                            )
+                        )
+
+        tasks.extend(self._tail_tasks(step, tasks))
+        barrier_id = f"BAR.{step}"
+        tail_ids = [
+            t.tid for t in tasks if t.meta.get("tail") and t.meta["step"] == step
+        ]
+        tasks.append(
+            Task(
+                tid=barrier_id,
+                device=None,
+                kind=WorkKind.BARRIER,
+                duration=0.0,
+                deps=tuple(tail_ids),
+                label=f"flush step {step}",
+                meta={"step": step},
+            )
+        )
+        return tasks, barrier_id
+
+    def allreduce_world(self, dev: int) -> int:
+        # The pair is genuine replication; outer instances multiply it.
+        return len(self.dp_group(dev)) * self.config.world_multiplier
+
+
+SCHEDULES: dict[str, type[ScheduleBuilder]] = {
+    "gpipe": GPipeSchedule,
+    "1f1b": OneFOneBSchedule,
+    "chimera": ChimeraSchedule,
+}
+
+
+def make_schedule(name: str, config: PipelineConfig) -> ScheduleBuilder:
+    """Instantiate a schedule builder by name."""
+    try:
+        cls = SCHEDULES[name]
+    except KeyError:
+        raise ValueError(f"unknown schedule {name!r}; choose from {sorted(SCHEDULES)}")
+    return cls(config)

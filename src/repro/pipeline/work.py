@@ -1,0 +1,74 @@
+"""Work items for the discrete-event pipeline simulation."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class WorkKind(str, enum.Enum):
+    """Types of work a device can perform (the colors of Figs. 1, 3, 4)."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+    RECOMPUTE = "recompute"
+    CURVATURE = "curvature"
+    INVERSION = "inversion"
+    PRECONDITION = "precondition"
+    SYNC_GRAD = "sync_grad"
+    SYNC_CURV = "sync_curv"
+    OVERHEAD = "overhead"
+    BARRIER = "barrier"  # zero-duration control dependency
+
+
+#: Kinds that occupy a device exclusively.
+COMPUTE_KINDS = {
+    WorkKind.FORWARD,
+    WorkKind.BACKWARD,
+    WorkKind.RECOMPUTE,
+    WorkKind.CURVATURE,
+    WorkKind.INVERSION,
+    WorkKind.PRECONDITION,
+    WorkKind.SYNC_GRAD,
+    WorkKind.SYNC_CURV,
+}
+
+
+@dataclass
+class Task:
+    """One schedulable unit.
+
+    Attributes
+    ----------
+    tid:
+        Unique id.
+    device:
+        Executing device, or ``None`` for control tasks (barriers).
+    kind:
+        Work type.
+    duration:
+        Seconds of device occupancy.
+    deps:
+        tids that must complete before this task may start.
+    priority:
+        Tuple compared ascending when a device chooses among ready tasks;
+        this is where each schedule's policy (GPipe phase order, 1F1B
+        backward-priority, Chimera injection order) is encoded.
+    label, meta:
+        Display/diagnostic info (stage, micro-batch, step, pipeline).
+    """
+
+    tid: str
+    device: int | None
+    kind: WorkKind
+    duration: float
+    deps: tuple[str, ...] = ()
+    priority: tuple = ()
+    label: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative duration for task {self.tid}")
+        if self.device is None and self.kind not in (WorkKind.BARRIER,):
+            raise ValueError(f"non-control task {self.tid} needs a device")

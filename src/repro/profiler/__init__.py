@@ -1,0 +1,20 @@
+"""Timeline recording and GPU-utilization accounting.
+
+Replaces the paper's Nsight profiling (Appendix B.4): the simulator emits
+:class:`TimelineEvent` records; utilization is the fraction of
+kernel-active ("colored") time across all devices, exactly the paper's
+definition of the colored-area percentage in Figs. 3-4.
+"""
+
+from repro.profiler.timeline import Timeline, TimelineEvent
+from repro.profiler.utilization import utilization, colored_time, COLOR_DENSITY
+from repro.profiler.ascii_viz import render_timeline
+
+__all__ = [
+    "Timeline",
+    "TimelineEvent",
+    "utilization",
+    "colored_time",
+    "COLOR_DENSITY",
+    "render_timeline",
+]

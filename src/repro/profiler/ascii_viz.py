@@ -1,0 +1,76 @@
+"""ASCII rendering of pipeline timelines (the Fig. 1/3/4 plots, in text).
+
+Each device becomes one row; time is quantized into character columns; each
+work kind has a letter.  Useful in examples and for eyeballing schedules::
+
+    GPU 1 |FFFF........BBBBBBBB~~~~
+    GPU 2 |.FFFF......BBBBBBBB.~~~~
+"""
+
+from __future__ import annotations
+
+from repro.profiler.timeline import Timeline
+
+#: One-character glyph per work kind.
+GLYPHS: dict[str, str] = {
+    "forward": "F",
+    "backward": "B",
+    "recompute": "r",
+    "curvature": "c",
+    "inversion": "i",
+    "precondition": "p",
+    "sync_grad": "s",
+    "sync_curv": "x",
+    "overhead": "~",
+}
+
+#: Painting priority when events share a column (higher wins).
+_PRIORITY = {
+    "overhead": 0,
+    "sync_grad": 2,
+    "sync_curv": 2,
+    "curvature": 3,
+    "inversion": 3,
+    "precondition": 3,
+    "recompute": 4,
+    "forward": 5,
+    "backward": 5,
+}
+
+
+def render_timeline(
+    timeline: Timeline,
+    width: int = 100,
+    window: tuple[float, float] | None = None,
+    show_legend: bool = True,
+) -> str:
+    """Render a timeline as fixed-width ASCII art."""
+    if window is None:
+        window = timeline.span
+    t0, t1 = window
+    if t1 <= t0:
+        return "(empty timeline)"
+    scale = width / (t1 - t0)
+
+    rows: list[str] = []
+    for d in range(timeline.num_devices):
+        chars = ["."] * width
+        prio = [-1] * width
+        for e in timeline.device_events(d):
+            if e.end <= t0 or e.start >= t1:
+                continue
+            c0 = max(0, int((e.start - t0) * scale))
+            c1 = min(width, max(c0 + 1, int((e.end - t0) * scale + 0.5)))
+            glyph = GLYPHS.get(e.kind, "?")
+            p = _PRIORITY.get(e.kind, 1)
+            for col in range(c0, c1):
+                if p >= prio[col]:
+                    chars[col] = glyph
+                    prio[col] = p
+        rows.append(f"GPU {d + 1:>2} |" + "".join(chars))
+
+    out = "\n".join(rows)
+    if show_legend:
+        legend = "  ".join(f"{g}={k}" for k, g in GLYPHS.items())
+        out += "\n" + f"legend: {legend}  .=idle"
+    return out

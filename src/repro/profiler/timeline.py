@@ -1,0 +1,144 @@
+"""Timeline data structures produced by the pipeline simulator."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One work interval on one device.
+
+    Attributes
+    ----------
+    device:
+        Device index (0-based).
+    kind:
+        Work type string ("forward", "backward", "curvature", "inversion",
+        "precondition", "sync_grad", "sync_curv", "overhead").
+    start, end:
+        Interval endpoints in seconds.
+    label:
+        Human-readable tag (e.g. "F m3 s1" or "curvA L2 m0").
+    meta:
+        Free-form metadata (stage, micro-batch, step, layer...).
+    """
+
+    device: int
+    kind: str
+    start: float
+    end: float
+    label: str = ""
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def shifted(self, dt: float) -> "TimelineEvent":
+        return TimelineEvent(self.device, self.kind, self.start + dt,
+                             self.end + dt, self.label, self.meta)
+
+
+class Timeline:
+    """A set of device-work intervals plus query helpers."""
+
+    def __init__(self, num_devices: int) -> None:
+        if num_devices <= 0:
+            raise ValueError(f"num_devices must be positive, got {num_devices}")
+        self.num_devices = num_devices
+        self.events: list[TimelineEvent] = []
+
+    def add(self, event: TimelineEvent) -> None:
+        if not 0 <= event.device < self.num_devices:
+            raise ValueError(
+                f"device {event.device} out of range [0, {self.num_devices})"
+            )
+        if event.end < event.start:
+            raise ValueError(f"event ends before it starts: {event}")
+        self.events.append(event)
+
+    def extend(self, events: list[TimelineEvent]) -> None:
+        for e in events:
+            self.add(e)
+
+    @property
+    def span(self) -> tuple[float, float]:
+        """(earliest start, latest end) over all events."""
+        if not self.events:
+            return (0.0, 0.0)
+        return (
+            min(e.start for e in self.events),
+            max(e.end for e in self.events),
+        )
+
+    def device_events(self, device: int, kinds: set[str] | None = None
+                      ) -> list[TimelineEvent]:
+        """Events on one device, sorted by start time."""
+        evs = [
+            e for e in self.events
+            if e.device == device and (kinds is None or e.kind in kinds)
+        ]
+        return sorted(evs, key=lambda e: (e.start, e.end))
+
+    def busy_intervals(self, device: int, kinds: set[str] | None = None
+                       ) -> list[tuple[float, float]]:
+        """Merged occupied intervals on one device."""
+        evs = self.device_events(device, kinds)
+        merged: list[tuple[float, float]] = []
+        for e in evs:
+            if merged and e.start <= merged[-1][1] + 1e-12:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], e.end))
+            else:
+                merged.append((e.start, e.end))
+        return merged
+
+    def idle_intervals(
+        self,
+        device: int,
+        window: tuple[float, float],
+        kinds: set[str] | None = None,
+        min_duration: float = 0.0,
+    ) -> list[tuple[float, float]]:
+        """Gaps (bubbles) on one device within ``window``."""
+        w0, w1 = window
+        busy = self.busy_intervals(device, kinds)
+        idle: list[tuple[float, float]] = []
+        cursor = w0
+        for b0, b1 in busy:
+            if b1 <= w0 or b0 >= w1:
+                continue
+            b0c, b1c = max(b0, w0), min(b1, w1)
+            if b0c > cursor:
+                idle.append((cursor, b0c))
+            cursor = max(cursor, b1c)
+        if cursor < w1:
+            idle.append((cursor, w1))
+        return [(a, b) for a, b in idle if b - a > min_duration]
+
+    def verify_no_overlap(self, kinds: set[str] | None = None) -> None:
+        """Raise if any two events on the same device overlap.
+
+        Control/overhead events are excluded via ``kinds`` when they model
+        windows rather than exclusive occupancy.
+        """
+        for d in range(self.num_devices):
+            evs = self.device_events(d, kinds)
+            for prev, cur in zip(evs, evs[1:]):
+                if cur.start < prev.end - 1e-9:
+                    raise AssertionError(
+                        f"device {d}: {prev.label or prev.kind} "
+                        f"[{prev.start:.4f},{prev.end:.4f}] overlaps "
+                        f"{cur.label or cur.kind} [{cur.start:.4f},{cur.end:.4f}]"
+                    )
+
+    def window(self, t0: float, t1: float) -> "Timeline":
+        """Sub-timeline clipped to [t0, t1]."""
+        sub = Timeline(self.num_devices)
+        for e in self.events:
+            if e.end <= t0 or e.start >= t1:
+                continue
+            sub.add(TimelineEvent(e.device, e.kind, max(e.start, t0),
+                                  min(e.end, t1), e.label, e.meta))
+        return sub

@@ -1,0 +1,53 @@
+"""GPU-utilization metric (paper Appendix B.4).
+
+"The percentage of colored areas in each figure corresponds to the
+percentage of time that some kernel is being executed on the GPU, which we
+display as GPU utilization."
+
+Each work kind carries a *kernel density* — the fraction of its interval
+that is kernel-active.  Forward/backward work mixes GEMMs with many small
+kernels (density < 1); K-FAC curvature/inversion/precondition are dense
+back-to-back matmul/Cholesky kernels (density 1); allreduce interleaves
+communication kernels with waiting; host overhead has no kernels at all.
+"""
+
+from __future__ import annotations
+
+from repro.profiler.timeline import Timeline
+
+#: Default kernel-active fraction per work kind (see perfmodel.calibration).
+COLOR_DENSITY: dict[str, float] = {
+    "forward": 0.88,
+    "backward": 0.88,
+    "recompute": 0.88,
+    "curvature": 1.0,
+    "inversion": 1.0,
+    "precondition": 1.0,
+    "sync_grad": 0.75,
+    "sync_curv": 0.75,
+    "overhead": 0.0,
+}
+
+
+def colored_time(timeline: Timeline, density: dict[str, float] | None = None) -> float:
+    """Total kernel-active seconds across all devices."""
+    density = COLOR_DENSITY if density is None else density
+    total = 0.0
+    for e in timeline.events:
+        total += e.duration * density.get(e.kind, 1.0)
+    return total
+
+
+def utilization(
+    timeline: Timeline,
+    window: tuple[float, float] | None = None,
+    density: dict[str, float] | None = None,
+) -> float:
+    """Colored fraction of the (devices x window) area, in [0, 1]."""
+    if window is None:
+        window = timeline.span
+    t0, t1 = window
+    if t1 <= t0:
+        raise ValueError(f"empty window {window}")
+    sub = timeline.window(t0, t1)
+    return colored_time(sub, density) / (timeline.num_devices * (t1 - t0))

@@ -1,0 +1,54 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This package is the lowest substrate of the reproduction: the paper uses
+PyTorch autograd to obtain per-layer activations and error signals for
+K-FAC; here we provide the same capability from scratch on NumPy.
+
+Public API
+----------
+``Tensor``
+    The differentiable array type.
+``no_grad``
+    Context manager disabling tape recording.
+Functional ops are exposed from :mod:`repro.tensor.functional`.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import functional
+from repro.tensor.functional import (
+    add,
+    concatenate,
+    cross_entropy,
+    dropout,
+    embedding,
+    gelu,
+    layer_norm,
+    log_softmax,
+    matmul,
+    relu,
+    softmax,
+    tanh,
+    where,
+)
+from repro.tensor.gradcheck import gradcheck
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "add",
+    "concatenate",
+    "cross_entropy",
+    "dropout",
+    "embedding",
+    "gelu",
+    "layer_norm",
+    "log_softmax",
+    "matmul",
+    "relu",
+    "softmax",
+    "tanh",
+    "where",
+    "gradcheck",
+]

@@ -1,0 +1,437 @@
+"""The ``Tensor`` type: a NumPy array with a reverse-mode autodiff tape.
+
+The design follows the classic define-by-run approach (as in PyTorch or
+micrograd): every differentiable operation returns a new ``Tensor`` holding
+references to its parents and a closure that maps the output gradient to
+parent gradients.  Calling :meth:`Tensor.backward` topologically sorts the
+recorded graph and accumulates gradients into ``.grad``.
+
+All numerical work is vectorized NumPy; Python-level loops appear only over
+graph nodes, never over array elements.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+_state = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations are currently recorded on the tape."""
+    return getattr(_state, "grad_enabled", True)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables tape recording (like ``torch.no_grad``)."""
+    prev = is_grad_enabled()
+    _state.grad_enabled = False
+    try:
+        yield
+    finally:
+        _state.grad_enabled = prev
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over axes that were broadcast to reach ``grad.shape``.
+
+    NumPy broadcasting prepends singleton axes and stretches size-1 axes;
+    the vector-Jacobian product of broadcasting is summation over exactly
+    those axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over stretched singleton axes.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    arr = np.asarray(value, dtype=dtype)
+    if arr.dtype == np.float64 and dtype is None:
+        # Default to float32 for parity with the paper's fp32 training.
+        arr = arr.astype(np.float32)
+    return arr
+
+
+class Tensor:
+    """A differentiable multi-dimensional array.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to ``np.ndarray``. Float data defaults to
+        float32 (the paper trains in fp32 end to end; Appendix B.2).
+    requires_grad:
+        Whether gradients should be accumulated into this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        _parents: tuple["Tensor", ...] = (),
+        _backward: Callable[[np.ndarray], Sequence[np.ndarray | None]] | None = None,
+        name: str = "",
+    ) -> None:
+        self.data = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = _parents
+        self._backward = _backward
+        self.name = name
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=np.float32), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape: int, rng: np.random.Generator | None = None, scale: float = 1.0,
+              requires_grad: bool = False) -> "Tensor":
+        rng = rng if rng is not None else np.random.default_rng()
+        return Tensor(
+            (rng.standard_normal(shape) * scale).astype(np.float32),
+            requires_grad=requires_grad,
+        )
+
+    # -- basic properties ------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a view of the data cut off from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}{tag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # -- graph machinery -------------------------------------------------------
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], Sequence[np.ndarray | None]],
+    ) -> "Tensor":
+        """Create an op output, recording on the tape if grad is enabled."""
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        if requires:
+            return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
+        return Tensor(data)
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to 1 for scalar tensors.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                # Leaf: accumulate.
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+                continue
+            parent_grads = node._backward(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+            if node._parents and node is not self:
+                # Interior node gradients are transient unless retained.
+                pass
+        # Any leaves reached directly (no _backward) already accumulated above;
+        # handle leaves that received gradient but were the root itself.
+        if self._backward is None and self._parents == ():
+            self.grad = grad if self.grad is None else self.grad
+
+    # -- arithmetic ops --------------------------------------------------------
+
+    def _coerce(self, other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(_as_array(other, self.dtype))
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data + other.data
+        a_shape, b_shape = self.shape, other.shape
+
+        def backward(g: np.ndarray):
+            return _unbroadcast(g, a_shape), _unbroadcast(g, b_shape)
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        return Tensor._make(-self.data, (self,), lambda g: (-g,))
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+
+        def backward(g: np.ndarray):
+            return (
+                _unbroadcast(g * b.data, a.shape),
+                _unbroadcast(g * a.data, b.shape),
+            )
+
+        return Tensor._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+
+        def backward(g: np.ndarray):
+            return (
+                _unbroadcast(g / b.data, a.shape),
+                _unbroadcast(-g * a.data / (b.data * b.data), b.shape),
+            )
+
+        return Tensor._make(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data**exponent
+
+        def backward(g: np.ndarray):
+            return (g * exponent * self.data ** (exponent - 1),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+        out = a.data @ b.data
+
+        def backward(g: np.ndarray):
+            if b.data.ndim == 1:
+                ga = np.outer(g, b.data) if a.data.ndim > 1 else g * b.data
+                gb = a.data.T @ g if a.data.ndim > 1 else a.data * g
+                return _unbroadcast(ga, a.shape), _unbroadcast(gb, b.shape)
+            ga = g @ np.swapaxes(b.data, -1, -2)
+            gb = np.swapaxes(a.data, -1, -2) @ g
+            return _unbroadcast(ga, a.shape), _unbroadcast(gb, b.shape)
+
+        return Tensor._make(out, (self, other), backward)
+
+    # -- comparison (non-differentiable, returns plain arrays) -----------------
+
+    def __gt__(self, other):
+        return self.data > _as_array(other)
+
+    def __lt__(self, other):
+        return self.data < _as_array(other)
+
+    def __ge__(self, other):
+        return self.data >= _as_array(other)
+
+    def __le__(self, other):
+        return self.data <= _as_array(other)
+
+    # -- shape ops ------------------------------------------------------------
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        orig = self.shape
+        return Tensor._make(
+            self.data.reshape(shape), (self,), lambda g: (g.reshape(orig),)
+        )
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inv = np.argsort(axes)
+        return Tensor._make(
+            self.data.transpose(axes), (self,), lambda g: (g.transpose(inv),)
+        )
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        return Tensor._make(
+            np.swapaxes(self.data, a, b), (self,), lambda g: (np.swapaxes(g, a, b),)
+        )
+
+    def __getitem__(self, idx) -> "Tensor":
+        data = self.data[idx]
+        shape = self.shape
+        dtype = self.dtype
+
+        def backward(g: np.ndarray):
+            full = np.zeros(shape, dtype=dtype)
+            np.add.at(full, idx, g)
+            return (full,)
+
+        return Tensor._make(data, (self,), backward)
+
+    # -- reductions -----------------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.shape
+
+        def backward(g: np.ndarray):
+            if axis is None:
+                return (np.broadcast_to(g, shape).astype(self.dtype, copy=True),)
+            g_expanded = g
+            if not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                for ax in sorted(a % len(shape) for a in axes):
+                    g_expanded = np.expand_dims(g_expanded, ax)
+            return (np.broadcast_to(g_expanded, shape).astype(self.dtype, copy=True),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False):
+        """Non-differentiable max (used for numerics, not objectives)."""
+        return self.data.max(axis=axis, keepdims=keepdims)
+
+    # -- elementwise math -------------------------------------------------------
+
+    def exp(self) -> "Tensor":
+        out = np.exp(self.data)
+        return Tensor._make(out, (self,), lambda g: (g * out,))
+
+    def log(self) -> "Tensor":
+        return Tensor._make(np.log(self.data), (self,), lambda g: (g / self.data,))
+
+    def sqrt(self) -> "Tensor":
+        out = np.sqrt(self.data)
+        return Tensor._make(out, (self,), lambda g: (g * (0.5 / out),))
+
+    def tanh(self) -> "Tensor":
+        out = np.tanh(self.data)
+        return Tensor._make(out, (self,), lambda g: (g * (1.0 - out * out),))
+
+    # -- hooks -------------------------------------------------------------------
+
+    def with_grad_hook(self, hook: Callable[[np.ndarray], None]) -> "Tensor":
+        """Identity op that calls ``hook(grad)`` when gradient flows through.
+
+        This is the capture mechanism K-FAC uses to observe the error signal
+        e_l = dL/d(layer output) without modifying the layer computation
+        (the analogue of PyTorch's ``register_full_backward_hook``).
+        """
+
+        def backward(g: np.ndarray):
+            hook(g)
+            return (g,)
+
+        return Tensor._make(self.data, (self,), backward)
+
+
+def stack_tensors(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis (differentiable)."""
+    tensors = list(tensors)
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray):
+        pieces = np.split(g, len(tensors), axis=axis)
+        return tuple(np.squeeze(p, axis=axis) for p in pieces)
+
+    return Tensor._make(data, tuple(tensors), backward)

@@ -1,0 +1,20 @@
+"""Training harness: pretraining loops, convergence metrics, wall-clock
+simulation (the paper's Fig. 7 / Table 2 methodology)."""
+
+from repro.training.trainer import Trainer, TrainConfig
+from repro.training.convergence import (
+    LossCurve,
+    smooth_loss,
+    steps_to_target,
+)
+from repro.training.wallclock import simulated_minutes, time_to_target
+
+__all__ = [
+    "Trainer",
+    "TrainConfig",
+    "LossCurve",
+    "smooth_loss",
+    "steps_to_target",
+    "simulated_minutes",
+    "time_to_target",
+]

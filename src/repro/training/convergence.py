@@ -1,0 +1,69 @@
+"""Convergence metrics and the paper's loss smoothing.
+
+Fig. 7's curves are smoothed with
+``scipy.signal.filtfilt(*signal.butter(3, 0.05), y)`` (caption); the
+steps-to-target measurement uses the smoothed curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import signal
+
+
+def smooth_loss(losses: np.ndarray, order: int = 3, cutoff: float = 0.05) -> np.ndarray:
+    """Zero-phase Butterworth smoothing, exactly as in the Fig. 7 caption."""
+    losses = np.asarray(losses, dtype=np.float64)
+    # filtfilt needs a minimum signal length relative to the filter order.
+    min_len = 3 * (order + 1) * 3
+    if losses.size < min_len:
+        return losses.copy()
+    b, a = signal.butter(order, cutoff)
+    return signal.filtfilt(b, a, losses)
+
+
+def steps_to_target(
+    losses: np.ndarray,
+    target: float,
+    smooth: bool = True,
+    skip_initial: int = 0,
+) -> int | None:
+    """First step (1-based) at which the (smoothed) loss reaches ``target``.
+
+    ``skip_initial`` ignores early steps (the paper ignores "large
+    fluctuations around the 1,000th step").  Returns None if never reached.
+    """
+    y = smooth_loss(losses) if smooth else np.asarray(losses, dtype=np.float64)
+    for i in range(skip_initial, y.size):
+        if y[i] <= target:
+            return i + 1
+    return None
+
+
+@dataclass
+class LossCurve:
+    """A named training curve plus derived statistics."""
+
+    name: str
+    losses: np.ndarray
+    time_per_step_s: float | None = None
+
+    @property
+    def final_loss(self) -> float:
+        return float(smooth_loss(self.losses)[-1])
+
+    @property
+    def raw_final_loss(self) -> float:
+        return float(np.asarray(self.losses)[-1])
+
+    def steps_to(self, target: float, skip_initial: int = 0) -> int | None:
+        return steps_to_target(self.losses, target, skip_initial=skip_initial)
+
+    def minutes_to(self, target: float, skip_initial: int = 0) -> float | None:
+        """Simulated wall-clock minutes to reach ``target``."""
+        if self.time_per_step_s is None:
+            raise ValueError(f"curve {self.name} has no time_per_step")
+        s = self.steps_to(target, skip_initial=skip_initial)
+        return None if s is None else s * self.time_per_step_s / 60.0

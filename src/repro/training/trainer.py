@@ -1,0 +1,113 @@
+"""Pretraining loop for BERT with first-order or K-FAC optimizers.
+
+Follows Appendix B.2: gradient accumulation over micro-batches to form the
+mini-batch (the paper simulates an 8K batch on 32 GPUs by accumulating
+8 micro-batch gradients), global gradient clipping, and a per-step LR
+schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataloader import PretrainDataLoader
+from repro.kfac.kfac import KFAC
+from repro.models.bert import BertForPreTraining
+from repro.optim.base import Optimizer, clip_grad_norm
+from repro.optim.lr_scheduler import LRSchedule
+
+
+@dataclass
+class TrainConfig:
+    """Loop hyperparameters."""
+
+    batch_size: int = 32
+    grad_accumulation: int = 1
+    clip_norm: float | None = 1.0
+    log_every: int = 10
+
+
+@dataclass
+class TrainState:
+    """Mutable loop state exposed to callers."""
+
+    step: int = 0
+    losses: list[float] = field(default_factory=list)
+    mlm_losses: list[float] = field(default_factory=list)
+    lrs: list[float] = field(default_factory=list)
+
+
+class Trainer:
+    """Drives pretraining of a :class:`BertForPreTraining` model.
+
+    The optimizer may be a plain :class:`Optimizer` (NVLAMB baseline) or a
+    :class:`KFAC` wrapper (the paper's K-FAC runs); the loop is identical —
+    which is the point of PipeFisher: preconditioning is the only extra
+    per-step work.
+    """
+
+    def __init__(
+        self,
+        model: BertForPreTraining,
+        optimizer: Optimizer | KFAC,
+        data: PretrainDataLoader,
+        schedule: LRSchedule | None = None,
+        config: TrainConfig | None = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.data = data
+        self.schedule = schedule
+        self.config = config or TrainConfig()
+        self.state = TrainState()
+        self._params = list(model.parameters())
+
+    def train_step(self) -> float:
+        """One optimization step (with gradient accumulation). Returns loss."""
+        cfg = self.config
+        self.optimizer.zero_grad()
+        step_loss = 0.0
+        step_mlm = 0.0
+        for _ in range(cfg.grad_accumulation):
+            batch = self.data.next_batch(cfg.batch_size)
+            loss, metrics = self.model.loss(
+                batch.input_ids,
+                batch.mlm_labels,
+                batch.nsp_labels,
+                token_type_ids=batch.token_type_ids,
+                attention_mask=batch.attention_mask,
+            )
+            scaled = loss * (1.0 / cfg.grad_accumulation)
+            scaled.backward()
+            step_loss += metrics["loss"] / cfg.grad_accumulation
+            step_mlm += metrics["mlm_loss"] / cfg.grad_accumulation
+
+        if cfg.clip_norm is not None:
+            clip_grad_norm(self._params, cfg.clip_norm)
+        if self.schedule is not None:
+            lr = self.schedule.step()
+            self.optimizer.lr = lr
+        else:
+            lr = self.optimizer.lr
+        self.optimizer.step()
+
+        st = self.state
+        st.step += 1
+        st.losses.append(step_loss)
+        st.mlm_losses.append(step_mlm)
+        st.lrs.append(lr)
+        return step_loss
+
+    def train(self, steps: int, verbose: bool = False) -> TrainState:
+        """Run ``steps`` optimization steps."""
+        for _ in range(steps):
+            loss = self.train_step()
+            if verbose and self.state.step % self.config.log_every == 0:
+                print(f"step {self.state.step:5d}  loss {loss:.4f}")
+        return self.state
+
+    @property
+    def losses(self) -> np.ndarray:
+        return np.asarray(self.state.losses)

@@ -1,0 +1,23 @@
+"""Simulated wall-clock accounting (the paper's §4 / Table 2 methodology).
+
+"we simulate the time by multiplying the measured time per step by the
+total number of steps" — our time-per-step comes from the pipeline
+simulator instead of a physical cluster.
+"""
+
+from __future__ import annotations
+
+
+def simulated_minutes(steps: int, time_per_step_s: float) -> float:
+    """Total simulated training time in minutes."""
+    if steps < 0 or time_per_step_s < 0:
+        raise ValueError("steps and time_per_step_s must be non-negative")
+    return steps * time_per_step_s / 60.0
+
+
+def time_to_target(
+    steps_to_target: int,
+    time_per_step_s: float,
+) -> float:
+    """Minutes for a run to reach a loss target given its step time."""
+    return simulated_minutes(steps_to_target, time_per_step_s)

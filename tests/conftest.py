@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import CorpusConfig
+from repro.data.dataloader import PretrainDataLoader
+from repro.models.bert import BertConfig, BertForPreTraining
+from repro.perfmodel.arch import BERT_BASE
+from repro.perfmodel.calibration import host_overhead
+from repro.perfmodel.costs import compute_stage_costs
+from repro.perfmodel.hardware import P100
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> BertConfig:
+    return BertConfig.tiny(vocab_size=128, max_position_embeddings=32)
+
+
+@pytest.fixture
+def tiny_model(tiny_config) -> BertForPreTraining:
+    return BertForPreTraining(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_loader() -> PretrainDataLoader:
+    return PretrainDataLoader(
+        vocab_size=200,
+        seq_len=32,
+        num_documents=60,
+        corpus_config=CorpusConfig(seed=3, num_word_types=400),
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def base_stage_costs():
+    """BERT-Base 3-layer stage costs at B_micro=32 on P100 (the Fig. 3 unit)."""
+    return compute_stage_costs(
+        BERT_BASE, P100, 32, layers_per_stage=3, overhead_s=host_overhead("gpipe")
+    )
+
+
+def make_batch(rng: np.random.Generator, batch: int = 4, seq: int = 16,
+               vocab: int = 128):
+    """Random pretraining inputs for the tiny model."""
+    ids = rng.integers(5, vocab, (batch, seq))
+    mlm = np.full((batch, seq), -100, dtype=np.int64)
+    positions = rng.integers(1, seq, batch)
+    for i, p in enumerate(positions):
+        mlm[i, p] = ids[i, p]
+    nsp = rng.integers(0, 2, batch)
+    return ids, mlm, nsp

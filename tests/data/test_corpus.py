@@ -1,0 +1,81 @@
+"""Synthetic corpus: determinism, structure, language statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data import CorpusConfig, SyntheticCorpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus(CorpusConfig(seed=1, num_word_types=500))
+
+
+class TestDeterminism:
+    def test_same_seed_same_language(self):
+        a = SyntheticCorpus(CorpusConfig(seed=5))
+        b = SyntheticCorpus(CorpusConfig(seed=5))
+        assert a.words == b.words
+        np.testing.assert_array_equal(a.successors, b.successors)
+
+    def test_different_seed_different_language(self):
+        a = SyntheticCorpus(CorpusConfig(seed=5, num_word_types=200))
+        b = SyntheticCorpus(CorpusConfig(seed=6, num_word_types=200))
+        assert a.words != b.words
+
+    def test_documents_deterministic(self, corpus):
+        d1 = corpus.documents(5, seed=9)
+        d2 = corpus.documents(5, seed=9)
+        assert d1 == d2
+
+
+class TestStructure:
+    def test_vocabulary_size(self, corpus):
+        assert len(corpus.words) == 500
+        assert len(set(corpus.words)) == 500
+
+    def test_document_shape(self, corpus):
+        docs = corpus.documents(10, seed=2)
+        assert len(docs) == 10
+        for doc in docs:
+            assert len(doc) >= 2
+            for sent in doc:
+                assert len(sent) >= 2
+                assert all(isinstance(w, str) for w in sent)
+
+    def test_text_format(self, corpus):
+        text = corpus.text(3, seed=2)
+        assert "\n\n" in text  # document separator
+        assert len(text.split()) > 10
+
+    def test_minimum_vocab_enforced(self):
+        with pytest.raises(ValueError):
+            SyntheticCorpus(CorpusConfig(num_word_types=5))
+
+
+class TestLanguageStatistics:
+    def test_unigram_is_zipfian(self, corpus):
+        u = corpus.unigram
+        assert u[0] > u[10] > u[100]
+        assert u.sum() == pytest.approx(1.0)
+
+    def test_generated_frequencies_follow_zipf(self, corpus):
+        text = corpus.text(300, seed=4)
+        from collections import Counter
+
+        counts = Counter(text.split())
+        freqs = np.array(sorted(counts.values(), reverse=True), dtype=float)
+        # Top word much more frequent than the 50th.
+        assert freqs[0] > 5 * freqs[min(50, len(freqs) - 1)]
+
+    def test_bigram_structure_predictive(self, corpus):
+        """Successors are a small subset: the bigram entropy is far below
+        the unigram entropy, which is what makes MLM learnable."""
+        assert corpus.successors.shape[1] == corpus.config.branching
+        assert corpus.config.branching < corpus.config.num_word_types / 10
+
+    def test_short_words_common(self, corpus):
+        """Zipf's law of abbreviation: frequent words are shorter."""
+        top = np.mean([len(w) for w in corpus.words[:50]])
+        tail = np.mean([len(w) for w in corpus.words[-100:]])
+        assert top < tail

@@ -1,0 +1,105 @@
+"""MLM masking and NSP example construction."""
+
+import numpy as np
+import pytest
+
+from repro.data import MLMExampleBuilder, PretrainDataLoader
+from repro.nn.losses import IGNORE_INDEX
+
+
+@pytest.fixture(scope="module")
+def loader():
+    return PretrainDataLoader(vocab_size=200, seq_len=32, num_documents=80, seed=11)
+
+
+@pytest.fixture
+def builder(loader):
+    return MLMExampleBuilder(loader.tokenizer, seq_len=32, seed=0)
+
+
+class TestExampleStructure:
+    def test_cls_first(self, builder, loader):
+        ids, types, attn, labels = builder.build_example([10, 11], [12, 13], False)
+        assert ids[0] == builder.cls_id
+
+    def test_sep_separates_segments(self, builder):
+        ids, types, attn, labels = builder.build_example([10, 11], [12, 13], False)
+        n = int(attn.sum())
+        assert ids[n - 1] == builder.sep_id
+        assert (ids[:n] == builder.sep_id).sum() == 2
+
+    def test_segment_ids(self, builder):
+        ids, types, attn, labels = builder.build_example([10, 11, 12], [13, 14], False)
+        # Segment A (incl [CLS] and first [SEP]) has type 0; B has type 1.
+        assert types[0] == 0 and types[4] == 0
+        assert types[5] == 1
+
+    def test_padding_after_content(self, builder):
+        ids, types, attn, labels = builder.build_example([10], [11], False)
+        n = int(attn.sum())
+        assert (ids[n:] == builder.pad_id).all()
+        assert (attn[n:] == 0).all()
+
+    def test_long_pair_truncated(self, builder):
+        a = list(range(10, 60))
+        b = list(range(60, 100))
+        ids, types, attn, labels = builder.build_example(a, b, False)
+        assert int(attn.sum()) == 32
+
+
+class TestMasking:
+    def test_mask_rate_about_15_percent(self, builder):
+        rng = np.random.default_rng(0)
+        rates = []
+        for _ in range(50):
+            a = list(rng.integers(10, 150, 12))
+            b = list(rng.integers(10, 150, 12))
+            ids, types, attn, labels = builder.build_example(a, b, False)
+            real = int(attn.sum()) - 3  # minus specials
+            rates.append((labels != IGNORE_INDEX).sum() / real)
+        assert 0.10 < np.mean(rates) < 0.20
+
+    def test_specials_never_masked(self, builder):
+        for seed in range(20):
+            a, b = [10, 11, 12], [13, 14, 15]
+            ids, types, attn, labels = builder.build_example(a, b, False)
+            n = int(attn.sum())
+            assert labels[0] == IGNORE_INDEX  # [CLS]
+            assert labels[n - 1] == IGNORE_INDEX  # final [SEP]
+
+    def test_labels_hold_original_ids(self, builder):
+        a, b = [10, 11, 12, 13], [14, 15, 16, 17]
+        ids, types, attn, labels = builder.build_example(a, b, False)
+        seq = [builder.cls_id, *a, builder.sep_id, *b, builder.sep_id]
+        for pos in np.nonzero(labels != IGNORE_INDEX)[0]:
+            assert labels[pos] == seq[pos]
+
+    def test_invalid_mask_prob(self, loader):
+        with pytest.raises(ValueError):
+            MLMExampleBuilder(loader.tokenizer, mask_prob=0.0)
+
+
+class TestBatches:
+    def test_batch_shapes(self, loader):
+        b = loader.next_batch(8)
+        assert b.input_ids.shape == (8, 32)
+        assert b.nsp_labels.shape == (8,)
+        assert len(b) == 8
+
+    def test_nsp_roughly_balanced(self, loader):
+        labels = np.concatenate([loader.next_batch(32).nsp_labels for _ in range(8)])
+        rate = labels.mean()
+        assert 0.3 < rate < 0.7
+
+    def test_ids_within_vocab(self, loader):
+        b = loader.next_batch(16)
+        assert b.input_ids.max() < loader.vocab_size
+        assert b.input_ids.min() >= 0
+
+    def test_every_example_has_masked_positions(self, loader):
+        b = loader.next_batch(16)
+        assert ((b.mlm_labels != IGNORE_INDEX).sum(axis=1) >= 1).all()
+
+    def test_empty_documents_rejected(self, builder):
+        with pytest.raises(ValueError):
+            builder.build_batch([], 4)

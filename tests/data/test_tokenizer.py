@@ -1,0 +1,68 @@
+"""WordPiece tokenizer: training, encoding, decoding."""
+
+import pytest
+
+from repro.data import SPECIAL_TOKENS, WordPieceTokenizer
+
+
+@pytest.fixture(scope="module")
+def tok():
+    t = WordPieceTokenizer()
+    text = " ".join(
+        ["banana apple grape"] * 50 + ["bananas apples grapes"] * 20
+        + ["pineapple grapefruit"] * 10
+    )
+    t.train(text, vocab_size=120)
+    return t
+
+
+class TestTraining:
+    def test_special_tokens_fixed_ids(self, tok):
+        for name, idx in SPECIAL_TOKENS.items():
+            assert tok.vocab[name] == idx
+
+    def test_vocab_size_capped(self, tok):
+        assert tok.vocab_size <= 120
+
+    def test_vocab_size_too_small_raises(self):
+        with pytest.raises(ValueError):
+            WordPieceTokenizer().train("a b c", vocab_size=5)
+
+    def test_frequent_words_become_single_pieces(self, tok):
+        assert len(tok.tokenize_word("banana")) <= 2
+
+
+class TestEncoding:
+    def test_roundtrip_known_words(self, tok):
+        text = "banana apple grape"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_subword_continuation_prefix(self, tok):
+        pieces = tok.tokenize_word("bananas")
+        if len(pieces) > 1:
+            assert all(p.startswith("##") for p in pieces[1:])
+            assert not pieces[0].startswith("##")
+
+    def test_unknown_chars_unk(self, tok):
+        assert tok.tokenize_word("xyzzy123") == ["[UNK]"] or all(
+            p in tok.vocab for p in tok.tokenize_word("xyzzy123")
+        )
+
+    def test_encode_returns_valid_ids(self, tok):
+        ids = tok.encode("banana apples pineapple")
+        assert all(0 <= i < tok.vocab_size for i in ids)
+
+    def test_decode_handles_unk(self, tok):
+        assert "[UNK]" in tok.decode([SPECIAL_TOKENS["[UNK]"]])
+
+    def test_empty_text(self, tok):
+        assert tok.encode("") == []
+
+
+class TestLongestMatch:
+    def test_greedy_longest_first(self):
+        t = WordPieceTokenizer()
+        t.train("abc abc abc ab ab a b c", vocab_size=30)
+        # 'abc' merged as a piece: whole-word match preferred over chars.
+        pieces = t.tokenize_word("abc")
+        assert len(pieces) <= 2

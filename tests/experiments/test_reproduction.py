@@ -1,0 +1,174 @@
+"""Reproduction invariants: measured values near the paper's.
+
+These are the repository's acceptance tests — each figure's *shape* claims
+(who wins, rough factors, orderings) asserted with tolerances.  The heavy
+convergence run (Fig. 7) lives in benchmarks/, not here.
+"""
+
+import pytest
+
+from repro.experiments import (
+    FIG3_PAPER,
+    FIG4_PAPER,
+    TABLE2_PAPER,
+    run_fig1,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig8,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.perfmodel_figs import run_fig6_sweep, run_fig9_10
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_fig3()
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_fig4()
+
+
+class TestFig1:
+    def test_schematic_structure(self):
+        r = run_fig1(width=60)
+        assert "GPU  1" in r.gpipe_art
+        # PipeFisher art contains curvature/inversion glyphs; GPipe does not.
+        assert "c" in r.pipefisher_art and "i" in r.pipefisher_art
+        assert "c" not in r.gpipe_art.replace("legend", "").split("\n")[0]
+
+
+class TestFig3:
+    def test_baseline_utilizations_close(self, fig3):
+        m = fig3.utilizations()
+        for key in ("gpipe_baseline", "1f1b_baseline"):
+            assert m[key] == pytest.approx(FIG3_PAPER[key], abs=0.05)
+
+    def test_pipefisher_utilizations_close(self, fig3):
+        m = fig3.utilizations()
+        for key in ("gpipe_pipefisher", "1f1b_pipefisher"):
+            assert m[key] == pytest.approx(FIG3_PAPER[key], abs=0.07)
+
+    def test_dp_variant_close(self, fig3):
+        m = fig3.utilizations()
+        for key in ("gpipe_pipefisher_dp", "1f1b_pipefisher_dp"):
+            assert m[key] == pytest.approx(FIG3_PAPER[key], abs=0.07)
+
+    def test_dp_slightly_below_plain_pipefisher(self, fig3):
+        """Paper: 86.2% (dp) < 89.0% (plain) for GPipe."""
+        m = fig3.utilizations()
+        assert m["gpipe_pipefisher_dp"] < m["gpipe_pipefisher"]
+
+    def test_refresh_within_two_steps(self, fig3):
+        for sched in ("gpipe", "1f1b"):
+            assert fig3.panels[sched].refresh_steps <= FIG3_PAPER["max_refresh_steps"]
+
+
+class TestFig4:
+    def test_baseline_utilization(self, fig4):
+        assert fig4.report.baseline_utilization == pytest.approx(
+            FIG4_PAPER["baseline_utilization"], abs=0.06
+        )
+
+    def test_pipefisher_utilization_high(self, fig4):
+        """Paper 97.6%; we accept >= 85% (shape: near-full utilization)."""
+        assert fig4.report.pipefisher_utilization > 0.85
+
+    def test_step_times_near_paper(self, fig4):
+        assert fig4.report.baseline_step_time == pytest.approx(
+            FIG4_PAPER["baseline_step_time_s"], rel=0.15
+        )
+        assert fig4.report.pipefisher_step_time == pytest.approx(
+            FIG4_PAPER["pipefisher_step_time_s"], rel=0.15
+        )
+
+    def test_refresh_in_paper_range(self, fig4):
+        lo, hi = FIG4_PAPER["refresh_steps_range"]
+        assert lo <= fig4.report.refresh_steps <= hi + 1
+
+
+class TestFig5:
+    def test_grid_complete(self):
+        fig = run_fig5()
+        assert len(fig.grid) == 9
+
+    def test_ratio_series_shape(self):
+        fig = run_fig5(b_micro_values=(8, 32), depth_values=(4, 8, 16))
+        # Ratio falls with depth at fixed B (paper Fig. 5b bottom).
+        for b in (8, 32):
+            series = [fig.grid[(b, d)].ratio for d in (4, 8, 16)]
+            assert series == sorted(series, reverse=True)
+
+
+class TestFig6:
+    def test_sweep_structure(self):
+        out = run_fig6_sweep(b_micro_values=(8, 32), depth_values=(8,),
+                             hardware_names=("P100", "V100"),
+                             n_micro_factors=(1, 2))
+        assert set(out) == {("P100", 1), ("P100", 2), ("V100", 1), ("V100", 2)}
+
+    def test_throughput_vs_kfac_skip_above_one(self):
+        out = run_fig6_sweep(b_micro_values=(32,), depth_values=(8,),
+                             hardware_names=("P100",), n_micro_factors=(1,))
+        r = out[("P100", 1)].grid[(32, 8)]
+        assert r.speedup_vs_kfac_skip > 1.0
+
+
+class TestFig9_10:
+    def test_chimera_vs_gpipe_tradeoff(self):
+        """Paper: Chimera consistently higher throughput but less frequent
+        curvature refresh (higher ratio of work to bubble)."""
+        g = run_fig9_10("BERT-Base", "gpipe", b_micro_values=(32,),
+                        depth_values=(8,)).grid[(32, 8)]
+        c = run_fig9_10("BERT-Base", "chimera", b_micro_values=(32,),
+                        depth_values=(8,)).grid[(32, 8)]
+        assert c.throughput_pipeline > g.throughput_pipeline
+        assert c.ratio > g.ratio
+
+    def test_bert_large_scales_down_throughput(self):
+        b = run_fig9_10("BERT-Base", "chimera", b_micro_values=(32,),
+                        depth_values=(8,)).grid[(32, 8)]
+        l = run_fig9_10("BERT-Large", "chimera", b_micro_values=(32,),
+                        depth_values=(8,)).grid[(32, 8)]
+        assert l.throughput_pipeline < b.throughput_pipeline
+
+
+class TestFig8:
+    def test_crossover_near_2000(self):
+        r = run_fig8()
+        assert 1500 < r.crossover_step <= 2000
+
+    def test_peaks(self):
+        r = run_fig8()
+        assert r.kfac_lr.max() == pytest.approx(6e-3, rel=1e-6)
+        assert int(r.kfac_lr.argmax()) + 1 == 600
+        assert int(r.nvlamb_lr.argmax()) + 1 == 2000
+
+
+class TestTable2:
+    def test_time_fraction_near_paper(self):
+        r = run_table2()
+        assert r.time_fraction == pytest.approx(TABLE2_PAPER["time_fraction"],
+                                                abs=0.05)
+
+    def test_minutes_magnitudes(self):
+        r = run_table2()
+        assert r.nvlamb_minutes == pytest.approx(TABLE2_PAPER["nvlamb_minutes"],
+                                                 rel=0.15)
+        assert r.kfac_minutes == pytest.approx(TABLE2_PAPER["kfac_minutes"],
+                                               rel=0.15)
+
+    def test_step_overhead_small(self):
+        """Paper: ~6.5% per-step overhead from preconditioning."""
+        r = run_table2()
+        assert 0.0 < r.step_overhead < 0.10
+
+
+class TestTable3:
+    def test_exact_match(self):
+        r = run_table3()
+        assert r.matches_paper
+        assert r.runnable_blocks

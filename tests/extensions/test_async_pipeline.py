@@ -1,0 +1,80 @@
+"""Asynchronous pipeline (Appendix C.1): throughput vs staleness."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import AsyncOneFOneBSchedule, stale_gradient_descent
+from repro.perfmodel.costs import StageCosts, WorkCosts
+from repro.pipeline import OneFOneBSchedule, PipelineConfig, simulate_tasks
+from repro.profiler import utilization
+
+
+def config(overhead=0.0):
+    block = WorkCosts(t_fwd=1.0, t_bwd=2.0, t_curv_a=0.1, t_curv_b=0.1,
+                      t_inv=0.3, t_prec=0.05)
+    costs = StageCosts(block=block, layers_per_stage=1, t_overhead=overhead,
+                       kernel_density=1.0)
+    return PipelineConfig(depth=4, n_micro=4, costs=costs)
+
+
+class TestAsyncSchedule:
+    def test_steady_state_faster_than_sync(self):
+        """Without the flush, k steps take far less than k * sync-span."""
+        steps = 6
+        sync = OneFOneBSchedule(config())
+        sync_res = simulate_tasks(sync.build(steps=steps), sync.num_devices)
+        async_b = AsyncOneFOneBSchedule(config())
+        async_res = simulate_tasks(async_b.build(steps=steps), async_b.num_devices)
+        assert async_res.makespan < 0.85 * sync_res.makespan
+
+    def test_bubbles_nearly_eliminated(self):
+        """'Pipeline bubbles are almost non-existent in asynchronous
+        pipelines' — steady-state utilization approaches 100%."""
+        async_b = AsyncOneFOneBSchedule(config())
+        res = simulate_tasks(async_b.build(steps=8), async_b.num_devices)
+        # Measure utilization over the steady-state middle.
+        t0, t1 = res.makespan * 0.3, res.makespan * 0.8
+        u = utilization(res.timeline, (t0, t1))
+        assert u > 0.85
+
+    def test_weight_version_dependency(self):
+        """Step k+1's forward of (m, s) waits for step k's backward of
+        (m, s) — the PipeDream weight-version rule."""
+        async_b = AsyncOneFOneBSchedule(config())
+        res = simulate_tasks(async_b.build(steps=3), async_b.num_devices)
+        for k in (1, 2):
+            for m in range(4):
+                for s in range(4):
+                    f = res.start_times[f"F.{k}.0.{m}.{s}"]
+                    b = res.end_times[f"B.{k - 1}.0.{m}.{s}"]
+                    assert f >= b - 1e-9
+
+    def test_sync_semantics_unchanged_for_one_step(self):
+        sync = OneFOneBSchedule(config())
+        asyn = AsyncOneFOneBSchedule(config())
+        s1 = simulate_tasks(sync.build(steps=1), sync.num_devices)
+        a1 = simulate_tasks(asyn.build(steps=1), asyn.num_devices)
+        # One async step has no flush/overhead tail, otherwise same span.
+        assert a1.makespan <= s1.makespan
+
+
+class TestStaleGradients:
+    def test_fresh_converges(self):
+        losses = stale_gradient_descent(staleness=0)
+        assert losses[-1] < 1e-2 * losses[0]
+
+    def test_moderate_staleness_slower(self):
+        fresh = stale_gradient_descent(staleness=0, steps=120)
+        stale = stale_gradient_descent(staleness=6, steps=120)
+        # Compare area under the loss curve: staleness delays progress.
+        assert stale.sum() > fresh.sum()
+
+    def test_large_staleness_diverges(self):
+        """The convergence cost async pipelines pay (why the paper fills
+        bubbles with K-FAC work instead)."""
+        losses = stale_gradient_descent(staleness=16)
+        assert losses[-1] > losses[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stale_gradient_descent(staleness=-1)

@@ -1,0 +1,130 @@
+"""Shampoo optimizer and its bubble-work inventory (paper §5)."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import Shampoo, build_shampoo_queues
+from repro.extensions.shampoo import EIG_OVER_CHOLESKY, matrix_inverse_root
+from repro.nn.module import Parameter
+from repro.perfmodel.costs import StageCosts, WorkCosts
+from repro.pipeline import GPipeSchedule, PipelineConfig
+
+
+class TestMatrixInverseRoot:
+    def test_identity(self):
+        out = matrix_inverse_root(np.eye(3, dtype=np.float32), 4, 0.0)
+        np.testing.assert_allclose(out, np.eye(3), atol=1e-5)
+
+    def test_diagonal_known_value(self):
+        m = np.diag([16.0, 1.0]).astype(np.float32)
+        out = matrix_inverse_root(m, 4, 0.0)
+        np.testing.assert_allclose(np.diag(out), [0.5, 1.0], rtol=1e-5)
+
+    def test_root_two_is_inverse_sqrt(self):
+        m = np.diag([4.0]).astype(np.float32)
+        assert matrix_inverse_root(m, 2, 0.0)[0, 0] == pytest.approx(0.5)
+
+    def test_invalid_root(self):
+        with pytest.raises(ValueError):
+            matrix_inverse_root(np.eye(2), 0, 0.0)
+
+    def test_degenerate_matrix_damped(self):
+        out = matrix_inverse_root(np.zeros((3, 3), dtype=np.float32), 4, 1.0)
+        assert np.isfinite(out).all()
+
+
+class TestShampooOptimizer:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.full((3, 4), 5.0, dtype=np.float32))
+        opt = Shampoo([p], lr=0.5)
+        for _ in range(80):
+            p.grad = p.data.copy()
+            opt.step()
+        assert float(np.abs(p.data).max()) < 1.0
+
+    def test_vector_params_adagrad_path(self):
+        p = Parameter(np.full(4, 5.0, dtype=np.float32))
+        opt = Shampoo([p], lr=0.5, momentum=0.0)
+        for _ in range(60):
+            p.grad = p.data.copy()
+            opt.step()
+        assert float(np.abs(p.data).max()) < 2.0
+
+    def test_update_interval_amortizes_roots(self):
+        p = Parameter(np.ones((2, 2), dtype=np.float32))
+        opt = Shampoo([p], lr=0.1, update_interval=5)
+        p.grad = np.ones((2, 2), dtype=np.float32)
+        opt.step()
+        root_after_first = opt.state[0]["L_root"].copy()
+        for _ in range(3):
+            p.grad = np.ones((2, 2), dtype=np.float32)
+            opt.step()
+        # Roots unchanged between refreshes (L itself keeps accumulating).
+        np.testing.assert_array_equal(opt.state[0]["L_root"], root_after_first)
+
+    def test_preconditioner_equalizes_scales(self):
+        """Shampoo shrinks high-variance directions relative to plain SGD."""
+        rng = np.random.default_rng(0)
+        p = Parameter(np.zeros((2, 2), dtype=np.float32))
+        opt = Shampoo([p], lr=1.0, momentum=0.0)
+        for _ in range(50):
+            g = rng.standard_normal((2, 2)).astype(np.float32)
+            g[0] *= 100.0  # row 0 has huge gradients
+            p.grad = g
+            opt.step()
+        # Updates in both rows end up comparable (within ~101x raw scale gap).
+        assert float(np.abs(p.data[0]).mean()) < 10 * float(np.abs(p.data[1]).mean())
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            Shampoo([Parameter(np.zeros(1))], update_interval=0)
+
+
+class TestShampooBubbleWork:
+    def _builder(self):
+        block = WorkCosts(t_fwd=1.0, t_bwd=2.0, t_curv_a=0.2, t_curv_b=0.2,
+                          t_inv=0.6, t_prec=0.05)
+        costs = StageCosts(block=block, layers_per_stage=2, t_overhead=0.5,
+                           kernel_density=1.0)
+        cfg = PipelineConfig(depth=4, n_micro=4, costs=costs, precondition=True)
+        return GPipeSchedule(cfg), costs
+
+    def test_inventory_counts(self):
+        b, costs = self._builder()
+        queues = build_shampoo_queues(b, costs)
+        q = queues[0]
+        stats = [i for i in q.items if i.kind == "curvature"]
+        eigs = [i for i in q.items if i.kind == "inversion"]
+        assert len(stats) == 4 * 2 * 2  # micro-batches * layers * {L, R}
+        assert len(eigs) == 2 * 2
+
+    def test_eig_items_cost_more_than_cholesky(self):
+        b, costs = self._builder()
+        q = build_shampoo_queues(b, costs)[0]
+        eig = next(i for i in q.items if i.kind == "inversion")
+        assert eig.duration == pytest.approx(
+            costs.block.t_inv / 2 * EIG_OVER_CHOLESKY
+        )
+
+    def test_statistics_wait_for_backward(self):
+        b, costs = self._builder()
+        q = build_shampoo_queues(b, costs)[0]
+        for item in q.items:
+            if item.kind == "curvature":
+                assert item.trigger[0] == "backward"
+
+    def test_assignable_into_bubbles(self):
+        """The paper's §5 point: eig work must be split to fit bubbles."""
+        from repro.pipefisher import BubbleFiller
+        from repro.pipeline import simulate_tasks
+
+        b, costs = self._builder()
+        template = simulate_tasks(b.build(), b.num_devices)
+        queues = build_shampoo_queues(b, costs)
+        result = BubbleFiller(template, queues).fill()
+        assert result.refresh_steps >= 1
+        eig_items = [i for q in queues.values() for i in q.items
+                     if i.kind == "inversion"]
+        assert all(i.assigned for i in eig_items)
+        # At least one eigendecomposition had to split across bubbles.
+        assert any(len(i.segments) > 1 for i in eig_items)

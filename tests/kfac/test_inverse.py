@@ -1,0 +1,86 @@
+"""Damped Cholesky inversion and pi-corrected damping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kfac import damped_cholesky_inverse, pi_damping
+
+
+def random_psd(d, seed=0, rank=None):
+    rng = np.random.default_rng(seed)
+    u = rng.standard_normal((d, rank or d))
+    return (u @ u.T).astype(np.float32)
+
+
+class TestDampedInverse:
+    def test_inverse_of_identity(self):
+        inv = damped_cholesky_inverse(np.eye(3, dtype=np.float32), 0.0)
+        np.testing.assert_allclose(inv, np.eye(3), atol=1e-6)
+
+    def test_matches_numpy_inverse(self):
+        m = random_psd(5, 1) + np.eye(5, dtype=np.float32)
+        inv = damped_cholesky_inverse(m, 0.0)
+        np.testing.assert_allclose(inv, np.linalg.inv(m.astype(np.float64)),
+                                    rtol=1e-4)
+
+    def test_damping_added(self):
+        m = np.zeros((3, 3), dtype=np.float32)
+        inv = damped_cholesky_inverse(m, 0.5)
+        np.testing.assert_allclose(inv, np.eye(3) / 0.5, rtol=1e-5)
+
+    def test_singular_matrix_needs_damping(self):
+        m = random_psd(6, 2, rank=2)  # rank-deficient
+        inv = damped_cholesky_inverse(m, 1e-2)
+        assert np.isfinite(inv).all()
+        product = (m + 1e-2 * np.eye(6)) @ inv
+        np.testing.assert_allclose(product, np.eye(6), atol=1e-3)
+
+    def test_negative_damping_raises(self):
+        with pytest.raises(ValueError):
+            damped_cholesky_inverse(np.eye(2, dtype=np.float32), -1.0)
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            damped_cholesky_inverse(np.zeros((2, 3), dtype=np.float32), 0.1)
+
+    def test_result_symmetric(self):
+        m = random_psd(4, 3) + np.eye(4, dtype=np.float32)
+        inv = damped_cholesky_inverse(m, 0.1)
+        np.testing.assert_allclose(inv, inv.T, atol=1e-6)
+
+
+class TestPiDamping:
+    def test_product_preserved(self):
+        """damping_A * damping_B == overall damping (Martens & Grosse §6.2)."""
+        a = random_psd(4, 1) + np.eye(4, dtype=np.float32)
+        b = random_psd(6, 2) + np.eye(6, dtype=np.float32)
+        da, db = pi_damping(a, b, 0.03)
+        assert da * db == pytest.approx(0.03, rel=1e-6)
+
+    def test_balanced_for_equal_traces(self):
+        da, db = pi_damping(np.eye(3), np.eye(5), 0.04)
+        assert da == pytest.approx(db)
+        assert da == pytest.approx(np.sqrt(0.04))
+
+    def test_larger_factor_gets_more_damping(self):
+        a = np.eye(3, dtype=np.float32) * 100.0
+        b = np.eye(3, dtype=np.float32)
+        da, db = pi_damping(a, b, 0.01)
+        assert da > db
+
+    def test_degenerate_traces_fall_back(self):
+        da, db = pi_damping(np.zeros((2, 2)), np.eye(2), 0.04)
+        assert da == pytest.approx(np.sqrt(0.04))
+        assert db == pytest.approx(np.sqrt(0.04))
+
+
+@settings(max_examples=25, deadline=None)
+@given(d=st.integers(1, 8), seed=st.integers(0, 500),
+       damping=st.floats(1e-4, 1.0))
+def test_inverse_property(d, seed, damping):
+    """Property: (M + damping I) @ damped_inverse(M) ~ I for any PSD M."""
+    m = random_psd(d, seed)
+    inv = damped_cholesky_inverse(m, damping)
+    product = (m.astype(np.float64) + damping * np.eye(d)) @ inv.astype(np.float64)
+    np.testing.assert_allclose(product, np.eye(d), atol=5e-3)

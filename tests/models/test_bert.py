@@ -1,0 +1,100 @@
+"""BertForPreTraining: structure, forward, loss, weight tying."""
+
+import numpy as np
+import pytest
+
+from repro.models import BertConfig, BertForPreTraining
+from tests.conftest import make_batch
+
+
+class TestConfig:
+    def test_base_preset(self):
+        c = BertConfig.bert_base()
+        assert (c.hidden_size, c.num_hidden_layers) == (768, 12)
+        assert c.vocab_size == 30522
+
+    def test_large_preset(self):
+        c = BertConfig.bert_large()
+        assert (c.hidden_size, c.num_hidden_layers, c.num_attention_heads,
+                c.intermediate_size) == (1024, 24, 16, 4096)
+
+    def test_tiny_overrides(self):
+        c = BertConfig.tiny(vocab_size=99, num_hidden_layers=3)
+        assert c.vocab_size == 99 and c.num_hidden_layers == 3
+
+
+class TestForward:
+    def test_output_shapes(self, tiny_model, rng):
+        ids, _, _ = make_batch(rng)
+        mlm, nsp = tiny_model(ids)
+        assert mlm.shape == (4, 16, 128)
+        assert nsp.shape == (4, 2)
+
+    def test_attention_mask_and_segments(self, tiny_model, rng):
+        ids, _, _ = make_batch(rng)
+        mask = np.ones_like(ids)
+        mask[:, -4:] = 0
+        segs = np.zeros_like(ids)
+        segs[:, 8:] = 1
+        mlm, nsp = tiny_model(ids, token_type_ids=segs, attention_mask=mask)
+        assert np.isfinite(mlm.numpy()).all()
+
+    def test_loss_returns_metrics(self, tiny_model, rng):
+        ids, mlm, nsp = make_batch(rng)
+        loss, metrics = tiny_model.loss(ids, mlm, nsp)
+        assert set(metrics) == {"loss", "mlm_loss", "nsp_loss"}
+        assert metrics["loss"] == pytest.approx(
+            metrics["mlm_loss"] + metrics["nsp_loss"], rel=1e-5
+        )
+
+    def test_initial_mlm_loss_near_uniform(self, tiny_model, rng):
+        """Random init should predict ~uniformly: loss ~ ln(vocab)."""
+        ids, mlm, nsp = make_batch(rng)
+        _, metrics = tiny_model.loss(ids, mlm, nsp)
+        assert abs(metrics["mlm_loss"] - np.log(128)) < 1.0
+
+
+class TestWeightTying:
+    def test_decoder_tied_to_embeddings(self, tiny_model):
+        assert tiny_model.heads.decoder_weight is tiny_model.embeddings.word_embeddings.weight
+
+    def test_tied_gradient_accumulates_both_paths(self, tiny_model, rng):
+        ids, mlm, nsp = make_batch(rng)
+        loss, _ = tiny_model.loss(ids, mlm, nsp)
+        loss.backward()
+        assert tiny_model.embeddings.word_embeddings.weight.grad is not None
+
+    def test_tied_weight_counted_once(self, tiny_model):
+        names = [n for n, _ in tiny_model.named_parameters()]
+        assert len(names) == len(set(names))
+
+
+class TestKFACLayerSelection:
+    def test_all_linears_listed(self, tiny_model):
+        from repro.nn.linear import Linear
+
+        layers = tiny_model.encoder_linear_layers()
+        assert all(isinstance(m, Linear) for _, m in layers)
+        # 2 blocks * 6 + pooler + MLM transform + NSP head = 15.
+        assert len(layers) == 2 * 6 + 3
+
+    def test_vocab_head_not_a_linear(self, tiny_model):
+        """The tied vocab projection must not appear (paper §4 exclusion)."""
+        for name, m in tiny_model.encoder_linear_layers():
+            assert m.out_features != tiny_model.config.vocab_size
+
+
+class TestTrainability:
+    def test_loss_decreases_with_sgd(self, tiny_model, rng):
+        from repro.optim import SGD
+
+        opt = SGD(tiny_model.parameters(), lr=0.1, momentum=0.9)
+        ids, mlm, nsp = make_batch(rng, batch=8)
+        losses = []
+        for _ in range(8):
+            opt.zero_grad()
+            loss, _ = tiny_model.loss(ids, mlm, nsp)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] - 0.5  # overfits a fixed batch

@@ -1,0 +1,52 @@
+"""Stage partitioning properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models import partition_layers
+
+
+class TestPartition:
+    def test_even_split(self):
+        p = partition_layers(12, 4)
+        assert p.layers_per_stage == (3, 3, 3, 3)
+        assert p.stage_layers[0] == (0, 1, 2)
+        assert p.stage_layers[3] == (9, 10, 11)
+
+    def test_uneven_split_front_loaded(self):
+        p = partition_layers(10, 4)
+        assert p.layers_per_stage == (3, 3, 2, 2)
+
+    def test_single_stage(self):
+        p = partition_layers(5, 1)
+        assert p.stage_layers == ((0, 1, 2, 3, 4),)
+
+    def test_stage_of_layer(self):
+        p = partition_layers(12, 4)
+        assert p.stage_of_layer(0) == 0
+        assert p.stage_of_layer(11) == 3
+        with pytest.raises(IndexError):
+            p.stage_of_layer(12)
+
+    def test_too_many_stages(self):
+        with pytest.raises(ValueError):
+            partition_layers(3, 4)
+
+    def test_invalid_stage_count(self):
+        with pytest.raises(ValueError):
+            partition_layers(4, 0)
+
+
+@given(layers=st.integers(1, 64), stages=st.integers(1, 16))
+def test_partition_properties(layers, stages):
+    """Every layer appears exactly once, in order, balanced within 1."""
+    if stages > layers:
+        with pytest.raises(ValueError):
+            partition_layers(layers, stages)
+        return
+    p = partition_layers(layers, stages)
+    flat = [l for s in p.stage_layers for l in s]
+    assert flat == list(range(layers))
+    sizes = p.layers_per_stage
+    assert max(sizes) - min(sizes) <= 1
+    assert len(p.stage_layers) == stages

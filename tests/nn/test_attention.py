@@ -1,0 +1,90 @@
+"""Multi-head self-attention: shapes, masking, causality, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MultiHeadSelfAttention
+from repro.tensor import Tensor
+
+
+def make_attn(d=8, h=2, causal=False, dropout=0.0):
+    return MultiHeadSelfAttention(
+        d, h, dropout=dropout, causal=causal, rng=np.random.default_rng(0)
+    )
+
+
+def x_input(b=2, s=5, d=8, seed=1):
+    return Tensor(
+        np.random.default_rng(seed).standard_normal((b, s, d)).astype(np.float32),
+        requires_grad=True,
+    )
+
+
+class TestShapes:
+    def test_output_shape(self):
+        assert make_attn()(x_input()).shape == (2, 5, 8)
+
+    def test_head_divisibility_check(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3)
+
+    def test_single_head(self):
+        attn = MultiHeadSelfAttention(8, 1, dropout=0.0, rng=np.random.default_rng(0))
+        assert attn(x_input()).shape == (2, 5, 8)
+
+    def test_gradients_reach_all_projections(self):
+        attn = make_attn()
+        attn(x_input()).sum().backward()
+        for proj in (attn.query, attn.key, attn.value, attn.output):
+            assert proj.weight.grad is not None
+
+
+class TestMasking:
+    def test_padding_mask_blocks_keys(self):
+        """Masked key positions must not influence the output."""
+        attn = make_attn()
+        x = x_input()
+        mask = np.array([[1, 1, 1, 0, 0], [1, 1, 1, 1, 1]])
+        base = attn(x, attention_mask=mask).numpy()
+        # Perturb the masked positions of example 0: output rows of the
+        # unmasked positions must be unchanged.
+        x2 = Tensor(x.numpy().copy())
+        x2.data[0, 3:] += 100.0
+        pert = attn(x2, attention_mask=mask).numpy()
+        np.testing.assert_allclose(base[0, :3], pert[0, :3], atol=1e-4)
+        # The fully-unmasked example is sensitive to its own perturbation.
+        x3 = Tensor(x.numpy().copy())
+        x3.data[1, 3:] += 100.0
+        pert2 = attn(x3, attention_mask=mask).numpy()
+        assert not np.allclose(base[1, :3], pert2[1, :3], atol=1e-3)
+
+    def test_causal_mask_blocks_future(self):
+        attn = make_attn(causal=True)
+        x = x_input()
+        base = attn(x).numpy()
+        x2 = Tensor(x.numpy().copy())
+        x2.data[:, -1, :] += 50.0  # perturb only the last position
+        pert = attn(x2).numpy()
+        # Earlier positions cannot see the future token.
+        np.testing.assert_allclose(base[:, :-1], pert[:, :-1], atol=1e-4)
+
+    def test_non_causal_sees_everything(self):
+        attn = make_attn(causal=False)
+        x = x_input()
+        base = attn(x).numpy()
+        x2 = Tensor(x.numpy().copy())
+        x2.data[:, -1, :] += 50.0
+        pert = attn(x2).numpy()
+        assert not np.allclose(base[:, 0], pert[:, 0], atol=1e-3)
+
+
+class TestNumerics:
+    def test_deterministic_without_dropout(self):
+        attn = make_attn()
+        x = x_input()
+        np.testing.assert_array_equal(attn(x).numpy(), attn(x).numpy())
+
+    def test_finite_with_extreme_inputs(self):
+        attn = make_attn()
+        x = Tensor(np.full((1, 4, 8), 50.0, dtype=np.float32))
+        assert np.isfinite(attn(x).numpy()).all()

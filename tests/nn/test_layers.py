@@ -1,0 +1,135 @@
+"""Linear (with K-FAC capture), LayerNorm, Embedding, Dropout, activations."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Embedding, GELU, LayerNorm, Linear, ReLU, Tanh
+from repro.nn.activations import get_activation
+from repro.tensor import Tensor
+
+
+class TestLinear:
+    def test_forward_matches_numpy(self):
+        lin = Linear(3, 2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).standard_normal((4, 3)).astype(np.float32)
+        y = lin(Tensor(x)).numpy()
+        np.testing.assert_allclose(
+            y, x @ lin.weight.data.T + lin.bias.data, rtol=1e-5
+        )
+
+    def test_no_bias(self):
+        lin = Linear(3, 2, bias=False)
+        assert lin.bias is None
+        assert len(list(lin.parameters())) == 1
+
+    def test_3d_input(self):
+        lin = Linear(4, 5)
+        y = lin(Tensor(np.zeros((2, 3, 4), dtype=np.float32)))
+        assert y.shape == (2, 3, 5)
+
+    def test_kfac_capture_disabled_by_default(self):
+        lin = Linear(3, 2)
+        lin(Tensor(np.ones((2, 3), dtype=np.float32)))
+        assert lin.captured_inputs == []
+
+    def test_kfac_capture_inputs_and_grads(self):
+        lin = Linear(3, 2, rng=np.random.default_rng(0))
+        lin.kfac_capture = True
+        x = Tensor(np.ones((4, 3), dtype=np.float32), requires_grad=True)
+        lin(x).sum().backward()
+        inputs, grads = lin.kfac_pop()
+        assert len(inputs) == 1 and inputs[0].shape == (4, 3)
+        assert len(grads) == 1 and grads[0].shape == (4, 2)
+        np.testing.assert_allclose(grads[0], np.ones((4, 2)))
+
+    def test_kfac_capture_flattens_batch_dims(self):
+        lin = Linear(3, 2)
+        lin.kfac_capture = True
+        x = Tensor(np.ones((2, 5, 3), dtype=np.float32), requires_grad=True)
+        lin(x).sum().backward()
+        inputs, grads = lin.kfac_pop()
+        assert inputs[0].shape == (10, 3)
+        assert grads[0].shape == (10, 2)
+
+    def test_kfac_pop_clears(self):
+        lin = Linear(3, 2)
+        lin.kfac_capture = True
+        x = Tensor(np.ones((1, 3), dtype=np.float32), requires_grad=True)
+        lin(x).sum().backward()
+        lin.kfac_pop()
+        assert lin.captured_inputs == [] and lin.captured_output_grads == []
+
+    def test_capture_accumulates_micro_batches(self):
+        lin = Linear(3, 2)
+        lin.kfac_capture = True
+        for _ in range(3):
+            x = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+            lin(x).sum().backward()
+        inputs, grads = lin.kfac_pop()
+        assert len(inputs) == 3 and len(grads) == 3
+
+
+class TestLayerNorm:
+    def test_params(self):
+        ln = LayerNorm(8)
+        np.testing.assert_array_equal(ln.weight.data, np.ones(8))
+        np.testing.assert_array_equal(ln.bias.data, np.zeros(8))
+
+    def test_output_normalized(self):
+        ln = LayerNorm(16)
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 16)).astype(np.float32) * 4)
+        y = ln(x).numpy()
+        np.testing.assert_allclose(y.mean(-1), 0, atol=1e-5)
+
+    def test_learnable(self):
+        ln = LayerNorm(4)
+        x = Tensor(np.random.default_rng(1).standard_normal((2, 4)).astype(np.float32))
+        ln(x).sum().backward()
+        assert ln.weight.grad is not None and ln.bias.grad is not None
+
+
+class TestEmbedding:
+    def test_shapes(self):
+        emb = Embedding(10, 4)
+        assert emb(np.array([[1, 2], [3, 4]])).shape == (2, 2, 4)
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(10, 4)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_flows_to_table(self):
+        emb = Embedding(5, 3)
+        emb(np.array([0, 1])).sum().backward()
+        assert emb.weight.grad is not None
+
+
+class TestDropout:
+    def test_train_vs_eval(self):
+        d = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones(1000, dtype=np.float32))
+        assert (d(x).numpy() == 0).sum() > 300
+        d.eval()
+        np.testing.assert_array_equal(d(x).numpy(), x.numpy())
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestActivations:
+    def test_modules_match_functional(self):
+        x = Tensor(np.array([-1.0, 0.5], dtype=np.float32))
+        assert GELU()(x).shape == (2,)
+        np.testing.assert_allclose(ReLU()(x).numpy(), [0.0, 0.5])
+        np.testing.assert_allclose(Tanh()(x).numpy(), np.tanh([-1.0, 0.5]), rtol=1e-6)
+
+    def test_get_activation(self):
+        assert isinstance(get_activation("gelu"), GELU)
+        assert isinstance(get_activation("relu"), ReLU)
+        with pytest.raises(ValueError):
+            get_activation("swish")

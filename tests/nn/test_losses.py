@@ -1,0 +1,45 @@
+"""MLM and NSP losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import IGNORE_INDEX, masked_lm_loss, next_sentence_loss
+from repro.tensor import Tensor
+
+
+class TestMaskedLMLoss:
+    def test_only_masked_positions_count(self):
+        b, s, v = 2, 4, 8
+        logits = Tensor(np.zeros((b, s, v), dtype=np.float32), requires_grad=True)
+        labels = np.full((b, s), IGNORE_INDEX)
+        labels[0, 1] = 3
+        loss = masked_lm_loss(logits, labels)
+        assert loss.item() == pytest.approx(np.log(v), rel=1e-5)
+        loss.backward()
+        grads = logits.grad.reshape(b, s, v)
+        assert not np.allclose(grads[0, 1], 0)
+        np.testing.assert_allclose(grads[0, 0], np.zeros(v))
+        np.testing.assert_allclose(grads[1], np.zeros((s, v)))
+
+    def test_perfect_prediction(self):
+        logits = np.full((1, 2, 4), -30.0, dtype=np.float32)
+        logits[0, 0, 2] = 30.0
+        labels = np.array([[2, IGNORE_INDEX]])
+        assert masked_lm_loss(Tensor(logits), labels).item() == pytest.approx(0.0, abs=1e-5)
+
+
+class TestNextSentenceLoss:
+    def test_binary_uniform(self):
+        logits = Tensor(np.zeros((4, 2), dtype=np.float32))
+        loss = next_sentence_loss(logits, np.array([0, 1, 0, 1]))
+        assert loss.item() == pytest.approx(np.log(2), rel=1e-5)
+
+    def test_confident_correct(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]], dtype=np.float32)
+        loss = next_sentence_loss(Tensor(logits), np.array([0, 1]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-5)
+
+    def test_confident_wrong_is_expensive(self):
+        logits = np.array([[10.0, -10.0]], dtype=np.float32)
+        loss = next_sentence_loss(Tensor(logits), np.array([1]))
+        assert loss.item() > 5.0

@@ -1,0 +1,126 @@
+"""Module/Parameter registration, traversal, modes, and state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, ModuleList, Parameter
+from repro.tensor import Tensor
+
+
+class Net(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 3, rng=np.random.default_rng(0))
+        self.fc2 = Linear(3, 2, rng=np.random.default_rng(1))
+        self.scale = Parameter(np.ones(1, dtype=np.float32))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x)) * self.scale
+
+
+class TestRegistration:
+    def test_named_parameters_paths(self):
+        names = dict(Net().named_parameters())
+        assert "fc1.weight" in names
+        assert "fc2.bias" in names
+        assert "scale" in names
+
+    def test_parameter_count(self):
+        net = Net()
+        assert net.num_parameters() == (4 * 3 + 3) + (3 * 2 + 2) + 1
+
+    def test_reassignment_replaces(self):
+        net = Net()
+        net.fc1 = Linear(4, 3, rng=np.random.default_rng(2))
+        assert len(list(net.parameters())) == 5
+
+    def test_parameter_replaced_by_module(self):
+        net = Net()
+        net.scale = Linear(1, 1)
+        assert "scale.weight" in dict(net.named_parameters())
+        assert "scale" not in dict(net.named_parameters())
+
+    def test_named_modules(self):
+        mods = dict(Net().named_modules())
+        assert "fc1" in mods and "fc2" in mods
+        assert "" in mods  # the root
+
+    def test_children(self):
+        assert len(list(Net().children())) == 2
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        net = Net()
+        net.eval()
+        assert not net.training
+        assert not net.fc1.training
+        net.train()
+        assert net.fc2.training
+
+    def test_zero_grad(self):
+        net = Net()
+        x = Tensor(np.ones((2, 4), dtype=np.float32))
+        net(x).sum().backward()
+        assert net.fc1.weight.grad is not None
+        net.zero_grad()
+        assert net.fc1.weight.grad is None
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Net(), Net()
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.ones((1, 4), dtype=np.float32))
+        np.testing.assert_allclose(a(x).numpy(), b(x).numpy())
+
+    def test_state_dict_copies(self):
+        net = Net()
+        sd = net.state_dict()
+        sd["fc1.weight"][:] = 0
+        assert not np.allclose(net.fc1.weight.data, 0)
+
+    def test_missing_key_raises(self):
+        net = Net()
+        sd = net.state_dict()
+        del sd["scale"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(sd)
+
+    def test_unexpected_key_raises(self):
+        net = Net()
+        sd = net.state_dict()
+        sd["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            net.load_state_dict(sd)
+
+    def test_shape_mismatch_raises(self):
+        net = Net()
+        sd = net.state_dict()
+        sd["scale"] = np.zeros(7)
+        with pytest.raises(ValueError):
+            net.load_state_dict(sd)
+
+
+class TestModuleList:
+    def test_iteration_and_len(self):
+        ml = ModuleList(Linear(2, 2) for _ in range(3))
+        assert len(ml) == 3
+        assert len(list(ml)) == 3
+
+    def test_params_registered(self):
+        ml = ModuleList([Linear(2, 2, bias=False)])
+        assert len(list(ml.parameters())) == 1
+
+    def test_indexing_and_slicing(self):
+        ml = ModuleList(Linear(2, 2) for _ in range(4))
+        assert isinstance(ml[1], Linear)
+        assert len(ml[1:3]) == 2
+
+    def test_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ModuleList([])(1)

@@ -1,0 +1,89 @@
+"""BertLayer / T5Block / OPTDecoderLayer forward-backward behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BertLayer, FeedForward, OPTDecoderLayer, T5Block
+from repro.nn.linear import Linear
+from repro.tensor import Tensor
+
+D, H, FF = 16, 4, 32
+
+
+def x_input(b=2, s=6, seed=0):
+    return Tensor(
+        np.random.default_rng(seed).standard_normal((b, s, D)).astype(np.float32),
+        requires_grad=True,
+    )
+
+
+@pytest.fixture(params=[BertLayer, T5Block, OPTDecoderLayer])
+def block(request):
+    return request.param(D, H, FF, dropout=0.0, rng=np.random.default_rng(0))
+
+
+class TestBlocks:
+    def test_shape_preserved(self, block):
+        assert block(x_input()).shape == (2, 6, D)
+
+    def test_gradients_flow_to_every_param(self, block):
+        block(x_input()).sum().backward()
+        missing = [n for n, p in block.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_six_linear_layers_per_block(self, block):
+        """Table 3 block inventory: q, k, v, o, ff-in, ff-out."""
+        linears = [m for m in block.modules() if isinstance(m, Linear)]
+        assert len(linears) == 6
+
+    def test_attention_mask_accepted(self, block):
+        mask = np.ones((2, 6), dtype=np.int64)
+        mask[:, -2:] = 0
+        out = block(x_input(), attention_mask=mask)
+        assert np.isfinite(out.numpy()).all()
+
+    def test_deterministic_eval(self, block):
+        block.eval()
+        x = x_input()
+        np.testing.assert_array_equal(block(x).numpy(), block(x).numpy())
+
+
+class TestBlockSpecifics:
+    def test_opt_block_is_causal(self):
+        assert OPTDecoderLayer(D, H, FF, rng=np.random.default_rng(0)).attention.causal
+
+    def test_bert_block_not_causal(self):
+        assert not BertLayer(D, H, FF, rng=np.random.default_rng(0)).attention.causal
+
+    def test_t5_uses_relu(self):
+        from repro.nn.activations import ReLU
+
+        assert isinstance(T5Block(D, H, FF, rng=np.random.default_rng(0)).ffn.act, ReLU)
+
+    def test_bert_uses_gelu(self):
+        from repro.nn.activations import GELU
+
+        assert isinstance(BertLayer(D, H, FF, rng=np.random.default_rng(0)).ffn.act, GELU)
+
+    def test_residual_connection_bert(self):
+        """Zeroing attention+FFN weights must reduce to (normalized) input."""
+        block = BertLayer(D, H, FF, dropout=0.0, rng=np.random.default_rng(0))
+        for _, p in block.attention.output.named_parameters():
+            p.data = np.zeros_like(p.data)
+        for _, p in block.ffn.dense_out.named_parameters():
+            p.data = np.zeros_like(p.data)
+        x = x_input()
+        out = block(x).numpy()
+        # With zero sublayer outputs the block is LayerNorm(LayerNorm(x)):
+        # row means ~0 under default affine params.
+        np.testing.assert_allclose(out.mean(-1), 0, atol=1e-4)
+
+
+class TestFeedForward:
+    def test_shapes(self):
+        ff = FeedForward(D, FF, dropout=0.0, rng=np.random.default_rng(0))
+        assert ff(x_input()).shape == (2, 6, D)
+
+    def test_activation_choice(self):
+        with pytest.raises(ValueError):
+            FeedForward(D, FF, activation="nope")

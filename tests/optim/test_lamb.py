@@ -1,0 +1,84 @@
+"""LAMB and NVLAMB: trust ratio and global-norm pre-scaling."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import LAMB, NVLAMB
+
+
+class TestLAMB:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.full(4, 10.0, dtype=np.float32))
+        opt = LAMB([p], lr=0.05, weight_decay=0.0)
+        for _ in range(300):
+            p.grad = (p.data - 3.0).astype(np.float32)
+            opt.step()
+        np.testing.assert_allclose(p.data, np.full(4, 3.0), atol=0.05)
+
+    def test_trust_ratio_scales_update_with_weight_norm(self):
+        """Same gradient, bigger weights -> proportionally bigger step."""
+        small = Parameter(np.full(4, 0.1, dtype=np.float32))
+        big = Parameter(np.full(4, 10.0, dtype=np.float32))
+        opt = LAMB([small, big], lr=0.01, weight_decay=0.0, clamp_trust=None)
+        small.grad = np.full(4, 1.0, dtype=np.float32)
+        big.grad = np.full(4, 1.0, dtype=np.float32)
+        s0, b0 = small.data.copy(), big.data.copy()
+        opt.step()
+        small_step = np.abs(small.data - s0).max()
+        big_step = np.abs(big.data - b0).max()
+        assert big_step / small_step == pytest.approx(100.0, rel=1e-2)
+
+    def test_trust_clamped(self):
+        p = Parameter(np.full(4, 1e6, dtype=np.float32))
+        opt = LAMB([p], lr=0.01, weight_decay=0.0, clamp_trust=10.0)
+        p.grad = np.full(4, 1.0, dtype=np.float32)
+        before = p.data.copy()
+        opt.step()
+        # |update| <= lr * clamp * |adam direction| and direction ~ 1.
+        assert np.abs(p.data - before).max() <= 0.01 * 10.0 * 1.5
+
+    def test_zero_weight_norm_trust_is_one(self):
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        opt = LAMB([p], lr=0.01, weight_decay=0.0)
+        p.grad = np.full(4, 1.0, dtype=np.float32)
+        opt.step()
+        assert np.abs(p.data).max() > 0  # no division blow-up, step taken
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            LAMB([Parameter(np.zeros(1))], betas=(0.9, 1.2))
+
+
+class TestNVLAMB:
+    def test_gradient_scale_invariance(self):
+        """NVLAMB pre-normalizes by the global norm: scaling every gradient
+        by a constant must produce the identical update."""
+        def run(scale):
+            a = Parameter(np.full(3, 2.0, dtype=np.float32))
+            b = Parameter(np.full(3, -1.0, dtype=np.float32))
+            opt = NVLAMB([a, b], lr=0.01)
+            a.grad = np.array([1.0, 2.0, 3.0], dtype=np.float32) * scale
+            b.grad = np.array([-1.0, 0.5, 2.0], dtype=np.float32) * scale
+            opt.step()
+            return a.data.copy(), b.data.copy()
+
+        a1, b1 = run(1.0)
+        a2, b2 = run(1e3)
+        np.testing.assert_allclose(a1, a2, rtol=1e-5)
+        np.testing.assert_allclose(b1, b2, rtol=1e-5)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.full(4, 10.0, dtype=np.float32))
+        opt = NVLAMB([p], lr=0.05, weight_decay=0.0)
+        for _ in range(400):
+            p.grad = (p.data - 3.0).astype(np.float32)
+            opt.step()
+        np.testing.assert_allclose(p.data, np.full(4, 3.0), atol=0.1)
+
+    def test_zero_gradient_no_nan(self):
+        p = Parameter(np.ones(2, dtype=np.float32))
+        opt = NVLAMB([p], lr=0.01, weight_decay=0.0)
+        p.grad = np.zeros(2, dtype=np.float32)
+        opt.step()
+        assert np.isfinite(p.data).all()

@@ -1,0 +1,72 @@
+"""Learning-rate schedules (Appendix B.2 / Fig. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import (
+    SGD,
+    ConstantSchedule,
+    PolyWarmupSchedule,
+    kfac_schedule,
+    nvlamb_schedule,
+)
+
+
+class TestPolyWarmup:
+    def test_linear_warmup(self):
+        s = PolyWarmupSchedule(base_lr=1.0, warmup_steps=10, total_steps=100)
+        assert s.lr_at(1) == pytest.approx(0.1)
+        assert s.lr_at(5) == pytest.approx(0.5)
+        assert s.lr_at(10) == pytest.approx(1.0)
+
+    def test_poly_decay_power_half(self):
+        s = PolyWarmupSchedule(base_lr=1.0, warmup_steps=0, total_steps=100, power=0.5)
+        assert s.lr_at(36) == pytest.approx(np.sqrt(0.64))
+        assert s.lr_at(100) == pytest.approx(0.0)
+
+    def test_monotone_decay_after_warmup(self):
+        s = PolyWarmupSchedule(base_lr=1.0, warmup_steps=10, total_steps=100)
+        lrs = s.series(100)
+        assert np.all(np.diff(lrs[10:]) <= 1e-9)
+
+    def test_drives_optimizer(self):
+        p = Parameter(np.zeros(1, dtype=np.float32))
+        opt = SGD([p], lr=999.0)
+        s = PolyWarmupSchedule(1.0, 2, 10, optimizer=opt)
+        s.step()
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PolyWarmupSchedule(1.0, warmup_steps=-1, total_steps=10)
+        with pytest.raises(ValueError):
+            PolyWarmupSchedule(1.0, warmup_steps=20, total_steps=10)
+
+    def test_constant_schedule(self):
+        s = ConstantSchedule(0.3)
+        assert s.lr_at(1) == s.lr_at(1000) == 0.3
+
+
+class TestPaperSchedules:
+    def test_nvlamb_defaults(self):
+        s = nvlamb_schedule()
+        assert s.warmup_steps == 2000
+        assert s.total_steps == 7038
+        assert s.base_lr == pytest.approx(6e-3)
+
+    def test_kfac_shorter_warmup(self):
+        """The one hyperparameter the paper changes (§4)."""
+        assert kfac_schedule().warmup_steps == 600
+
+    def test_kfac_lr_higher_until_about_2000(self):
+        """Fig. 8: K-FAC's LR exceeds NVLAMB's until ~step 2,000 (the exact
+        crossover is where NVLAMB's warmup line meets K-FAC's decay curve,
+        slightly before 2,000)."""
+        nv = nvlamb_schedule().series(7038)
+        kf = kfac_schedule().series(7038)
+        ahead = np.nonzero(kf > nv + 1e-12)[0]
+        crossover = ahead[-1] + 1
+        assert 1500 < crossover <= 2000
+        assert np.all(kf[:crossover - 1] >= nv[:crossover - 1] - 1e-12)
+        np.testing.assert_allclose(kf[2000:], nv[2000:], rtol=1e-9)

@@ -1,0 +1,129 @@
+"""SGD, Adam, AdamW: update rules and convergence on a quadratic."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, AdamW, clip_grad_norm, global_grad_norm
+
+
+def quadratic_grad(p: Parameter) -> None:
+    """Gradient of f(x) = 0.5 ||x - 3||^2."""
+    p.grad = (p.data - 3.0).astype(np.float32)
+
+
+def run_steps(opt, p, n=200):
+    for _ in range(n):
+        quadratic_grad(p)
+        opt.step()
+    return p
+
+
+class TestBase:
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_negative_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_none_grad_skipped(self):
+        p = Parameter(np.ones(2, dtype=np.float32))
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad set
+        np.testing.assert_array_equal(p.data, np.ones(2))
+
+    def test_zero_grad_clears(self):
+        p = Parameter(np.ones(2, dtype=np.float32))
+        p.grad = np.ones(2, dtype=np.float32)
+        SGD([p], lr=0.1).zero_grad()
+        assert p.grad is None
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(3, dtype=np.float32))
+        run_steps(SGD([p], lr=0.5), p)
+        np.testing.assert_allclose(p.data, np.full(3, 3.0), atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        p1 = Parameter(np.zeros(1, dtype=np.float32))
+        p2 = Parameter(np.zeros(1, dtype=np.float32))
+        run_steps(SGD([p1], lr=0.05), p1, n=20)
+        run_steps(SGD([p2], lr=0.05, momentum=0.9), p2, n=20)
+        assert abs(p2.data[0] - 3.0) < abs(p1.data[0] - 3.0)
+
+    def test_single_step_value(self):
+        p = Parameter(np.zeros(1, dtype=np.float32))
+        p.grad = np.array([2.0], dtype=np.float32)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [-0.2])
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.full(1, 10.0, dtype=np.float32))
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt = SGD([p], lr=0.1, weight_decay=0.1)
+        opt.step()
+        assert p.data[0] < 10.0
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(3, dtype=np.float32))
+        run_steps(Adam([p], lr=0.1), p, n=500)
+        np.testing.assert_allclose(p.data, np.full(3, 3.0), atol=1e-2)
+
+    def test_first_step_magnitude_is_lr(self):
+        """With bias correction, |step 1| ~ lr regardless of grad scale."""
+        for scale in (1e-3, 1.0, 1e3):
+            p = Parameter(np.zeros(1, dtype=np.float32))
+            p.grad = np.array([scale], dtype=np.float32)
+            Adam([p], lr=0.01).step()
+            assert abs(p.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.9))
+
+    def test_l2_decay_enters_moments(self):
+        p = Parameter(np.full(1, 5.0, dtype=np.float32))
+        p.grad = np.zeros(1, dtype=np.float32)
+        Adam([p], lr=0.1, weight_decay=0.1).step()
+        assert p.data[0] < 5.0
+
+
+class TestAdamW:
+    def test_decoupled_decay(self):
+        """AdamW decay is applied directly, independent of moments."""
+        p = Parameter(np.full(1, 5.0, dtype=np.float32))
+        p.grad = np.zeros(1, dtype=np.float32)
+        AdamW([p], lr=0.1, weight_decay=0.1).step()
+        # update = lr * wd * theta = 0.05.
+        np.testing.assert_allclose(p.data, [4.95], atol=1e-6)
+
+
+class TestGradUtils:
+    def test_global_grad_norm(self):
+        a = Parameter(np.zeros(2, dtype=np.float32))
+        b = Parameter(np.zeros(2, dtype=np.float32))
+        a.grad = np.array([3.0, 0.0], dtype=np.float32)
+        b.grad = np.array([0.0, 4.0], dtype=np.float32)
+        assert global_grad_norm([a, b]) == pytest.approx(5.0)
+
+    def test_clip_scales_down(self):
+        p = Parameter(np.zeros(2, dtype=np.float32))
+        p.grad = np.array([30.0, 40.0], dtype=np.float32)
+        pre = clip_grad_norm([p], 5.0)
+        assert pre == pytest.approx(50.0)
+        assert global_grad_norm([p]) == pytest.approx(5.0, rel=1e-5)
+
+    def test_clip_noop_below_threshold(self):
+        p = Parameter(np.zeros(2, dtype=np.float32))
+        p.grad = np.array([0.3, 0.4], dtype=np.float32)
+        clip_grad_norm([p], 5.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])

@@ -1,0 +1,101 @@
+"""Architecture FLOP/memory inventories (Table 3)."""
+
+import pytest
+
+from repro.perfmodel.arch import (
+    ARCHITECTURES,
+    BERT_BASE,
+    BERT_LARGE,
+    OPT_125M,
+    T5_BASE,
+)
+
+
+class TestPresets:
+    def test_six_architectures(self):
+        assert len(ARCHITECTURES) == 6
+
+    def test_bert_base_block_params(self):
+        """BERT-Base block ~ 7.1M params (4 attn + 2 FF linears + LNs)."""
+        p = BERT_BASE.params_per_block
+        assert 7.0e6 < p < 7.2e6
+
+    def test_bert_large_block_params(self):
+        p = BERT_LARGE.params_per_block
+        assert 12.5e6 < p < 12.8e6
+
+    def test_twelve_blocks_approximate_bert_base_encoder(self):
+        assert 84e6 < 12 * BERT_BASE.params_per_block < 87e6
+
+    def test_linear_dims_inventory(self):
+        dims = BERT_BASE.linear_dims
+        assert len(dims) == 6
+        assert dims.count((768, 768)) == 4
+        assert (768, 3072) in dims and (3072, 768) in dims
+
+
+class TestFlops:
+    def test_forward_scales_linearly_with_batch(self):
+        assert BERT_BASE.forward_flops(64) == pytest.approx(
+            2 * BERT_BASE.forward_flops(32), rel=1e-6
+        )
+
+    def test_backward_twice_forward(self):
+        assert BERT_BASE.backward_flops(32) == pytest.approx(
+            2 * BERT_BASE.forward_flops(32)
+        )
+
+    def test_inversion_independent_of_batch(self):
+        """§3.3: T_inv is constant regardless of B_micro."""
+        assert BERT_BASE.inversion_flops() == BERT_BASE.inversion_flops()
+        import inspect
+
+        sig = inspect.signature(BERT_BASE.inversion_flops)
+        assert "batch" not in sig.parameters
+
+    def test_curvature_splits_a_b(self):
+        a = BERT_BASE.curvature_flops_a(32)
+        b = BERT_BASE.curvature_flops_b(32)
+        assert BERT_BASE.curvature_flops(32) == pytest.approx(a + b)
+        # Symmetric linear dims -> equal A and B cost for BERT.
+        assert a == pytest.approx(b)
+
+    def test_larger_arch_costs_more(self):
+        assert BERT_LARGE.forward_flops(32) > BERT_BASE.forward_flops(32)
+        assert BERT_LARGE.inversion_flops() > BERT_BASE.inversion_flops()
+
+    def test_longer_sequences_cost_more(self):
+        """OPT (S=2048) >> BERT (S=128) per sequence."""
+        assert OPT_125M.forward_flops(1) > 10 * BERT_BASE.forward_flops(1)
+
+    def test_t5_matches_bert_dims_longer_seq(self):
+        assert T5_BASE.d_model == BERT_BASE.d_model
+        assert T5_BASE.seq_len == 512
+
+
+class TestMemory:
+    def test_activation_bytes_scale_with_batch(self):
+        assert BERT_BASE.activation_bytes(16) == pytest.approx(
+            2 * BERT_BASE.activation_bytes(8)
+        )
+
+    def test_boundary_smaller_than_full_activations(self):
+        assert (BERT_BASE.boundary_activation_bytes(32)
+                < BERT_BASE.activation_bytes(32) / 5)
+
+    def test_factor_bytes_batch_independent(self):
+        import inspect
+
+        assert "batch" not in inspect.signature(BERT_BASE.factor_bytes).parameters
+
+    def test_factor_bytes_value(self):
+        # A factors: 4*768^2 + 768^2 + 3072^2; B same (no bias columns).
+        expected = 4.0 * 2 * (5 * 768**2 + 3072**2)
+        assert BERT_BASE.factor_bytes() == pytest.approx(expected)
+
+    def test_saved_error_bytes(self):
+        # Sum of d_out over 6 linears = 4*768 + 3072 + 768.
+        t = 32 * 128
+        assert BERT_BASE.saved_error_bytes(32) == pytest.approx(
+            4.0 * t * (4 * 768 + 3072 + 768)
+        )

@@ -1,0 +1,112 @@
+"""Work-cost and memory models."""
+
+import pytest
+
+from repro.perfmodel import MemoryModel, compute_stage_costs
+from repro.perfmodel.arch import BERT_BASE, BERT_LARGE
+from repro.perfmodel.costs import compute_block_costs
+from repro.perfmodel.hardware import P100, RTX3090, V100
+
+
+class TestBlockCosts:
+    def test_faster_hardware_shorter_times(self):
+        slow = compute_block_costs(BERT_BASE, P100, 32)
+        fast = compute_block_costs(BERT_BASE, RTX3090, 32)
+        assert fast.t_fwd < slow.t_fwd
+        assert fast.t_inv < slow.t_inv
+
+    def test_backward_twice_forward(self):
+        # Up to the kernel-launch floor, backward costs 2x forward.
+        c = compute_block_costs(BERT_BASE, P100, 32)
+        assert c.t_bwd == pytest.approx(2 * c.t_fwd, rel=0.05)
+
+    def test_curvature_scales_with_batch_inversion_does_not(self):
+        c8 = compute_block_costs(BERT_BASE, P100, 8)
+        c32 = compute_block_costs(BERT_BASE, P100, 32)
+        assert c32.t_curv == pytest.approx(4 * c8.t_curv, rel=0.05)
+        assert c32.t_inv == pytest.approx(c8.t_inv)
+
+    def test_launch_floor_dominates_tiny_batches(self):
+        """Fig. 6 shape: per-sequence time rises sharply below B_micro~4."""
+        c1 = compute_block_costs(BERT_BASE, P100, 1)
+        c32 = compute_block_costs(BERT_BASE, P100, 32)
+        per_seq_1 = c1.t_fwd / 1
+        per_seq_32 = c32.t_fwd / 32
+        assert per_seq_1 > 1.5 * per_seq_32
+
+    def test_fig3_magnitude_anchor(self):
+        """Calibration check: a 3-layer BERT-Base stage forward at
+        B_micro=32 on P100 is ~25-35 ms (Fig. 3's ~87 ms fwd+bwd slot)."""
+        c = compute_stage_costs(BERT_BASE, P100, 32, layers_per_stage=3)
+        assert 0.025 < c.t_fwd < 0.035
+        assert 0.075 < c.t_fwd + c.t_bwd < 0.105
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            compute_block_costs(BERT_BASE, P100, 0)
+        with pytest.raises(ValueError):
+            compute_stage_costs(BERT_BASE, P100, 32, layers_per_stage=0)
+
+    def test_stage_scales_with_layers(self):
+        c1 = compute_stage_costs(BERT_BASE, P100, 32, layers_per_stage=1)
+        c3 = compute_stage_costs(BERT_BASE, P100, 32, layers_per_stage=3)
+        assert c3.t_fwd == pytest.approx(3 * c1.t_fwd)
+        assert c3.t_inv == pytest.approx(3 * c1.t_inv)
+
+
+class TestMemoryModel:
+    def test_fig5_magnitude(self):
+        """Fig. 5a: one BERT-Base block/stage, B=32, D=8 -> a few GB."""
+        mm = MemoryModel(BERT_BASE, layers_per_stage=1, stages_per_device=2)
+        bd = mm.breakdown(b_micro=32, n_micro=8)
+        assert 1.0 < bd.total_gb() < 8.0
+
+    def test_recompute_reduces_activations(self):
+        mm = MemoryModel(BERT_BASE)
+        plain = mm.breakdown(32, 8)
+        rec = mm.breakdown(32, 8, recompute=True)
+        assert rec.act < plain.act
+        assert rec.total < plain.total
+
+    def test_kfac_extra_components(self):
+        mm = MemoryModel(BERT_BASE)
+        bd = mm.breakdown(32, 8)
+        assert bd.kfac_extra == pytest.approx(bd.curv_inv + bd.save_err)
+        no_kfac = mm.breakdown(32, 8, with_kfac=False)
+        assert no_kfac.kfac_extra == 0.0
+        assert no_kfac.pipeline_total == pytest.approx(bd.pipeline_total)
+
+    def test_activations_dominate_at_large_n_micro(self):
+        """§3.3: N*M_act accounts for most memory when N is large."""
+        mm = MemoryModel(BERT_BASE)
+        bd = mm.breakdown(32, 48)
+        assert bd.act > 0.5 * bd.total
+
+    def test_save_err_dominates_kfac_extra_under_recompute(self):
+        """§3.3: with R, N*M_err^save + factors are the bottleneck."""
+        mm = MemoryModel(BERT_BASE)
+        bd = mm.breakdown(32, 16, recompute=True)
+        assert bd.kfac_extra > bd.act
+
+    def test_curv_inv_constant_in_batch(self):
+        mm = MemoryModel(BERT_BASE)
+        assert mm.breakdown(8, 8).curv_inv == mm.breakdown(64, 8).curv_inv
+
+    def test_fits_check(self):
+        mm = MemoryModel(BERT_LARGE, layers_per_stage=3, stages_per_device=2)
+        assert mm.fits(P100.memory_gb, b_micro=8, n_micro=8, recompute=True)
+        assert not mm.fits(1.0, b_micro=32, n_micro=32)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            MemoryModel(BERT_BASE).breakdown(0, 4)
+
+
+class TestHardware:
+    def test_effective_flops_ordering(self):
+        for hw in (P100, V100, RTX3090):
+            assert hw.flops_inv < hw.flops_gemm
+            assert hw.flops_fwd < hw.fp32_tflops * 1e12
+
+    def test_presets_distinct(self):
+        assert P100.fp32_tflops < V100.fp32_tflops < RTX3090.fp32_tflops

@@ -1,0 +1,168 @@
+"""The §3.3 analytic model: every scaling observation the paper lists.
+
+The paper's bullet list under Fig. 6 is reproduced as assertions:
+* larger B_micro -> smaller (curv+inv)/bubble ratio;
+* deeper pipelines -> smaller ratio;
+* more micro-batches (N_micro) -> larger ratio;
+* longer sequences -> larger bubbles, smaller ratio;
+* ratio mostly in 2-10;
+* PipeFisher throughput ~= vanilla pipeline (precondition is small);
+* PipeFisher >= K-FAC+skip >= naive K-FAC.
+"""
+
+import pytest
+
+from repro.perfmodel import PipelinePerfModel
+from repro.perfmodel.arch import BERT_BASE, BERT_LARGE, T5_BASE
+from repro.perfmodel.hardware import P100, RTX3090, V100
+
+
+@pytest.fixture(scope="module")
+def chimera_base():
+    return PipelinePerfModel(BERT_BASE, P100, "chimera")
+
+
+class TestCriticalPath:
+    def test_gpipe_equals_1f1b(self):
+        g = PipelinePerfModel(BERT_BASE, P100, "gpipe").report(32, 8)
+        f = PipelinePerfModel(BERT_BASE, P100, "1f1b").report(32, 8)
+        assert g.t_pipe == pytest.approx(f.t_pipe)
+
+    def test_chimera_faster_than_gpipe(self, chimera_base):
+        g = PipelinePerfModel(BERT_BASE, P100, "gpipe").report(32, 8)
+        c = chimera_base.report(32, 8)
+        assert c.t_pipe < g.t_pipe
+
+    def test_gpipe_constants_at_n_equals_d(self):
+        m = PipelinePerfModel(BERT_BASE, P100, "gpipe")
+        r = m.report(32, 8)
+        assert r.t_pipe == pytest.approx(15 * r.t_fwd + 15 * r.t_bwd)
+
+    def test_chimera_constants_at_n_equals_d(self, chimera_base):
+        r = chimera_base.report(32, 8)
+        assert r.t_pipe == pytest.approx(8 * r.t_fwd + 14 * r.t_bwd)
+
+    def test_extra_micro_batches_add_slots(self, chimera_base):
+        r1 = chimera_base.report(32, 8, n_micro=8)
+        r2 = chimera_base.report(32, 8, n_micro=16)
+        assert r2.t_pipe == pytest.approx(r1.t_pipe + 8 * (r1.t_fwd + r1.t_bwd))
+
+    def test_n_micro_below_depth_rejected(self, chimera_base):
+        with pytest.raises(ValueError):
+            chimera_base.report(32, 8, n_micro=4)
+
+    def test_unknown_schedule(self):
+        with pytest.raises(ValueError):
+            PipelinePerfModel(BERT_BASE, P100, "gpipe2")
+
+
+class TestPaperScalingObservations:
+    def test_ratio_decreases_with_b_micro(self, chimera_base):
+        ratios = [chimera_base.report(b, 8).ratio for b in (1, 4, 16, 64)]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_ratio_decreases_with_depth(self, chimera_base):
+        ratios = [chimera_base.report(32, d).ratio for d in (4, 8, 16, 32)]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_ratio_increases_with_n_micro(self, chimera_base):
+        r1 = chimera_base.report(32, 8, n_micro=8).ratio
+        r3 = chimera_base.report(32, 8, n_micro=24).ratio
+        assert r3 > r1
+
+    def test_longer_sequences_reduce_ratio(self):
+        bert = PipelinePerfModel(BERT_BASE, P100, "chimera").report(8, 8)
+        t5 = PipelinePerfModel(T5_BASE, P100, "chimera").report(8, 8)
+        assert t5.ratio < bert.ratio
+
+    def test_ratio_in_2_to_10_band_typical(self, chimera_base):
+        """'In most cases the ratio is in the range of 2-10'."""
+        inside = 0
+        total = 0
+        for b in (8, 16, 32, 64):
+            for d in (8, 16, 32):
+                total += 1
+                if 1.0 <= chimera_base.report(b, d).ratio <= 12.0:
+                    inside += 1
+        assert inside / total >= 0.75
+
+    def test_small_batch_many_micro_batches_high_ratio(self, chimera_base):
+        """The paper's exception: B_micro in {1,2} and N=3D -> big ratio."""
+        r = chimera_base.report(1, 8, n_micro=24)
+        assert r.ratio > 10
+
+
+class TestThroughputStrategies:
+    def test_pipefisher_close_to_vanilla(self, chimera_base):
+        r = chimera_base.report(32, 8)
+        assert r.throughput_pipefisher > 0.90 * r.throughput_pipeline
+
+    def test_strategy_ordering(self, chimera_base):
+        for b in (4, 32):
+            r = chimera_base.report(b, 8)
+            assert (r.throughput_pipefisher >= r.throughput_kfac_skip
+                    >= r.throughput_kfac_naive)
+
+    def test_speedup_vs_skip_bounds(self, chimera_base):
+        """Paper: up to ~1.4x at N=D and large B; ~1.1x otherwise."""
+        big = chimera_base.report(64, 8).speedup_vs_kfac_skip
+        small = chimera_base.report(2, 8, n_micro=24).speedup_vs_kfac_skip
+        assert 1.0 < big < 1.6
+        assert 1.0 <= small < big
+
+    def test_throughput_increases_with_batch(self, chimera_base):
+        t8 = chimera_base.report(8, 8).throughput_pipeline
+        t32 = chimera_base.report(32, 8).throughput_pipeline
+        assert t32 > t8
+
+    def test_fig5_throughput_magnitude(self, chimera_base):
+        """Fig. 5b: Chimera BERT-Base D=8, B=32 -> ~500 seqs/s region."""
+        thr = chimera_base.report(32, 8).throughput_pipeline
+        assert 400 < thr < 900
+
+
+class TestRecomputation:
+    def test_recompute_lowers_throughput(self, chimera_base):
+        plain = chimera_base.report(32, 8)
+        rec = chimera_base.report(32, 8, recompute=True)
+        assert rec.throughput_pipeline < plain.throughput_pipeline
+
+    def test_recompute_grows_bubble_and_cuts_ratio(self, chimera_base):
+        """§3.3: 'As T_bubble is increased by activation recomputation,
+        curvature information is updated at a higher frequency.'"""
+        plain = chimera_base.report(32, 8)
+        rec = chimera_base.report(32, 8, recompute=True)
+        assert rec.t_bubble > plain.t_bubble
+        assert rec.ratio < plain.ratio
+
+    def test_recompute_reduces_memory(self, chimera_base):
+        plain = chimera_base.report(32, 8)
+        rec = chimera_base.report(32, 8, recompute=True)
+        assert rec.memory.total < plain.memory.total
+
+
+class TestHardwareSweep:
+    def test_faster_gpu_more_throughput(self):
+        thr = {}
+        for hw in (P100, V100, RTX3090):
+            thr[hw.name] = PipelinePerfModel(BERT_BASE, hw, "chimera").report(
+                32, 8
+            ).throughput_pipeline
+        assert thr["P100"] < thr["V100"] < thr["RTX3090"]
+
+    def test_bert_large_slower_than_base(self):
+        base = PipelinePerfModel(BERT_BASE, P100, "chimera").report(32, 8)
+        large = PipelinePerfModel(BERT_LARGE, P100, "chimera").report(32, 8)
+        assert large.throughput_pipeline < base.throughput_pipeline
+
+
+class TestSweepAPI:
+    def test_grid_keys(self, chimera_base):
+        grid = chimera_base.sweep([8, 16], [4, 8])
+        assert set(grid) == {(8, 4), (8, 8), (16, 4), (16, 8)}
+
+    def test_refresh_steps_is_ceil_ratio(self, chimera_base):
+        import math
+
+        r = chimera_base.report(16, 8)
+        assert r.refresh_steps == max(1, math.ceil(r.ratio))

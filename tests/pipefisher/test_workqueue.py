@@ -1,0 +1,132 @@
+"""K-FAC work inventory construction (§3.1 granularity)."""
+
+import pytest
+
+from repro.perfmodel.costs import StageCosts, WorkCosts
+from repro.pipefisher import build_device_queues
+from repro.pipeline import ChimeraSchedule, GPipeSchedule, PipelineConfig
+
+
+def costs(layers=3):
+    block = WorkCosts(t_fwd=1.0, t_bwd=2.0, t_curv_a=0.2, t_curv_b=0.25,
+                      t_inv=0.6, t_prec=0.1)
+    return StageCosts(block=block, layers_per_stage=layers, t_overhead=0.1,
+                      kernel_density=1.0)
+
+
+def gpipe_builder(depth=4, n_micro=4, layers=3, dp=1):
+    cfg = PipelineConfig(depth=depth, n_micro=n_micro, costs=costs(layers), dp=dp)
+    return GPipeSchedule(cfg), costs(layers)
+
+
+class TestInventoryCounts:
+    def test_curvature_items_per_device(self):
+        b, c = gpipe_builder()
+        queues = build_device_queues(b, c)
+        for q in queues.values():
+            curv = [i for i in q.items if i.kind == "curvature"]
+            # N_micro * layers * 2 factors = 4 * 3 * 2.
+            assert len(curv) == 24
+
+    def test_inversion_items_per_device(self):
+        b, c = gpipe_builder()
+        queues = build_device_queues(b, c)
+        for q in queues.values():
+            inv = [i for i in q.items if i.kind == "inversion"]
+            assert len(inv) == 6  # layers * 2 factors
+
+    def test_durations_from_block_costs(self):
+        b, c = gpipe_builder()
+        q = build_device_queues(b, c)[0]
+        curv_a = [i for i in q.items if i.kind == "curvature" and i.factor == "A"]
+        assert all(i.duration == pytest.approx(0.2) for i in curv_a)
+        inv = [i for i in q.items if i.kind == "inversion"]
+        assert all(i.duration == pytest.approx(0.3) for i in inv)
+
+    def test_total_work_formula(self):
+        """Total per device = N*Tcurv + Tinv (the §3.3 quantities)."""
+        b, c = gpipe_builder()
+        q = build_device_queues(b, c)[0]
+        expected = 4 * c.t_curv + c.t_inv
+        assert q.total_duration == pytest.approx(expected)
+
+
+class TestTriggers:
+    def test_curvature_a_after_forward(self):
+        b, c = gpipe_builder()
+        q = build_device_queues(b, c)[0]
+        a_items = [i for i in q.items if i.factor == "A" and i.kind == "curvature"]
+        assert all(i.trigger[0] == "forward" for i in a_items)
+
+    def test_curvature_b_after_backward(self):
+        b, c = gpipe_builder()
+        q = build_device_queues(b, c)[0]
+        b_items = [i for i in q.items if i.factor == "B" and i.kind == "curvature"]
+        assert all(i.trigger[0] == "backward" for i in b_items)
+
+    def test_inversion_depends_on_all_its_curvature(self):
+        b, c = gpipe_builder()
+        q = build_device_queues(b, c)[0]
+        by_id = q.by_id()
+        for inv in (i for i in q.items if i.kind == "inversion"):
+            deps = inv.trigger[1]
+            assert len(deps) == 4  # one per micro-batch
+            for d in deps:
+                dep = by_id[d]
+                assert dep.kind == "curvature"
+                assert dep.factor == inv.factor
+                assert (dep.stage, dep.block) == (inv.stage, inv.block)
+
+
+class TestChimeraQueues:
+    def test_both_stages_covered(self):
+        cfg = PipelineConfig(depth=4, n_micro=4, costs=costs(2))
+        b = ChimeraSchedule(cfg)
+        queues = build_device_queues(b, costs(2))
+        stages = {i.stage for i in queues[0].items}
+        assert stages == {0, 3}
+
+    def test_item_count_doubles_with_two_stages(self):
+        cfg = PipelineConfig(depth=4, n_micro=4, costs=costs(2))
+        b = ChimeraSchedule(cfg)
+        q = build_device_queues(b, costs(2))[0]
+        curv = [i for i in q.items if i.kind == "curvature"]
+        # 2 stages * (N/2 micro-batches) * 2 layers * 2 factors = 16.
+        assert len(curv) == 16
+
+
+class TestInversionParallel:
+    def test_inversions_split_across_group(self):
+        b, c = gpipe_builder(dp=2)
+        queues = build_device_queues(b, c, inversion_parallel=True)
+        # Devices 0 and 1 share stage 0: each gets half of the 6 items.
+        inv0 = [i for i in queues[0].items if i.kind == "inversion"]
+        inv1 = [i for i in queues[1].items if i.kind == "inversion"]
+        assert len(inv0) == 3 and len(inv1) == 3
+        keys0 = {(i.stage, i.block, i.factor) for i in inv0}
+        keys1 = {(i.stage, i.block, i.factor) for i in inv1}
+        assert keys0.isdisjoint(keys1)
+        assert len(keys0 | keys1) == 6
+
+    def test_sync_curv_item_added(self):
+        b, c = gpipe_builder(dp=2)
+        queues = build_device_queues(b, c, inversion_parallel=True,
+                                     sync_curv_seconds=0.5)
+        sync = [i for i in queues[0].items if i.kind == "sync_curv"]
+        assert len(sync) == 1
+        assert sync[0].duration == pytest.approx(0.5)
+
+    def test_no_sync_curv_without_dp(self):
+        b, c = gpipe_builder(dp=1)
+        queues = build_device_queues(b, c, inversion_parallel=True,
+                                     sync_curv_seconds=0.5)
+        assert [i for i in queues[0].items if i.kind == "sync_curv"] == []
+
+    def test_inversion_waits_for_sync(self):
+        b, c = gpipe_builder(dp=2)
+        queues = build_device_queues(b, c, inversion_parallel=True,
+                                     sync_curv_seconds=0.5)
+        q = queues[0]
+        sync_id = next(i.iid for i in q.items if i.kind == "sync_curv")
+        for inv in (i for i in q.items if i.kind == "inversion"):
+            assert sync_id in inv.trigger[1]

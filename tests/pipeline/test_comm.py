@@ -1,0 +1,46 @@
+"""Communication cost model."""
+
+import pytest
+
+from repro.pipeline import CommModel
+
+
+class TestAllreduce:
+    def test_world_one_free(self):
+        assert CommModel().allreduce_time(1e9, 1) == 0.0
+
+    def test_ring_formula_large_world(self):
+        cm = CommModel(allreduce_gbs=1.0, latency_s=0.0, intra_node_world=1)
+        # 2(W-1)/W * bytes / bw.
+        assert cm.allreduce_time(1e9, 4) == pytest.approx(2 * 3 / 4 * 1.0)
+
+    def test_intra_node_fast_path(self):
+        cm = CommModel(allreduce_gbs=1.0, intra_node_gbs=10.0,
+                       intra_node_world=4, latency_s=0.0)
+        fast = cm.allreduce_time(1e9, 2)
+        slow = cm.allreduce_time(1e9, 8)
+        assert fast < slow / 4
+
+    def test_latency_scales_with_world(self):
+        cm = CommModel(latency_s=1e-3)
+        t2 = cm.allreduce_time(0, 2)
+        t8 = cm.allreduce_time(0, 8)
+        assert t8 == pytest.approx(7 * t2)
+
+    def test_monotone_in_bytes(self):
+        cm = CommModel()
+        assert cm.allreduce_time(2e9, 8) > cm.allreduce_time(1e9, 8)
+
+    def test_invalid_world(self):
+        with pytest.raises(ValueError):
+            CommModel().allreduce_time(1e9, 0)
+
+
+class TestP2P:
+    def test_bandwidth_term(self):
+        cm = CommModel(p2p_gbs=8.0, latency_s=0.0)
+        assert cm.p2p_time(8e9) == pytest.approx(1.0)
+
+    def test_latency_floor(self):
+        cm = CommModel(latency_s=1e-4)
+        assert cm.p2p_time(0) == pytest.approx(1e-4)

@@ -1,0 +1,86 @@
+"""Numeric pipeline: pipelined gradients are exact.
+
+Synchronous pipeline parallelism must compute the same gradients as
+monolithic training; micro-batch accumulation must equal the full-batch
+gradient.  These tests anchor the simulation work to real math.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import BertConfig, BertForPreTraining
+from repro.pipeline import NumericPipeline
+from tests.conftest import make_batch
+
+
+@pytest.fixture
+def model():
+    cfg = BertConfig.tiny(vocab_size=64, num_hidden_layers=4,
+                          max_position_embeddings=16)
+    return BertForPreTraining(cfg)
+
+
+def batch(rng, n=8):
+    return make_batch(rng, batch=n, seq=8, vocab=64)
+
+
+class TestStageForwarding:
+    def test_matches_monolithic_forward(self, model, rng):
+        ids, _, _ = batch(rng)
+        pipe = NumericPipeline(model, num_stages=2)
+        mlm_p, nsp_p = pipe.forward(ids)
+        mlm_m, nsp_m = model(ids)
+        np.testing.assert_allclose(mlm_p.numpy(), mlm_m.numpy(), atol=1e-6)
+        np.testing.assert_allclose(nsp_p.numpy(), nsp_m.numpy(), atol=1e-6)
+
+    def test_any_stage_count_same_output(self, model, rng):
+        ids, _, _ = batch(rng)
+        outs = []
+        for stages in (1, 2, 4):
+            pipe = NumericPipeline(model, num_stages=stages)
+            outs.append(pipe.forward(ids)[0].numpy())
+        np.testing.assert_allclose(outs[0], outs[1], atol=1e-6)
+        np.testing.assert_allclose(outs[0], outs[2], atol=1e-6)
+
+
+class TestGradientExactness:
+    def test_pipelined_grads_equal_full_batch(self, model, rng):
+        """Micro-batched pipeline step == monolithic mean-loss backward."""
+        ids, mlm, nsp = batch(rng)
+
+        # Monolithic reference.
+        loss, _ = model.loss(ids, mlm, nsp)
+        loss.backward()
+        ref = {n: p.grad.copy() for n, p in model.named_parameters()}
+        model.zero_grad()
+
+        pipe = NumericPipeline(model, num_stages=2)
+        pipe_loss = pipe.run_step(ids, mlm, nsp, n_micro=4)
+        for name, p in model.named_parameters():
+            np.testing.assert_allclose(
+                p.grad, ref[name], rtol=2e-3, atol=2e-5,
+                err_msg=f"gradient mismatch for {name}",
+            )
+        assert pipe_loss == pytest.approx(loss.item(), rel=2e-3)
+
+    def test_micro_batch_count_invariance(self, model, rng):
+        ids, mlm, nsp = batch(rng)
+        grads = []
+        for n_micro in (1, 2, 4):
+            model.zero_grad()
+            NumericPipeline(model, num_stages=2).run_step(ids, mlm, nsp, n_micro)
+            grads.append(model.embeddings.word_embeddings.weight.grad.copy())
+        np.testing.assert_allclose(grads[0], grads[1], rtol=2e-3, atol=2e-5)
+        np.testing.assert_allclose(grads[0], grads[2], rtol=2e-3, atol=2e-5)
+
+    def test_indivisible_batch_raises(self, model, rng):
+        ids, mlm, nsp = batch(rng, n=6)
+        with pytest.raises(ValueError):
+            NumericPipeline(model, num_stages=2).run_step(ids, mlm, nsp, n_micro=4)
+
+    def test_mean_loss_note(self, model, rng):
+        """Unequal MLM mask counts make 1/n_micro weighting approximate for
+        the MLM term; with equal counts (ours: one mask per row) it is exact
+        up to fp noise — asserted above with tight tolerances."""
+        ids, mlm, nsp = batch(rng)
+        assert ((mlm != -100).sum(axis=1) == 1).all()

@@ -1,0 +1,86 @@
+"""Property-based schedule invariants over the (depth, N_micro) grid."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perfmodel.costs import StageCosts, WorkCosts
+from repro.pipeline import PipelineConfig, make_schedule, simulate_tasks
+from repro.pipeline.bubbles import OCCUPYING_KINDS
+
+
+def costs(tf, tb):
+    block = WorkCosts(t_fwd=tf, t_bwd=tb, t_curv_a=0.1, t_curv_b=0.1,
+                      t_inv=0.3, t_prec=0.05)
+    return StageCosts(block=block, layers_per_stage=1, t_overhead=0.1,
+                      kernel_density=1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    depth=st.sampled_from([2, 4, 6]),
+    extra=st.integers(0, 2),
+    tf=st.floats(0.5, 2.0),
+    tb_ratio=st.floats(1.0, 3.0),
+    name=st.sampled_from(["gpipe", "1f1b", "chimera"]),
+)
+def test_schedule_invariants(depth, extra, tf, tb_ratio, name):
+    """For any config: simulation completes, every (micro-batch, stage) runs
+    forward exactly once and backward exactly once, backwards follow their
+    forwards, no device double-books, and the span is at least the
+    theoretical lower bound N*(Tf+Tb)."""
+    n_micro = depth + 2 * extra  # keeps Chimera's even requirement
+    tb = tf * tb_ratio
+    cfg = PipelineConfig(depth=depth, n_micro=n_micro, costs=costs(tf, tb))
+    builder = make_schedule(name, cfg)
+    res = simulate_tasks(builder.build(), builder.num_devices)
+
+    res.timeline.verify_no_overlap(kinds=OCCUPYING_KINDS)
+
+    fwd = [e for e in res.timeline.events if e.kind == "forward"]
+    bwd = [e for e in res.timeline.events if e.kind == "backward"]
+    expected = depth * n_micro
+    assert len(fwd) == expected
+    assert len(bwd) == expected
+
+    # Per device, span >= busy time; overall span >= per-device work.
+    per_device_work = n_micro * (tf + tb)
+    assert res.makespan >= per_device_work - 1e-9
+
+    # Every backward starts after its own forward.
+    fwd_end = {}
+    for e in fwd:
+        key = (e.meta.get("pipeline"), e.meta["micro_batch"], e.meta["stage"])
+        fwd_end[key] = e.end
+    for e in bwd:
+        key = (e.meta.get("pipeline"), e.meta["micro_batch"], e.meta["stage"])
+        assert e.start >= fwd_end[key] - 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    depth=st.sampled_from([2, 4]),
+    extra=st.integers(0, 2),
+    seed_tf=st.floats(0.5, 1.5),
+)
+def test_gpipe_matches_closed_form(depth, extra, seed_tf):
+    """GPipe span == (N + D - 1) * (Tf + Tb) for any N >= D."""
+    n_micro = depth + extra
+    tf, tb = seed_tf, 2 * seed_tf
+    cfg = PipelineConfig(depth=depth, n_micro=n_micro, costs=costs(tf, tb))
+    builder = make_schedule("gpipe", cfg)
+    res = simulate_tasks(builder.build(), builder.num_devices)
+    span_no_tail = res.makespan - 0.1  # subtract overhead tail
+    expected = (n_micro + depth - 1) * (tf + tb)
+    assert span_no_tail == pytest.approx(expected, rel=1e-6)
+
+
+@settings(max_examples=10, deadline=None)
+@given(depth=st.sampled_from([2, 4]), extra=st.integers(0, 1))
+def test_multistep_spans_additive(depth, extra):
+    """Synchronous flush makes k steps cost exactly k * one-step span."""
+    n_micro = depth + 2 * extra
+    cfg = PipelineConfig(depth=depth, n_micro=n_micro, costs=costs(1.0, 2.0))
+    builder = make_schedule("1f1b", cfg)
+    one = simulate_tasks(builder.build(steps=1), builder.num_devices).makespan
+    three = simulate_tasks(builder.build(steps=3), builder.num_devices).makespan
+    assert three == pytest.approx(3 * one, rel=1e-9)

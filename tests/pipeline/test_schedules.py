@@ -1,0 +1,234 @@
+"""GPipe / 1F1B / Chimera schedule structure against the paper's model.
+
+Uses symmetric unit costs so spans can be compared to the Table 1
+critical-path constants: with N_micro = D,
+GPipe/1F1B span = (2D-1)(Tf+Tb); Chimera span = D*Tf + (2D-2)*Tb.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.costs import StageCosts, WorkCosts
+from repro.pipeline import (
+    ChimeraSchedule,
+    GPipeSchedule,
+    OneFOneBSchedule,
+    PipelineConfig,
+    make_schedule,
+    simulate_tasks,
+)
+from repro.pipeline.bubbles import bubble_fraction, bubble_time
+
+
+def unit_costs(tf=1.0, tb=2.0, overhead=0.0):
+    block = WorkCosts(t_fwd=tf, t_bwd=tb, t_curv_a=0.1, t_curv_b=0.1,
+                      t_inv=0.3, t_prec=0.05)
+    return StageCosts(block=block, layers_per_stage=1, t_overhead=overhead,
+                      kernel_density=1.0)
+
+
+def config(depth=4, n_micro=4, tf=1.0, tb=2.0, overhead=0.0, **kw):
+    return PipelineConfig(depth=depth, n_micro=n_micro,
+                          costs=unit_costs(tf, tb, overhead), **kw)
+
+
+def simulate(name, cfg, steps=1):
+    b = make_schedule(name, cfg)
+    return b, simulate_tasks(b.build(steps=steps), b.num_devices)
+
+
+class TestGPipe:
+    def test_span_matches_critical_path(self):
+        _, res = simulate("gpipe", config())
+        # (N + D - 1) * (Tf + Tb) = 7 * 3.
+        assert res.makespan == pytest.approx(21.0)
+
+    def test_span_general_n_micro(self):
+        _, res = simulate("gpipe", config(n_micro=8))
+        assert res.makespan == pytest.approx((8 + 3) * 3.0)
+
+    def test_bubble_time_matches_formula(self):
+        b, res = simulate("gpipe", config())
+        # Per device: span - N(Tf+Tb) = 21 - 12 = 9; x4 devices.
+        assert bubble_time(res.timeline) == pytest.approx(36.0)
+
+    def test_backwards_in_reverse_order_last_stage(self):
+        b, res = simulate("gpipe", config())
+        last = b.config.depth - 1
+        bwd = [e for e in res.timeline.device_events(last)
+               if e.kind == "backward"]
+        order = [e.meta["micro_batch"] for e in sorted(bwd, key=lambda e: e.start)]
+        assert order == [3, 2, 1, 0]
+
+    def test_all_microbatches_in_flight(self):
+        _, res = simulate("gpipe", config())
+        assert max(res.peak_inflight.values()) == 4
+
+    def test_two_steps_serialized_by_flush(self):
+        _, res1 = simulate("gpipe", config(overhead=0.5))
+        _, res2 = simulate("gpipe", config(overhead=0.5), steps=2)
+        assert res2.makespan == pytest.approx(2 * res1.makespan)
+
+
+class TestOneFOneB:
+    def test_same_span_as_gpipe_at_n_equals_d(self):
+        """Paper §3.3: time identical to GPipe when N_micro = D."""
+        _, g = simulate("gpipe", config())
+        _, f = simulate("1f1b", config())
+        assert f.makespan == pytest.approx(g.makespan)
+
+    def test_memory_advantage_peak_inflight(self):
+        """1F1B caps in-flight micro-batches at D - stage."""
+        b, res = simulate("1f1b", config(n_micro=8))
+        for (r, _, stage), peak in res.peak_inflight.items():
+            assert peak <= b.config.depth - stage
+
+    def test_gpipe_higher_peak_than_1f1b_when_n_gt_d(self):
+        _, g = simulate("gpipe", config(n_micro=8))
+        _, f = simulate("1f1b", config(n_micro=8))
+        assert max(g.peak_inflight.values()) > max(f.peak_inflight.values())
+
+    def test_steady_state_alternation(self):
+        """In steady state the middle of the schedule alternates 1F1B."""
+        b, res = simulate("1f1b", config(n_micro=8))
+        evs = sorted(res.timeline.device_events(0), key=lambda e: e.start)
+        kinds = [e.kind for e in evs if e.kind in ("forward", "backward")]
+        # After the D warmup forwards, forwards and backwards alternate.
+        middle = kinds[4:-4]
+        alternations = sum(1 for a, b2 in zip(middle, middle[1:]) if a != b2)
+        assert alternations >= len(middle) - 2
+
+
+class TestChimera:
+    def test_span_matches_critical_path(self):
+        _, res = simulate("chimera", config())
+        # D*Tf + (2D-2)*Tb = 4 + 12 = 16 with Tf=1, Tb=2.
+        assert res.makespan == pytest.approx(16.0, rel=0.07)
+
+    def test_fewer_bubbles_than_gpipe(self):
+        _, g = simulate("gpipe", config())
+        _, c = simulate("chimera", config())
+        assert bubble_fraction(c.timeline) < bubble_fraction(g.timeline)
+
+    def test_each_device_hosts_two_stages(self):
+        cfg = config()
+        b = ChimeraSchedule(cfg)
+        assert b.stages_of_device(0) == [0, 3]
+        assert b.stages_of_device(1) == [1, 2]
+
+    def test_dp_group_is_pipeline_pair(self):
+        b = ChimeraSchedule(config())
+        assert b.dp_group(0) == [0, 3]
+        assert b.dp_group(1) == [1, 2]
+
+    def test_every_device_processes_n_micro(self):
+        cfg = config()
+        b = ChimeraSchedule(cfg)
+        res = simulate_tasks(b.build(), b.num_devices)
+        for d in range(b.num_devices):
+            fwd = [e for e in res.timeline.device_events(d) if e.kind == "forward"]
+            assert len(fwd) == cfg.n_micro
+
+    def test_odd_depth_rejected(self):
+        with pytest.raises(ValueError):
+            ChimeraSchedule(config(depth=3, n_micro=4))
+
+    def test_odd_micro_batches_rejected(self):
+        with pytest.raises(ValueError):
+            ChimeraSchedule(config(depth=4, n_micro=3))
+
+    def test_higher_utilization_than_1f1b(self):
+        from repro.profiler import utilization
+
+        _, c = simulate("chimera", config())
+        _, f = simulate("1f1b", config())
+        u = {"chimera": utilization(c.timeline), "1f1b": utilization(f.timeline)}
+        assert u["chimera"] > u["1f1b"]
+
+
+class TestDataParallel:
+    def test_device_count(self):
+        cfg = config(dp=2)
+        assert GPipeSchedule(cfg).num_devices == 8
+
+    def test_sync_grad_emitted_with_dp(self):
+        cfg = config(dp=2, stage_param_bytes=1e8)
+        b, res = GPipeSchedule(cfg), None
+        res = simulate_tasks(b.build(), b.num_devices)
+        syncs = [e for e in res.timeline.events if e.kind == "sync_grad"]
+        assert len(syncs) == 8  # one per device
+
+    def test_no_sync_without_dp(self):
+        cfg = config(stage_param_bytes=1e8)
+        b = GPipeSchedule(cfg)
+        res = simulate_tasks(b.build(), b.num_devices)
+        assert [e for e in res.timeline.events if e.kind == "sync_grad"] == []
+
+    def test_chimera_sync_even_without_outer_dp(self):
+        """Chimera's pipeline pair replicates weights -> sync always needed."""
+        cfg = config(stage_param_bytes=1e8)
+        b = ChimeraSchedule(cfg)
+        res = simulate_tasks(b.build(), b.num_devices)
+        syncs = [e for e in res.timeline.events if e.kind == "sync_grad"]
+        assert len(syncs) == 4
+
+    def test_dp_group_across_replicas(self):
+        cfg = config(dp=2)
+        b = GPipeSchedule(cfg)
+        assert b.dp_group(0) == [0, 1]
+        assert b.dp_group(5) == [4, 5]
+
+    def test_replicas_independent_until_sync(self):
+        cfg = config(dp=2)
+        b = GPipeSchedule(cfg)
+        res = simulate_tasks(b.build(), b.num_devices)
+        # Same per-replica span as a single pipeline.
+        assert res.makespan == pytest.approx(21.0)
+
+
+class TestRecompute:
+    def test_backward_includes_extra_forward(self):
+        _, plain = simulate("gpipe", config())
+        _, rec = simulate("gpipe", config(recompute=True))
+        # Backward slots grow from Tb to Tb+Tf: span (2D-1)(Tf + Tb+Tf).
+        assert rec.makespan == pytest.approx(7 * 4.0)
+        assert rec.makespan > plain.makespan
+
+    def test_bubble_grows_with_recompute(self):
+        """§3.3: activation recomputation increases T_bubble."""
+        _, plain = simulate("gpipe", config())
+        _, rec = simulate("gpipe", config(recompute=True))
+        assert bubble_time(rec.timeline) > bubble_time(plain.timeline)
+
+
+class TestValidation:
+    def test_unknown_schedule(self):
+        with pytest.raises(ValueError):
+            make_schedule("pipedream", config())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(depth=1, n_micro=1, costs=unit_costs())
+        with pytest.raises(ValueError):
+            PipelineConfig(depth=4, n_micro=0, costs=unit_costs())
+        with pytest.raises(ValueError):
+            PipelineConfig(depth=4, n_micro=4, costs=unit_costs(), dp=0)
+
+    def test_build_steps_validation(self):
+        b = GPipeSchedule(config())
+        with pytest.raises(ValueError):
+            b.build(steps=0)
+
+    def test_precondition_task_appended(self):
+        cfg = config(precondition=True)
+        b = GPipeSchedule(cfg)
+        res = simulate_tasks(b.build(), b.num_devices)
+        precs = [e for e in res.timeline.events if e.kind == "precondition"]
+        assert len(precs) == 4
+        # Precondition is after the device's last backward.
+        for d in range(4):
+            bwd_end = max(e.end for e in res.timeline.device_events(d)
+                          if e.kind == "backward")
+            prec = [e for e in res.timeline.device_events(d)
+                    if e.kind == "precondition"][0]
+            assert prec.start >= bwd_end - 1e-9

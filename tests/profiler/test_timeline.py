@@ -1,0 +1,103 @@
+"""Timeline data structure: intervals, windows, overlap detection."""
+
+import pytest
+
+from repro.profiler import Timeline, TimelineEvent
+
+
+def ev(device, kind, start, end, label=""):
+    return TimelineEvent(device, kind, start, end, label)
+
+
+class TestBasics:
+    def test_add_and_span(self):
+        tl = Timeline(2)
+        tl.add(ev(0, "forward", 1.0, 2.0))
+        tl.add(ev(1, "backward", 0.5, 3.0))
+        assert tl.span == (0.5, 3.0)
+
+    def test_empty_span(self):
+        assert Timeline(1).span == (0.0, 0.0)
+
+    def test_device_range_check(self):
+        tl = Timeline(2)
+        with pytest.raises(ValueError):
+            tl.add(ev(2, "forward", 0, 1))
+
+    def test_reversed_interval_rejected(self):
+        tl = Timeline(1)
+        with pytest.raises(ValueError):
+            tl.add(ev(0, "forward", 2.0, 1.0))
+
+    def test_invalid_device_count(self):
+        with pytest.raises(ValueError):
+            Timeline(0)
+
+    def test_event_duration_and_shift(self):
+        e = ev(0, "forward", 1.0, 2.5)
+        assert e.duration == pytest.approx(1.5)
+        s = e.shifted(10.0)
+        assert (s.start, s.end) == (11.0, 12.5)
+
+
+class TestQueries:
+    def make(self):
+        tl = Timeline(2)
+        tl.extend([
+            ev(0, "forward", 0.0, 1.0),
+            ev(0, "backward", 2.0, 4.0),
+            ev(0, "overhead", 4.0, 5.0),
+            ev(1, "forward", 1.0, 2.0),
+        ])
+        return tl
+
+    def test_device_events_sorted(self):
+        tl = Timeline(1)
+        tl.add(ev(0, "backward", 2.0, 3.0))
+        tl.add(ev(0, "forward", 0.0, 1.0))
+        starts = [e.start for e in tl.device_events(0)]
+        assert starts == [0.0, 2.0]
+
+    def test_kind_filter(self):
+        tl = self.make()
+        evs = tl.device_events(0, kinds={"forward"})
+        assert len(evs) == 1
+
+    def test_busy_intervals_merge_adjacent(self):
+        tl = Timeline(1)
+        tl.add(ev(0, "forward", 0.0, 1.0))
+        tl.add(ev(0, "forward", 1.0, 2.0))
+        assert tl.busy_intervals(0) == [(0.0, 2.0)]
+
+    def test_idle_intervals(self):
+        tl = self.make()
+        idle = tl.idle_intervals(0, (0.0, 5.0), kinds={"forward", "backward"})
+        assert idle == [(1.0, 2.0), (4.0, 5.0)]
+
+    def test_idle_min_duration_filter(self):
+        tl = self.make()
+        idle = tl.idle_intervals(0, (0.0, 5.0), kinds={"forward", "backward"},
+                                 min_duration=1.5)
+        assert idle == []
+
+    def test_idle_fully_idle_device(self):
+        tl = Timeline(2)
+        tl.add(ev(0, "forward", 0.0, 1.0))
+        assert tl.idle_intervals(1, (0.0, 1.0)) == [(0.0, 1.0)]
+
+    def test_window_clips_events(self):
+        tl = self.make()
+        sub = tl.window(0.5, 2.5)
+        evs = sub.device_events(0)
+        assert evs[0].start == 0.5
+        assert evs[-1].end == 2.5
+
+    def test_verify_no_overlap_passes(self):
+        self.make().verify_no_overlap()
+
+    def test_verify_no_overlap_detects(self):
+        tl = Timeline(1)
+        tl.add(ev(0, "forward", 0.0, 2.0))
+        tl.add(ev(0, "backward", 1.0, 3.0))
+        with pytest.raises(AssertionError):
+            tl.verify_no_overlap()

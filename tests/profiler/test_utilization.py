@@ -1,0 +1,100 @@
+"""GPU-utilization metric and ASCII rendering."""
+
+import pytest
+
+from repro.profiler import (
+    COLOR_DENSITY,
+    Timeline,
+    TimelineEvent,
+    colored_time,
+    render_timeline,
+    utilization,
+)
+
+
+def ev(device, kind, start, end):
+    return TimelineEvent(device, kind, start, end)
+
+
+class TestUtilization:
+    def test_fully_busy_dense_work(self):
+        tl = Timeline(1)
+        tl.add(ev(0, "curvature", 0.0, 10.0))  # density 1.0
+        assert utilization(tl) == pytest.approx(1.0)
+
+    def test_forward_density_applied(self):
+        tl = Timeline(1)
+        tl.add(ev(0, "forward", 0.0, 10.0))
+        assert utilization(tl) == pytest.approx(COLOR_DENSITY["forward"])
+
+    def test_overhead_uncolored(self):
+        tl = Timeline(1)
+        tl.add(ev(0, "forward", 0.0, 5.0))
+        tl.add(ev(0, "overhead", 5.0, 10.0))
+        assert utilization(tl) == pytest.approx(COLOR_DENSITY["forward"] / 2)
+
+    def test_multi_device_average(self):
+        tl = Timeline(2)
+        tl.add(ev(0, "curvature", 0.0, 10.0))
+        # Device 1 idle.
+        assert utilization(tl, window=(0.0, 10.0)) == pytest.approx(0.5)
+
+    def test_window_restricts(self):
+        tl = Timeline(1)
+        tl.add(ev(0, "inversion", 0.0, 5.0))
+        assert utilization(tl, window=(0.0, 10.0)) == pytest.approx(0.5)
+
+    def test_empty_window_raises(self):
+        tl = Timeline(1)
+        tl.add(ev(0, "forward", 0.0, 1.0))
+        with pytest.raises(ValueError):
+            utilization(tl, window=(1.0, 1.0))
+
+    def test_custom_density(self):
+        tl = Timeline(1)
+        tl.add(ev(0, "forward", 0.0, 4.0))
+        assert utilization(tl, density={"forward": 0.5}) == pytest.approx(0.5)
+
+    def test_colored_time_sums_devices(self):
+        tl = Timeline(2)
+        tl.add(ev(0, "curvature", 0.0, 2.0))
+        tl.add(ev(1, "curvature", 0.0, 3.0))
+        assert colored_time(tl) == pytest.approx(5.0)
+
+
+class TestAsciiRendering:
+    def make(self):
+        tl = Timeline(2)
+        tl.add(ev(0, "forward", 0.0, 5.0))
+        tl.add(ev(0, "backward", 5.0, 10.0))
+        tl.add(ev(1, "curvature", 2.0, 8.0))
+        return tl
+
+    def test_glyphs_present(self):
+        art = render_timeline(self.make(), width=20)
+        assert "F" in art and "B" in art and "c" in art
+
+    def test_row_per_device(self):
+        art = render_timeline(self.make(), width=20, show_legend=False)
+        assert len(art.splitlines()) == 2
+        assert art.splitlines()[0].startswith("GPU  1 |")
+
+    def test_width_respected(self):
+        art = render_timeline(self.make(), width=30, show_legend=False)
+        for line in art.splitlines():
+            assert len(line) == 30 + len("GPU  1 |")
+
+    def test_idle_shown_as_dots(self):
+        tl = Timeline(1)
+        tl.add(ev(0, "forward", 0.0, 1.0))
+        tl.add(ev(0, "forward", 9.0, 10.0))
+        art = render_timeline(tl, width=20, show_legend=False)
+        assert "." in art
+
+    def test_legend_toggle(self):
+        assert "legend:" in render_timeline(self.make(), width=10)
+        assert "legend:" not in render_timeline(self.make(), width=10,
+                                                show_legend=False)
+
+    def test_empty_timeline(self):
+        assert render_timeline(Timeline(1)) == "(empty timeline)"

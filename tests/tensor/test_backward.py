@@ -1,0 +1,156 @@
+"""Backward-pass mechanics: accumulation, topology, broadcasting VJPs."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+from repro.tensor.tensor import _unbroadcast, stack_tensors
+
+
+class TestBackwardBasics:
+    def test_scalar_backward(self):
+        x = Tensor([2.0], requires_grad=True)
+        (x * 3).sum().backward()
+        np.testing.assert_allclose(x.grad, [3.0])
+
+    def test_backward_requires_grad_error(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_nonscalar_needs_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_explicit_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 2).backward(np.array([1.0, 10.0], dtype=np.float32))
+        np.testing.assert_allclose(x.grad, [2.0, 20.0])
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 3).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph_accumulation(self):
+        # y = x*2; z = y + y  =>  dz/dx = 4.
+        x = Tensor([1.0], requires_grad=True)
+        y = x * 2
+        (y + y).sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_reused_leaf_in_two_branches(self):
+        x = Tensor([3.0], requires_grad=True)
+        ((x * x) + x).sum().backward()
+        np.testing.assert_allclose(x.grad, [7.0])  # 2x + 1
+
+    def test_deep_chain(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y * 1.1
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.1**50], rtol=1e-4)
+
+    def test_non_grad_parent_skipped(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0])  # no grad
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0])
+        assert b.grad is None
+
+
+class TestBroadcastVJP:
+    def test_unbroadcast_prepend(self):
+        g = np.ones((4, 3))
+        np.testing.assert_allclose(_unbroadcast(g, (3,)), [4.0, 4.0, 4.0])
+
+    def test_unbroadcast_singleton(self):
+        g = np.ones((4, 3))
+        np.testing.assert_allclose(_unbroadcast(g, (4, 1)), [[3.0]] * 4)
+
+    def test_unbroadcast_identity(self):
+        g = np.ones((2, 2))
+        assert _unbroadcast(g, (2, 2)) is g
+
+    def test_add_broadcast_grad(self):
+        a = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones((3,), dtype=np.float32), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        np.testing.assert_allclose(b.grad, [2.0, 2.0, 2.0])
+
+    def test_mul_broadcast_grad(self):
+        a = Tensor(np.full((2, 3), 2.0, dtype=np.float32), requires_grad=True)
+        b = Tensor(np.full((1, 3), 3.0, dtype=np.float32), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 3.0))
+        np.testing.assert_allclose(b.grad, np.full((1, 3), 4.0))
+
+    def test_matmul_vector_grad(self):
+        a = Tensor(np.eye(3, dtype=np.float32), requires_grad=True)
+        v = Tensor(np.array([1.0, 2.0, 3.0], dtype=np.float32), requires_grad=True)
+        (a @ v).sum().backward()
+        np.testing.assert_allclose(v.grad, [1.0, 1.0, 1.0])
+        np.testing.assert_allclose(a.grad, np.tile([1.0, 2.0, 3.0], (3, 1)))
+
+
+class TestShapeOpGrads:
+    def test_reshape_grad(self):
+        x = Tensor(np.arange(6, dtype=np.float32), requires_grad=True)
+        x.reshape(2, 3).sum().backward()
+        assert x.grad.shape == (6,)
+
+    def test_transpose_grad(self):
+        x = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        x.transpose().sum().backward()
+        assert x.grad.shape == (2, 3)
+
+    def test_getitem_grad_scatter(self):
+        x = Tensor(np.zeros((3, 2), dtype=np.float32), requires_grad=True)
+        x[1].sum().backward()
+        np.testing.assert_allclose(x.grad, [[0, 0], [1, 1], [0, 0]])
+
+    def test_sum_axis_grad(self):
+        x = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        x.sum(axis=0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_mean_grad(self):
+        x = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full(4, 0.25))
+
+
+class TestHooks:
+    def test_grad_hook_called_with_grad(self):
+        captured = []
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x.with_grad_hook(captured.append)
+        (y * 3).sum().backward()
+        assert len(captured) == 1
+        np.testing.assert_allclose(captured[0], [3.0, 3.0])
+        np.testing.assert_allclose(x.grad, [3.0, 3.0])
+
+    def test_hook_identity_forward(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x.with_grad_hook(lambda g: None)
+        np.testing.assert_array_equal(y.numpy(), x.numpy())
+
+
+class TestStack:
+    def test_stack_forward_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        s = stack_tensors([a, b])
+        assert s.shape == (2, 2)
+        s.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])

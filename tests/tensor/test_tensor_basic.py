@@ -1,0 +1,163 @@
+"""Tensor construction, properties, and forward arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, is_grad_enabled
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype == np.float32
+
+    def test_float64_downcast_to_float32(self):
+        t = Tensor(np.arange(4, dtype=np.float64))
+        assert t.dtype == np.float32
+
+    def test_explicit_dtype_preserved(self):
+        t = Tensor(np.arange(4, dtype=np.int64))
+        assert t.dtype == np.int64
+
+    def test_zeros_ones(self):
+        assert np.all(Tensor.zeros(2, 3).numpy() == 0)
+        assert np.all(Tensor.ones(2, 3).numpy() == 1)
+        assert Tensor.zeros(2, 3).shape == (2, 3)
+
+    def test_randn_seeded(self):
+        a = Tensor.randn(4, rng=np.random.default_rng(1))
+        b = Tensor.randn(4, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(a.numpy(), b.numpy())
+
+    def test_randn_scale(self):
+        t = Tensor.randn(10_000, rng=np.random.default_rng(0), scale=0.01)
+        assert float(np.std(t.numpy())) < 0.02
+
+    def test_properties(self):
+        t = Tensor(np.zeros((2, 3, 4), dtype=np.float32))
+        assert t.ndim == 3
+        assert t.size == 24
+        assert len(t) == 2
+
+    def test_item_scalar(self):
+        assert Tensor(np.float32(2.5)).item() == pytest.approx(2.5)
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+
+
+class TestArithmetic:
+    def test_add(self):
+        c = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(c.numpy(), [4.0, 6.0])
+
+    def test_add_scalar_and_radd(self):
+        np.testing.assert_allclose((Tensor([1.0]) + 2).numpy(), [3.0])
+        np.testing.assert_allclose((2 + Tensor([1.0])).numpy(), [3.0])
+
+    def test_sub_rsub(self):
+        np.testing.assert_allclose((Tensor([5.0]) - 2).numpy(), [3.0])
+        np.testing.assert_allclose((2 - Tensor([5.0])).numpy(), [-3.0])
+
+    def test_mul_div(self):
+        np.testing.assert_allclose((Tensor([3.0]) * Tensor([4.0])).numpy(), [12.0])
+        np.testing.assert_allclose((Tensor([8.0]) / 2).numpy(), [4.0])
+        np.testing.assert_allclose((8 / Tensor([2.0])).numpy(), [4.0])
+
+    def test_neg_pow(self):
+        np.testing.assert_allclose((-Tensor([2.0])).numpy(), [-2.0])
+        np.testing.assert_allclose((Tensor([3.0]) ** 2).numpy(), [9.0])
+
+    def test_pow_non_scalar_raises(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])  # type: ignore[operator]
+
+    def test_matmul_2d(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        b = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4))
+        np.testing.assert_allclose((a @ b).numpy(), a.numpy() @ b.numpy())
+
+    def test_matmul_batched(self):
+        a = Tensor(np.random.default_rng(0).standard_normal((2, 5, 3, 4)).astype(np.float32))
+        b = Tensor(np.random.default_rng(1).standard_normal((2, 5, 4, 6)).astype(np.float32))
+        np.testing.assert_allclose((a @ b).numpy(), a.numpy() @ b.numpy(), rtol=1e-5)
+
+    def test_broadcast_add(self):
+        a = Tensor(np.ones((2, 3), dtype=np.float32))
+        b = Tensor(np.ones((3,), dtype=np.float32))
+        assert (a + b).shape == (2, 3)
+
+    def test_comparisons_return_arrays(self):
+        m = Tensor([1.0, 3.0]) > 2.0
+        assert isinstance(m, np.ndarray)
+        np.testing.assert_array_equal(m, [False, True])
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        t = Tensor(np.arange(6, dtype=np.float32))
+        assert t.reshape(2, 3).shape == (2, 3)
+        assert t.reshape((3, 2)).shape == (3, 2)
+
+    def test_transpose_default_reverses(self):
+        t = Tensor(np.zeros((2, 3, 4), dtype=np.float32))
+        assert t.transpose().shape == (4, 3, 2)
+        assert t.T.shape == (4, 3, 2)
+
+    def test_transpose_axes(self):
+        t = Tensor(np.zeros((2, 3, 4), dtype=np.float32))
+        assert t.transpose(0, 2, 1).shape == (2, 4, 3)
+
+    def test_swapaxes(self):
+        t = Tensor(np.zeros((2, 3), dtype=np.float32))
+        assert t.swapaxes(0, 1).shape == (3, 2)
+
+    def test_getitem(self):
+        t = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4))
+        np.testing.assert_allclose(t[1].numpy(), [4, 5, 6, 7])
+        np.testing.assert_allclose(t[:, 0].numpy(), [0, 4, 8])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        assert Tensor(np.ones((2, 3), dtype=np.float32)).sum().item() == 6.0
+
+    def test_sum_axis_keepdims(self):
+        t = Tensor(np.ones((2, 3), dtype=np.float32))
+        assert t.sum(axis=1).shape == (2,)
+        assert t.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_mean(self):
+        t = Tensor(np.arange(4, dtype=np.float32))
+        assert t.mean().item() == pytest.approx(1.5)
+        assert Tensor(np.ones((2, 4), dtype=np.float32)).mean(axis=0).shape == (4,)
+
+    def test_elementwise_math(self):
+        t = Tensor([0.0, 1.0])
+        np.testing.assert_allclose(t.exp().numpy(), np.exp([0.0, 1.0]), rtol=1e-6)
+        np.testing.assert_allclose(Tensor([1.0, np.e]).log().numpy(), [0.0, 1.0], rtol=1e-5)
+        np.testing.assert_allclose(Tensor([4.0]).sqrt().numpy(), [2.0])
+        np.testing.assert_allclose(t.tanh().numpy(), np.tanh([0.0, 1.0]), rtol=1e-6)
+
+
+class TestNoGrad:
+    def test_no_grad_disables_recording(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            b = a * 2
+        assert not b.requires_grad
+
+    def test_no_grad_restores(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_nested(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()

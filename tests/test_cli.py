@@ -1,0 +1,35 @@
+"""CLI reproduction runner."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, FAST, main
+
+
+class TestCLI:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9-10", "table2", "table3",
+        }
+
+    def test_fast_excludes_training(self):
+        assert "fig7" not in FAST
+        assert "fig3" in FAST
+
+    def test_table3_runs(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "BERT-Base" in out and "matches paper Table 3: True" in out
+
+    def test_fig8_runs(self, capsys):
+        assert main(["fig8"]) == 0
+        assert "crossover" in capsys.readouterr().out
+
+    def test_fig3_runs(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "gpipe_baseline" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

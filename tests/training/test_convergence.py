@@ -1,0 +1,89 @@
+"""Convergence metrics: smoothing (Fig. 7 caption) and steps-to-target."""
+
+import numpy as np
+import pytest
+
+from repro.training import (
+    LossCurve,
+    simulated_minutes,
+    smooth_loss,
+    steps_to_target,
+    time_to_target,
+)
+
+
+class TestSmoothing:
+    def test_preserves_length(self):
+        y = np.linspace(10, 3, 500)
+        assert smooth_loss(y).shape == y.shape
+
+    def test_reduces_noise(self):
+        rng = np.random.default_rng(0)
+        y = np.linspace(10, 3, 500) + rng.standard_normal(500)
+        s = smooth_loss(y)
+        assert np.std(np.diff(s)) < np.std(np.diff(y)) / 3
+
+    def test_short_signal_passthrough(self):
+        y = np.array([3.0, 2.0, 1.0])
+        np.testing.assert_array_equal(smooth_loss(y), y)
+
+    def test_zero_phase_no_lag(self):
+        """filtfilt is zero phase: the knee position must not shift much."""
+        y = np.concatenate([np.full(200, 10.0), np.full(200, 2.0)])
+        s = smooth_loss(y)
+        knee = int(np.argmin(np.abs(s - 6.0)))
+        assert abs(knee - 200) < 20
+
+
+class TestStepsToTarget:
+    def test_basic_crossing(self):
+        y = np.linspace(10, 0, 101)  # hits 5.0 at index 50
+        s = steps_to_target(y, 5.0, smooth=False)
+        assert s == 51
+
+    def test_never_reached(self):
+        assert steps_to_target(np.full(50, 9.0), 1.0, smooth=False) is None
+
+    def test_skip_initial_ignores_early_dip(self):
+        y = np.concatenate([[0.1], np.full(99, 8.0)])
+        assert steps_to_target(y, 5.0, smooth=False) == 1
+        assert steps_to_target(y, 5.0, smooth=False, skip_initial=10) is None
+
+    def test_one_based_indexing(self):
+        y = np.array([1.0, 9.0, 9.0])
+        assert steps_to_target(y, 2.0, smooth=False) == 1
+
+
+class TestLossCurve:
+    def test_final_losses(self):
+        y = np.linspace(8, 3, 400)
+        c = LossCurve("x", y)
+        assert c.final_loss == pytest.approx(3.0, abs=0.1)
+        assert c.raw_final_loss == pytest.approx(y[-1])
+
+    def test_minutes_to(self):
+        y = np.linspace(8, 3, 400)
+        c = LossCurve("x", y, time_per_step_s=60.0)
+        m = c.minutes_to(5.0)
+        assert m == pytest.approx(c.steps_to(5.0) * 1.0)
+
+    def test_minutes_requires_step_time(self):
+        with pytest.raises(ValueError):
+            LossCurve("x", np.zeros(10)).minutes_to(1.0)
+
+
+class TestWallclock:
+    def test_simulated_minutes(self):
+        # The paper's own arithmetic: 7038 steps x 847.8 ms = 99.4 min.
+        assert simulated_minutes(7038, 0.8478) == pytest.approx(99.4, abs=0.1)
+
+    def test_table2_arithmetic(self):
+        assert simulated_minutes(7038, 2.3456) == pytest.approx(275.1, abs=0.2)
+        assert simulated_minutes(5000, 2.4995) == pytest.approx(208.3, abs=0.2)
+
+    def test_time_to_target(self):
+        assert time_to_target(2961, 0.9802) == pytest.approx(48.4, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulated_minutes(-1, 1.0)

@@ -1,0 +1,40 @@
+"""Interleaved-1F1B extension sweep: schedule tradeoff as invariants.
+
+For every (arch, P, v) row the same model runs as plain 1F1B and as
+Megatron-style interleaved 1F1B on the same devices.  The §3.3 tradeoff
+the paper establishes for Chimera must extend to virtual stages: fewer
+bubbles -> faster step and higher baseline utilization, but a longer
+curvature-refresh interval once PipeFisher fills what idle time is left.
+"""
+
+from benchmarks.conftest import record
+from repro.experiments.interleaved import (
+    format_interleaved_sweep,
+    run_interleaved_sweep,
+)
+
+
+def test_interleaved_sweep(once, benchmark):
+    result = once(run_interleaved_sweep)
+    print("\n" + format_interleaved_sweep(result))
+
+    for key, row in result.rows.items():
+        base, inter = row.one_f_one_b, row.interleaved
+
+        # Interleaving shrinks the warmup/cooldown bubble by ~1/v.
+        assert inter.baseline_step_time < base.baseline_step_time, key
+        assert inter.baseline_utilization > base.baseline_utilization, key
+
+        # PipeFisher still fills the (smaller) bubbles to high utilization,
+        # at the price of a slower refresh than the bubblier 1F1B.
+        assert inter.pipefisher_utilization > inter.baseline_utilization + 0.10, key
+        assert 0.0 < inter.step_time_overhead < 0.10, key
+        assert inter.refresh_steps >= base.refresh_steps, key
+
+    r = result.rows[("BERT-Base", 4, 3, 8)]
+    record(benchmark,
+           bert_base_step_speedup=round(r.step_speedup, 3),
+           bert_base_interleaved_util=round(
+               r.interleaved.baseline_utilization, 3),
+           bert_base_pf_util=round(
+               r.interleaved.pipefisher_utilization, 3))

@@ -67,6 +67,15 @@ def _fig8() -> None:
     print(f"crossover at step {r.crossover_step} (paper: ~2,000)")
 
 
+def _interleaved() -> None:
+    from repro.experiments.interleaved import (
+        format_interleaved_sweep,
+        run_interleaved_sweep,
+    )
+
+    print(format_interleaved_sweep(run_interleaved_sweep()))
+
+
 def _fig9_10() -> None:
     from repro.experiments.perfmodel_figs import format_perf_figure, run_fig9_10
 
@@ -99,6 +108,7 @@ EXPERIMENTS = {
     "fig9-10": _fig9_10,
     "table2": _table2,
     "table3": _table3,
+    "interleaved": _interleaved,
 }
 
 #: "all" excludes the training run, which dominates wall-clock time.

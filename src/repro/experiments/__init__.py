@@ -17,6 +17,10 @@ from repro.experiments.perfmodel_figs import (
 )
 from repro.experiments.fig7 import run_fig7, Fig7Result
 from repro.experiments.fig8 import run_fig8
+from repro.experiments.interleaved import (
+    run_interleaved_sweep,
+    format_interleaved_sweep,
+)
 from repro.experiments.table2 import run_table2, TABLE2_PAPER
 from repro.experiments.table3 import run_table3, TABLE3_PAPER
 
@@ -34,6 +38,8 @@ __all__ = [
     "run_fig7",
     "Fig7Result",
     "run_fig8",
+    "run_interleaved_sweep",
+    "format_interleaved_sweep",
     "run_table2",
     "TABLE2_PAPER",
     "run_table3",

@@ -1,0 +1,128 @@
+"""Interleaved-1F1B architecture sweep (extension experiment).
+
+For each (architecture, devices P, chunks v) row, build the *same model*
+twice — plain 1F1B with ``L / P`` layers per stage, and interleaved 1F1B
+with ``P * v`` virtual stages of ``L / (P * v)`` layers — run both with
+and without PipeFisher, and report the schedule tradeoff the paper's §3.3
+frames for Chimera, extended to Megatron-style virtual stages: fewer
+bubbles mean a faster step and higher baseline utilization, but less idle
+room for K-FAC work and hence a longer curvature-refresh interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.arch import ARCHITECTURES
+from repro.perfmodel.hardware import P100
+from repro.pipefisher.runner import PipeFisherReport, PipeFisherRun
+
+#: Transformer blocks per model (the L of the paper's figure captions).
+MODEL_LAYERS: dict[str, int] = {
+    "BERT-Base": 12,
+    "BERT-Large": 24,
+}
+
+#: (architecture, physical devices P, virtual chunks v, micro-batches).
+#: Layers per stage follow from the architecture's layer count.
+SWEEP_ROWS: tuple[tuple[str, int, int, int], ...] = (
+    ("BERT-Base", 4, 3, 8),
+    ("BERT-Base", 3, 2, 6),
+    ("BERT-Large", 4, 2, 8),
+    ("BERT-Large", 4, 3, 8),
+)
+
+
+@dataclass
+class InterleavedRow:
+    """One sweep row: the 1F1B baseline and its interleaved counterpart."""
+
+    arch: str
+    devices: int
+    chunks: int
+    n_micro: int
+    b_micro: int
+    one_f_one_b: PipeFisherReport
+    interleaved: PipeFisherReport
+
+    @property
+    def step_speedup(self) -> float:
+        """Baseline step-time advantage of interleaving (> 1 is faster)."""
+        return self.one_f_one_b.baseline_step_time / self.interleaved.baseline_step_time
+
+
+@dataclass
+class InterleavedSweepResult:
+    rows: dict[tuple[str, int, int], InterleavedRow]
+
+
+def _run_pair(arch_name: str, devices: int, chunks: int, n_micro: int,
+              b_micro: int = 32) -> InterleavedRow:
+    arch = ARCHITECTURES[arch_name]
+    layers = MODEL_LAYERS[arch_name]
+    if layers % (devices * chunks) != 0:
+        raise ValueError(
+            f"{arch_name}: {layers} layers not divisible into "
+            f"{devices} devices x {chunks} chunks"
+        )
+    base = PipeFisherRun(
+        schedule="1f1b",
+        arch=arch,
+        hardware=P100,
+        b_micro=b_micro,
+        depth=devices,
+        n_micro=n_micro,
+        layers_per_stage=layers // devices,
+    ).execute()
+    inter = PipeFisherRun(
+        schedule="interleaved",
+        arch=arch,
+        hardware=P100,
+        b_micro=b_micro,
+        depth=devices * chunks,
+        n_micro=n_micro,
+        layers_per_stage=layers // (devices * chunks),
+        virtual_chunks=chunks,
+    ).execute()
+    return InterleavedRow(
+        arch=arch_name,
+        devices=devices,
+        chunks=chunks,
+        n_micro=n_micro,
+        b_micro=b_micro,
+        one_f_one_b=base,
+        interleaved=inter,
+    )
+
+
+def run_interleaved_sweep(
+    rows: tuple[tuple[str, int, int, int], ...] = SWEEP_ROWS,
+    b_micro: int = 32,
+) -> InterleavedSweepResult:
+    out: dict[tuple[str, int, int, int], InterleavedRow] = {}
+    for arch_name, devices, chunks, n_micro in rows:
+        out[(arch_name, devices, chunks, n_micro)] = _run_pair(
+            arch_name, devices, chunks, n_micro, b_micro=b_micro
+        )
+    return InterleavedSweepResult(rows=out)
+
+
+def format_interleaved_sweep(result: InterleavedSweepResult) -> str:
+    b_micros = sorted({row.b_micro for row in result.rows.values()})
+    lines = [
+        "interleaved-1F1B vs 1F1B (same model, same devices; P100, "
+        f"B_micro={'/'.join(str(b) for b in b_micros)})",
+        f"{'arch':11s} {'P':>3s} {'v':>3s} {'N':>3s} "
+        f"{'1f1b util':>10s} {'intl util':>10s} "
+        f"{'1f1b s/step':>12s} {'intl s/step':>12s} "
+        f"{'PF util':>8s} {'refresh':>8s}",
+    ]
+    for (arch, devices, chunks, n_micro), row in result.rows.items():
+        f, i = row.one_f_one_b, row.interleaved
+        lines.append(
+            f"{arch:11s} {devices:3d} {chunks:3d} {n_micro:3d} "
+            f"{f.baseline_utilization:10.1%} {i.baseline_utilization:10.1%} "
+            f"{f.baseline_step_time:11.3f}s {i.baseline_step_time:11.3f}s "
+            f"{i.pipefisher_utilization:8.1%} {i.refresh_steps:8d}"
+        )
+    return "\n".join(lines)

@@ -30,10 +30,13 @@ EXPERIMENTS.md records paper-vs-model for each figure.
 from __future__ import annotations
 
 #: Uncolored host-side overhead per optimization step, seconds, by schedule.
+#: Interleaved-1F1B shares the Megatron/PipeDream code-family overhead of
+#: plain 1F1B (same runtime, one extra scheduling loop level).
 HOST_OVERHEAD_S: dict[str, float] = {
     "gpipe": 0.145,
     "1f1b": 0.145,
     "chimera": 0.055,
+    "interleaved": 0.145,
 }
 
 #: Fraction of an allreduce interval that is kernel-active (colored).

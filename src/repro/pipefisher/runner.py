@@ -65,6 +65,8 @@ class PipeFisherRun:
     recompute: bool = False
     #: Steps in the utilization window (the paper plots ~2 steps).
     window_steps: int = 2
+    #: Virtual stage chunks per device (interleaved schedule only).
+    virtual_chunks: int = 2
 
     def _config(self, precondition: bool) -> PipelineConfig:
         costs = compute_stage_costs(
@@ -85,6 +87,7 @@ class PipeFisherRun:
             recompute=self.recompute,
             precondition=precondition,
             stage_param_bytes=self.layers_per_stage * self.arch.param_bytes(),
+            virtual_chunks=self.virtual_chunks,
         )
 
     def execute(self) -> PipeFisherReport:
@@ -124,12 +127,20 @@ class PipeFisherRun:
         assignment = filler.fill()
 
         # -- combined timeline over the refresh cycle ---------------------------
-        cycle = max(assignment.refresh_steps, self.window_steps)
+        # The K-FAC assignment repeats every refresh_steps steps, so tile
+        # whole refresh cycles until window_steps is covered and measure
+        # over exactly the tiled extent — every tiled step is measured and
+        # every measured step carries its cycle's K-FAC work.
+        n_cycles = max(1, -(-self.window_steps // assignment.refresh_steps))
+        cycle_steps = n_cycles * assignment.refresh_steps
         combined = Timeline(pf_builder.num_devices)
-        for k in range(cycle):
+        for k in range(cycle_steps):
             combined.extend([e.shifted(k * span) for e in template.timeline.events])
-        combined.extend(assignment.events())
-        pf_util = utilization(combined, (0.0, assignment.refresh_steps * span))
+        kfac_events = assignment.events()
+        for c in range(n_cycles):
+            offset = c * assignment.refresh_steps * span
+            combined.extend([e.shifted(offset) for e in kfac_events])
+        pf_util = utilization(combined, (0.0, cycle_steps * span))
 
         return PipeFisherReport(
             schedule=self.schedule,

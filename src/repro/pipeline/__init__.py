@@ -3,7 +3,8 @@
 Implements the three synchronous pipeline schedules the paper targets —
 **GPipe** (Huang et al. 2019), **1F1B** (PipeDream-Flush, Narayanan et al.
 2019), and **Chimera** (Li & Hoefler 2021, bidirectional, two pipelines) —
-as dependency graphs of work items executed by a discrete-event simulator
+plus **interleaved 1F1B** (Megatron-LM virtual stages, Narayanan et al.
+2021), as dependency graphs of work items executed by a discrete-event simulator
 with per-device clocks, plus a numerically-executing pipeline used to
 verify that pipelined gradient computation is exact.
 """
@@ -16,6 +17,7 @@ from repro.pipeline.schedules import (
     GPipeSchedule,
     OneFOneBSchedule,
     ChimeraSchedule,
+    InterleavedSchedule,
     make_schedule,
     SCHEDULES,
 )
@@ -33,6 +35,7 @@ __all__ = [
     "GPipeSchedule",
     "OneFOneBSchedule",
     "ChimeraSchedule",
+    "InterleavedSchedule",
     "make_schedule",
     "SCHEDULES",
     "simulate_tasks",

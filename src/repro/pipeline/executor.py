@@ -1,18 +1,34 @@
 """Discrete-event execution of pipeline task graphs.
 
-Greedy list scheduling with per-device clocks: whenever a device is free it
-starts the highest-priority *ready and eligible* task assigned to it; if
-nothing is ready it waits for the next dependency to complete.  The
+Event-driven list scheduling: a global event heap holds task completions
+in simulated-time order; each device keeps a ready heap of its runnable
+tasks keyed by ``(priority, tid)``.  When a completion fires, it releases
+the finished task's in-flight slot, promotes dependents whose last
+dependency just ended, and wakes every device whose state changed; a woken
+idle device immediately starts its best *eligible* ready task.  The
 schedule-specific behaviour (GPipe's phase order, 1F1B's backward priority
-and in-flight limit, Chimera's injection order) lives entirely in the
-tasks' ``priority`` tuples and in-flight metadata, so one executor serves
-every schedule.
+and in-flight limit, Chimera's injection order, interleaved-1F1B's chunk
+order) lives entirely in the tasks' ``priority`` tuples and in-flight
+metadata, so one executor serves every schedule.
 
 Eligibility (activation-memory admission control) uses two meta keys:
 
 * ``inflight_key``/``inflight_limit`` on a FORWARD: the forward may start
   only while fewer than ``limit`` micro-batches are in flight for that key.
-* ``inflight_release`` on a BACKWARD: completing it releases one slot.
+* ``inflight_release`` on a BACKWARD: the slot is freed at the backward's
+  simulated *end* time (a forward elsewhere can never be admitted at a
+  simulated time before the backward that frees its slot has finished).
+
+The run is deterministic: every tie — equal priorities, equal event
+times — is broken by task id or insertion order, never by hash order, so
+two simulations of the same graph produce identical timelines regardless
+of ``PYTHONHASHSEED``.
+
+Complexity is O(T log T) in the number of tasks (plus re-queueing of
+admission-blocked tasks), independent of the device count — the previous
+implementation re-scanned every device's whole ready pool per scheduling
+decision, which made ~100k-task architecture sweeps quadratic in practice
+(see ``benchmarks/test_executor_scaling.py``).
 """
 
 from __future__ import annotations
@@ -23,6 +39,10 @@ from dataclasses import dataclass, field
 
 from repro.pipeline.work import Task, WorkKind
 from repro.profiler.timeline import Timeline, TimelineEvent
+
+#: Two simulated instants closer than this are the same instant (guards
+#: float drift when equal end times are summed along different dep paths).
+_TIME_EPS = 1e-12
 
 
 @dataclass
@@ -67,97 +87,120 @@ def simulate_tasks(
             dependents[d].append(t.tid)
 
     device_free: dict[int, float] = defaultdict(lambda: start_time)
-    # ready_time = max over completed deps' end times.
-    ready_time: dict[str, float] = {t.tid: start_time for t in tasks}
-    ready: dict[int, set[str]] = defaultdict(set)
-    control_ready: list[str] = []
+    ready: dict[int, list[tuple]] = defaultdict(list)  # heap of (prio, tid)
+    #: Admission-blocked tasks, per inflight key; re-queued on release.
+    parked: dict = defaultdict(list)
     start_times: dict[str, float] = {}
     end_times: dict[str, float] = {}
     inflight: dict = defaultdict(int)
     peak_inflight: dict = defaultdict(int)
     timeline = Timeline(num_devices)
+    remaining = len(tasks)
 
-    def mark_ready(tid: str) -> None:
-        t = by_id[tid]
-        if t.device is None:
-            control_ready.append(tid)
-        else:
-            ready[t.device].add(tid)
+    #: (end_time, insertion_seq, tid) — seq keeps equal-time pops FIFO.
+    events: list[tuple[float, int, str]] = []
+    seq = 0
 
-    for t in tasks:
-        if missing[t.tid] == 0:
-            mark_ready(t.tid)
+    def promote(tid: str, now: float, dirty: set[int]) -> None:
+        """All deps of ``tid`` are done as of ``now``: make it runnable.
 
-    def complete(tid: str, end: float) -> None:
+        Control tasks (device None) complete instantly, cascading through
+        their dependents; device tasks enter their device's ready heap.
+        """
+        nonlocal remaining
+        stack = [tid]
+        while stack:
+            cur = stack.pop()
+            t = by_id[cur]
+            if t.device is None:
+                start_times[cur] = now
+                end_times[cur] = now
+                remaining -= 1
+                for dep_id in dependents[cur]:
+                    missing[dep_id] -= 1
+                    if missing[dep_id] == 0:
+                        stack.append(dep_id)
+            else:
+                heapq.heappush(ready[t.device], (t.priority, cur))
+                dirty.add(t.device)
+
+    def finish(tid: str, end: float, dirty: set[int]) -> None:
+        """Apply a completion's effects at its simulated end time."""
+        nonlocal remaining
         end_times[tid] = end
+        remaining -= 1
         t = by_id[tid]
+        dirty.add(t.device)
         rel = t.meta.get("inflight_release")
         if rel is not None:
             inflight[rel] -= 1
+            if parked[rel]:
+                # A slot freed: blocked tasks compete again at their devices.
+                for prio, blocked_tid in parked[rel]:
+                    dev = by_id[blocked_tid].device
+                    heapq.heappush(ready[dev], (prio, blocked_tid))
+                    dirty.add(dev)
+                parked[rel].clear()
         for dep_id in dependents[tid]:
             missing[dep_id] -= 1
-            ready_time[dep_id] = max(ready_time[dep_id], end)
             if missing[dep_id] == 0:
-                mark_ready(dep_id)
+                promote(dep_id, end, dirty)
 
-    remaining = len(tasks)
-    while remaining > 0:
-        # Control tasks complete instantly once their deps are done.
-        while control_ready:
-            tid = control_ready.pop()
-            start_times[tid] = ready_time[tid]
-            complete(tid, ready_time[tid])
-            remaining -= 1
-        if remaining == 0:
-            break
-
-        # Each device proposes its next (start, priority, tid).
-        best: tuple | None = None
-        for dev, pool in ready.items():
-            if not pool:
-                continue
-            eligible = []
-            blocked_min_start = None
-            for tid in pool:
-                t = by_id[tid]
-                key = t.meta.get("inflight_key")
-                if key is not None:
-                    limit = t.meta["inflight_limit"]
-                    if inflight[key] >= limit:
-                        continue  # admission-blocked; may free up later
-                eligible.append(tid)
-            if not eligible:
-                continue
-            t_star = max(device_free[dev], min(ready_time[t] for t in eligible))
-            avail = [t for t in eligible if ready_time[t] <= t_star + 1e-12]
-            tid = min(avail, key=lambda x: by_id[x].priority)
-            cand = (t_star, by_id[tid].priority, dev, tid)
-            if best is None or cand < best:
-                best = cand
-
-        if best is None:
-            stuck = [t for t in by_id.values() if t.tid not in end_times]
-            raise RuntimeError(
-                f"deadlock: {len(stuck)} tasks cannot run "
-                f"(first few: {[t.tid for t in stuck[:5]]}); check deps and "
-                "in-flight limits"
+    def dispatch(dev: int, now: float) -> None:
+        """Start the device's best eligible ready task, if it is idle."""
+        nonlocal seq
+        if device_free[dev] > now + _TIME_EPS:
+            return
+        heap = ready[dev]
+        while heap:
+            prio, tid = heap[0]
+            task = by_id[tid]
+            key = task.meta.get("inflight_key")
+            if key is not None and inflight[key] >= task.meta["inflight_limit"]:
+                heapq.heappop(heap)
+                parked[key].append((prio, tid))
+                continue  # admission-blocked; a release will re-queue it
+            heapq.heappop(heap)
+            if key is not None:
+                inflight[key] += 1
+                peak_inflight[key] = max(peak_inflight[key], inflight[key])
+            t_end = now + task.duration
+            device_free[dev] = t_end
+            start_times[tid] = now
+            timeline.add(
+                TimelineEvent(dev, task.kind.value, now, t_end, task.label, task.meta)
             )
+            heapq.heappush(events, (t_end, seq, tid))
+            seq += 1
+            return
 
-        t_start, _, dev, tid = best
-        task = by_id[tid]
-        ready[dev].discard(tid)
-        key = task.meta.get("inflight_key")
-        if key is not None:
-            inflight[key] += 1
-            peak_inflight[key] = max(peak_inflight[key], inflight[key])
-        t_end = t_start + task.duration
-        device_free[dev] = t_end
-        start_times[tid] = t_start
-        timeline.add(
-            TimelineEvent(dev, task.kind.value, t_start, t_end, task.label, task.meta)
+    # Seed: zero-dep tasks are runnable at start_time; control chains that
+    # are complete from the outset collapse immediately.
+    dirty: set[int] = set()
+    for t in tasks:
+        if missing[t.tid] == 0:
+            promote(t.tid, start_time, dirty)
+    for dev in sorted(dirty):
+        dispatch(dev, start_time)
+
+    while events:
+        now = events[0][0]
+        dirty = set()
+        # Drain every completion at this instant before any device picks,
+        # so simultaneous releases/readiness are all visible to the pick.
+        while events and events[0][0] <= now + _TIME_EPS:
+            _, _, tid = heapq.heappop(events)
+            finish(tid, now, dirty)
+        for dev in sorted(dirty):
+            dispatch(dev, now)
+
+    if remaining > 0:
+        stuck = [t for t in by_id.values() if t.tid not in end_times]
+        raise RuntimeError(
+            f"deadlock: {len(stuck)} tasks cannot run "
+            f"(first few: {[t.tid for t in stuck[:5]]}); check deps and "
+            "in-flight limits"
         )
-        complete(tid, t_end)
-        remaining -= 1
 
     makespan = max(end_times.values(), default=start_time)
     return SimulationResult(

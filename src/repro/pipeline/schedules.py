@@ -1,4 +1,4 @@
-"""Builders for GPipe, 1F1B, and Chimera task graphs.
+"""Builders for GPipe, 1F1B, Chimera, and interleaved-1F1B task graphs.
 
 Every builder turns a :class:`PipelineConfig` into the task graph of one or
 more synchronous optimization steps:
@@ -13,13 +13,15 @@ more synchronous optimization steps:
 Schedule policy is expressed through task priorities and in-flight
 (activation memory) limits, executed by :func:`repro.pipeline.executor.simulate_tasks`:
 
-============  =========================  ==========================
-schedule      forward priority            in-flight limit per stage
-============  =========================  ==========================
-GPipe         before backwards, m asc     N_micro (unbounded)
-1F1B          after backwards, m asc      D - stage
-Chimera       after backwards, inj asc    D - local stage, per pipeline
-============  =========================  ==========================
+============  ==============================  ==============================
+schedule      forward priority                 in-flight limit per stage
+============  ==============================  ==============================
+GPipe         before backwards, m asc          N_micro (unbounded)
+1F1B          after backwards, m asc           D - stage
+Chimera       after backwards, inj asc         D - local stage, per pipeline
+Interleaved   before backwards, virtual        D - stage (D counts virtual
+              index m + chunk*P asc            stages)
+============  ==============================  ==============================
 """
 
 from __future__ import annotations
@@ -56,6 +58,9 @@ class PipelineConfig:
         Append PipeFisher's per-step precondition work to the critical path.
     stage_param_bytes:
         Parameter bytes per stage (sync-grad allreduce volume).
+    virtual_chunks:
+        Stage chunks per device for the interleaved schedule (Megatron's
+        v); ignored by GPipe/1F1B/Chimera.
     """
 
     depth: int
@@ -67,6 +72,7 @@ class PipelineConfig:
     recompute: bool = False
     precondition: bool = False
     stage_param_bytes: float = 0.0
+    virtual_chunks: int = 2
 
     def __post_init__(self) -> None:
         if self.depth < 2:
@@ -75,6 +81,10 @@ class PipelineConfig:
             raise ValueError(f"n_micro must be >= 1, got {self.n_micro}")
         if self.dp < 1 or self.world_multiplier < 1:
             raise ValueError("dp and world_multiplier must be >= 1")
+        if self.virtual_chunks < 1:
+            raise ValueError(
+                f"virtual_chunks must be >= 1, got {self.virtual_chunks}"
+            )
 
 
 class ScheduleBuilder:
@@ -110,10 +120,10 @@ class ScheduleBuilder:
 
     # -- schedule policy ----------------------------------------------------------
 
-    def fwd_priority(self, m: int) -> tuple:
+    def fwd_priority(self, m: int, stage: int = 0) -> tuple:
         raise NotImplementedError
 
-    def bwd_priority(self, m: int) -> tuple:
+    def bwd_priority(self, m: int, stage: int = 0) -> tuple:
         raise NotImplementedError
 
     def inflight_limit(self, stage: int) -> int:
@@ -156,7 +166,7 @@ class ScheduleBuilder:
                             kind=WorkKind.FORWARD,
                             duration=c.t_fwd,
                             deps=tuple(deps),
-                            priority=self.fwd_priority(m),
+                            priority=self.fwd_priority(m, s),
                             label=f"F m{m} s{s}",
                             meta={
                                 "stage": s,
@@ -182,7 +192,7 @@ class ScheduleBuilder:
                             kind=WorkKind.BACKWARD,
                             duration=dur,
                             deps=tuple(deps),
-                            priority=self.bwd_priority(m),
+                            priority=self.bwd_priority(m, s),
                             label=f"B m{m} s{s}",
                             meta={
                                 "stage": s,
@@ -292,10 +302,10 @@ class GPipeSchedule(ScheduleBuilder):
 
     name = "gpipe"
 
-    def fwd_priority(self, m: int) -> tuple:
+    def fwd_priority(self, m: int, stage: int = 0) -> tuple:
         return (0, m)
 
-    def bwd_priority(self, m: int) -> tuple:
+    def bwd_priority(self, m: int, stage: int = 0) -> tuple:
         return (1, self.config.n_micro - 1 - m)
 
     def inflight_limit(self, stage: int) -> int:
@@ -307,11 +317,81 @@ class OneFOneBSchedule(ScheduleBuilder):
 
     name = "1f1b"
 
-    def fwd_priority(self, m: int) -> tuple:
+    def fwd_priority(self, m: int, stage: int = 0) -> tuple:
         return (1, m)
 
-    def bwd_priority(self, m: int) -> tuple:
+    def bwd_priority(self, m: int, stage: int = 0) -> tuple:
         return (0, m)
+
+    def inflight_limit(self, stage: int) -> int:
+        return self.config.depth - stage
+
+
+class InterleavedSchedule(ScheduleBuilder):
+    """Interleaved 1F1B with virtual stage chunks (Megatron-LM,
+    Narayanan et al. 2021).
+
+    ``depth`` counts *virtual* stages; each of the ``depth / v`` physical
+    devices hosts ``v`` non-contiguous chunks — device p runs stages
+    p, p + P, p + 2P, ... with P = depth / v physical devices per replica.
+    Because the first backward returns after traversing one chunk rather
+    than a device's whole model share, the warmup/cooldown bubble shrinks
+    by ~1/v at the cost of more in-flight activations and P2P traffic.
+
+    Policy: chunk k of micro-batch m competes like micro-batch ``m + k*P``
+    of a plain pipeline — the Megatron block-interleaving order collapsed
+    into a single *virtual injection index*.  Forwards outrank backwards
+    of the same index and the 1F1B alternation emerges from the in-flight
+    cap (a blocked forward yields the device to the next backward), which
+    reproduces the theoretical interleaved bubble (P-1)(Tf+Tb)/v to within
+    one chunk slot on symmetric costs.
+    """
+
+    name = "interleaved"
+
+    def __init__(self, config: PipelineConfig) -> None:
+        super().__init__(config)
+        v = config.virtual_chunks
+        if v < 2:
+            raise ValueError(
+                f"interleaved 1F1B needs virtual_chunks >= 2, got {v}"
+            )
+        if config.depth % v != 0:
+            raise ValueError(
+                f"depth {config.depth} not divisible by virtual_chunks {v}"
+            )
+        if config.depth // v < 2:
+            raise ValueError(
+                f"interleaving {config.depth} stages over {v} chunks leaves "
+                "fewer than 2 devices; reduce virtual_chunks"
+            )
+
+    @property
+    def physical_depth(self) -> int:
+        """Devices per replica (P); ``depth`` is P * virtual_chunks."""
+        return self.config.depth // self.config.virtual_chunks
+
+    @property
+    def num_devices(self) -> int:
+        return self.physical_depth * self.config.dp
+
+    def device(self, stage: int, replica: int) -> int:
+        return (stage % self.physical_depth) * self.config.dp + replica
+
+    def stages_of_device(self, dev: int) -> list[int]:
+        base = dev // self.config.dp
+        return [
+            base + k * self.physical_depth
+            for k in range(self.config.virtual_chunks)
+        ]
+
+    def fwd_priority(self, m: int, stage: int = 0) -> tuple:
+        chunk = stage // self.physical_depth
+        return (0, m + chunk * self.physical_depth)
+
+    def bwd_priority(self, m: int, stage: int = 0) -> tuple:
+        rev_chunk = (self.config.depth - 1 - stage) // self.physical_depth
+        return (1, m + rev_chunk * self.physical_depth)
 
     def inflight_limit(self, stage: int) -> int:
         return self.config.depth - stage
@@ -354,10 +434,10 @@ class ChimeraSchedule(ScheduleBuilder):
                 group.add(b * self.config.dp + r)
         return sorted(group)
 
-    def fwd_priority(self, m: int) -> tuple:
+    def fwd_priority(self, m: int, stage: int = 0) -> tuple:
         return (1, m)
 
-    def bwd_priority(self, m: int) -> tuple:
+    def bwd_priority(self, m: int, stage: int = 0) -> tuple:
         return (0, m)
 
     def inflight_limit(self, stage: int) -> int:
@@ -388,7 +468,7 @@ class ChimeraSchedule(ScheduleBuilder):
                                 kind=WorkKind.FORWARD,
                                 duration=c.t_fwd,
                                 deps=tuple(deps),
-                                priority=self.fwd_priority(m),
+                                priority=self.fwd_priority(m, s),
                                 label=f"F {pipe[0]}{m} s{s}",
                                 meta={
                                     "stage": s,
@@ -415,7 +495,7 @@ class ChimeraSchedule(ScheduleBuilder):
                                 kind=WorkKind.BACKWARD,
                                 duration=dur,
                                 deps=tuple(deps),
-                                priority=self.bwd_priority(m),
+                                priority=self.bwd_priority(m, s),
                                 label=f"B {pipe[0]}{m} s{s}",
                                 meta={
                                     "stage": s,
@@ -456,6 +536,7 @@ SCHEDULES: dict[str, type[ScheduleBuilder]] = {
     "gpipe": GPipeSchedule,
     "1f1b": OneFOneBSchedule,
     "chimera": ChimeraSchedule,
+    "interleaved": InterleavedSchedule,
 }
 
 

@@ -3,8 +3,14 @@
 import pytest
 
 from repro.perfmodel.costs import StageCosts, WorkCosts
-from repro.pipefisher import build_device_queues
-from repro.pipeline import ChimeraSchedule, GPipeSchedule, PipelineConfig
+from repro.pipefisher import BubbleFiller, build_device_queues
+from repro.pipeline import (
+    ChimeraSchedule,
+    GPipeSchedule,
+    InterleavedSchedule,
+    PipelineConfig,
+    simulate_tasks,
+)
 
 
 def costs(layers=3):
@@ -93,6 +99,51 @@ class TestChimeraQueues:
         curv = [i for i in q.items if i.kind == "curvature"]
         # 2 stages * (N/2 micro-batches) * 2 layers * 2 factors = 16.
         assert len(curv) == 16
+
+
+class TestInterleavedQueues:
+    """Virtual-stage chunks flow through the K-FAC inventory and the
+    bubble filler exactly like Chimera's two stages per device."""
+
+    def builder(self, layers=2):
+        cfg = PipelineConfig(depth=8, n_micro=4, costs=costs(layers),
+                             virtual_chunks=2)
+        return InterleavedSchedule(cfg)
+
+    def test_all_chunk_stages_covered(self):
+        b = self.builder()
+        queues = build_device_queues(b, costs(2))
+        for dev in range(b.num_devices):
+            stages = {i.stage for i in queues[dev].items}
+            assert stages == set(b.stages_of_device(dev))
+
+    def test_item_count_scales_with_chunks(self):
+        b = self.builder()
+        q = build_device_queues(b, costs(2))[0]
+        curv = [i for i in q.items if i.kind == "curvature"]
+        # 2 chunk stages * 4 micro-batches * 2 layers * 2 factors.
+        assert len(curv) == 32
+        inv = [i for i in q.items if i.kind == "inversion"]
+        assert len(inv) == 8  # 2 stages * 2 layers * 2 factors
+
+    def test_bubble_filler_drains_interleaved_queues(self):
+        b = self.builder(layers=1)
+        template = simulate_tasks(b.build(steps=1), b.num_devices)
+        queues = build_device_queues(b, costs(1))
+        result = BubbleFiller(template, queues).fill()
+        assert result.refresh_steps >= 1
+        for q in result.queues.values():
+            assert all(i.assigned for i in q.items)
+        # Placed K-FAC segments only ever occupy bubbles: overlaying them
+        # on the template timeline must not double-book any device.
+        overlay = simulate_tasks(b.build(steps=1), b.num_devices).timeline
+        for c in range(result.refresh_steps - 1):
+            for e in template.timeline.events:
+                overlay.add(e.shifted((c + 1) * template.makespan))
+        overlay.extend(result.events())
+        overlay.verify_no_overlap(
+            kinds={"forward", "backward", "curvature", "inversion",
+                   "precondition", "sync_grad", "sync_curv"})
 
 
 class TestInversionParallel:

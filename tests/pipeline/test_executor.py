@@ -118,6 +118,113 @@ class TestInflightControl:
         assert res.peak_inflight["k"] == 3
 
 
+class TestAdmissionTiming:
+    """Regression: in-flight slots must be released at the releasing
+    backward's simulated *end* time, not when it is picked.
+
+    The pre-rewrite executor applied a backward's release as soon as the
+    scheduler chose it (``complete()`` ran at pick time), so a forward on
+    *another* device sharing the in-flight key could be admitted at a
+    simulated time before the backward freeing its slot had ended —
+    overstating overlap and understating ``peak_inflight``.
+    """
+
+    def test_cross_device_forward_waits_for_release_end(self):
+        # dev0: f0 takes the only slot; b0 (5s) releases it.
+        # dev1: f1 wants the same slot and is otherwise free at t=0.
+        # The old executor started f1 at t=0 (b0 picked, slot "freed");
+        # the slot is genuinely free only at b0's end, t=6.
+        fwd = {"inflight_key": "K", "inflight_limit": 1}
+        tasks = [
+            task("f0", 0, 1.0, priority=(0,), meta=dict(fwd)),
+            task("b0", 0, 5.0, deps=["f0"], priority=(1,),
+                 kind=WorkKind.BACKWARD, meta={"inflight_release": "K"}),
+            task("f1", 1, 1.0, priority=(2,), meta=dict(fwd)),
+        ]
+        res = simulate_tasks(tasks, 2)
+        assert res.end_times["b0"] == pytest.approx(6.0)
+        assert res.start_times["f1"] >= res.end_times["b0"] - 1e-9
+        assert res.peak_inflight["K"] == 1
+
+    def test_release_chain_preserves_limit(self):
+        """Two devices ping-pong one slot; occupancy never exceeds 1."""
+        fwd = {"inflight_key": "K", "inflight_limit": 1}
+        rel = {"inflight_release": "K"}
+        tasks = []
+        for i in range(4):
+            dev = i % 2
+            deps = [f"b{i - 1}"] if i else []
+            tasks.append(task(f"f{i}", dev, 1.0, deps=deps, priority=(0, i),
+                              meta=dict(fwd)))
+            tasks.append(task(f"b{i}", dev, 2.0, deps=[f"f{i}"], priority=(1, i),
+                              kind=WorkKind.BACKWARD, meta=dict(rel)))
+        res = simulate_tasks(tasks, 2)
+        assert res.peak_inflight["K"] == 1
+        for i in range(1, 4):
+            assert res.start_times[f"f{i}"] >= res.end_times[f"b{i - 1}"] - 1e-9
+
+
+class TestDeterminism:
+    """Timelines must not depend on hash order (PYTHONHASHSEED)."""
+
+    @staticmethod
+    def _chimera_events():
+        from repro.perfmodel.costs import StageCosts, WorkCosts
+        from repro.pipeline import PipelineConfig, make_schedule
+
+        block = WorkCosts(t_fwd=1.0, t_bwd=2.0, t_curv_a=0.1, t_curv_b=0.1,
+                          t_inv=0.3, t_prec=0.05)
+        costs = StageCosts(block=block, layers_per_stage=1, t_overhead=0.1,
+                           kernel_density=1.0)
+        cfg = PipelineConfig(depth=4, n_micro=8, costs=costs, dp=2,
+                             stage_param_bytes=1e8, precondition=True)
+        b = make_schedule("chimera", cfg)
+        res = simulate_tasks(b.build(steps=2), b.num_devices)
+        return [(e.device, e.kind, e.start, e.end, e.label)
+                for e in res.timeline.events]
+
+    def test_repeated_runs_identical_event_lists(self):
+        assert self._chimera_events() == self._chimera_events()
+
+    def test_event_list_stable_across_hash_seeds(self):
+        """Same Chimera config under different PYTHONHASHSEED values must
+        produce byte-identical event lists (the old executor broke ties by
+        ``set`` iteration order, which varies with the seed)."""
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "import hashlib\n"
+            "from repro.perfmodel.costs import StageCosts, WorkCosts\n"
+            "from repro.pipeline import PipelineConfig, make_schedule, "
+            "simulate_tasks\n"
+            "block = WorkCosts(t_fwd=1.0, t_bwd=2.0, t_curv_a=0.1, "
+            "t_curv_b=0.1, t_inv=0.3, t_prec=0.05)\n"
+            "costs = StageCosts(block=block, layers_per_stage=1, "
+            "t_overhead=0.1, kernel_density=1.0)\n"
+            "cfg = PipelineConfig(depth=4, n_micro=8, costs=costs, dp=2, "
+            "stage_param_bytes=1e8, precondition=True)\n"
+            "b = make_schedule('chimera', cfg)\n"
+            "res = simulate_tasks(b.build(steps=2), b.num_devices)\n"
+            "evs = [(e.device, e.kind, e.start, e.end, e.label) "
+            "for e in res.timeline.events]\n"
+            "print(hashlib.sha256(repr(evs).encode()).hexdigest())\n"
+        )
+        src_dir = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src_dir)
+        digests = set()
+        for seed in ("0", "424242"):
+            env["PYTHONHASHSEED"] = seed
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True, env=env,
+            )
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1, f"hash-seed-dependent timelines: {digests}"
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     n=st.integers(1, 12),

@@ -1,0 +1,114 @@
+"""Executor invariants, checked across every schedule family.
+
+For each schedule the simulated timeline must satisfy, independent of
+policy details:
+
+* no two occupying events overlap on one device;
+* every task starts at or after the end of each of its dependencies;
+* per-key in-flight occupancy never exceeds the configured limit (checked
+  both via ``peak_inflight`` and by replaying the event intervals).
+"""
+
+import pytest
+
+from repro.perfmodel.costs import StageCosts, WorkCosts
+from repro.pipeline import PipelineConfig, make_schedule, simulate_tasks
+from repro.pipeline.bubbles import OCCUPYING_KINDS
+
+
+def costs(tf=1.0, tb=2.0, overhead=0.1):
+    block = WorkCosts(t_fwd=tf, t_bwd=tb, t_curv_a=0.1, t_curv_b=0.1,
+                      t_inv=0.3, t_prec=0.05)
+    return StageCosts(block=block, layers_per_stage=1, t_overhead=overhead,
+                      kernel_density=1.0)
+
+
+#: name -> (schedule, config) covering one- and multi-stage-per-device
+#: topologies, data parallelism, and multi-step flushes.
+CASES = {
+    "gpipe": ("gpipe", dict(depth=4, n_micro=6)),
+    "gpipe-dp": ("gpipe", dict(depth=4, n_micro=4, dp=2,
+                               stage_param_bytes=1e8)),
+    "1f1b": ("1f1b", dict(depth=4, n_micro=8)),
+    "1f1b-precond": ("1f1b", dict(depth=4, n_micro=4, precondition=True)),
+    "chimera": ("chimera", dict(depth=4, n_micro=8,
+                                stage_param_bytes=1e8)),
+    "chimera-dp": ("chimera", dict(depth=4, n_micro=4, dp=2,
+                                   stage_param_bytes=1e8)),
+    "interleaved-v2": ("interleaved", dict(depth=8, n_micro=8,
+                                           virtual_chunks=2)),
+    "interleaved-v3": ("interleaved", dict(depth=6, n_micro=6,
+                                           virtual_chunks=3,
+                                           stage_param_bytes=1e8, dp=2)),
+}
+
+
+@pytest.fixture(params=sorted(CASES), scope="module")
+def simulated(request):
+    name, kwargs = CASES[request.param]
+    cfg = PipelineConfig(costs=costs(), **kwargs)
+    builder = make_schedule(name, cfg)
+    tasks = builder.build(steps=2)
+    res = simulate_tasks(tasks, builder.num_devices)
+    return tasks, res
+
+
+def test_no_device_overlap(simulated):
+    _, res = simulated
+    res.timeline.verify_no_overlap(kinds=OCCUPYING_KINDS)
+
+
+def test_every_task_starts_after_deps(simulated):
+    tasks, res = simulated
+    for t in tasks:
+        for d in t.deps:
+            assert res.start_times[t.tid] >= res.end_times[d] - 1e-9, (
+                f"{t.tid} started at {res.start_times[t.tid]} before dep "
+                f"{d} ended at {res.end_times[d]}"
+            )
+
+
+def test_peak_inflight_within_limits(simulated):
+    tasks, res = simulated
+    limits = {}
+    for t in tasks:
+        key = t.meta.get("inflight_key")
+        if key is not None:
+            limits[key] = t.meta["inflight_limit"]
+    assert limits, "schedule emitted no admission-controlled forwards"
+    for key, peak in res.peak_inflight.items():
+        assert peak <= limits[key], (
+            f"key {key}: peak in-flight {peak} exceeds limit {limits[key]}"
+        )
+
+
+def test_inflight_intervals_never_exceed_limit(simulated):
+    """Replay (forward start, releasing backward end) occupancy intervals:
+    the *simulated-time* overlap per key must stay within the limit — this
+    is the invariant the pre-rewrite pick-time release violated."""
+    tasks, res = simulated
+    by_key: dict = {}
+    release_end: dict = {}
+    limits = {}
+    for t in tasks:
+        key = t.meta.get("inflight_key")
+        if key is not None:
+            limits[key] = t.meta["inflight_limit"]
+            by_key.setdefault(key, []).append(t.tid)
+        rel = t.meta.get("inflight_release")
+        if rel is not None:
+            release_end.setdefault(rel, []).append(res.end_times[t.tid])
+    for key, fwd_ids in by_key.items():
+        # Pair forwards with releases in start/end order (FIFO slots).
+        starts = sorted(res.start_times[tid] for tid in fwd_ids)
+        ends = sorted(release_end.get(key, []))
+        if len(ends) < len(starts):
+            continue  # unreleased keys (e.g. GPipe tail) checked via peak
+        marks = [(s, +1) for s in starts] + [(e - 1e-12, -1) for e in ends]
+        occupancy = peak = 0
+        for _, delta in sorted(marks):
+            occupancy += delta
+            peak = max(peak, occupancy)
+        assert peak <= limits[key], (
+            f"key {key}: simulated-time occupancy {peak} > {limits[key]}"
+        )

@@ -146,6 +146,76 @@ class TestChimera:
         assert u["chimera"] > u["1f1b"]
 
 
+class TestInterleaved:
+    """Interleaved 1F1B: v virtual stage chunks per device (Megatron)."""
+
+    def icfg(self, P=4, v=2, n_micro=8, tf=1.0, tb=2.0, **kw):
+        # Per-virtual-stage costs scaled by 1/v: same total model as a
+        # plain depth-P pipeline with per-stage costs (tf, tb).
+        return config(depth=P * v, n_micro=n_micro, tf=tf / v, tb=tb / v,
+                      virtual_chunks=v, **kw)
+
+    def test_stage_to_device_round_robin(self):
+        b = make_schedule("interleaved", self.icfg(P=4, v=2))
+        assert b.num_devices == 4
+        assert b.stages_of_device(0) == [0, 4]
+        assert b.stages_of_device(3) == [3, 7]
+        assert b.device(5, 0) == 1
+
+    def test_span_matches_interleaved_bubble(self):
+        """Bubble shrinks to (P-1)(Tf+Tb)/v: span = N(Tf+Tb) + that."""
+        b, res = simulate("interleaved", self.icfg(P=4, v=2, n_micro=8))
+        assert res.makespan == pytest.approx(8 * 3.0 + 3 * 3.0 / 2)
+
+    def test_beats_plain_1f1b_same_model_same_devices(self):
+        _, plain = simulate("1f1b", config(depth=4, n_micro=8))
+        for v in (2, 4):
+            _, inter = simulate("interleaved",
+                                self.icfg(P=4, v=v, n_micro=8))
+            assert inter.makespan < plain.makespan
+        from repro.pipeline.bubbles import bubble_fraction
+        _, inter = simulate("interleaved", self.icfg(P=4, v=2, n_micro=8))
+        assert bubble_fraction(inter.timeline) < bubble_fraction(plain.timeline)
+
+    def test_every_device_runs_all_chunks(self):
+        cfg = self.icfg(P=4, v=2, n_micro=8)
+        b = make_schedule("interleaved", cfg)
+        res = simulate_tasks(b.build(), b.num_devices)
+        for d in range(b.num_devices):
+            fwd = [e for e in res.timeline.device_events(d)
+                   if e.kind == "forward"]
+            assert len(fwd) == cfg.n_micro * 2  # n_micro per chunk
+            assert {e.meta["stage"] for e in fwd} == set(b.stages_of_device(d))
+
+    def test_dp_group_and_sync_grad(self):
+        cfg = self.icfg(P=4, v=2, dp=2, stage_param_bytes=1e8)
+        b = make_schedule("interleaved", cfg)
+        assert b.num_devices == 8
+        assert b.dp_group(0) == [0, 1]
+        res = simulate_tasks(b.build(), b.num_devices)
+        syncs = [e for e in res.timeline.events if e.kind == "sync_grad"]
+        assert len(syncs) == 8  # one per device
+
+    def test_inflight_capped_by_virtual_depth(self):
+        b, res = simulate("interleaved", self.icfg(P=4, v=2, n_micro=8))
+        for (r, _, stage), peak in res.peak_inflight.items():
+            assert peak <= b.config.depth - stage
+
+    def test_invalid_chunking_rejected(self):
+        with pytest.raises(ValueError, match="virtual_chunks"):
+            make_schedule("interleaved",
+                          config(depth=4, n_micro=4, virtual_chunks=1))
+        with pytest.raises(ValueError, match="divisible"):
+            make_schedule("interleaved",
+                          config(depth=6, n_micro=4, virtual_chunks=4))
+        with pytest.raises(ValueError, match="fewer than 2"):
+            make_schedule("interleaved",
+                          config(depth=4, n_micro=4, virtual_chunks=4))
+        with pytest.raises(ValueError):
+            PipelineConfig(depth=4, n_micro=4, costs=unit_costs(),
+                           virtual_chunks=0)
+
+
 class TestDataParallel:
     def test_device_count(self):
         cfg = config(dp=2)

@@ -9,7 +9,7 @@ class TestCLI:
     def test_all_experiments_registered(self):
         assert set(EXPERIMENTS) == {
             "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "fig9-10", "table2", "table3",
+            "fig9-10", "table2", "table3", "interleaved",
         }
 
     def test_fast_excludes_training(self):

@@ -12,13 +12,31 @@ Run with::
     pytest benchmarks/ --benchmark-only -s
 """
 
+import json
+from pathlib import Path
+
 import pytest
+
+#: Where ``BENCH_<name>.json`` perf-trajectory files land (repo root).
+BENCH_DIR = Path(__file__).resolve().parent.parent
 
 
 def record(benchmark, **info):
     """Attach paper-vs-measured values to the benchmark report."""
     for key, value in info.items():
         benchmark.extra_info[key] = value
+
+
+def write_bench(name: str, **data) -> Path:
+    """Write ``BENCH_<name>.json`` so perf is tracked across PRs.
+
+    The scaling benchmarks call this with wall-time + speedup numbers;
+    the committed files are the perf trajectory the next PR compares
+    against.
+    """
+    path = BENCH_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture

@@ -19,7 +19,7 @@ the blocked forward — none of the built-in schedules does that; see
 import time
 from collections import defaultdict
 
-from benchmarks.conftest import record
+from benchmarks.conftest import record, write_bench
 from repro.perfmodel.costs import StageCosts, WorkCosts
 from repro.pipeline import PipelineConfig, make_schedule, simulate_tasks
 
@@ -169,3 +169,6 @@ def test_event_driven_executor_scales(once, benchmark):
     )
     record(benchmark, n_tasks=n_tasks, event_driven_s=round(new_s, 3),
            greedy_scan_s=round(legacy_s, 3), speedup=round(speedup, 1))
+    write_bench("executor", n_tasks=n_tasks, num_devices=builder.num_devices,
+                event_driven_s=round(new_s, 3),
+                greedy_scan_s=round(legacy_s, 3), speedup=round(speedup, 1))

@@ -23,6 +23,7 @@ def main() -> None:
         depth=4,                # pipeline stages
         n_micro=4,              # micro-batches per step
         layers_per_stage=3,     # BERT-Base's 12 layers / 4 stages
+        materialize_window=True,  # we render the timelines below
     )
 
     two_steps = (0.0, 2 * report.baseline_step_time)

@@ -32,6 +32,7 @@ def run_fig1(width: int = 110) -> Fig1Result:
         n_micro=4,
         layers_per_stage=3,
         window_steps=2,
+        materialize_window=True,
     ).execute()
     two_steps = (0.0, 2 * report.baseline_step_time)
     gpipe_art = render_timeline(report.baseline_timeline, width=width, window=two_steps)

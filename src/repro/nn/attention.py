@@ -75,14 +75,17 @@ class MultiHeadSelfAttention(Module):
         v = self._split_heads(self.value(x), batch, seq)
 
         scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
-        bias = np.zeros((batch, 1, 1, seq), dtype=np.float32)
+        # No mask and not causal: the bias would be all zeros — skip its
+        # (batch, 1, 1, seq) allocation and the np.any scan entirely.
+        bias = None
         if attention_mask is not None:
             mask = np.asarray(attention_mask, dtype=bool).reshape(batch, 1, 1, seq)
             bias = np.where(mask, 0.0, _NEG_INF).astype(np.float32)
         if self.causal:
             causal_bias = np.triu(np.full((seq, seq), _NEG_INF, dtype=np.float32), k=1)
-            bias = bias + causal_bias.reshape(1, 1, seq, seq)
-        if np.any(bias):
+            causal_bias = causal_bias.reshape(1, 1, seq, seq)
+            bias = causal_bias if bias is None else bias + causal_bias
+        if bias is not None and np.any(bias):
             scores = scores + Tensor(bias)
 
         probs = F.softmax(scores, axis=-1)

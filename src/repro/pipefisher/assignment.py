@@ -14,10 +14,25 @@ in step ``k`` are the step-0 bubbles shifted by ``k * span``; an item
 triggered by "forward of micro-batch m at stage s" is ready at that
 forward's end *within the step it is placed in*.  The number of steps
 needed to drain the queue is the curvature refresh interval.
+
+The placer is event-indexed: per-device ready heaps ordered exactly like
+the greedy rule's ``(start, -ready, position)`` key, dependency counters
+for ``("items", ...)`` triggers (a completed item decrements its
+dependents instead of every scan re-walking the full dependency tuple),
+and a bubble cursor that only ever moves forward.  Placement work is
+O(items log items + total deps), plus per-placement re-checks of the
+ready items that sort ahead of the winner but cannot split into the
+bubble's remaining room under ``min_chunk`` — a small prefix in practice,
+since similarly-sized items stop fitting at the same time and end the
+bubble.  This replaces rescanning every unassigned item per placed
+segment, while producing placements bit-identical to the original
+scan-all greedy loop (frozen as the baseline in
+``benchmarks/test_filler_scaling.py``).
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from repro.pipefisher.workqueue import KFACWorkItem, KFACWorkQueue
@@ -30,7 +45,11 @@ _EPS = 1e-9
 
 @dataclass
 class AssignmentResult:
-    """Outcome of bubble filling."""
+    """Outcome of bubble filling.
+
+    :meth:`BubbleFiller.fill` guarantees every item is assigned before a
+    result is constructed, so reporting helpers never re-validate.
+    """
 
     queues: dict[int, KFACWorkQueue]
     refresh_steps: int
@@ -43,8 +62,6 @@ class AssignmentResult:
         out = []
         for q in self.queues.values():
             for i in q.items:
-                if not i.assigned:
-                    raise RuntimeError(f"unassigned item {i.iid} in result")
                 for s, e in i.segments:
                     out.append(
                         TimelineEvent(
@@ -164,12 +181,48 @@ class BubbleFiller:
             return max(ends) if ends else 0.0
         raise ValueError(f"unknown trigger {item.trigger!r}")
 
+    # -- feasibility --------------------------------------------------------------
+
+    def _feasible(self, remaining: float, room: float) -> bool:
+        """Can an item with ``remaining`` work start in ``room`` seconds?
+
+        A fragment (``room < remaining``) must leave both the fragment and
+        the leftover at least ``min_chunk`` (~one kernel); a full fit only
+        needs positive room.  Mirrors the original greedy rule exactly.
+        """
+        if room < remaining - _EPS:
+            return not (room < self.min_chunk - _EPS
+                        or remaining - room < self.min_chunk)
+        return room > _EPS
+
     # -- filling -----------------------------------------------------------------
 
     def _fill_device(self, device: int) -> int:
-        """Drain one device's queue; returns the number of steps used."""
+        """Drain one device's queue; returns the number of steps used.
+
+        Readiness is indexed instead of rescanned:
+
+        * ``future_heap`` holds ready items ordered by ``(ready, pos)``;
+          ``now_heap`` holds items whose readiness has passed the cursor,
+          ordered by ``(-ready, pos)``.  The cursor only moves forward, so
+          each item migrates future -> now at most once.
+        * ``("items", ...)`` triggers keep a counter of unassigned deps
+          and a running max end; completing an item decrements its
+          dependents (no tuple re-walks).
+
+        At a cursor ``t`` inside a bubble ending at ``b1``, every already-
+        ready item starts at ``t``, so the greedy key ``(start, -ready,
+        pos)`` reduces to ``now_heap`` order; if no now-item is feasible,
+        the best candidate is the earliest feasible future item, which is
+        ``future_heap`` order.  Items infeasible only for the *current*
+        room (fragment would violate ``min_chunk``) are popped, stashed,
+        and re-pushed; they cannot be parked for the rest of the bubble,
+        because a shrinking room can turn a too-small leftover
+        (``remaining - room < min_chunk``) back into a legal split.
+        """
         q = self.queues[device]
-        if not q.items:
+        items = q.items
+        if not items:
             return 0
         by_id = q.by_id()
         bubbles0 = bubble_intervals(
@@ -182,47 +235,105 @@ class BubbleFiller:
             raise RuntimeError(
                 f"device {device} has no bubbles to fill (span {self.span:.4f}s)"
             )
-        remaining = len(q.items)
+
+        pos_of = {item.iid: pos for pos, item in enumerate(items)}
+        ready = [0.0] * len(items)
+        dep_count = [0] * len(items)
+        dep_max_end = [0.0] * len(items)
+        dependents: dict[int, list[int]] = {}
+        future_heap: list[tuple[float, int]] = []  # (ready, pos)
+        now_heap: list[tuple[float, int]] = []  # (-ready, pos)
+
+        for pos, item in enumerate(items):
+            if item.trigger[0] == "items":
+                cnt = 0
+                mx = 0.0
+                for dep in item.trigger[1]:
+                    dpos = pos_of[dep]
+                    if items[dpos].assigned:
+                        end = items[dpos].end
+                        if end is not None and end > mx:
+                            mx = end
+                    else:
+                        cnt += 1
+                        dependents.setdefault(dpos, []).append(pos)
+                dep_count[pos] = cnt
+                dep_max_end[pos] = mx
+                if cnt == 0 and not item.assigned:
+                    ready[pos] = mx if item.trigger[1] else 0.0
+                    heapq.heappush(future_heap, (ready[pos], pos))
+            elif not item.assigned:
+                ready[pos] = self._ready_time(item, by_id)
+                heapq.heappush(future_heap, (ready[pos], pos))
+
+        remaining = len(items)
         last_placed_duration = -1.0
         for step in range(self.max_steps):
             offset = step * self.span
             for b0, b1 in ((a + offset, b + offset) for a, b in bubbles0):
                 t = b0
                 while True:
-                    # Most-constrained-first among items startable earliest:
-                    # pick the earliest feasible start; break ties by the
-                    # LATEST readiness (items with narrow windows, e.g. B
-                    # curvature behind the backward phase, must not lose
-                    # their window to always-ready A items).
-                    best: tuple[float, float, int] | None = None
-                    for pos, item in enumerate(q.items):
+                    if b1 - t <= _EPS:
+                        # Nothing can ever start here: a full fit needs
+                        # room > eps and a fragment needs room >= min_chunk.
+                        # (Common after a fragment fills the bubble to b1.)
+                        break
+                    while future_heap and future_heap[0][0] <= t:
+                        r, pos = heapq.heappop(future_heap)
+                        heapq.heappush(now_heap, (-r, pos))
+                    win_pos = -1
+                    win_ready = 0.0
+                    st = t
+                    room_now = b1 - t
+                    stash = []
+                    while now_heap:
+                        nr, pos = heapq.heappop(now_heap)
+                        item = items[pos]
                         if item.assigned:
                             continue
-                        rt = self._ready_time(item, by_id)
-                        if rt is None:
-                            continue
-                        st = max(t, rt)
-                        room = b1 - st
-                        if room < item.remaining - _EPS:
-                            # Placing a fragment: the fragment and the rest
-                            # must both be at least one kernel (min_chunk).
-                            if (room < self.min_chunk - _EPS
-                                    or item.remaining - room < self.min_chunk):
+                        if self._feasible(item.remaining, room_now):
+                            win_pos, win_ready = pos, -nr
+                            break
+                        stash.append((nr, pos))
+                    for entry in stash:
+                        heapq.heappush(now_heap, entry)
+                    if win_pos < 0:
+                        stash.clear()
+                        while future_heap:
+                            r, pos = future_heap[0]
+                            if r >= b1:
+                                break
+                            heapq.heappop(future_heap)
+                            item = items[pos]
+                            if item.assigned:
                                 continue
-                        elif room <= _EPS:
-                            continue
-                        cand = (st, -rt, pos)
-                        if best is None or cand < best:
-                            best = cand
-                    if best is None:
+                            if self._feasible(item.remaining, b1 - r):
+                                win_pos, win_ready, st = pos, r, r
+                                break
+                            stash.append((r, pos))
+                        for entry in stash:
+                            heapq.heappush(future_heap, entry)
+                    if win_pos < 0:
                         break
-                    st, _, pos = best
-                    item = q.items[pos]
+                    item = items[win_pos]
                     piece = min(item.remaining, b1 - st)
                     item.segments.append((st, st + piece))
                     t = st + piece
                     if item.assigned:
                         remaining -= 1
+                        end = item.end
+                        for dpos in dependents.get(win_pos, ()):
+                            dep_count[dpos] -= 1
+                            if end > dep_max_end[dpos]:
+                                dep_max_end[dpos] = end
+                            if dep_count[dpos] == 0:
+                                ready[dpos] = dep_max_end[dpos]
+                                heapq.heappush(
+                                    future_heap, (ready[dpos], dpos))
+                    else:
+                        # Partial placement: the cursor has passed its
+                        # readiness, so it re-enters as a "now" item.
+                        heapq.heappush(now_heap, (-win_ready, win_pos))
                 if remaining == 0:
                     return step + 1
             if remaining == 0:
@@ -242,10 +353,22 @@ class BubbleFiller:
         )
 
     def fill(self) -> AssignmentResult:
-        """Assign every queue; the refresh interval is the slowest device."""
+        """Assign every queue; the refresh interval is the slowest device.
+
+        Raises RuntimeError here — at assignment time, not when the result
+        is later reported — if any item escaped placement.
+        """
         per_device: dict[int, int] = {}
         for device in sorted(self.queues):
             per_device[device] = self._fill_device(device)
+        unassigned = [
+            i.iid for q in self.queues.values() for i in q.items if not i.assigned
+        ]
+        if unassigned:
+            raise RuntimeError(
+                f"fill left {len(unassigned)} item(s) unassigned: "
+                f"{unassigned[:5]}"
+            )
         refresh = max(per_device.values(), default=1)
         return AssignmentResult(
             queues=self.queues,

@@ -5,11 +5,18 @@ simulate the baseline schedule (first-order optimizer), simulate the
 PipeFisher step template (baseline + precondition), run the automatic
 work assignment, and report utilizations, step times, and the refresh
 interval.
+
+Utilizations are computed arithmetically from ONE cycle's colored time —
+the schedule repeats exactly, so tiling ``cycle_steps x events`` shifted
+copies of every event only to measure the same ratio is pure overhead.
+The tiled window timelines (what Figs. 1/3/4 render) are materialized
+lazily on first attribute access, or eagerly when a run sets
+``materialize_window=True`` for visualization.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.perfmodel.arch import TransformerArch
 from repro.perfmodel.calibration import host_overhead
@@ -21,31 +28,74 @@ from repro.pipeline.comm import CommModel
 from repro.pipeline.executor import simulate_tasks
 from repro.pipeline.schedules import PipelineConfig, make_schedule
 from repro.profiler.timeline import Timeline
-from repro.profiler.utilization import utilization
+from repro.profiler.utilization import colored_seconds, utilization
 
 
 @dataclass
 class PipeFisherReport:
-    """Everything a Fig. 3/4 panel shows, as numbers."""
+    """Everything a Fig. 3/4 panel shows, as numbers.
+
+    ``baseline_timeline`` / ``pipefisher_timeline`` are lazy: the window
+    timelines are tiled from the one-step templates on first access and
+    cached, so sweeps that only read the numbers never pay for them.
+    """
 
     schedule: str
     num_devices: int
     #: Baseline (first-order optimizer) results.
     baseline_step_time: float
     baseline_utilization: float
-    baseline_timeline: Timeline
     #: PipeFisher results.
     pipefisher_step_time: float
     pipefisher_utilization: float
-    pipefisher_timeline: Timeline
     refresh_steps: int
     device_refresh_steps: dict[int, int]
     assignment: AssignmentResult
+    #: One simulated step of each schedule (the repeating templates the
+    #: lazy window properties tile from).
+    base_template: Timeline
+    pf_template: Timeline
+    #: Steps the materialized windows cover (the paper plots ~2 steps).
+    window_steps: int = 2
+    _baseline_timeline: Timeline | None = field(default=None, repr=False)
+    _pipefisher_timeline: Timeline | None = field(default=None, repr=False)
 
     @property
     def step_time_overhead(self) -> float:
         """Relative per-step cost of PipeFisher (precondition only)."""
         return self.pipefisher_step_time / self.baseline_step_time - 1.0
+
+    @property
+    def baseline_timeline(self) -> Timeline:
+        """``window_steps`` tiled copies of the baseline step."""
+        if self._baseline_timeline is None:
+            tl = Timeline(self.num_devices)
+            for k in range(self.window_steps):
+                tl.extend([e.shifted(k * self.baseline_step_time)
+                           for e in self.base_template.events])
+            self._baseline_timeline = tl
+        return self._baseline_timeline
+
+    @property
+    def pipefisher_timeline(self) -> Timeline:
+        """Whole refresh cycles tiled until ``window_steps`` is covered.
+
+        Every tiled step carries its cycle's K-FAC work, so rendering any
+        window of it shows the schedule the utilization numbers describe.
+        """
+        if self._pipefisher_timeline is None:
+            span = self.pipefisher_step_time
+            n_cycles = max(1, -(-self.window_steps // self.refresh_steps))
+            cycle_steps = n_cycles * self.refresh_steps
+            tl = Timeline(self.num_devices)
+            for k in range(cycle_steps):
+                tl.extend([e.shifted(k * span) for e in self.pf_template.events])
+            kfac_events = self.assignment.events()
+            for c in range(n_cycles):
+                offset = c * self.refresh_steps * span
+                tl.extend([e.shifted(offset) for e in kfac_events])
+            self._pipefisher_timeline = tl
+        return self._pipefisher_timeline
 
 
 @dataclass
@@ -67,6 +117,10 @@ class PipeFisherRun:
     window_steps: int = 2
     #: Virtual stage chunks per device (interleaved schedule only).
     virtual_chunks: int = 2
+    #: Materialize the tiled window timelines eagerly (for visualization).
+    #: Off by default: utilizations are exact without them, and sweeps
+    #: that never render should not build ``cycle_steps x events`` copies.
+    materialize_window: bool = False
 
     def _config(self, precondition: bool) -> PipelineConfig:
         costs = compute_stage_costs(
@@ -96,10 +150,9 @@ class PipeFisherRun:
         base_builder = make_schedule(self.schedule, base_cfg)
         base_sim = simulate_tasks(base_builder.build(steps=1), base_builder.num_devices)
         base_span = base_sim.makespan
-        base_window = Timeline(base_builder.num_devices)
-        for k in range(self.window_steps):
-            base_window.extend([e.shifted(k * base_span) for e in base_sim.timeline.events])
-        base_util = utilization(base_window, (0.0, self.window_steps * base_span))
+        # The window is whole copies of the one step, so its utilization
+        # equals the one-step utilization — no tiling needed to measure it.
+        base_util = utilization(base_sim.timeline, (0.0, base_span))
 
         # -- PipeFisher template: baseline + precondition on the critical path --
         pf_cfg = self._config(precondition=True)
@@ -126,35 +179,37 @@ class PipeFisherRun:
         filler = BubbleFiller(template, queues, dp=self.dp)
         assignment = filler.fill()
 
-        # -- combined timeline over the refresh cycle ---------------------------
-        # The K-FAC assignment repeats every refresh_steps steps, so tile
-        # whole refresh cycles until window_steps is covered and measure
-        # over exactly the tiled extent — every tiled step is measured and
-        # every measured step carries its cycle's K-FAC work.
-        n_cycles = max(1, -(-self.window_steps // assignment.refresh_steps))
-        cycle_steps = n_cycles * assignment.refresh_steps
-        combined = Timeline(pf_builder.num_devices)
-        for k in range(cycle_steps):
-            combined.extend([e.shifted(k * span) for e in template.timeline.events])
-        kfac_events = assignment.events()
-        for c in range(n_cycles):
-            offset = c * assignment.refresh_steps * span
-            combined.extend([e.shifted(offset) for e in kfac_events])
-        pf_util = utilization(combined, (0.0, cycle_steps * span))
+        # -- utilization over the refresh cycle ---------------------------------
+        # The K-FAC assignment repeats every refresh_steps steps; over that
+        # cycle every step contributes the template's colored time and the
+        # cycle contributes the K-FAC work once:
+        #     util = (refresh * colored(template) + colored(kfac))
+        #            / (devices * refresh * span)
+        # identical (up to fp addition order) to measuring a materialized
+        # tiling of whole cycles, without building one.
+        refresh = assignment.refresh_steps
+        pf_colored = (refresh * colored_seconds(template.timeline.events)
+                      + colored_seconds(assignment.events()))
+        pf_util = pf_colored / (pf_builder.num_devices * refresh * span)
 
-        return PipeFisherReport(
+        report = PipeFisherReport(
             schedule=self.schedule,
             num_devices=pf_builder.num_devices,
             baseline_step_time=base_span,
             baseline_utilization=base_util,
-            baseline_timeline=base_window,
             pipefisher_step_time=span,
             pipefisher_utilization=pf_util,
-            pipefisher_timeline=combined,
-            refresh_steps=assignment.refresh_steps,
+            refresh_steps=refresh,
             device_refresh_steps=assignment.device_refresh_steps,
             assignment=assignment,
+            window_steps=self.window_steps,
+            base_template=base_sim.timeline,
+            pf_template=template.timeline,
         )
+        if self.materialize_window:
+            report.baseline_timeline
+            report.pipefisher_timeline
+        return report
 
 
 def run_pipefisher(**kwargs) -> PipeFisherReport:

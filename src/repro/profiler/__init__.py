@@ -7,7 +7,9 @@ definition of the colored-area percentage in Figs. 3-4.
 """
 
 from repro.profiler.timeline import Timeline, TimelineEvent
-from repro.profiler.utilization import utilization, colored_time, COLOR_DENSITY
+from repro.profiler.utilization import (
+    utilization, colored_time, colored_seconds, COLOR_DENSITY,
+)
 from repro.profiler.ascii_viz import render_timeline
 
 __all__ = [
@@ -15,6 +17,7 @@ __all__ = [
     "TimelineEvent",
     "utilization",
     "colored_time",
+    "colored_seconds",
     "COLOR_DENSITY",
     "render_timeline",
 ]

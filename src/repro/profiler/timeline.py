@@ -1,4 +1,12 @@
-"""Timeline data structures produced by the pipeline simulator."""
+"""Timeline data structures produced by the pipeline simulator.
+
+:class:`Timeline` keeps events bucketed per device at :meth:`Timeline.add`
+time and lazily caches sorted views and merged busy intervals, so the
+query helpers (``device_events`` / ``busy_intervals`` / ``idle_intervals``
+/ ``verify_no_overlap``) do not re-filter and re-sort the global event
+list on every call.  Caches are invalidated per device on mutation; all
+mutation must go through :meth:`add` / :meth:`extend`.
+"""
 
 from __future__ import annotations
 
@@ -37,18 +45,35 @@ class TimelineEvent:
         return self.end - self.start
 
     def shifted(self, dt: float) -> "TimelineEvent":
+        # Each copy gets its own meta dict: replicas of one template event
+        # must not alias mutable state.
         return TimelineEvent(self.device, self.kind, self.start + dt,
-                             self.end + dt, self.label, self.meta)
+                             self.end + dt, self.label, dict(self.meta))
 
 
 class Timeline:
-    """A set of device-work intervals plus query helpers."""
+    """A set of device-work intervals plus query helpers.
+
+    Events are stored twice: in insertion order in :attr:`events` (the
+    public, read-only view many consumers iterate) and bucketed per device
+    for the queries.  Sorted per-device views and merged busy intervals
+    are cached per ``kinds`` filter and rebuilt only after that device is
+    mutated.
+    """
 
     def __init__(self, num_devices: int) -> None:
         if num_devices <= 0:
             raise ValueError(f"num_devices must be positive, got {num_devices}")
         self.num_devices = num_devices
+        #: All events in insertion order.  Treat as read-only; mutate the
+        #: timeline only via :meth:`add` / :meth:`extend`.
         self.events: list[TimelineEvent] = []
+        self._by_device: list[list[TimelineEvent]] = [[] for _ in range(num_devices)]
+        #: device -> {kinds key -> events sorted by (start, end)}.
+        self._sorted_cache: list[dict] = [{} for _ in range(num_devices)]
+        #: device -> {kinds key -> (merged busy intervals, their end times)}.
+        self._busy_cache: list[dict] = [{} for _ in range(num_devices)]
+        self._span: tuple[float, float] | None = None
 
     def add(self, event: TimelineEvent) -> None:
         if not 0 <= event.device < self.num_devices:
@@ -58,6 +83,16 @@ class Timeline:
         if event.end < event.start:
             raise ValueError(f"event ends before it starts: {event}")
         self.events.append(event)
+        self._by_device[event.device].append(event)
+        if self._sorted_cache[event.device]:
+            self._sorted_cache[event.device] = {}
+        if self._busy_cache[event.device]:
+            self._busy_cache[event.device] = {}
+        if self._span is None:
+            self._span = (event.start, event.end)
+        else:
+            s0, s1 = self._span
+            self._span = (min(s0, event.start), max(s1, event.end))
 
     def extend(self, events: list[TimelineEvent]) -> None:
         for e in events:
@@ -66,33 +101,54 @@ class Timeline:
     @property
     def span(self) -> tuple[float, float]:
         """(earliest start, latest end) over all events."""
-        if not self.events:
+        if self._span is None:
             return (0.0, 0.0)
-        return (
-            min(e.start for e in self.events),
-            max(e.end for e in self.events),
-        )
+        return self._span
+
+    def _sorted_events(self, device: int, key: frozenset | None
+                       ) -> list[TimelineEvent]:
+        cache = self._sorted_cache[device]
+        evs = cache.get(key)
+        if evs is None:
+            if key is None:
+                evs = sorted(self._by_device[device],
+                             key=lambda e: (e.start, e.end))
+            else:
+                evs = [e for e in self._sorted_events(device, None)
+                       if e.kind in key]
+            cache[key] = evs
+        return evs
 
     def device_events(self, device: int, kinds: set[str] | None = None
                       ) -> list[TimelineEvent]:
         """Events on one device, sorted by start time."""
-        evs = [
-            e for e in self.events
-            if e.device == device and (kinds is None or e.kind in kinds)
-        ]
-        return sorted(evs, key=lambda e: (e.start, e.end))
+        if not 0 <= device < self.num_devices:
+            return []
+        key = None if kinds is None else frozenset(kinds)
+        return list(self._sorted_events(device, key))
+
+    def _busy(self, device: int, key: frozenset | None
+              ) -> tuple[list[tuple[float, float]], list[float]]:
+        cache = self._busy_cache[device]
+        hit = cache.get(key)
+        if hit is None:
+            merged: list[tuple[float, float]] = []
+            for e in self._sorted_events(device, key):
+                if merged and e.start <= merged[-1][1] + 1e-12:
+                    merged[-1] = (merged[-1][0], max(merged[-1][1], e.end))
+                else:
+                    merged.append((e.start, e.end))
+            hit = (merged, [b for _, b in merged])
+            cache[key] = hit
+        return hit
 
     def busy_intervals(self, device: int, kinds: set[str] | None = None
                        ) -> list[tuple[float, float]]:
         """Merged occupied intervals on one device."""
-        evs = self.device_events(device, kinds)
-        merged: list[tuple[float, float]] = []
-        for e in evs:
-            if merged and e.start <= merged[-1][1] + 1e-12:
-                merged[-1] = (merged[-1][0], max(merged[-1][1], e.end))
-            else:
-                merged.append((e.start, e.end))
-        return merged
+        if not 0 <= device < self.num_devices:
+            return []
+        key = None if kinds is None else frozenset(kinds)
+        return list(self._busy(device, key)[0])
 
     def idle_intervals(
         self,
@@ -101,18 +157,33 @@ class Timeline:
         kinds: set[str] | None = None,
         min_duration: float = 0.0,
     ) -> list[tuple[float, float]]:
-        """Gaps (bubbles) on one device within ``window``."""
+        """Gaps (bubbles) on one device within ``window``.
+
+        O(log n + k) per call once the busy index is built: a bisection
+        finds the first busy interval overlapping the window, then only
+        the k overlapping intervals are walked.
+        """
         w0, w1 = window
-        busy = self.busy_intervals(device, kinds)
+        if not 0 <= device < self.num_devices:
+            busy: list[tuple[float, float]] = []
+            ends: list[float] = []
+        else:
+            key = None if kinds is None else frozenset(kinds)
+            busy, ends = self._busy(device, key)
         idle: list[tuple[float, float]] = []
         cursor = w0
-        for b0, b1 in busy:
-            if b1 <= w0 or b0 >= w1:
-                continue
+        # Merged intervals are disjoint with strictly increasing ends, so
+        # the first interval with end > w0 starts the overlapping run.
+        i = bisect.bisect_right(ends, w0)
+        while i < len(busy):
+            b0, b1 = busy[i]
+            if b0 >= w1:
+                break
             b0c, b1c = max(b0, w0), min(b1, w1)
             if b0c > cursor:
                 idle.append((cursor, b0c))
             cursor = max(cursor, b1c)
+            i += 1
         if cursor < w1:
             idle.append((cursor, w1))
         return [(a, b) for a, b in idle if b - a > min_duration]
@@ -123,8 +194,9 @@ class Timeline:
         Control/overhead events are excluded via ``kinds`` when they model
         windows rather than exclusive occupancy.
         """
+        key = None if kinds is None else frozenset(kinds)
         for d in range(self.num_devices):
-            evs = self.device_events(d, kinds)
+            evs = self._sorted_events(d, key)
             for prev, cur in zip(evs, evs[1:]):
                 if cur.start < prev.end - 1e-9:
                     raise AssertionError(
@@ -140,5 +212,5 @@ class Timeline:
             if e.end <= t0 or e.start >= t1:
                 continue
             sub.add(TimelineEvent(e.device, e.kind, max(e.start, t0),
-                                  min(e.end, t1), e.label, e.meta))
+                                  min(e.end, t1), e.label, dict(e.meta)))
         return sub

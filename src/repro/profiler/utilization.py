@@ -29,13 +29,18 @@ COLOR_DENSITY: dict[str, float] = {
 }
 
 
-def colored_time(timeline: Timeline, density: dict[str, float] | None = None) -> float:
-    """Total kernel-active seconds across all devices."""
+def colored_seconds(events, density: dict[str, float] | None = None) -> float:
+    """Total kernel-active seconds of an event iterable."""
     density = COLOR_DENSITY if density is None else density
     total = 0.0
-    for e in timeline.events:
+    for e in events:
         total += e.duration * density.get(e.kind, 1.0)
     return total
+
+
+def colored_time(timeline: Timeline, density: dict[str, float] | None = None) -> float:
+    """Total kernel-active seconds across all devices."""
+    return colored_seconds(timeline.events, density)
 
 
 def utilization(

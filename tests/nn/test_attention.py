@@ -68,6 +68,25 @@ class TestMasking:
         # Earlier positions cannot see the future token.
         np.testing.assert_allclose(base[:, :-1], pert[:, :-1], atol=1e-4)
 
+    def test_no_mask_equals_all_ones_mask(self):
+        """The maskless fast path (no bias tensor at all) must match an
+        explicit all-ones mask bit for bit."""
+        attn = make_attn()
+        x = x_input()
+        mask = np.ones((2, 5), dtype=np.int64)
+        np.testing.assert_array_equal(
+            attn(x).numpy(), attn(x, attention_mask=mask).numpy()
+        )
+
+    def test_causal_without_mask_matches_causal_with_all_ones(self):
+        attn = make_attn(causal=True)
+        x = x_input()
+        mask = np.ones((2, 5), dtype=np.int64)
+        np.testing.assert_allclose(
+            attn(x).numpy(), attn(x, attention_mask=mask).numpy(),
+            atol=1e-6,
+        )
+
     def test_non_causal_sees_everything(self):
         attn = make_attn(causal=False)
         x = x_input()

@@ -125,3 +125,75 @@ class TestFilling:
         result = filler.fill()
         for e in result.events():
             assert 0 <= e.meta["step"] < result.refresh_steps
+
+
+class TestFillTimeValidation:
+    """A bad fill must fail at assignment time, not when reporting."""
+
+    def test_fill_raises_on_unassigned_items(self):
+        """If a device's items somehow escape placement, fill() itself
+        raises instead of handing back a result whose events() blows up."""
+        _, _, _, filler = setup()
+        filler._fill_device = lambda device: 1  # placement silently skipped
+        with pytest.raises(RuntimeError, match="unassigned"):
+            filler.fill()
+
+    def test_events_reports_partial_segments_without_raising(self):
+        """events() is a pure reporter now: it renders whatever segments
+        exist (fill() already guarantees completeness for real results)."""
+        from repro.pipefisher.assignment import AssignmentResult
+        from repro.pipefisher.workqueue import KFACWorkItem, KFACWorkQueue
+
+        item = KFACWorkItem(
+            iid="kfac0.d0", device=0, kind="curvature", factor="A", stage=0,
+            block=0, micro_batch=0, pipeline=None, duration=1.0,
+            trigger=("forward", 0, 0, None),
+            segments=[(0.0, 0.25)],  # partially placed: not assigned
+        )
+        assert not item.assigned
+        result = AssignmentResult(
+            queues={0: KFACWorkQueue(device=0, items=[item])},
+            refresh_steps=1, span=2.0,
+        )
+        events = result.events()
+        assert [(e.start, e.end) for e in events] == [(0.0, 0.25)]
+
+
+class TestReadinessIndex:
+    """The dependency-counter index must match on-demand readiness."""
+
+    def test_inversion_ready_exactly_at_last_curvature_end(self):
+        _, _, queues, filler = setup()
+        filler.fill()
+        for q in queues.values():
+            by_id = q.by_id()
+            for inv in (i for i in q.items if i.kind == "inversion"):
+                dep_ends = [by_id[d].end for d in inv.trigger[1]]
+                # the indexed rt is max(dep ends); start can never precede it
+                assert inv.start >= max(dep_ends) - 1e-12
+
+    def test_chained_items_triggers(self):
+        """sync_curv depends on ALL curvature; inversions depend on their
+        curvature AND the sync item — a two-level counter chain."""
+        block = WorkCosts(t_fwd=1.0, t_bwd=2.0, t_curv_a=0.2, t_curv_b=0.2,
+                          t_inv=0.6, t_prec=0.05)
+        costs = StageCosts(block=block, layers_per_stage=1, t_overhead=1.0,
+                           kernel_density=1.0)
+        cfg = PipelineConfig(depth=4, n_micro=8, costs=costs, dp=2,
+                             precondition=True, stage_param_bytes=1e8)
+        from repro.pipeline import make_schedule
+        builder = make_schedule("1f1b", cfg)
+        template = simulate_tasks(builder.build(), builder.num_devices)
+        queues = build_device_queues(builder, costs, inversion_parallel=True,
+                                     sync_curv_seconds=0.05)
+        result = BubbleFiller(template, queues, dp=2).fill()
+        for q in queues.values():
+            by_id = q.by_id()
+            syncs = [i for i in q.items if i.kind == "sync_curv"]
+            assert syncs, "inversion_parallel run must carry sync items"
+            for sync in syncs:
+                assert sync.start >= max(
+                    by_id[d].end for d in sync.trigger[1]) - 1e-12
+            for inv in (i for i in q.items if i.kind == "inversion"):
+                assert sync.iid in inv.trigger[1]
+        assert result.refresh_steps >= 1

@@ -71,3 +71,52 @@ class TestUtilizationAccounting:
         r = gpipe_report
         t0, t1 = r.pipefisher_timeline.span
         assert t1 >= r.refresh_steps * r.pipefisher_step_time - 1e-6
+
+
+class TestLazyWindowTimelines:
+    def test_timelines_are_lazy_by_default(self):
+        r = PipeFisherRun(
+            schedule="gpipe", arch=BERT_BASE, hardware=P100, b_micro=32,
+            depth=4, n_micro=4, layers_per_stage=3,
+        ).execute()
+        assert r._baseline_timeline is None
+        assert r._pipefisher_timeline is None
+        # first access materializes and caches
+        tl = r.pipefisher_timeline
+        assert tl is r.pipefisher_timeline
+        assert r._pipefisher_timeline is tl
+
+    def test_materialize_window_flag_builds_eagerly(self):
+        r = PipeFisherRun(
+            schedule="gpipe", arch=BERT_BASE, hardware=P100, b_micro=32,
+            depth=4, n_micro=4, layers_per_stage=3, materialize_window=True,
+        ).execute()
+        assert r._baseline_timeline is not None
+        assert r._pipefisher_timeline is not None
+
+    def test_lazy_and_eager_runs_agree(self):
+        kwargs = dict(schedule="gpipe", arch=BERT_BASE, hardware=P100,
+                      b_micro=32, depth=4, n_micro=4, layers_per_stage=3)
+        lazy = PipeFisherRun(**kwargs).execute()
+        eager = PipeFisherRun(materialize_window=True, **kwargs).execute()
+        assert lazy.pipefisher_utilization == pytest.approx(
+            eager.pipefisher_utilization, abs=1e-12)
+        assert lazy.baseline_utilization == pytest.approx(
+            eager.baseline_utilization, abs=1e-12)
+        for a, b in ((lazy.baseline_timeline, eager.baseline_timeline),
+                     (lazy.pipefisher_timeline, eager.pipefisher_timeline)):
+            assert len(a.events) == len(b.events)
+            assert a.span == b.span
+
+    def test_arithmetic_utilization_matches_measured_window(self, gpipe_report):
+        """The one-cycle arithmetic utilization must equal utilization()
+        measured over the materialized whole-cycle window."""
+        from repro.profiler import utilization
+
+        r = gpipe_report
+        tl = r.pipefisher_timeline
+        n_cycles = max(1, -(-r.window_steps // r.refresh_steps))
+        cycle_steps = n_cycles * r.refresh_steps
+        window = (0.0, cycle_steps * r.pipefisher_step_time)
+        assert r.pipefisher_utilization == pytest.approx(
+            utilization(tl, window), abs=1e-9)

@@ -39,6 +39,15 @@ class TestBasics:
         s = e.shifted(10.0)
         assert (s.start, s.end) == (11.0, 12.5)
 
+    def test_shifted_does_not_share_meta(self):
+        """Tiled replicas must not alias one mutable meta dict: mutating
+        one shifted copy's meta used to silently edit every replica."""
+        e = TimelineEvent(0, "forward", 0.0, 1.0, meta={"stage": 1})
+        a, b = e.shifted(1.0), e.shifted(2.0)
+        a.meta["stage"] = 99
+        assert b.meta["stage"] == 1
+        assert e.meta["stage"] == 1
+
 
 class TestQueries:
     def make(self):
@@ -101,3 +110,102 @@ class TestQueries:
         tl.add(ev(0, "backward", 1.0, 3.0))
         with pytest.raises(AssertionError):
             tl.verify_no_overlap()
+
+
+class TestIdleEdgeCases:
+    """Boundary contract the cached interval index must honor."""
+
+    def test_event_straddling_window_start(self):
+        tl = Timeline(1)
+        tl.add(ev(0, "forward", -1.0, 1.0))
+        assert tl.idle_intervals(0, (0.0, 3.0)) == [(1.0, 3.0)]
+
+    def test_event_straddling_window_end(self):
+        tl = Timeline(1)
+        tl.add(ev(0, "forward", 2.0, 5.0))
+        assert tl.idle_intervals(0, (0.0, 3.0)) == [(0.0, 2.0)]
+
+    def test_event_covering_whole_window(self):
+        tl = Timeline(1)
+        tl.add(ev(0, "forward", -1.0, 4.0))
+        assert tl.idle_intervals(0, (0.0, 3.0)) == []
+
+    def test_event_ending_exactly_at_window_start(self):
+        """An event with end == w0 is outside the window."""
+        tl = Timeline(1)
+        tl.add(ev(0, "forward", -1.0, 0.0))
+        assert tl.idle_intervals(0, (0.0, 2.0)) == [(0.0, 2.0)]
+
+    def test_zero_length_event_splits_idle(self):
+        tl = Timeline(1)
+        tl.add(ev(0, "forward", 2.0, 2.0))
+        assert tl.idle_intervals(0, (0.0, 4.0)) == [(0.0, 2.0), (2.0, 4.0)]
+        assert tl.busy_intervals(0) == [(2.0, 2.0)]
+
+    def test_fully_busy_window(self):
+        tl = Timeline(1)
+        tl.add(ev(0, "forward", 0.0, 2.0))
+        tl.add(ev(0, "backward", 2.0, 4.0))
+        assert tl.idle_intervals(0, (0.0, 4.0)) == []
+
+    def test_min_duration_is_strict(self):
+        """An idle gap exactly min_duration long is filtered out."""
+        tl = Timeline(1)
+        tl.add(ev(0, "forward", 0.0, 1.0))
+        tl.add(ev(0, "forward", 2.0, 3.0))
+        assert tl.idle_intervals(0, (0.0, 3.0), min_duration=1.0) == []
+        assert tl.idle_intervals(0, (0.0, 3.0), min_duration=0.5) == [(1.0, 2.0)]
+
+    def test_many_intervals_before_window(self):
+        """The bisection must skip busy intervals entirely before w0."""
+        tl = Timeline(1)
+        for k in range(10):
+            tl.add(ev(0, "forward", float(k), k + 0.5))
+        assert tl.idle_intervals(0, (8.6, 9.0)) == [(8.6, 9.0)]
+        assert tl.idle_intervals(0, (7.0, 8.25)) == [(7.5, 8.0)]
+
+
+class TestCacheInvalidation:
+    """Queries must reflect mutations made after a cache was built."""
+
+    def test_add_after_query_updates_results(self):
+        tl = Timeline(2)
+        tl.add(ev(0, "forward", 0.0, 1.0))
+        assert tl.busy_intervals(0) == [(0.0, 1.0)]
+        assert tl.idle_intervals(0, (0.0, 3.0)) == [(1.0, 3.0)]
+        tl.add(ev(0, "backward", 2.0, 3.0))
+        assert tl.busy_intervals(0) == [(0.0, 1.0), (2.0, 3.0)]
+        assert tl.idle_intervals(0, (0.0, 3.0)) == [(1.0, 2.0)]
+        assert [e.kind for e in tl.device_events(0)] == ["forward", "backward"]
+
+    def test_mutating_one_device_keeps_other_queries_fresh(self):
+        tl = Timeline(2)
+        tl.add(ev(0, "forward", 0.0, 1.0))
+        tl.add(ev(1, "forward", 0.0, 2.0))
+        assert tl.busy_intervals(1) == [(0.0, 2.0)]
+        tl.add(ev(1, "backward", 3.0, 4.0))
+        assert tl.busy_intervals(0) == [(0.0, 1.0)]
+        assert tl.busy_intervals(1) == [(0.0, 2.0), (3.0, 4.0)]
+
+    def test_returned_lists_are_copies(self):
+        """Callers mutating a query result must not corrupt the cache."""
+        tl = Timeline(1)
+        tl.add(ev(0, "forward", 0.0, 1.0))
+        tl.device_events(0).clear()
+        tl.busy_intervals(0).clear()
+        assert len(tl.device_events(0)) == 1
+        assert tl.busy_intervals(0) == [(0.0, 1.0)]
+
+    def test_span_tracks_additions(self):
+        tl = Timeline(1)
+        tl.add(ev(0, "forward", 1.0, 2.0))
+        assert tl.span == (1.0, 2.0)
+        tl.add(ev(0, "forward", -1.0, 0.5))
+        assert tl.span == (-1.0, 2.0)
+
+    def test_out_of_range_device_queries_are_empty(self):
+        tl = Timeline(2)
+        tl.add(ev(0, "forward", 0.0, 1.0))
+        assert tl.device_events(5) == []
+        assert tl.busy_intervals(5) == []
+        assert tl.idle_intervals(5, (0.0, 1.0)) == [(0.0, 1.0)]

@@ -14,8 +14,20 @@ K-FAC, CPU offloading) in emulated form, which the pipeline benchmarks use
 as baselines.
 """
 
-from repro.kfac.factors import KroneckerFactor, compute_factor_from_rows
-from repro.kfac.inverse import damped_cholesky_inverse, pi_damping
+from repro.kfac.factors import (
+    KroneckerFactor,
+    batched_factor_from_rows,
+    compute_factor_from_rows,
+    concat_row_batches,
+)
+from repro.kfac.inverse import (
+    batched_damped_cholesky_inverse,
+    batched_pair_inverses,
+    batched_pi_damping,
+    damped_cholesky_inverse,
+    pi_damping,
+)
+from repro.kfac.block_diagonal import BlockDiagonalFactor, block_diag_inversion_flops
 from repro.kfac.layer import KFACLayerState
 from repro.kfac.kfac import KFAC
 from repro.kfac.distributed import (
@@ -27,8 +39,15 @@ from repro.kfac.distributed import (
 __all__ = [
     "KroneckerFactor",
     "compute_factor_from_rows",
+    "concat_row_batches",
+    "batched_factor_from_rows",
     "damped_cholesky_inverse",
+    "batched_damped_cholesky_inverse",
     "pi_damping",
+    "batched_pi_damping",
+    "batched_pair_inverses",
+    "BlockDiagonalFactor",
+    "block_diag_inversion_flops",
     "KFACLayerState",
     "KFAC",
     "DataInversionParallelKFAC",

@@ -12,13 +12,20 @@ This module implements the numerics (block-diagonal factor accumulation,
 inversion and preconditioning) so the strategy is runnable, and
 :func:`block_diag_inversion_flops` feeds the performance model that the
 A.2 invariance test checks.
+
+Uniform-size blocks (the common ``dim % K == 0`` case) are updated and
+inverted as one ``(K, d/K, d/K)`` batch, and inverse blocks are cached
+per damping value: :meth:`BlockDiagonalFactor.solve_right`/``solve_left``
+factorize once per (factor refresh, damping) instead of on every solve —
+the steady-state preconditioning loop between curvature refreshes pays
+only the block matmuls.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.kfac.inverse import damped_cholesky_inverse
+from repro.kfac.inverse import batched_damped_cholesky_inverse, damped_cholesky_inverse
 
 
 def split_dim(dim: int, num_blocks: int) -> list[tuple[int, int]]:
@@ -51,10 +58,27 @@ class BlockDiagonalFactor:
             np.zeros((e - s, e - s), dtype=np.float32) for s, e in self.ranges
         ]
         self.updates = 0
+        #: Cached damped inverse blocks, keyed by damping; dropped whenever
+        #: the factor estimate changes. Bounded so an adaptive damping
+        #: schedule (new value every step between factor refreshes) cannot
+        #: accumulate one inverse set per distinct damping.
+        self._inverse_cache: dict[float, list[np.ndarray]] = {}
+        self._inverse_cache_max = 4
+        #: Total block Cholesky factorizations performed (regression hook:
+        #: repeated solves at one damping must not grow this).
+        self.factorizations = 0
 
     @property
     def num_blocks(self) -> int:
         return len(self.ranges)
+
+    @property
+    def _uniform_block(self) -> int | None:
+        """Common block size when every block is equally sized, else None."""
+        size = self.ranges[0][1] - self.ranges[0][0]
+        if self.dim == size * len(self.ranges):
+            return size
+        return None
 
     def update_from_rows(self, rows: np.ndarray) -> None:
         """Replace the estimate with this batch's block factors."""
@@ -62,14 +86,42 @@ class BlockDiagonalFactor:
         if rows.ndim != 2 or rows.shape[1] != self.dim:
             raise ValueError(f"expected (N, {self.dim}) rows, got {rows.shape}")
         n = max(rows.shape[0], 1)
-        for i, (s, e) in enumerate(self.ranges):
-            sub = rows[:, s:e]
-            self.blocks[i] = (sub.T @ sub / np.float32(n)).astype(np.float32)
+        size = self._uniform_block
+        if size is not None:
+            # One batched matmul over the (K, N, size) block view.
+            view = np.ascontiguousarray(
+                rows.reshape(rows.shape[0], len(self.ranges), size).transpose(1, 0, 2)
+            )
+            stack = np.matmul(np.transpose(view, (0, 2, 1)), view)
+            stack /= np.float32(n)
+            self.blocks = [b for b in stack.astype(np.float32, copy=False)]
+        else:
+            for i, (s, e) in enumerate(self.ranges):
+                sub = rows[:, s:e]
+                self.blocks[i] = (sub.T @ sub / np.float32(n)).astype(np.float32)
+        self._inverse_cache.clear()
         self.updates += 1
 
     def inverse_blocks(self, damping: float) -> list[np.ndarray]:
-        """Damped Cholesky inverse of every block (the split inversion work)."""
-        return [damped_cholesky_inverse(b, damping) for b in self.blocks]
+        """Damped Cholesky inverse of every block (the split inversion work).
+
+        Factorizations are cached per damping value until the next
+        :meth:`update_from_rows`; uniform block sizes invert as one batch.
+        """
+        cached = self._inverse_cache.get(damping)
+        if cached is not None:
+            return cached
+        if self._uniform_block is not None:
+            inv = list(
+                batched_damped_cholesky_inverse(np.stack(self.blocks), damping)
+            )
+        else:
+            inv = [damped_cholesky_inverse(b, damping) for b in self.blocks]
+        self.factorizations += len(self.blocks)
+        while len(self._inverse_cache) >= self._inverse_cache_max:
+            self._inverse_cache.pop(next(iter(self._inverse_cache)))
+        self._inverse_cache[damping] = inv
+        return inv
 
     def dense(self) -> np.ndarray:
         """Materialize the block-diagonal matrix (tests / small dims only)."""

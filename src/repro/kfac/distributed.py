@@ -22,7 +22,7 @@ from collections import deque
 import numpy as np
 
 from repro.kfac.factors import compute_factor_from_rows
-from repro.kfac.inverse import damped_cholesky_inverse, pi_damping
+from repro.kfac.inverse import batched_pair_inverses
 from repro.kfac.layer import KFACLayerState
 
 
@@ -87,21 +87,24 @@ class DataInversionParallelKFAC:
         bytes_moved = 0
         for l, state in enumerate(self.states):
             a_dim = state.din + (1 if state.include_bias else 0)
-            a_acc = np.zeros((a_dim, a_dim), dtype=np.float64)
-            b_acc = np.zeros((state.dout, state.dout), dtype=np.float64)
-            total_rows = 0
-            for w in range(self.num_workers):
-                rows_in = worker_inputs[w][l]
-                rows_g = worker_grads[w][l] * np.float32(loss_scales[w][l])
-                n = rows_in.shape[0]
-                a_acc += compute_factor_from_rows(
-                    rows_in, include_bias=state.include_bias
-                ) * n
-                b_acc += compute_factor_from_rows(rows_g) * n
-                total_rows += n
-            # Allreduce = row-weighted average across workers.
-            state.a_factor.update((a_acc / total_rows).astype(np.float32))
-            state.b_factor.update((b_acc / total_rows).astype(np.float32))
+            # The allreduce's row-weighted average of per-worker factors is
+            # the factor of the concatenated worker rows: sum_w n_w * (1/n_w)
+            # rows_w^T rows_w / total = concat^T concat / total. One matmul
+            # per factor instead of a per-worker float64 accumulation.
+            rows_in = np.concatenate(
+                [worker_inputs[w][l] for w in range(self.num_workers)], axis=0
+            )
+            rows_g = np.concatenate(
+                [
+                    worker_grads[w][l] * np.float32(loss_scales[w][l])
+                    for w in range(self.num_workers)
+                ],
+                axis=0,
+            )
+            state.a_factor.update(
+                compute_factor_from_rows(rows_in, include_bias=state.include_bias)
+            )
+            state.b_factor.update(compute_factor_from_rows(rows_g))
             bytes_moved += 4 * (a_dim * a_dim + state.dout * state.dout)
         self.last_allreduce_bytes = bytes_moved * (self.num_workers - 1)
 
@@ -157,12 +160,9 @@ class CPUOffloadKFAC:
         if len(self._queue) <= self.lag:
             return False
         snapshot = self._queue.popleft()
-        for state, (a, b) in zip(self.states, snapshot):
-            if self.use_pi:
-                da, db = pi_damping(a, b, self.damping)
-            else:
-                da = db = float(np.sqrt(self.damping))
-            state.a_inv = damped_cholesky_inverse(a, da)
-            state.b_inv = damped_cholesky_inverse(b, db)
+        inverses = batched_pair_inverses(snapshot, self.damping, use_pi=self.use_pi)
+        for state, (a_inv, b_inv) in zip(self.states, inverses):
+            state.a_inv = a_inv
+            state.b_inv = b_inv
             state.inverse_staleness = self.lag
         return True

@@ -14,6 +14,13 @@ standard practice for K-FAC on transformers; each row of the flattened
 Since training losses are mini-batch *means*, the captured output gradient
 rows equal ``(1/N) * dL_i/ds_i``; the empirical-Fisher error signal is the
 per-example gradient, so rows are rescaled by ``N`` before forming ``B``.
+
+Micro-batch accumulation is a *single* concatenated matmul: the mini-batch
+factor over ``N_micro`` micro-batches equals the factor of the row
+concatenation, so there is no per-micro-batch loop and no float64
+accumulator round trip.  :func:`batched_factor_from_rows` additionally
+forms the factors of a whole group of same-shape layers (all of BERT's
+per-block linears, stacked ``(L, N, d)``) with one stacked matmul.
 """
 
 from __future__ import annotations
@@ -48,6 +55,43 @@ def compute_factor_from_rows(rows: np.ndarray, include_bias: bool = False) -> np
     return (rows.T @ rows) / np.float32(n)
 
 
+def concat_row_batches(row_batches: list[np.ndarray]) -> np.ndarray:
+    """Concatenate captured micro-batch rows into one ``(N, d)`` matrix."""
+    if not row_batches:
+        raise ValueError("no micro-batch rows provided")
+    if len(row_batches) == 1:
+        return np.asarray(row_batches[0])
+    return np.concatenate(row_batches, axis=0)
+
+
+def batched_factor_from_rows(
+    stacked_rows: np.ndarray, include_bias: bool = False, scale: float = 1.0
+) -> np.ndarray:
+    """Form one Kronecker factor per layer from ``(L, N, d)`` stacked rows.
+
+    The stacked equivalent of :func:`compute_factor_from_rows` for a group
+    of ``L`` same-shape layers: one batched matmul produces the ``(L, d,
+    d)`` (or ``(L, d+1, d+1)`` with ``include_bias``) factor stack.
+
+    ``scale`` multiplies the result in the same elementwise pass as the
+    ``1/N`` normalization — callers that rescale rows (e.g. the B factor's
+    ``loss_scale``) fold the quadratic ``scale**2`` in here instead of
+    copying every row first.
+    """
+    x = np.asarray(stacked_rows)
+    if x.ndim != 3:
+        raise ValueError(f"expected (L, N, d) stacked rows, got shape {x.shape}")
+    if include_bias:
+        aug = np.empty(x.shape[:2] + (x.shape[2] + 1,), dtype=x.dtype)
+        aug[:, :, :-1] = x
+        aug[:, :, -1] = 1.0
+        x = aug
+    n = max(x.shape[1], 1)
+    factors = np.matmul(np.transpose(x, (0, 2, 1)), x)
+    factors *= np.float32(scale / n)
+    return factors
+
+
 @dataclass
 class KroneckerFactor:
     """A running estimate of one Kronecker factor with exponential averaging.
@@ -71,14 +115,19 @@ class KroneckerFactor:
         if self.value is None:
             self.value = np.zeros((self.dim, self.dim), dtype=np.float32)
 
-    def update(self, batch_factor: np.ndarray) -> None:
-        """Fold one micro-batch factor estimate into the running value."""
+    def update(self, batch_factor: np.ndarray, copy: bool = True) -> None:
+        """Fold one micro-batch factor estimate into the running value.
+
+        ``copy=False`` lets a caller that hands over ownership of
+        ``batch_factor`` (the batched group kernels, whose factor stacks
+        are freshly allocated) skip the defensive float32 copy.
+        """
         if batch_factor.shape != (self.dim, self.dim):
             raise ValueError(
                 f"factor shape {batch_factor.shape} != ({self.dim}, {self.dim})"
             )
         if self.updates == 0 or self.stat_decay == 0.0:
-            self.value = batch_factor.astype(np.float32, copy=True)
+            self.value = batch_factor.astype(np.float32, copy=copy)
         else:
             d = self.stat_decay
             self.value = d * self.value + (1.0 - d) * batch_factor.astype(np.float32)
@@ -93,15 +142,10 @@ class KroneckerFactor:
         """Average factor contributions over several micro-batches.
 
         Pipeline training sees ``N_micro`` micro-batches per step; the
-        mini-batch factor is the concatenation, equivalently the
-        row-count-weighted mean of per-micro-batch factors.
+        mini-batch factor is the factor of the row concatenation
+        (equivalently, the row-count-weighted mean of per-micro-batch
+        factors), formed here as one ``rows.T @ rows`` matmul.
         """
-        if not row_batches:
-            raise ValueError("no micro-batch rows provided")
-        total_rows = sum(b.shape[0] for b in row_batches)
-        acc = np.zeros((self.dim, self.dim), dtype=np.float64)
-        for b in row_batches:
-            acc += compute_factor_from_rows(b, include_bias=include_bias) * (
-                b.shape[0] / total_rows
-            )
-        self.update(acc.astype(np.float32))
+        self.update_from_rows(
+            concat_row_batches(row_batches), include_bias=include_bias
+        )

@@ -15,6 +15,20 @@ Per §4 of the paper, K-FAC is applied to all fully-connected layers except
 the vocabulary classification head (``max_dout`` filters it out when the
 head is expressed as a Linear); the inner optimizer updates every
 parameter, preconditioned or not.
+
+The three works run as *batched* kernels over layer groups rather than
+per-layer Python loops:
+
+* **curvature** — layers sharing ``(d_in, d_out, bias)`` (all of BERT's
+  per-block linears, across blocks) are stacked ``(L, N, d)`` and their
+  factors formed by one batched matmul each; a lone layer still gets a
+  single concatenated ``rows.T @ rows``.
+* **inversion** — factors are grouped by dimension and inverted as one
+  float32 Cholesky batch per group, with the Martens-Grosse pi split
+  computed vectorially from stacked traces.
+* **precondition** — ``B^{-1} G A^{-1}`` is applied per group as two
+  stacked matmuls over a ``(L, d_out, d_in+1)`` gradient tensor, and the
+  natural gradients are written back through views of the result.
 """
 
 from __future__ import annotations
@@ -23,9 +37,18 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.kfac.inverse import batched_pair_inverses
 from repro.kfac.layer import KFACLayerState
 from repro.nn.linear import Linear
 from repro.optim.base import Optimizer
+
+
+def _fill_stacked_rows(dest: np.ndarray, batches: list[np.ndarray]) -> None:
+    """Copy micro-batch rows into one row-span of a preallocated stack."""
+    pos = 0
+    for b in batches:
+        dest[pos:pos + b.shape[0]] = b
+        pos += b.shape[0]
 
 
 class KFAC:
@@ -93,11 +116,29 @@ class KFAC:
         self.skipped_layers = skipped
         if not self.layers:
             raise ValueError("no layers eligible for K-FAC")
+        #: Cached (indices, a_inv stack, b_inv stack) precondition groups;
+        #: rebuilt lazily after each inverse refresh.
+        self._precond_groups: list[tuple[list[int], np.ndarray, np.ndarray]] | None = None
+        #: Reusable per-group curvature workspaces (row stacks + factor
+        #: output buffers), keyed by group signature. Only kept when
+        #: stat_decay == 0: there the previous refresh's factor values are
+        #: dead the moment the new batch overwrites the shared buffers,
+        #: whereas the EMA path still reads them while blending.
+        self._curv_workspaces: dict[tuple, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._reuse_curv_buffers = stat_decay == 0.0
 
     # -- individual work types (the paper's three K-FAC works) --------------------
 
     def update_curvature(self) -> None:
-        """Curvature work: refresh A_l, B_l from rows captured since last pop."""
+        """Curvature work: refresh A_l, B_l from rows captured since last pop.
+
+        Same-shape layers (with equal captured row counts) are stacked and
+        their factors formed by one batched matmul per factor side, writing
+        into per-group workspaces that persist across refreshes (the factor
+        stacks are hundreds of MB at BERT scale; re-faulting fresh pages
+        every refresh costs more than the matmuls).
+        """
+        groups: dict[tuple, list[tuple[KFACLayerState, list, list]]] = {}
         for layer, state in self.layers:
             inputs, grads = layer.kfac_pop()
             if not inputs or not grads:
@@ -105,32 +146,136 @@ class KFAC:
                     f"layer {state.name}: no captured activations/gradients; "
                     "run forward+backward before update_curvature()"
                 )
-            total_rows = sum(g.shape[0] for g in grads)
-            state.update_curvature(inputs, grads, loss_scale=float(total_rows))
+            n_in = sum(b.shape[0] for b in inputs)
+            n_g = sum(g.shape[0] for g in grads)
+            key = (state.din, state.dout, state.include_bias, n_in, n_g)
+            groups.setdefault(key, []).append((state, inputs, grads))
+
+        if self._curv_workspaces:
+            # Row counts are part of the key, so ragged batches (epoch-final
+            # or variable-length) would otherwise strand dead multi-hundred-MB
+            # stacks; keep only the workspaces this refresh actually uses.
+            for stale in [k for k in self._curv_workspaces if k not in groups]:
+                del self._curv_workspaces[stale]
+
+        for key, members in groups.items():
+            din, dout, include_bias, n_in, n_g = key
+            if len(members) == 1:
+                state, inputs, grads = members[0]
+                state.update_curvature(inputs, grads, loss_scale=float(n_g))
+                continue
+            n_layers = len(members)
+            a_dim = din + (1 if include_bias else 0)
+            ws = self._curv_workspaces.get(key)
+            if ws is None or ws[0].shape[0] != n_layers:
+                x = np.empty((n_layers, n_in, a_dim), dtype=np.float32)
+                if include_bias:
+                    x[:, :, din] = 1.0  # homogeneous column, written once
+                g = np.empty((n_layers, n_g, dout), dtype=np.float32)
+                a_out = np.empty((n_layers, a_dim, a_dim), dtype=np.float32)
+                b_out = np.empty((n_layers, dout, dout), dtype=np.float32)
+                ws = (x, g, a_out, b_out)
+                if self._reuse_curv_buffers:
+                    self._curv_workspaces[key] = ws
+            x, g, a_out, b_out = ws
+            for j, (_, inputs, grads) in enumerate(members):
+                _fill_stacked_rows(x[j, :, :din], inputs)
+                _fill_stacked_rows(g[j], grads)
+            np.matmul(np.transpose(x, (0, 2, 1)), x, out=a_out)
+            a_out *= np.float32(1.0 / max(n_in, 1))
+            np.matmul(np.transpose(g, (0, 2, 1)), g, out=b_out)
+            # loss_scale = n_g rescales grad rows to per-example error
+            # signals; folded into the factor as loss_scale^2 / n_g.
+            b_out *= np.float32(float(n_g) ** 2 / max(n_g, 1))
+            for j, (state, _, _) in enumerate(members):
+                state.a_factor.update(a_out[j], copy=False)
+                state.b_factor.update(b_out[j], copy=False)
 
     def discard_captures(self) -> None:
-        """Drop captured rows without updating factors (non-refresh steps)."""
+        """Drop captured rows without updating factors (non-refresh steps).
+
+        Clears the capture buffers in place — the steady-state loop
+        allocates no new lists.
+        """
         for layer, _ in self.layers:
-            layer.kfac_pop()
+            layer.kfac_clear()
 
     def update_inverses(self) -> None:
-        """Inversion work: recompute damped inverses for every layer."""
-        for _, state in self.layers:
-            state.update_inverses(self.damping, use_pi=self.use_pi)
+        """Inversion work: recompute damped inverses for every layer.
 
-    def precondition(self) -> None:
-        """Precondition work: grad <- B^{-1} G A^{-1} in place, where ready."""
-        for layer, state in self.layers:
+        All factors are inverted through :func:`batched_pair_inverses`:
+        grouped by dimension, one float32 Cholesky batch per group,
+        pi-damping split computed vectorially from stacked traces.
+        """
+        for _, state in self.layers:
+            if state.a_factor.updates == 0 or state.b_factor.updates == 0:
+                raise RuntimeError(
+                    f"layer {state.name}: inversion before any curvature"
+                )
+        pairs = [
+            (state.a_factor.value, state.b_factor.value)
+            for _, state in self.layers
+        ]
+        inverses = batched_pair_inverses(pairs, self.damping, use_pi=self.use_pi)
+        for (_, state), (a_inv, b_inv) in zip(self.layers, inverses):
+            state.install_inverses(a_inv, b_inv)
+        self._precond_groups = None
+
+    def _build_precond_groups(self) -> list[tuple[list[int], np.ndarray, np.ndarray]]:
+        """Stack the inverses of ready same-shape layers, once per refresh."""
+        by_shape: dict[tuple[int, int, bool], list[int]] = {}
+        for i, (layer, state) in enumerate(self.layers):
             if not state.ready:
                 continue  # paper §3.1: fall back to raw gradient until the
                 # first inverses exist; afterwards stale inverses are used.
-            if layer.weight.grad is None:
+            by_shape.setdefault(
+                (state.din, state.dout, state.include_bias), []
+            ).append(i)
+        return [
+            (
+                idxs,
+                np.stack([self.layers[i][1].a_inv for i in idxs]),
+                np.stack([self.layers[i][1].b_inv for i in idxs]),
+            )
+            for idxs in by_shape.values()
+        ]
+
+    def precondition(self) -> None:
+        """Precondition work: grad <- B^{-1} G A^{-1} in place, where ready.
+
+        Each same-shape group is preconditioned by two stacked matmuls over
+        a ``(L, d_out, d_in+1)`` gradient tensor (bias gradients folded in
+        as the homogeneous column); the new weight/bias gradients are views
+        into the result.
+        """
+        if self._precond_groups is None:
+            self._precond_groups = self._build_precond_groups()
+        for idxs, a_stack, b_stack in self._precond_groups:
+            live = [i for i in idxs if self.layers[i][0].weight.grad is not None]
+            if not live:
                 continue
-            bias_grad = layer.bias.grad if layer.bias is not None else None
-            w_nat, b_nat = state.precondition(layer.weight.grad, bias_grad)
-            layer.weight.grad = w_nat
-            if layer.bias is not None and b_nat is not None:
-                layer.bias.grad = b_nat
+            if len(live) != len(idxs):
+                live_set = set(live)
+                sel = [j for j, i in enumerate(idxs) if i in live_set]
+                a_stack = a_stack[sel]
+                b_stack = b_stack[sel]
+            _, state0 = self.layers[live[0]]
+            din, dout = state0.din, state0.dout
+            include_bias = state0.include_bias
+            a_dim = din + (1 if include_bias else 0)
+            grads = np.empty((len(live), dout, a_dim), dtype=np.float32)
+            for j, i in enumerate(live):
+                layer, _ = self.layers[i]
+                grads[j, :, :din] = layer.weight.grad
+                if include_bias:
+                    bias_grad = layer.bias.grad if layer.bias is not None else None
+                    grads[j, :, din] = 0.0 if bias_grad is None else bias_grad
+            nat = np.matmul(np.matmul(b_stack, grads), a_stack)
+            for j, i in enumerate(live):
+                layer, _ = self.layers[i]
+                layer.weight.grad = nat[j, :, :din]
+                if include_bias and layer.bias is not None and layer.bias.grad is not None:
+                    layer.bias.grad = nat[j, :, din]
 
     # -- main entry point ------------------------------------------------------------
 

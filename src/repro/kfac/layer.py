@@ -6,7 +6,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.kfac.factors import KroneckerFactor
+from repro.kfac.factors import (
+    KroneckerFactor,
+    compute_factor_from_rows,
+    concat_row_batches,
+)
 from repro.kfac.inverse import damped_cholesky_inverse, pi_damping
 
 
@@ -45,6 +49,11 @@ class KFACLayerState:
     ) -> None:
         """Refresh A and B from captured micro-batch rows.
 
+        Each factor is one concatenated ``rows.T @ rows`` matmul (see
+        :meth:`KroneckerFactor.accumulate_microbatches`); the loss scale is
+        folded into the B factor as ``loss_scale**2`` rather than by
+        rescaling every gradient row.
+
         ``loss_scale`` converts mean-loss output gradients back to
         per-example error signals (multiply by the number of rows the mean
         was taken over); pass 1.0 when the loss is a sum.
@@ -52,8 +61,10 @@ class KFACLayerState:
         if not input_batches or not grad_batches:
             raise ValueError(f"layer {self.name}: no captured rows")
         self.a_factor.accumulate_microbatches(input_batches, include_bias=self.include_bias)
-        scaled = [g * np.float32(loss_scale) for g in grad_batches]
-        self.b_factor.accumulate_microbatches(scaled, include_bias=False)
+        grad_rows = concat_row_batches(grad_batches)
+        b_batch = compute_factor_from_rows(grad_rows)
+        b_batch = b_batch * np.float32(loss_scale) * np.float32(loss_scale)
+        self.b_factor.update(b_batch)
 
     # -- inversion work -----------------------------------------------------------
 
@@ -67,6 +78,12 @@ class KFACLayerState:
             da = db = float(np.sqrt(damping))
         self.a_inv = damped_cholesky_inverse(self.a_factor.value, da)
         self.b_inv = damped_cholesky_inverse(self.b_factor.value, db)
+        self.inverse_staleness = 0
+
+    def install_inverses(self, a_inv: np.ndarray, b_inv: np.ndarray) -> None:
+        """Install externally-computed inverses (the batched group path)."""
+        self.a_inv = a_inv
+        self.b_inv = b_inv
         self.inverse_staleness = 0
 
     def tick_staleness(self) -> None:

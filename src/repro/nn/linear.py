@@ -47,7 +47,8 @@ class Linear(Module):
         self.bias = Parameter(np.zeros(out_features, dtype=np.float32)) if bias else None
         # K-FAC capture state. When `kfac_capture` is True the layer stores
         # flattened (rows, features) copies of its inputs and output grads for
-        # each forward/backward pass until `kfac_pop()` is called.
+        # each forward/backward pass until `kfac_pop()` or `kfac_clear()` is
+        # called.
         self.kfac_capture = False
         self.captured_inputs: list[np.ndarray] = []
         self.captured_output_grads: list[np.ndarray] = []
@@ -73,6 +74,15 @@ class Linear(Module):
         self.captured_inputs = []
         self.captured_output_grads = []
         return inputs, grads
+
+    def kfac_clear(self) -> None:
+        """Drop captured rows in place — no list allocations.
+
+        Non-refresh steps discard captures every step; clearing the
+        existing lists keeps the steady-state loop allocation-free.
+        """
+        self.captured_inputs.clear()
+        self.captured_output_grads.clear()
 
     def extra_repr(self) -> str:  # pragma: no cover - debugging aid
         return f"in={self.in_features}, out={self.out_features}"

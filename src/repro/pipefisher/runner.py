@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.perfmodel.arch import TransformerArch
 from repro.perfmodel.calibration import host_overhead
-from repro.perfmodel.costs import compute_stage_costs
+from repro.perfmodel.costs import StageCosts, compute_stage_costs
 from repro.perfmodel.hardware import Hardware
 from repro.pipefisher.assignment import AssignmentResult, BubbleFiller
 from repro.pipefisher.workqueue import build_device_queues
@@ -29,6 +29,35 @@ from repro.pipeline.executor import simulate_tasks
 from repro.pipeline.schedules import PipelineConfig, make_schedule
 from repro.profiler.timeline import Timeline
 from repro.profiler.utilization import colored_seconds, utilization
+
+#: Sweep-level memo for stage-cost models. ``TransformerArch`` and
+#: ``Hardware`` are frozen dataclasses, so the cost model is a pure
+#: function of this key; sweeps over n_micro/depth/schedule re-derive it
+#: for every run otherwise. Bounded by the number of distinct
+#: (arch, hardware, b_micro, layers_per_stage, schedule) combinations.
+_STAGE_COSTS_MEMO: dict[tuple, StageCosts] = {}
+
+
+def cached_stage_costs(
+    arch: TransformerArch,
+    hardware: Hardware,
+    b_micro: int,
+    layers_per_stage: int,
+    schedule: str,
+) -> StageCosts:
+    """Memoized :func:`compute_stage_costs` for sweep-heavy callers."""
+    key = (arch, hardware, b_micro, layers_per_stage, schedule)
+    costs = _STAGE_COSTS_MEMO.get(key)
+    if costs is None:
+        costs = compute_stage_costs(
+            arch,
+            hardware,
+            b_micro,
+            layers_per_stage=layers_per_stage,
+            overhead_s=host_overhead(schedule),
+        )
+        _STAGE_COSTS_MEMO[key] = costs
+    return costs
 
 
 @dataclass
@@ -122,15 +151,9 @@ class PipeFisherRun:
     #: that never render should not build ``cycle_steps x events`` copies.
     materialize_window: bool = False
 
-    def _config(self, precondition: bool) -> PipelineConfig:
-        costs = compute_stage_costs(
-            self.arch,
-            self.hardware,
-            self.b_micro,
-            layers_per_stage=self.layers_per_stage,
-            overhead_s=host_overhead(self.schedule),
-        )
-        comm = CommModel(allreduce_gbs=self.hardware.interconnect_gbs)
+    def _config(
+        self, precondition: bool, costs: StageCosts, comm: CommModel
+    ) -> PipelineConfig:
         return PipelineConfig(
             depth=self.depth,
             n_micro=self.n_micro,
@@ -145,8 +168,16 @@ class PipeFisherRun:
         )
 
     def execute(self) -> PipeFisherReport:
+        # The baseline and precondition configs share one cost model and
+        # comm model — computed once (and memoized across sweep runs).
+        costs = cached_stage_costs(
+            self.arch, self.hardware, self.b_micro,
+            self.layers_per_stage, self.schedule,
+        )
+        comm = CommModel(allreduce_gbs=self.hardware.interconnect_gbs)
+
         # -- baseline: first-order optimizer, no K-FAC work ---------------------
-        base_cfg = self._config(precondition=False)
+        base_cfg = self._config(precondition=False, costs=costs, comm=comm)
         base_builder = make_schedule(self.schedule, base_cfg)
         base_sim = simulate_tasks(base_builder.build(steps=1), base_builder.num_devices)
         base_span = base_sim.makespan
@@ -155,7 +186,7 @@ class PipeFisherRun:
         base_util = utilization(base_sim.timeline, (0.0, base_span))
 
         # -- PipeFisher template: baseline + precondition on the critical path --
-        pf_cfg = self._config(precondition=True)
+        pf_cfg = self._config(precondition=True, costs=costs, comm=comm)
         pf_builder = make_schedule(self.schedule, pf_cfg)
         template = simulate_tasks(pf_builder.build(steps=1), pf_builder.num_devices)
         span = template.makespan

@@ -80,6 +80,62 @@ class TestBlockDiagonalFactor:
             bd.solve_right(np.zeros((2, 5), dtype=np.float32), 0.1)
 
 
+class TestInverseCaching:
+    """Regression: solve_right/solve_left must not re-factorize per call."""
+
+    def _factor(self, dim=8, blocks=2, seed=7):
+        rng = np.random.default_rng(seed)
+        bd = BlockDiagonalFactor(dim, blocks)
+        bd.update_from_rows(rng.standard_normal((48, dim)).astype(np.float32))
+        return bd, rng
+
+    def test_repeated_solves_factorize_once(self):
+        bd, rng = self._factor()
+        g = rng.standard_normal((4, 8)).astype(np.float32)
+        for _ in range(5):
+            bd.solve_right(g, damping=0.1)
+            bd.solve_left(g.T.copy(), damping=0.1)
+        assert bd.factorizations == bd.num_blocks
+
+    def test_new_damping_refactorizes_and_is_cached(self):
+        bd, rng = self._factor()
+        g = rng.standard_normal((4, 8)).astype(np.float32)
+        bd.solve_right(g, damping=0.1)
+        bd.solve_right(g, damping=0.2)
+        bd.solve_right(g, damping=0.1)  # both dampings now cached
+        bd.solve_right(g, damping=0.2)
+        assert bd.factorizations == 2 * bd.num_blocks
+
+    def test_update_invalidates_cache(self):
+        bd, rng = self._factor()
+        g = rng.standard_normal((4, 8)).astype(np.float32)
+        bd.solve_right(g, damping=0.1)
+        bd.update_from_rows(rng.standard_normal((48, 8)).astype(np.float32))
+        out = bd.solve_right(g, damping=0.1)
+        assert bd.factorizations == 2 * bd.num_blocks
+        # The post-update solve must use the NEW factor, not the cache.
+        dense_inv = np.linalg.inv(bd.dense().astype(np.float64) + 0.1 * np.eye(8))
+        np.testing.assert_allclose(out, g.astype(np.float64) @ dense_inv,
+                                    rtol=1e-3, atol=1e-5)
+
+    def test_cache_bounded_across_dampings(self):
+        """An adaptive damping schedule must not grow the cache unboundedly."""
+        bd, rng = self._factor()
+        g = rng.standard_normal((4, 8)).astype(np.float32)
+        for step in range(20):
+            bd.solve_right(g, damping=0.1 + 0.01 * step)
+        assert len(bd._inverse_cache) <= bd._inverse_cache_max
+
+    def test_uneven_blocks_cache_too(self):
+        rng = np.random.default_rng(9)
+        bd = BlockDiagonalFactor(7, 3)  # ragged 3/2/2 split
+        bd.update_from_rows(rng.standard_normal((32, 7)).astype(np.float32))
+        g = rng.standard_normal((2, 7)).astype(np.float32)
+        bd.solve_right(g, damping=0.05)
+        bd.solve_right(g, damping=0.05)
+        assert bd.factorizations == 3
+
+
 class TestInversionFlops:
     def test_k_squared_savings(self):
         """K-block-diagonal cuts inversion FLOPs by ~K^2."""

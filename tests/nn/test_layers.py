@@ -68,6 +68,19 @@ class TestLinear:
         inputs, grads = lin.kfac_pop()
         assert len(inputs) == 3 and len(grads) == 3
 
+    def test_kfac_clear_reuses_lists(self):
+        """Discarding captures must clear in place, not rebuild the lists."""
+        lin = Linear(3, 2)
+        lin.kfac_capture = True
+        x = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        lin(x).sum().backward()
+        inputs_list = lin.captured_inputs
+        grads_list = lin.captured_output_grads
+        lin.kfac_clear()
+        assert lin.captured_inputs is inputs_list
+        assert lin.captured_output_grads is grads_list
+        assert inputs_list == [] and grads_list == []
+
 
 class TestLayerNorm:
     def test_params(self):

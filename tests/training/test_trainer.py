@@ -54,6 +54,65 @@ class TestTrainStep:
         tr.train(2)
         assert all(s.ready for _, s in kfac.layers)
 
+    def test_kfac_losses_match_seed_loop_implementation(self):
+        """Fixed-seed smoke run: the batched K-FAC kernels leave
+        Trainer.train_step's loss trajectory unchanged vs the seed
+        per-layer / per-micro-batch loops (float32 tolerance, documented
+        in tests/kfac/test_batched_equivalence.py)."""
+        from repro.data.corpus import CorpusConfig
+        from repro.data.dataloader import PretrainDataLoader
+        from repro.kfac.factors import compute_factor_from_rows
+
+        class SeedLoopKFAC(KFAC):
+            """Seed orchestration: per-layer loops, fp64 accumulation."""
+
+            def update_curvature(self):
+                for layer, state in self.layers:
+                    inputs, grads = layer.kfac_pop()
+                    scale = float(sum(g.shape[0] for g in grads))
+                    for factor, batches, bias in (
+                        (state.a_factor, inputs, state.include_bias),
+                        (state.b_factor,
+                         [g * np.float32(scale) for g in grads], False),
+                    ):
+                        total = sum(b.shape[0] for b in batches)
+                        acc = np.zeros((factor.dim, factor.dim), np.float64)
+                        for b in batches:
+                            acc += compute_factor_from_rows(
+                                b, include_bias=bias) * (b.shape[0] / total)
+                        factor.update(acc.astype(np.float32))
+
+            def update_inverses(self):
+                for _, state in self.layers:
+                    state.update_inverses(self.damping, use_pi=self.use_pi)
+
+            def precondition(self):
+                for layer, state in self.layers:
+                    if not state.ready or layer.weight.grad is None:
+                        continue
+                    bias_grad = layer.bias.grad if layer.bias is not None else None
+                    w_nat, b_nat = state.precondition(layer.weight.grad, bias_grad)
+                    layer.weight.grad = w_nat
+                    if layer.bias is not None and b_nat is not None:
+                        layer.bias.grad = b_nat
+
+        def run(kfac_cls):
+            loader = PretrainDataLoader(
+                vocab_size=200, seq_len=32, num_documents=60,
+                corpus_config=CorpusConfig(seed=3, num_word_types=400), seed=3,
+            )
+            cfg = BertConfig.tiny(vocab_size=200, max_position_embeddings=32)
+            model = BertForPreTraining(cfg)
+            inner = SGD(model.parameters(), lr=0.05)
+            kfac = kfac_cls(model.encoder_linear_layers(), inner,
+                            damping=0.03, curvature_interval=2)
+            tr = Trainer(model, kfac, loader, config=TrainConfig(batch_size=4))
+            tr.train(4)
+            return tr.losses
+
+        np.testing.assert_allclose(run(KFAC), run(SeedLoopKFAC),
+                                   rtol=1e-3, atol=1e-5)
+
     def test_grad_accumulation_equivalent(self, tiny_loader):
         """accum=2 with batch B/2 ~ accum=1 with batch B (same loss scale)."""
         losses = {}

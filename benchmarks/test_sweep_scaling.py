@@ -1,0 +1,183 @@
+"""Sweep engine vs the per-point PipeFisherRun loop, on a Fig. 6-style grid.
+
+The baseline frozen below is the pre-engine sweep path: for every
+(hardware, B_micro, depth) point, build both task graphs, simulate both,
+build the K-FAC inventory, fill bubbles, and fold the utilizations —
+with the stage-cost model memoized across points (the PR 3 state of the
+loop).  The sweep engine canonicalizes the grid's points onto shared
+schedule templates (one per depth here), compiles the graph/inventory
+structure once, and re-times each point, so the per-point work drops to
+the simulation/fill arithmetic itself.
+
+Both paths run cold (caches cleared / fresh engine per repetition) and
+are timed min-of-``REPS``; every report is asserted **bit-identical**
+before any speedup is asserted — the engine is only allowed to be fast
+by skipping re-derivable structure, never by approximating.
+
+Emits ``BENCH_sweep.json`` (headline asserted >= 5x).
+"""
+
+import time
+
+from benchmarks.conftest import record, write_bench
+from repro.perfmodel.arch import ARCHITECTURES
+from repro.perfmodel.calibration import host_overhead
+from repro.perfmodel.costs import compute_stage_costs
+from repro.perfmodel.hardware import HARDWARE
+from repro.pipefisher.assignment import BubbleFiller
+from repro.pipefisher.runner import PipeFisherRun, clear_stage_costs_memo
+from repro.pipefisher.workqueue import build_device_queues
+from repro.pipeline.comm import CommModel
+from repro.pipeline.executor import simulate_tasks
+from repro.pipeline.schedules import PipelineConfig, make_schedule
+from repro.profiler.utilization import colored_seconds, utilization
+from repro.sweep import SweepEngine
+
+ARCH = "BERT-Base"
+HARDWARE_NAMES = ("P100", "V100", "RTX3090")
+B_MICRO_VALUES = (2, 4, 8, 16, 32, 64)
+DEPTH_VALUES = (8, 16)
+N_MICRO_FACTOR = 2
+#: min-of-N timing on both sides; the engine side gets an extra rep
+#: because its ~10x shorter wall time is proportionally noisier on a
+#: shared CI runner.
+BASELINE_REPS = 2
+ENGINE_REPS = 3
+
+
+def sweep_points():
+    """A Fig. 6-style Chimera grid: hardware x B_micro x depth (N = 2D)."""
+    arch = ARCHITECTURES[ARCH]
+    for hw in HARDWARE_NAMES:
+        for depth in DEPTH_VALUES:
+            for b in B_MICRO_VALUES:
+                yield PipeFisherRun(schedule="chimera", arch=arch,
+                                    hardware=HARDWARE[hw], b_micro=b,
+                                    depth=depth,
+                                    n_micro=N_MICRO_FACTOR * depth)
+
+
+# -- the frozen per-point loop --------------------------------------------------
+
+
+def frozen_point(run: PipeFisherRun, memo: dict):
+    """One sweep point exactly as the pre-engine runner evaluated it."""
+    key = (run.arch, run.hardware, run.b_micro, run.layers_per_stage,
+           run.schedule)
+    costs = memo.get(key)
+    if costs is None:
+        costs = compute_stage_costs(
+            run.arch, run.hardware, run.b_micro,
+            layers_per_stage=run.layers_per_stage,
+            overhead_s=host_overhead(run.schedule),
+        )
+        memo[key] = costs
+    comm = CommModel(allreduce_gbs=run.hardware.interconnect_gbs)
+
+    def config(precondition):
+        return PipelineConfig(
+            depth=run.depth, n_micro=run.n_micro, costs=costs, comm=comm,
+            dp=run.dp, world_multiplier=run.world_multiplier,
+            recompute=run.recompute, precondition=precondition,
+            stage_param_bytes=run.layers_per_stage * run.arch.param_bytes(),
+            virtual_chunks=run.virtual_chunks,
+        )
+
+    base_builder = make_schedule(run.schedule, config(False))
+    base_sim = simulate_tasks(base_builder.build(steps=1),
+                              base_builder.num_devices)
+    base_span = base_sim.makespan
+    base_util = utilization(base_sim.timeline, (0.0, base_span))
+
+    pf_builder = make_schedule(run.schedule, config(True))
+    template = simulate_tasks(pf_builder.build(steps=1),
+                              pf_builder.num_devices)
+    span = template.makespan
+    queues = build_device_queues(pf_builder, costs)
+    assignment = BubbleFiller(template, queues, dp=run.dp).fill()
+    refresh = assignment.refresh_steps
+    pf_colored = (refresh * colored_seconds(template.timeline.events)
+                  + colored_seconds(assignment.events()))
+    pf_util = pf_colored / (pf_builder.num_devices * refresh * span)
+    return (base_span, base_util, span, pf_util, refresh,
+            assignment.device_refresh_steps)
+
+
+def engine_numbers(report):
+    return (report.baseline_step_time, report.baseline_utilization,
+            report.pipefisher_step_time, report.pipefisher_utilization,
+            report.refresh_steps, report.device_refresh_steps)
+
+
+def test_sweep_engine_vs_per_point_loop(once, benchmark):
+    """Headline: >= 5x on the grid, with bit-identical reports."""
+    # Both sides start cold: the frozen loop gets a fresh local memo per
+    # repetition, the engine is rebuilt per repetition, and the runner's
+    # process-wide memo is emptied so nothing warmed by earlier tests
+    # can leak into either timing.
+    clear_stage_costs_memo()
+    points = list(sweep_points())
+
+    seed_s = float("inf")
+    for _ in range(BASELINE_REPS):
+        memo: dict = {}
+        t0 = time.perf_counter()
+        ref = [frozen_point(p, memo) for p in points]
+        seed_s = min(seed_s, time.perf_counter() - t0)
+
+    engine = None
+    new_s = float("inf")
+    for rep in range(ENGINE_REPS):
+        engine = SweepEngine()  # cold: templates rebuilt inside the timing
+        if rep == ENGINE_REPS - 1:
+            t0 = time.perf_counter()
+            got = once(engine.run_many, points)
+            new_s = min(new_s, time.perf_counter() - t0)
+        else:
+            t0 = time.perf_counter()
+            got = engine.run_many(points)
+            new_s = min(new_s, time.perf_counter() - t0)
+
+    for point, r, g in zip(points, ref, got):
+        assert r == engine_numbers(g), (
+            f"engine diverged from the per-point loop at "
+            f"{point.hardware.name} B={point.b_micro} D={point.depth}"
+        )
+
+    stats = engine.stats()
+    assert stats["templates"].misses == len(DEPTH_VALUES)
+    assert stats["templates"].hits == len(points) - len(DEPTH_VALUES)
+
+    speedup = seed_s / new_s
+    print(f"\nfig6-style sweep, {len(points)} points "
+          f"({len(DEPTH_VALUES)} templates): engine {new_s:.3f}s vs "
+          f"per-point loop {seed_s:.3f}s ({speedup:.1f}x)")
+    assert speedup >= 5.0, (
+        f"expected >= 5x over the per-point sweep loop, got {speedup:.1f}x "
+        f"({new_s:.3f}s vs {seed_s:.3f}s)"
+    )
+    record(benchmark, seed_s=round(seed_s, 3), engine_s=round(new_s, 3),
+           speedup=round(speedup, 1))
+    write_bench(
+        "sweep",
+        config=dict(
+            arch=ARCH,
+            schedule="chimera",
+            hardware=list(HARDWARE_NAMES),
+            b_micro=list(B_MICRO_VALUES),
+            depth=list(DEPTH_VALUES),
+            n_micro_factor=N_MICRO_FACTOR,
+            points=len(points),
+            templates=len(DEPTH_VALUES),
+            reps=[BASELINE_REPS, ENGINE_REPS],
+            identical="all reports bit-identical to the per-point loop "
+                      "(also asserted per-field by tests/sweep/)",
+        ),
+        seed_s=round(seed_s, 3),
+        engine_s=round(new_s, 3),
+        speedup=round(speedup, 1),
+        template_hits=stats["templates"].hits,
+        template_misses=stats["templates"].misses,
+        stage_cost_misses=stats["stage_costs"].misses,
+        reexecutions=stats["reexecutions"],
+    )

@@ -6,16 +6,20 @@ target model; which (schedule, depth, micro-batch, recomputation) settings
 fit device memory and maximize throughput — and what curvature-refresh
 frequency would PipeFisher buy you there?
 
-Uses the §3.3 performance/memory models to search the configuration space.
+Uses the §3.3 performance/memory models to search the configuration
+space, evaluated through the shared sweep engine so the cost model of
+each (arch, hardware, B_micro) is computed once across the whole
+schedule x depth x recompute search instead of per grid row.
 
 Run:  python examples/capacity_planner.py [--arch BERT-Large] [--mem-gb 16]
 """
 
 import argparse
 
-from repro.perfmodel import MemoryModel, PipelinePerfModel
+from repro.perfmodel import MemoryModel
 from repro.perfmodel.arch import ARCHITECTURES
 from repro.perfmodel.hardware import HARDWARE
+from repro.sweep import default_engine
 
 
 def main() -> None:
@@ -35,10 +39,11 @@ def main() -> None:
     print(f"{'schedule':>9s} {'D':>4s} {'B':>4s} {'R':>2s} {'mem GB':>7s} "
           f"{'thr PF':>8s} {'refresh':>8s}  fits")
 
+    engine = default_engine()
     feasible = []
     for schedule in ("gpipe", "1f1b", "chimera"):
         stages_dev = 2 if schedule == "chimera" else 1
-        model = PipelinePerfModel(arch, hw, schedule,
+        model = engine.perf_model(arch, hw, schedule,
                                   layers_per_stage=args.layers_per_stage)
         for depth in (4, 8, 16):
             for b_micro in (8, 16, 32, 64):
@@ -65,6 +70,9 @@ def main() -> None:
           f"{' +recompute' if recompute else ''} -> "
           f"{thr:.1f} seqs/s, {mem:.1f} GB, curvature refresh every "
           f"{refresh} steps")
+    costs = engine.stats()["stage_costs"]
+    print(f"(sweep engine: {costs.hits} cost-cache hits / "
+          f"{costs.misses} computes across the search)")
 
 
 if __name__ == "__main__":

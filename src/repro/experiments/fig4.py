@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from repro.perfmodel.arch import BERT_LARGE
 from repro.perfmodel.hardware import P100
 from repro.pipefisher.runner import PipeFisherReport, PipeFisherRun
+from repro.sweep.engine import SweepEngine
 
 FIG4_PAPER = {
     "baseline_utilization": 0.598,
@@ -29,8 +30,10 @@ class Fig4Result:
     report: PipeFisherReport
 
 
-def run_fig4() -> Fig4Result:
-    report = PipeFisherRun(
+def run_fig4(engine: SweepEngine | None = None) -> Fig4Result:
+    """Run the Fig. 4 panel; with ``engine``, evaluate through the sweep
+    engine (bit-identical — table 2 routes here with the shared engine)."""
+    run = PipeFisherRun(
         schedule="chimera",
         arch=BERT_LARGE,
         hardware=P100,
@@ -39,7 +42,8 @@ def run_fig4() -> Fig4Result:
         n_micro=8,
         layers_per_stage=3,
         inversion_parallel=True,
-    ).execute()
+    )
+    report = run.execute() if engine is None else engine.run(run)
     return Fig4Result(report=report)
 
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.perfmodel.arch import ARCHITECTURES
 from repro.perfmodel.hardware import P100
 from repro.pipefisher.runner import PipeFisherReport, PipeFisherRun
+from repro.sweep.engine import SweepEngine, default_engine
 
 #: Transformer blocks per model (the L of the paper's figure captions).
 MODEL_LAYERS: dict[str, int] = {
@@ -57,7 +58,9 @@ class InterleavedSweepResult:
 
 
 def _run_pair(arch_name: str, devices: int, chunks: int, n_micro: int,
-              b_micro: int = 32) -> InterleavedRow:
+              b_micro: int = 32,
+              engine: SweepEngine | None = None) -> InterleavedRow:
+    engine = default_engine() if engine is None else engine
     arch = ARCHITECTURES[arch_name]
     layers = MODEL_LAYERS[arch_name]
     if layers % (devices * chunks) != 0:
@@ -65,7 +68,7 @@ def _run_pair(arch_name: str, devices: int, chunks: int, n_micro: int,
             f"{arch_name}: {layers} layers not divisible into "
             f"{devices} devices x {chunks} chunks"
         )
-    base = PipeFisherRun(
+    base = engine.run(PipeFisherRun(
         schedule="1f1b",
         arch=arch,
         hardware=P100,
@@ -73,8 +76,8 @@ def _run_pair(arch_name: str, devices: int, chunks: int, n_micro: int,
         depth=devices,
         n_micro=n_micro,
         layers_per_stage=layers // devices,
-    ).execute()
-    inter = PipeFisherRun(
+    ))
+    inter = engine.run(PipeFisherRun(
         schedule="interleaved",
         arch=arch,
         hardware=P100,
@@ -83,7 +86,7 @@ def _run_pair(arch_name: str, devices: int, chunks: int, n_micro: int,
         n_micro=n_micro,
         layers_per_stage=layers // (devices * chunks),
         virtual_chunks=chunks,
-    ).execute()
+    ))
     return InterleavedRow(
         arch=arch_name,
         devices=devices,
@@ -98,11 +101,17 @@ def _run_pair(arch_name: str, devices: int, chunks: int, n_micro: int,
 def run_interleaved_sweep(
     rows: tuple[tuple[str, int, int, int], ...] = SWEEP_ROWS,
     b_micro: int = 32,
+    engine: SweepEngine | None = None,
 ) -> InterleavedSweepResult:
+    """Run every row through the shared sweep engine (bit-identical to
+    the former per-point ``PipeFisherRun.execute`` loop; rows that share
+    a structural configuration share one schedule template)."""
+    engine = default_engine() if engine is None else engine
     out: dict[tuple[str, int, int, int], InterleavedRow] = {}
     for arch_name, devices, chunks, n_micro in rows:
         out[(arch_name, devices, chunks, n_micro)] = _run_pair(
-            arch_name, devices, chunks, n_micro, b_micro=b_micro
+            arch_name, devices, chunks, n_micro, b_micro=b_micro,
+            engine=engine,
         )
     return InterleavedSweepResult(rows=out)
 

@@ -5,15 +5,22 @@ and Figs. 9-10 (GPipe/1F1B and Chimera for BERT-Base/Large).
 Each run returns the same series the paper plots: per-step time breakdown,
 memory breakdown, throughput for the four execution strategies, and the
 (curvature+inversion)/bubble ratio.
+
+All grids evaluate through the shared :class:`repro.sweep.SweepEngine`
+(pass ``engine=`` to use a private one): the engine's bounded stage-cost
+cache computes each distinct ``(arch, hardware, b_micro)`` cost model
+once per sweep instead of twice per grid cell, with results bit-identical
+to the uncached per-point path (pinned by ``tests/experiments/`` goldens).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.perfmodel.arch import ARCHITECTURES, TransformerArch
-from repro.perfmodel.hardware import HARDWARE, Hardware
+from repro.perfmodel.arch import ARCHITECTURES
+from repro.perfmodel.hardware import HARDWARE
 from repro.perfmodel.model import PerfReport, PipelinePerfModel
+from repro.sweep.engine import SweepEngine, default_engine
 
 
 @dataclass
@@ -31,13 +38,21 @@ class PerfFigure:
         return {k: getattr(r, field) for k, r in self.grid.items()}
 
 
+def _model(arch_name: str, hw_name: str, schedule: str,
+           engine: SweepEngine | None) -> PipelinePerfModel:
+    engine = default_engine() if engine is None else engine
+    return engine.perf_model(ARCHITECTURES[arch_name], HARDWARE[hw_name],
+                             schedule)
+
+
 def run_fig5(
     b_micro_values=(8, 16, 32),
     depth_values=(4, 8, 16),
     recompute: bool = False,
+    engine: SweepEngine | None = None,
 ) -> PerfFigure:
     """Fig. 5: Chimera with BERT-Base blocks on P100, N_micro = D."""
-    model = PipelinePerfModel(ARCHITECTURES["BERT-Base"], HARDWARE["P100"], "chimera")
+    model = _model("BERT-Base", "P100", "chimera", engine)
     grid = model.sweep(list(b_micro_values), list(depth_values), recompute=recompute)
     return PerfFigure("BERT-Base", "P100", "chimera", 1, recompute, grid)
 
@@ -48,9 +63,10 @@ def run_fig9_10(
     b_micro_values=(8, 16, 32),
     depth_values=(4, 8, 16),
     recompute: bool = False,
+    engine: SweepEngine | None = None,
 ) -> PerfFigure:
     """Figs. 9/10: GPipe/1F1B and Chimera models for BERT-Base/-Large."""
-    model = PipelinePerfModel(ARCHITECTURES[arch_name], HARDWARE["P100"], schedule)
+    model = _model(arch_name, "P100", schedule, engine)
     grid = model.sweep(list(b_micro_values), list(depth_values), recompute=recompute)
     return PerfFigure(arch_name, "P100", schedule, 1, recompute, grid)
 
@@ -61,15 +77,15 @@ def run_fig6_sweep(
     b_micro_values=(1, 2, 4, 8, 16, 32, 64),
     depth_values=(4, 8, 16, 32),
     n_micro_factors=(1, 2, 3),
+    engine: SweepEngine | None = None,
 ) -> dict[tuple[str, int], PerfFigure]:
     """Fig. 6 (and Figs. 11-16 per architecture): Chimera+PipeFisher sweeps.
 
     Returns ``{(hardware, n_micro_factor): PerfFigure}``.
     """
     out: dict[tuple[str, int], PerfFigure] = {}
-    arch = ARCHITECTURES[arch_name]
     for hw_name in hardware_names:
-        model = PipelinePerfModel(arch, HARDWARE[hw_name], "chimera")
+        model = _model(arch_name, hw_name, "chimera", engine)
         for factor in n_micro_factors:
             grid = model.sweep(
                 list(b_micro_values), list(depth_values), n_micro_factor=factor
@@ -84,12 +100,14 @@ def run_arch_sweep(
     arch_name: str,
     b_micro_values=(1, 2, 4, 8),
     depth_values=(4, 8, 16, 32),
+    engine: SweepEngine | None = None,
 ) -> dict[tuple[str, int], PerfFigure]:
     """Figs. 13-16: T5/OPT sweeps (long sequences, smaller micro-batches)."""
     return run_fig6_sweep(
         arch_name=arch_name,
         b_micro_values=b_micro_values,
         depth_values=depth_values,
+        engine=engine,
     )
 
 

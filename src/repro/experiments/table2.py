@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.fig4 import run_fig4
+from repro.sweep.engine import SweepEngine, default_engine
 from repro.training.wallclock import simulated_minutes
 
 TABLE2_PAPER = {
@@ -45,9 +46,16 @@ class Table2Result:
         return self.kfac_step_s / self.nvlamb_step_s - 1.0
 
 
-def run_table2() -> Table2Result:
-    """Simulate the Fig. 4 setup and multiply by the published step counts."""
-    fig4 = run_fig4().report
+def run_table2(engine: SweepEngine | None = None) -> Table2Result:
+    """Simulate the Fig. 4 setup and multiply by the published step counts.
+
+    The simulation runs through the shared sweep engine, so repeated
+    table-2 evaluations (and anything else using the Fig. 4 template)
+    reuse one compiled schedule; the numbers are bit-identical to the
+    per-point run (pinned by the table2 golden).
+    """
+    engine = default_engine() if engine is None else engine
+    fig4 = run_fig4(engine=engine).report
     nv_s = fig4.baseline_step_time
     kf_s = fig4.pipefisher_step_time
     return Table2Result(

@@ -17,6 +17,7 @@ lazily on first attribute access, or eagerly when a run sets
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.perfmodel.arch import TransformerArch
 from repro.perfmodel.calibration import host_overhead
@@ -29,13 +30,21 @@ from repro.pipeline.executor import simulate_tasks
 from repro.pipeline.schedules import PipelineConfig, make_schedule
 from repro.profiler.timeline import Timeline
 from repro.profiler.utilization import colored_seconds, utilization
+from repro.sweep.cache import BoundedCache
 
 #: Sweep-level memo for stage-cost models. ``TransformerArch`` and
 #: ``Hardware`` are frozen dataclasses, so the cost model is a pure
 #: function of this key; sweeps over n_micro/depth/schedule re-derive it
-#: for every run otherwise. Bounded by the number of distinct
-#: (arch, hardware, b_micro, layers_per_stage, schedule) combinations.
-_STAGE_COSTS_MEMO: dict[tuple, StageCosts] = {}
+#: for every run otherwise. LRU-bounded so open-ended what-if sweeps
+#: (many architectures x hardware x micro-batch sizes) cannot grow it
+#: without limit, and clearable so frozen-baseline benchmarks can prove
+#: they ran against a cold cache.
+_STAGE_COSTS_MEMO: BoundedCache = BoundedCache(maxsize=512)
+
+
+def clear_stage_costs_memo() -> None:
+    """Empty the stage-cost memo (benchmarks pin cold-cache baselines)."""
+    _STAGE_COSTS_MEMO.clear()
 
 
 def cached_stage_costs(
@@ -47,17 +56,16 @@ def cached_stage_costs(
 ) -> StageCosts:
     """Memoized :func:`compute_stage_costs` for sweep-heavy callers."""
     key = (arch, hardware, b_micro, layers_per_stage, schedule)
-    costs = _STAGE_COSTS_MEMO.get(key)
-    if costs is None:
-        costs = compute_stage_costs(
+    return _STAGE_COSTS_MEMO.get_or_create(
+        key,
+        lambda: compute_stage_costs(
             arch,
             hardware,
             b_micro,
             layers_per_stage=layers_per_stage,
             overhead_s=host_overhead(schedule),
-        )
-        _STAGE_COSTS_MEMO[key] = costs
-    return costs
+        ),
+    )
 
 
 @dataclass
@@ -67,6 +75,11 @@ class PipeFisherReport:
     ``baseline_timeline`` / ``pipefisher_timeline`` are lazy: the window
     timelines are tiled from the one-step templates on first access and
     cached, so sweeps that only read the numbers never pay for them.
+    The one-step templates themselves may be lazy too:
+    ``base_template_source`` / ``pf_template_source`` accept either a
+    built :class:`Timeline` or a zero-argument callable producing one —
+    the sweep engine passes callables so a re-timed point only
+    materializes event objects when something renders them.
     """
 
     schedule: str
@@ -79,11 +92,13 @@ class PipeFisherReport:
     pipefisher_utilization: float
     refresh_steps: int
     device_refresh_steps: dict[int, int]
-    assignment: AssignmentResult
+    #: The K-FAC work placement — an AssignmentResult or a factory (the
+    #: sweep engine defers building per-item objects until inspected).
+    assignment_source: "AssignmentResult | Callable[[], AssignmentResult]"
     #: One simulated step of each schedule (the repeating templates the
-    #: lazy window properties tile from).
-    base_template: Timeline
-    pf_template: Timeline
+    #: lazy window properties tile from) — a Timeline or a factory.
+    base_template_source: "Timeline | Callable[[], Timeline]"
+    pf_template_source: "Timeline | Callable[[], Timeline]"
     #: Steps the materialized windows cover (the paper plots ~2 steps).
     window_steps: int = 2
     _baseline_timeline: Timeline | None = field(default=None, repr=False)
@@ -93,6 +108,33 @@ class PipeFisherReport:
     def step_time_overhead(self) -> float:
         """Relative per-step cost of PipeFisher (precondition only)."""
         return self.pipefisher_step_time / self.baseline_step_time - 1.0
+
+    @property
+    def assignment(self) -> AssignmentResult:
+        """The K-FAC work placement (materialized on first access)."""
+        src = self.assignment_source
+        if callable(src):
+            src = src()
+            self.assignment_source = src
+        return src
+
+    @property
+    def base_template(self) -> Timeline:
+        """One simulated baseline step (materialized on first access)."""
+        src = self.base_template_source
+        if callable(src):
+            src = src()
+            self.base_template_source = src
+        return src
+
+    @property
+    def pf_template(self) -> Timeline:
+        """One simulated PipeFisher step (materialized on first access)."""
+        src = self.pf_template_source
+        if callable(src):
+            src = src()
+            self.pf_template_source = src
+        return src
 
     @property
     def baseline_timeline(self) -> Timeline:
@@ -232,10 +274,10 @@ class PipeFisherRun:
             pipefisher_utilization=pf_util,
             refresh_steps=refresh,
             device_refresh_steps=assignment.device_refresh_steps,
-            assignment=assignment,
+            assignment_source=assignment,
             window_steps=self.window_steps,
-            base_template=base_sim.timeline,
-            pf_template=template.timeline,
+            base_template_source=base_sim.timeline,
+            pf_template_source=template.timeline,
         )
         if self.materialize_window:
             report.baseline_timeline

@@ -1,0 +1,484 @@
+"""Re-timing a compiled schedule template for one sweep point.
+
+Two paths, both bit-identical to the reference per-point pipeline:
+
+* :func:`simulate_compiled` — the event-driven executor of
+  :func:`repro.pipeline.executor.simulate_tasks`, ported onto a
+  :class:`~repro.sweep.template.CompiledGraph`'s integer arrays.  Every
+  float operation and tie-break is replicated in the reference's order
+  (ready heaps compare precomputed ``order_key``s that encode the
+  reference's ``(priority, tid)`` order), so times match bit for bit.
+* :func:`rescale_timing` — when a new point's durations are exactly a
+  power-of-two multiple of an already-timed point's, the simulated clock
+  can be scaled instead of re-run: multiplying by 2**k only shifts float
+  exponents, so every sum, max, and comparison in a fresh simulation
+  would produce exactly the scaled values.  The one hazard is the
+  executor's absolute tie epsilon (1e-12): a time gap near it could
+  change sides under scaling, so a timing is only rescaled when its
+  observed gap spectrum stays clear of the epsilon band on both sides
+  (:func:`tie_margins`).  Non-power-of-two or margin-violating scalings
+  fall back to re-execution — exactness is never traded for speed.
+
+The bubble filler (:func:`fill_compiled`) always re-runs: its feasibility
+thresholds (``min_chunk``, ``min_bubble``) are absolute seconds, so its
+*decisions* legitimately change under uniform cost scaling even though
+the pipeline timeline merely stretches.  The port keeps the reference
+``BubbleFiller``'s candidate *visit order* (ready/future sets walked in
+exactly the heap-pop order) but holds the sets as sorted lists, which
+turns the reference's pop/stash/re-push churn at every bubble boundary
+into plain iteration.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from dataclasses import dataclass
+from math import frexp, isfinite
+
+from repro.sweep.template import CompiledGraph, ScheduleTemplate
+
+#: Same tie epsilon as ``repro.pipeline.executor``.
+_TIME_EPS = 1e-12
+#: Same placement epsilon as ``repro.pipefisher.assignment``.
+_EPS = 1e-9
+
+
+@dataclass
+class CompiledSim:
+    """Timing of one compiled graph (the ``SimulationResult`` essentials).
+
+    ``end`` holds the *completion-processing* times (the executor may
+    batch completions within its 1e-12 tie epsilon, overwriting a task's
+    end with the batch instant — dependency propagation and the makespan
+    use these, exactly like the reference's ``end_times``).  ``ev_end``
+    holds each task's *dispatch-computed* ``start + duration``, which is
+    what the reference records on its timeline events; bubbles, colored
+    time, and K-FAC trigger readiness all read event ends.
+    """
+
+    start: list[float]
+    end: list[float]
+    ev_end: list[float]
+    #: Task indices in dispatch order — the timeline's insertion order.
+    ev_order: list[int]
+    makespan: float
+
+
+def simulate_compiled(g: CompiledGraph, durs: tuple) -> CompiledSim:
+    """Run the executor's event loop over compiled arrays.
+
+    ``durs[g.dur_code[i]]`` is task i's duration.  Mirrors
+    ``simulate_tasks`` exactly: same heap orders, same
+    simultaneous-completion draining, same in-flight admission/parking,
+    same float additions.
+    """
+    n = g.n
+    device = g.device
+    dur_code = g.dur_code
+    order_key = g.order_key
+    dependents = g.dependents
+    ikey = g.inflight_key
+    ilim = g.inflight_limit
+    rkey = g.release_key
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    missing = list(g.ndeps)
+    start = [0.0] * n
+    end = [0.0] * n
+    ev_end = [0.0] * n
+    device_free = [0.0] * g.num_devices
+    ready: list[list] = [[] for _ in range(g.num_devices)]
+    parked: list[list] = [[] for _ in range(g.n_inflight_keys)]
+    inflight = [0] * g.n_inflight_keys
+    ev_order: list[int] = []
+    events: list[tuple[float, int, int]] = []
+    seq = 0
+    remaining = n
+
+    def promote(idx: int, now: float, dirty: set) -> None:
+        nonlocal remaining
+        stack = [idx]
+        while stack:
+            cur = stack.pop()
+            if device[cur] is None:
+                start[cur] = now
+                end[cur] = now
+                ev_end[cur] = now
+                remaining -= 1
+                for dep in dependents[cur]:
+                    missing[dep] -= 1
+                    if missing[dep] == 0:
+                        stack.append(dep)
+            else:
+                heappush(ready[device[cur]], (order_key[cur], cur))
+                dirty.add(device[cur])
+
+    def finish(idx: int, t_end: float, dirty: set) -> None:
+        nonlocal remaining
+        end[idx] = t_end
+        remaining -= 1
+        dirty.add(device[idx])
+        rel = rkey[idx]
+        if rel >= 0:
+            inflight[rel] -= 1
+            if parked[rel]:
+                for entry in parked[rel]:
+                    heappush(ready[device[entry[1]]], entry)
+                    dirty.add(device[entry[1]])
+                parked[rel].clear()
+        for dep in dependents[idx]:
+            missing[dep] -= 1
+            if missing[dep] == 0:
+                promote(dep, t_end, dirty)
+
+    def dispatch(dev: int, now: float) -> None:
+        nonlocal seq
+        if device_free[dev] > now + _TIME_EPS:
+            return
+        heap = ready[dev]
+        while heap:
+            entry = heap[0]
+            idx = entry[1]
+            key = ikey[idx]
+            if key >= 0 and inflight[key] >= ilim[idx]:
+                heappop(heap)
+                parked[key].append(entry)
+                continue
+            heappop(heap)
+            if key >= 0:
+                inflight[key] += 1
+            t_end = now + durs[dur_code[idx]]
+            device_free[dev] = t_end
+            start[idx] = now
+            ev_end[idx] = t_end
+            ev_order.append(idx)
+            heappush(events, (t_end, seq, idx))
+            seq += 1
+            return
+
+    dirty: set[int] = set()
+    for i in g.zero_dep:
+        promote(i, 0.0, dirty)
+    for dev in sorted(dirty):
+        dispatch(dev, 0.0)
+
+    while events:
+        now = events[0][0]
+        dirty = set()
+        while events and events[0][0] <= now + _TIME_EPS:
+            _, _, idx = heappop(events)
+            finish(idx, now, dirty)
+        for dev in sorted(dirty):
+            dispatch(dev, now)
+
+    if remaining > 0:
+        raise RuntimeError(
+            f"deadlock: {remaining} tasks cannot run; check deps and "
+            "in-flight limits"
+        )
+    return CompiledSim(start=start, end=end, ev_end=ev_end,
+                       ev_order=ev_order, makespan=max(end))
+
+
+# -- exact rescaling ------------------------------------------------------------
+
+
+def exact_pow2_ratio(new: tuple, old: tuple) -> float | None:
+    """The single power-of-two ``alpha`` with ``new == alpha * old``, or None.
+
+    Zeros must pair with zeros; every nonzero pair must give the *same*
+    float ratio; the ratio must be a power of two (so ``alpha * x`` is
+    exact for every finite ``x``); and every product must reproduce the
+    new value bit-for-bit.
+    """
+    alpha: float | None = None
+    for a, b in zip(new, old):
+        if b == 0.0 or a == 0.0:
+            if a != b:
+                return None
+            continue
+        r = a / b
+        if alpha is None:
+            m, _ = frexp(r)
+            if m != 0.5 or not isfinite(r):
+                return None
+            alpha = r
+        elif r != alpha:
+            return None
+    if alpha is None:
+        return 1.0
+    for a, b in zip(new, old):
+        if b != 0.0 and b * alpha != a:
+            return None
+    return alpha
+
+
+def tie_margins(sims: list[CompiledSim]) -> tuple[float, float]:
+    """(max tie-cluster diameter, min inter-cluster gap) of a timing.
+
+    Times within ``_TIME_EPS`` of each other form a tie cluster (the
+    executor treats them as one instant).  A rescale by ``alpha`` keeps
+    every comparison's outcome iff scaled diameters stay <= eps and
+    scaled cluster gaps stay > eps; the caller checks both against the
+    returned margins.
+    """
+    times = sorted({t for sim in sims for t in sim.start}
+                   | {t for sim in sims for t in sim.end}
+                   | {t for sim in sims for t in sim.ev_end})
+    max_diam = 0.0
+    min_gap = float("inf")
+    cluster_start = None
+    for prev, cur in zip(times, times[1:]):
+        gap = cur - prev
+        if gap <= _TIME_EPS:
+            if cluster_start is None:
+                cluster_start = prev
+            max_diam = max(max_diam, cur - cluster_start)
+        else:
+            cluster_start = None
+            min_gap = min(min_gap, gap)
+    return max_diam, min_gap
+
+
+def rescale_safe(alpha: float, max_diam: float, min_gap: float) -> bool:
+    """Would every ``<= t + eps`` comparison survive scaling by ``alpha``?
+
+    Three conjuncts: the reference's tie clusters were genuine ties
+    (diameter within the epsilon *before* scaling — a wider chained
+    cluster was only partially batched, and down-scaling it under the
+    epsilon would batch it fully in a fresh run), they stay ties after
+    scaling, and distinct instants stay distinct after scaling.
+    """
+    return (max_diam <= _TIME_EPS
+            and max_diam * alpha <= _TIME_EPS
+            and min_gap * alpha > _TIME_EPS)
+
+
+def rescale_timing(sim: CompiledSim, alpha: float) -> CompiledSim:
+    """Scale a timing by an exact power of two (validated by the caller)."""
+    if alpha == 1.0:
+        return sim
+    return CompiledSim(
+        start=[t * alpha for t in sim.start],
+        end=[t * alpha for t in sim.end],
+        ev_end=[t * alpha for t in sim.ev_end],
+        ev_order=sim.ev_order,
+        makespan=sim.makespan * alpha,
+    )
+
+
+# -- bubble filling over compiled queues ----------------------------------------
+
+
+def device_bubbles(
+    g: CompiledGraph,
+    sim: CompiledSim,
+    device: int,
+    span: float,
+    min_bubble: float,
+) -> list[tuple[float, float]]:
+    """Idle intervals on one device, exactly as ``bubble_intervals`` sees them.
+
+    Replicates ``Timeline.idle_intervals`` over the occupying kinds: sort
+    by (start, end), merge with the 1e-12 touch tolerance, complement
+    within (0, span), drop bubbles <= ``min_bubble``.
+    """
+    start = sim.start
+    ev_end = sim.ev_end
+    evs = sorted((start[i], ev_end[i]) for i in g.occupying_by_device[device])
+    merged: list[tuple[float, float]] = []
+    for s, e in evs:
+        if merged and s <= merged[-1][1] + 1e-12:
+            if e > merged[-1][1]:
+                merged[-1] = (merged[-1][0], e)
+        else:
+            merged.append((s, e))
+    idle: list[tuple[float, float]] = []
+    cursor = 0.0
+    for b0, b1 in merged:
+        if b0 >= span:
+            break
+        b0c = max(b0, 0.0)
+        b1c = min(b1, span)
+        if b0c > cursor:
+            idle.append((cursor, b0c))
+        cursor = max(cursor, b1c)
+    if cursor < span:
+        idle.append((cursor, span))
+    return [(a, b) for a, b in idle if b - a > min_bubble]
+
+
+def _feasible(remaining: float, room: float, min_chunk: float) -> bool:
+    """Port of ``BubbleFiller._feasible`` (same epsilons, same order)."""
+    if room < remaining - _EPS:
+        return not (room < min_chunk - _EPS or remaining - room < min_chunk)
+    return room > _EPS
+
+
+@dataclass
+class CompiledFill:
+    """Placements for every device of a template at one timing."""
+
+    #: device -> per-item segment lists (inventory order).
+    segments: dict[int, list[list[tuple[float, float]]]]
+    #: device -> steps its queue needed.
+    device_steps: dict[int, int]
+    span: float
+
+
+def fill_compiled(
+    template: ScheduleTemplate,
+    sim: CompiledSim,
+    qdurs: tuple,
+    max_steps: int = 64,
+    min_bubble: float = 1e-5,
+    min_chunk: float = 2e-3,
+) -> CompiledFill:
+    """Drain every device's compiled queue into the timing's bubbles.
+
+    A faithful port of ``BubbleFiller._fill_device`` (steady-state mode,
+    the runner's configuration).  The "now" candidates are kept sorted by
+    ``(-ready, pos)`` and the "future" candidates by ``(ready, pos)`` —
+    the exact orders the reference's heaps pop in — so walking the lists
+    visits candidates in the reference order without its stash/re-push
+    cycles, and placements come out bit-identical (each item's placed
+    total is the same left-fold of segment lengths the reference's
+    ``placed_duration`` property computes).
+    """
+    g = template.pf_graph
+    span = sim.makespan
+    end_of = sim.ev_end
+    seg_out: dict[int, list[list[tuple[float, float]]]] = {}
+    steps_out: dict[int, int] = {}
+
+    for dev in sorted(template.queues.devices):
+        dq = template.queues.devices[dev]
+        n = len(dq.items)
+        segments: list[list[tuple[float, float]]] = [[] for _ in range(n)]
+        seg_out[dev] = segments
+        if n == 0:
+            steps_out[dev] = 0
+            continue
+        bubbles0 = device_bubbles(g, sim, dev, span, min_bubble)
+        if not bubbles0:
+            raise RuntimeError(
+                f"device {dev} has no bubbles to fill (span {span:.4f}s)"
+            )
+        codes = dq.codes
+        dur = [qdurs[c] for c in codes]
+        placed = [0.0] * n
+        dependents = dq.dependents
+        dep_count = [0] * n
+        dep_max_end = [0.0] * n
+        #: Sorted candidate sets replacing the reference's heaps.
+        future: list[tuple[float, int]] = []       # (ready, pos) ascending
+        now: list[tuple[float, int]] = []          # (-ready, pos) ascending
+
+        trig = dq.trig
+        items = dq.items
+        for pos in range(n):
+            ti = trig[pos]
+            if ti >= 0:
+                future.append((end_of[ti] - span, pos))
+            else:
+                dep_count[pos] = len(items[pos].dep_positions)
+        future.sort()
+
+        remaining = n
+        last_placed_duration = -1.0
+        steps_used = 0
+        for step in range(max_steps):
+            offset = step * span
+            for bub0, bub1 in bubbles0:
+                b0 = bub0 + offset
+                b1 = bub1 + offset
+                t = b0
+                while True:
+                    if b1 - t <= _EPS:
+                        break
+                    if future and future[0][0] <= t:
+                        k = 1
+                        flen = len(future)
+                        while k < flen and future[k][0] <= t:
+                            k += 1
+                        for r, pos in future[:k]:
+                            insort(now, (-r, pos))
+                        del future[:k]
+                    win_at = -1
+                    win_pos = -1
+                    win_ready = 0.0
+                    from_future = False
+                    st = t
+                    room_now = b1 - t
+                    for j, (negr, pos) in enumerate(now):
+                        if _feasible(dur[pos] - placed[pos], room_now,
+                                     min_chunk):
+                            win_at, win_pos, win_ready = j, pos, -negr
+                            break
+                    if win_pos < 0:
+                        for j, (r, pos) in enumerate(future):
+                            if r >= b1:
+                                break
+                            if _feasible(dur[pos] - placed[pos], b1 - r,
+                                         min_chunk):
+                                win_at, win_pos, win_ready = j, pos, r
+                                st = r
+                                from_future = True
+                                break
+                    if win_pos < 0:
+                        break
+                    rem = dur[win_pos] - placed[win_pos]
+                    room = b1 - st
+                    piece = rem if rem < room else room
+                    e = st + piece
+                    segments[win_pos].append((st, e))
+                    placed[win_pos] = placed[win_pos] + (e - st)
+                    t = e
+                    if dur[win_pos] - placed[win_pos] <= 1e-12:
+                        remaining -= 1
+                        if from_future:
+                            del future[win_at]
+                        else:
+                            del now[win_at]
+                        item_end = e
+                        deps = dependents.get(win_pos)
+                        if deps:
+                            for dpos in deps:
+                                dep_count[dpos] -= 1
+                                if item_end > dep_max_end[dpos]:
+                                    dep_max_end[dpos] = item_end
+                                if dep_count[dpos] == 0:
+                                    insort(future, (dep_max_end[dpos], dpos))
+                    elif from_future:
+                        # Partial placement from the future set: the
+                        # cursor has passed its readiness, so it re-enters
+                        # as a "now" candidate (reference re-push).
+                        del future[win_at]
+                        insort(now, (-win_ready, win_pos))
+                if remaining == 0:
+                    steps_used = step + 1
+                    break
+            if remaining == 0:
+                steps_used = step + 1
+                break
+            total = 0.0
+            for p in placed:
+                total += p
+            if total <= last_placed_duration + _EPS:
+                stuck = [items[pos].iid for pos in range(n)
+                         if dur[pos] - placed[pos] > 1e-12]
+                raise RuntimeError(
+                    f"device {dev}: no placement progress in step {step}; "
+                    f"stuck items: {stuck[:5]}"
+                )
+            last_placed_duration = total
+        else:
+            raise RuntimeError(
+                f"device {dev}: {remaining} K-FAC items still unassigned "
+                f"after {max_steps} steps; bubbles too small for the work"
+            )
+        steps_out[dev] = steps_used
+
+    return CompiledFill(segments=seg_out, device_steps=steps_out, span=span)

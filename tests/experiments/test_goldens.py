@@ -1,0 +1,145 @@
+"""Golden-value regression tests for the reported experiment outputs.
+
+Each golden file pins the *exact* numbers (floats stored as ``float.hex()``
+strings, so comparisons are bit-exact, not approximate) that an experiment
+reported when the golden was generated.  The sweep-engine rewiring — and
+any future refactor of the simulator, cost model, executor, or bubble
+filler — must preserve these outputs exactly; a diff here means reported
+results changed, which is never an incidental side effect.
+
+Regenerate deliberately (after a change that is *supposed* to move the
+numbers) with::
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest tests/experiments/test_goldens.py -q
+
+and review the JSON diff like any other result change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+REGEN = os.environ.get("REPRO_REGEN_GOLDENS") == "1"
+
+
+def _exact(value):
+    """Recursively replace floats with their hex form (bit-exact in JSON)."""
+    if isinstance(value, bool) or isinstance(value, int) or value is None:
+        return value
+    if isinstance(value, float):
+        return {"float": value.hex()}
+    if isinstance(value, str):
+        return value
+    if isinstance(value, dict):
+        return {"dict": [[_exact(k), _exact(v)] for k, v in value.items()]}
+    if isinstance(value, (list, tuple)):
+        return [_exact(v) for v in value]
+    raise TypeError(f"cannot golden-encode {type(value).__name__}: {value!r}")
+
+
+def check(name: str, payload) -> None:
+    """Compare ``payload`` against ``goldens/<name>.json`` (or regenerate)."""
+    encoded = _exact(payload)
+    path = GOLDEN_DIR / f"{name}.json"
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(encoded, indent=1, sort_keys=False) + "\n")
+        return
+    if not path.exists():
+        pytest.fail(
+            f"missing golden {path.name}; generate with REPRO_REGEN_GOLDENS=1"
+        )
+    expected = json.loads(path.read_text())
+    assert encoded == expected, (
+        f"{name}: reported values diverged from the committed golden. If the "
+        "change is intentional, regenerate with REPRO_REGEN_GOLDENS=1 and "
+        "review the JSON diff."
+    )
+
+
+def _perf_cell(r) -> list:
+    return [
+        r.t_fwd, r.t_bwd, r.t_pipe, r.t_bubble, r.t_curv_total, r.t_inv,
+        r.t_prec, r.ratio, r.refresh_steps, r.throughput_pipeline,
+        r.throughput_pipefisher, r.throughput_kfac_skip,
+        r.throughput_kfac_naive, r.memory.total_gb(),
+    ]
+
+
+def _pf_report(r) -> list:
+    return [
+        r.baseline_step_time, r.baseline_utilization, r.pipefisher_step_time,
+        r.pipefisher_utilization, r.refresh_steps,
+        sorted(r.device_refresh_steps.items()),
+    ]
+
+
+def test_fig5_golden():
+    from repro.experiments.perfmodel_figs import run_fig5
+
+    fig = run_fig5()
+    check("fig5", [[list(k), _perf_cell(r)] for k, r in sorted(fig.grid.items())])
+
+
+def test_fig6_golden():
+    from repro.experiments.perfmodel_figs import run_fig6_sweep
+
+    out = run_fig6_sweep(b_micro_values=(1, 4, 16, 64), depth_values=(4, 8, 16))
+    payload = []
+    for (hw, factor), fig in sorted(out.items()):
+        cells = [[list(k), _perf_cell(r)] for k, r in sorted(fig.grid.items())]
+        payload.append([[hw, factor], cells])
+    check("fig6", payload)
+
+
+def test_fig9_golden():
+    from repro.experiments.perfmodel_figs import run_fig9_10
+
+    payload = []
+    for arch in ("BERT-Base", "BERT-Large"):
+        for sched in ("gpipe", "chimera"):
+            fig = run_fig9_10(arch, sched)
+            cells = [[list(k), _perf_cell(r)] for k, r in sorted(fig.grid.items())]
+            payload.append([[arch, sched], cells])
+    check("fig9", payload)
+
+
+def test_table2_golden():
+    from repro.experiments.table2 import run_table2
+
+    r = run_table2()
+    check("table2", [
+        r.nvlamb_step_s, r.kfac_step_s, r.nvlamb_minutes, r.kfac_minutes,
+        r.time_fraction, r.step_overhead,
+    ])
+
+
+def test_table3_golden():
+    from repro.experiments.table3 import run_table3
+
+    r = run_table3()
+    check("table3", [
+        [[name, list(row)] for name, row in sorted(r.rows.items())],
+        r.matches_paper,
+        r.runnable_blocks,
+    ])
+
+
+def test_interleaved_sweep_golden():
+    from repro.experiments.interleaved import run_interleaved_sweep
+
+    result = run_interleaved_sweep()
+    payload = []
+    for key, row in sorted(result.rows.items()):
+        payload.append([
+            list(key),
+            _pf_report(row.one_f_one_b),
+            _pf_report(row.interleaved),
+            row.step_speedup,
+        ])
+    check("interleaved", payload)

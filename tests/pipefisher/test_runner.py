@@ -5,6 +5,7 @@ import pytest
 from repro.perfmodel.arch import BERT_BASE
 from repro.perfmodel.hardware import P100
 from repro.pipefisher import PipeFisherRun
+from repro.sweep.cache import BoundedCache
 
 
 @pytest.fixture(scope="module")
@@ -138,7 +139,8 @@ class TestStageCostCaching:
             return real(*args, **kwargs)
 
         monkeypatch.setattr(runner_mod, "compute_stage_costs", counting)
-        monkeypatch.setattr(runner_mod, "_STAGE_COSTS_MEMO", {})
+        monkeypatch.setattr(runner_mod, "_STAGE_COSTS_MEMO",
+                            BoundedCache(maxsize=512))
         run = PipeFisherRun(schedule="gpipe", arch=BERT_BASE, hardware=P100,
                             b_micro=32, depth=4, n_micro=4, layers_per_stage=3)
         run.execute()
@@ -155,7 +157,8 @@ class TestStageCostCaching:
             return real(*args, **kwargs)
 
         monkeypatch.setattr(runner_mod, "compute_stage_costs", counting)
-        monkeypatch.setattr(runner_mod, "_STAGE_COSTS_MEMO", {})
+        monkeypatch.setattr(runner_mod, "_STAGE_COSTS_MEMO",
+                            BoundedCache(maxsize=512))
         for n_micro in (4, 6, 8):  # sweep dimension not in the memo key
             PipeFisherRun(schedule="gpipe", arch=BERT_BASE, hardware=P100,
                           b_micro=32, depth=4, n_micro=n_micro,

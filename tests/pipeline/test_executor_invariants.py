@@ -7,7 +7,16 @@ policy details:
 * every task starts at or after the end of each of its dependencies;
 * per-key in-flight occupancy never exceeds the configured limit (checked
   both via ``peak_inflight`` and by replaying the event intervals).
+
+The fixed named CASES below pin known-interesting topologies; the
+seeded-random fuzz section then sweeps randomized configurations
+(depth, N_micro, virtual chunks, data parallelism, ragged costs) through
+the same invariants plus schedule-specific bubble bounds, so executor or
+schedule-builder refactors are exercised far beyond the hand-picked
+examples.  Seeds are fixed — every CI run checks the same configs.
 """
+
+import random
 
 import pytest
 
@@ -112,3 +121,189 @@ def test_inflight_intervals_never_exceed_limit(simulated):
         assert peak <= limits[key], (
             f"key {key}: simulated-time occupancy {peak} > {limits[key]}"
         )
+
+
+# -- seeded-random fuzzing -------------------------------------------------------
+
+FUZZ_SEEDS = range(20)
+
+
+def random_topology(rng: random.Random, name: str) -> tuple[int, int, int]:
+    """Draw (depth, n_micro, virtual_chunks) for one schedule family,
+    respecting its structural constraints (Chimera evenness, interleaved
+    divisibility).  Shared by the invariant and bubble-bound fuzzers so
+    both always sample the same configuration distribution."""
+    virtual_chunks = 2
+    if name == "chimera":
+        depth = rng.choice([2, 4, 6, 8])
+        n_micro = depth + 2 * rng.randint(0, 4)
+    elif name == "interleaved":
+        virtual_chunks = rng.randint(2, 3)
+        depth = virtual_chunks * rng.randint(2, 4)
+        n_micro = depth + rng.randint(0, 6)
+    else:
+        depth = rng.randint(2, 8)
+        n_micro = depth + rng.randint(0, 6)
+    return depth, n_micro, virtual_chunks
+
+
+def random_config(seed: int):
+    """One randomized (schedule, PipelineConfig) pair, fully seed-determined.
+
+    Ragged costs (independent uniform Tf/Tb, varying layers per stage and
+    host overhead), random topology per schedule family, and occasional
+    data parallelism with sync-grad traffic.
+    """
+    rng = random.Random(seed)
+    name = ("gpipe", "1f1b", "chimera", "interleaved")[seed % 4]
+    tf = rng.uniform(0.2, 3.0)
+    tb = rng.uniform(0.2, 3.0)
+    layers = rng.randint(1, 3)
+    overhead = rng.choice([0.0, rng.uniform(0.01, 0.3)])
+    depth, n_micro, virtual_chunks = random_topology(rng, name)
+    dp = rng.choice([1, 1, 2])
+    block = WorkCosts(t_fwd=tf, t_bwd=tb, t_curv_a=0.1, t_curv_b=0.1,
+                      t_inv=0.3, t_prec=0.05)
+    cfg = PipelineConfig(
+        depth=depth,
+        n_micro=n_micro,
+        costs=StageCosts(block=block, layers_per_stage=layers,
+                         t_overhead=overhead, kernel_density=1.0),
+        dp=dp,
+        stage_param_bytes=rng.choice([0.0, 1e8]) if dp > 1 else 0.0,
+        virtual_chunks=virtual_chunks,
+    )
+    return name, cfg
+
+
+@pytest.fixture(params=FUZZ_SEEDS, scope="module",
+                ids=lambda s: f"seed{s}")
+def fuzzed(request):
+    name, cfg = random_config(request.param)
+    builder = make_schedule(name, cfg)
+    tasks = builder.build(steps=2)
+    res = simulate_tasks(tasks, builder.num_devices)
+    return name, cfg, tasks, res
+
+
+class TestFuzzedInvariants:
+    def test_everything_completes_once(self, fuzzed):
+        """Slot accounting: every task ran; per (replica, micro, stage)
+        there is exactly one forward and one backward per step."""
+        name, cfg, tasks, res = fuzzed
+        assert len(res.end_times) == len(tasks)
+        fwd = [e for e in res.timeline.events if e.kind == "forward"]
+        bwd = [e for e in res.timeline.events if e.kind == "backward"]
+        expected = 2 * cfg.dp * cfg.depth * cfg.n_micro  # 2 steps
+        assert len(fwd) == expected
+        assert len(bwd) == expected
+
+    def test_no_device_overlap(self, fuzzed):
+        _, _, _, res = fuzzed
+        res.timeline.verify_no_overlap(kinds=OCCUPYING_KINDS)
+
+    def test_dependency_order(self, fuzzed):
+        _, _, tasks, res = fuzzed
+        for t in tasks:
+            for d in t.deps:
+                assert res.start_times[t.tid] >= res.end_times[d] - 1e-9, (
+                    f"{t.tid} started before dep {d} ended"
+                )
+
+    def test_inflight_slots_never_exceed_limits(self, fuzzed):
+        """Replay (forward start, releasing backward end) occupancy per
+        key — the simulated-time slot accounting."""
+        _, _, tasks, res = fuzzed
+        limits = {}
+        by_key: dict = {}
+        release_end: dict = {}
+        for t in tasks:
+            key = t.meta.get("inflight_key")
+            if key is not None:
+                limits[key] = t.meta["inflight_limit"]
+                by_key.setdefault(key, []).append(t.tid)
+            rel = t.meta.get("inflight_release")
+            if rel is not None:
+                release_end.setdefault(rel, []).append(res.end_times[t.tid])
+        assert limits, "schedule emitted no admission-controlled forwards"
+        for key, peak in res.peak_inflight.items():
+            assert peak <= limits[key]
+        for key, fwd_ids in by_key.items():
+            starts = sorted(res.start_times[tid] for tid in fwd_ids)
+            ends = sorted(release_end.get(key, []))
+            if len(ends) < len(starts):
+                continue
+            marks = [(s, +1) for s in starts] + [(e - 1e-12, -1) for e in ends]
+            occupancy = peak = 0
+            for _, delta in sorted(marks):
+                occupancy += delta
+                peak = max(peak, occupancy)
+            assert peak <= limits[key]
+
+
+class TestFuzzedBubbleBounds:
+    """Schedule-specific span/bubble bounds under randomized ragged costs.
+
+    Evaluated on the pure schedule shape: one step, no host overhead, no
+    data parallelism — the same regime as the paper's Table 1 critical
+    paths.  GPipe and 1F1B hit their closed form exactly; Chimera is
+    bounded between its Table 1 critical path and a generously slacked
+    GPipe-like upper bound; interleaved-1F1B's bubble reaches the
+    theoretical (P-1)(Tf+Tb) chunk bubble from above, with slack bounded
+    by the per-device chunk count (asymmetric costs can serialize a few
+    extra chunk slots, never a full pipeline flush).
+    """
+
+    def _simulate(self, seed, name):
+        rng = random.Random(10_000 + seed)
+        tf = rng.uniform(0.2, 3.0)
+        tb = rng.uniform(0.2, 3.0)
+        layers = rng.randint(1, 3)
+        depth, n_micro, virtual_chunks = random_topology(rng, name)
+        block = WorkCosts(t_fwd=tf, t_bwd=tb, t_curv_a=0.1, t_curv_b=0.1,
+                          t_inv=0.3, t_prec=0.05)
+        cfg = PipelineConfig(
+            depth=depth,
+            n_micro=n_micro,
+            costs=StageCosts(block=block, layers_per_stage=layers,
+                             t_overhead=0.0, kernel_density=1.0),
+            virtual_chunks=virtual_chunks,
+        )
+        builder = make_schedule(name, cfg)
+        res = simulate_tasks(builder.build(steps=1), builder.num_devices)
+        return cfg, res.makespan
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    @pytest.mark.parametrize("name", ["gpipe", "1f1b"])
+    def test_unidirectional_closed_form(self, name, seed):
+        """GPipe and 1F1B (with flush) span == (N + D - 1)(Tf + Tb)."""
+        cfg, span = self._simulate(seed, name)
+        tfb = cfg.costs.t_fwd + cfg.costs.t_bwd
+        assert span == pytest.approx(
+            (cfg.n_micro + cfg.depth - 1) * tfb, rel=1e-9)
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_chimera_critical_path_bounds(self, seed):
+        """Table 1: span >= D*Tf + (2D-2)*Tb (+ extra slots), and never
+        worse than a slacked GPipe flush."""
+        cfg, span = self._simulate(seed, "chimera")
+        tf, tb = cfg.costs.t_fwd, cfg.costs.t_bwd
+        extra = cfg.n_micro - cfg.depth
+        lower = max(cfg.n_micro * (tf + tb),
+                    cfg.depth * tf + (2 * cfg.depth - 2) * tb
+                    + extra * (tf + tb))
+        upper = 1.25 * (cfg.n_micro + cfg.depth - 1) * (tf + tb)
+        assert lower - 1e-9 <= span <= upper
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_interleaved_bubble_bounds(self, seed):
+        """Bubble >= the theoretical (P-1)(Tf+Tb) chunk bubble, with at
+        most ``depth`` chunk slots of asymmetric-cost slack."""
+        cfg, span = self._simulate(seed, "interleaved")
+        tfb = cfg.costs.t_fwd + cfg.costs.t_bwd
+        p = cfg.depth // cfg.virtual_chunks
+        per_device_work = cfg.n_micro * cfg.virtual_chunks * tfb
+        bubble = span - per_device_work
+        theory = (p - 1) * tfb
+        assert bubble >= theory - 1e-9
+        assert bubble <= theory + cfg.depth * tfb

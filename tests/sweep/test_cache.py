@@ -1,0 +1,66 @@
+"""BoundedCache: LRU bounds, hit/miss/eviction accounting, clearing."""
+
+import pytest
+
+from repro.sweep.cache import BoundedCache
+
+
+class TestBoundedCache:
+    def test_put_get_counts(self):
+        c = BoundedCache(maxsize=4)
+        assert c.get("a") is None
+        c.put("a", 1)
+        assert c.get("a") == 1
+        s = c.stats()
+        assert (s.hits, s.misses, s.size) == (1, 1, 1)
+        assert s.lookups == 2
+        assert s.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        c = BoundedCache(maxsize=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.get("a") == 1        # refreshes "a"; "b" is now LRU
+        c.put("c", 3)
+        assert "b" not in c
+        assert "a" in c and "c" in c
+        assert c.stats().evictions == 1
+
+    def test_put_existing_key_refreshes_without_eviction(self):
+        c = BoundedCache(maxsize=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("a", 10)                # update, not insert
+        assert len(c) == 2
+        assert c.stats().evictions == 0
+        c.put("c", 3)                 # "b" was LRU
+        assert "b" not in c and c.get("a") == 10
+
+    def test_get_or_create(self):
+        c = BoundedCache(maxsize=2)
+        calls = []
+        assert c.get_or_create("k", lambda: calls.append(1) or "v") == "v"
+        assert c.get_or_create("k", lambda: calls.append(1) or "v2") == "v"
+        assert len(calls) == 1
+
+    def test_clear_resets_entries_and_counters(self):
+        c = BoundedCache(maxsize=2)
+        c.put("a", 1)
+        c.get("a")
+        c.get("zzz")
+        c.clear()
+        s = c.stats()
+        assert (s.hits, s.misses, s.evictions, s.size) == (0, 0, 0, 0)
+        assert c.get("a") is None
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            BoundedCache(maxsize=0)
+
+    def test_none_values_cached(self):
+        """A stored None must read back as a hit, not a miss."""
+        c = BoundedCache(maxsize=2)
+        sentinel = object()
+        c.put("n", None)
+        assert c.get("n", sentinel) is None
+        assert c.stats().hits == 1

@@ -1,0 +1,120 @@
+"""SweepEngine reports must be bit-identical to per-point PipeFisherRun.
+
+These are the engine's acceptance tests: for every schedule family —
+with data parallelism, inversion parallelism, recomputation, virtual
+chunks — the re-timed report must equal the reference ``execute()``
+output exactly (``==`` on floats, no tolerances): step times,
+utilizations, refresh intervals, every K-FAC placement segment, and the
+one-step template timelines.
+"""
+
+import pytest
+
+from repro.perfmodel.arch import BERT_BASE, BERT_LARGE
+from repro.perfmodel.hardware import HARDWARE, P100
+from repro.pipefisher.runner import PipeFisherRun
+from repro.sweep import SweepEngine
+
+#: name -> PipeFisherRun kwargs, spanning every schedule and option axis.
+CASES = {
+    "gpipe": dict(schedule="gpipe", arch=BERT_BASE, b_micro=32, depth=4,
+                  n_micro=4, layers_per_stage=3),
+    "gpipe-dp": dict(schedule="gpipe", arch=BERT_BASE, b_micro=32, depth=4,
+                     n_micro=4, dp=2, layers_per_stage=3),
+    "1f1b": dict(schedule="1f1b", arch=BERT_BASE, b_micro=16, depth=4,
+                 n_micro=8, layers_per_stage=3),
+    "1f1b-recompute": dict(schedule="1f1b", arch=BERT_BASE, b_micro=8,
+                           depth=4, n_micro=6, recompute=True),
+    "chimera": dict(schedule="chimera", arch=BERT_BASE, b_micro=32, depth=16,
+                    n_micro=16),
+    "chimera-invpar": dict(schedule="chimera", arch=BERT_LARGE, b_micro=32,
+                           depth=8, n_micro=8, layers_per_stage=3,
+                           inversion_parallel=True),
+    "chimera-dp-world": dict(schedule="chimera", arch=BERT_BASE, b_micro=32,
+                             depth=8, n_micro=8, dp=2, world_multiplier=4,
+                             inversion_parallel=True, layers_per_stage=3),
+    "interleaved": dict(schedule="interleaved", arch=BERT_BASE, b_micro=32,
+                        depth=8, n_micro=8, virtual_chunks=2),
+    "interleaved-v4": dict(schedule="interleaved", arch=BERT_BASE, b_micro=16,
+                           depth=8, n_micro=8, virtual_chunks=4),
+}
+
+NUMBER_FIELDS = (
+    "schedule", "num_devices", "baseline_step_time", "baseline_utilization",
+    "pipefisher_step_time", "pipefisher_utilization", "refresh_steps",
+    "device_refresh_steps", "step_time_overhead", "window_steps",
+)
+
+
+def assert_reports_identical(ref, got):
+    for field in NUMBER_FIELDS:
+        assert getattr(ref, field) == getattr(got, field), field
+    # Every K-FAC placement, segment for segment.
+    assert set(ref.assignment.queues) == set(got.assignment.queues)
+    assert ref.assignment.span == got.assignment.span
+    assert ref.assignment.refresh_steps == got.assignment.refresh_steps
+    for dev, rq in ref.assignment.queues.items():
+        gq = got.assignment.queues[dev]
+        assert len(rq.items) == len(gq.items)
+        for ri, gi in zip(rq.items, gq.items):
+            assert ri.iid == gi.iid
+            assert ri.kind == gi.kind and ri.factor == gi.factor
+            assert ri.duration == gi.duration
+            assert ri.trigger == gi.trigger
+            assert ri.segments == gi.segments, ri.iid
+    # One-step template timelines, event for event (insertion order).
+    for attr in ("base_template", "pf_template"):
+        re_ = [(e.device, e.kind, e.start, e.end, e.label)
+               for e in getattr(ref, attr).events]
+        ge = [(e.device, e.kind, e.start, e.end, e.label)
+              for e in getattr(got, attr).events]
+        assert re_ == ge, attr
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return SweepEngine()
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_engine_matches_reference(name, engine):
+    run = PipeFisherRun(hardware=P100, **CASES[name])
+    assert_reports_identical(run.execute(), engine.run(run))
+
+
+def test_template_reuse_stays_identical(engine):
+    """Points sharing one template (only costs differ) must all match the
+    per-point reference — the re-timed path, not just the first build."""
+    for hw in ("P100", "V100", "RTX3090"):
+        for b in (4, 32):
+            run = PipeFisherRun(schedule="chimera", arch=BERT_BASE,
+                                hardware=HARDWARE[hw], b_micro=b,
+                                depth=8, n_micro=8)
+            assert_reports_identical(run.execute(), engine.run(run))
+    stats = engine.stats()
+    assert stats["templates"].hits >= 5  # the 6 points share one template
+
+
+def test_exact_duration_hit_stays_identical(engine):
+    """The timing-cache exact-hit path must rebuild an identical report."""
+    run = PipeFisherRun(schedule="1f1b", arch=BERT_BASE, hardware=P100,
+                        b_micro=16, depth=4, n_micro=8)
+    first = engine.run(run)
+    hits_before = engine.timing_hits
+    second = engine.run(run)
+    assert engine.timing_hits == hits_before + 1
+    assert_reports_identical(first, second)
+    assert_reports_identical(run.execute(), second)
+
+
+def test_materialize_window_builds_eagerly(engine):
+    run = PipeFisherRun(schedule="gpipe", arch=BERT_BASE, hardware=P100,
+                        b_micro=32, depth=4, n_micro=4, layers_per_stage=3,
+                        materialize_window=True)
+    ref = run.execute()
+    got = engine.run(run)
+    assert got._baseline_timeline is not None
+    assert got._pipefisher_timeline is not None
+    r1 = [(e.device, e.kind, e.start, e.end) for e in ref.pipefisher_timeline.events]
+    g1 = [(e.device, e.kind, e.start, e.end) for e in got.pipefisher_timeline.events]
+    assert r1 == g1

@@ -19,6 +19,7 @@ import argparse
 from repro.perfmodel import MemoryModel
 from repro.perfmodel.arch import ARCHITECTURES
 from repro.perfmodel.hardware import HARDWARE
+from repro.pipeline.spec import get_spec, schedule_names
 from repro.sweep import default_engine
 
 
@@ -41,8 +42,13 @@ def main() -> None:
 
     engine = default_engine()
     feasible = []
-    for schedule in ("gpipe", "1f1b", "chimera"):
-        stages_dev = 2 if schedule == "chimera" else 1
+    # Every registered schedule the §3.3 analytic model covers — a newly
+    # registered spec joins the search without edits here.
+    for schedule in schedule_names():
+        spec = get_spec(schedule)
+        if spec.critical_path is None:
+            continue
+        stages_dev = spec.stages_per_device(1)
         model = engine.perf_model(arch, hw, schedule,
                                   layers_per_stage=args.layers_per_stage)
         for depth in (4, 8, 16):

@@ -4,8 +4,10 @@
 The paper's §3.3 closes with: "the pipeline method can be selected based
 on the tradeoff between throughput and the frequency of extra information
 updates."  This example walks that decision for a user-defined
-architecture: simulate GPipe, 1F1B, and Chimera, render their timelines,
-and tabulate throughput vs curvature-refresh frequency.
+architecture across *every registered schedule* — the simulated timelines
+for all of them, and the throughput-vs-refresh table for those the §3.3
+analytic model covers.  A newly registered
+:class:`repro.pipeline.spec.ScheduleSpec` shows up here without edits.
 
 Run:  python examples/schedule_explorer.py [--d-model 768] [--depth 8]
 """
@@ -17,6 +19,7 @@ from repro.perfmodel.arch import TransformerArch
 from repro.perfmodel.calibration import host_overhead
 from repro.perfmodel.costs import compute_stage_costs
 from repro.pipeline import PipelineConfig, make_schedule, simulate_tasks
+from repro.pipeline.spec import get_spec, schedule_names
 from repro.profiler import render_timeline, utilization
 
 
@@ -37,25 +40,32 @@ def main() -> None:
           f"({arch.params_per_block/1e6:.1f}M params/block)\n")
 
     print("--- simulated timelines (one step each) ---")
-    for name in ("gpipe", "1f1b", "chimera"):
+    for name in schedule_names():
         costs = compute_stage_costs(arch, P100, args.b_micro,
                                     overhead_s=host_overhead(name))
         cfg = PipelineConfig(depth=args.depth, n_micro=args.depth, costs=costs)
-        builder = make_schedule(name, cfg)
+        try:
+            builder = make_schedule(name, cfg)
+        except ValueError as err:
+            print(f"\n{name}: skipped at depth {args.depth} ({err})")
+            continue
         res = simulate_tasks(builder.build(), builder.num_devices)
         util = utilization(res.timeline)
-        print(f"\n{name} [step {res.makespan*1000:.0f} ms, GPU util {util:.1%}]")
+        print(f"\n{name} [step {res.makespan*1000:.0f} ms, GPU util {util:.1%}]"
+              f" — {get_spec(name).description}")
         print(render_timeline(res.timeline, width=90, show_legend=False))
 
     print("\n--- throughput vs refresh-frequency tradeoff (PipeFisher) ---")
-    print(f"{'schedule':>9s} {'thr (seqs/s)':>13s} {'(c+i)/bubble':>13s} "
-          f"{'refresh steps':>14s}  recommendation")
+    print(f"{'schedule':>12s} {'thr (seqs/s)':>13s} {'(c+i)/bubble':>13s} "
+          f"{'refresh steps':>14s}")
     rows = []
-    for name in ("gpipe", "1f1b", "chimera"):
+    for name in schedule_names():
+        if get_spec(name).critical_path is None:
+            continue  # no §3.3 analytic model (simulate it above instead)
         model = PipelinePerfModel(arch, P100, name)
         r = model.report(args.b_micro, args.depth)
         rows.append((name, r))
-        print(f"{name:>9s} {r.throughput_pipefisher:13.1f} {r.ratio:13.2f} "
+        print(f"{name:>12s} {r.throughput_pipefisher:13.1f} {r.ratio:13.2f} "
               f"{r.refresh_steps:14d}")
     best_thr = max(rows, key=lambda x: x[1].throughput_pipefisher)[0]
     best_fresh = min(rows, key=lambda x: x[1].refresh_steps)[0]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from functools import partial
 
 
 def _fig1() -> None:
@@ -76,6 +77,18 @@ def _interleaved() -> None:
     print(format_interleaved_sweep(run_interleaved_sweep()))
 
 
+def _zb() -> None:
+    from repro.experiments.zb import format_zb_sweep, run_zb_sweep
+
+    print(format_zb_sweep(run_zb_sweep()))
+
+
+def _schedule(schedule: str = "zb1f1b") -> None:
+    from repro.experiments.zb import format_schedule_panel, run_schedule_panel
+
+    print(format_schedule_panel(run_schedule_panel(schedule)))
+
+
 def _fig9_10() -> None:
     from repro.experiments.perfmodel_figs import format_perf_figure, run_fig9_10
 
@@ -109,6 +122,8 @@ EXPERIMENTS = {
     "table2": _table2,
     "table3": _table3,
     "interleaved": _interleaved,
+    "zb": _zb,
+    "schedule": _schedule,
 }
 
 #: "all" excludes the training run, which dominates wall-clock time.
@@ -125,12 +140,25 @@ def main(argv: list[str] | None = None) -> int:
         choices=[*EXPERIMENTS, "all"],
         help="which paper artifact to regenerate ('all' = everything but fig7)",
     )
+    from repro.pipeline.spec import schedule_names
+
+    parser.add_argument(
+        "--schedule",
+        choices=schedule_names(),  # derived from the schedule registry
+        default="zb1f1b",
+        help="pipeline schedule for the 'schedule' experiment "
+        "(any registered ScheduleSpec)",
+    )
     args = parser.parse_args(argv)
+
+    # Bind CLI options once, keeping the dispatch table zero-argument.
+    runners = dict(EXPERIMENTS)
+    runners["schedule"] = partial(_schedule, args.schedule)
 
     targets = FAST if args.experiment == "all" else [args.experiment]
     for name in targets:
         print(f"\n{'=' * 70}\n{name.upper()}\n{'=' * 70}")
-        EXPERIMENTS[name]()
+        runners[name]()
     return 0
 
 

@@ -23,6 +23,12 @@ from repro.experiments.interleaved import (
 )
 from repro.experiments.table2 import run_table2, TABLE2_PAPER
 from repro.experiments.table3 import run_table3, TABLE3_PAPER
+from repro.experiments.zb import (
+    run_zb_sweep,
+    format_zb_sweep,
+    run_schedule_panel,
+    format_schedule_panel,
+)
 
 __all__ = [
     "run_fig1",
@@ -44,4 +50,8 @@ __all__ = [
     "TABLE2_PAPER",
     "run_table3",
     "TABLE3_PAPER",
+    "run_zb_sweep",
+    "format_zb_sweep",
+    "run_schedule_panel",
+    "format_schedule_panel",
 ]

@@ -1,0 +1,177 @@
+"""Zero-bubble (ZB-H1) schedule experiments (extension, Qi et al. 2024).
+
+Two drivers:
+
+* :func:`run_zb_sweep` — a Fig. 6-style BERT-Base grid evaluated twice
+  per point, as plain 1F1B and as ZB-H1 (``zb1f1b``: backward split into
+  an input-grad critical path and weight-grad work deferred into the
+  bubbles).  Reports the tradeoff the zero-bubble paper promises — a
+  shorter step and a smaller bubble fraction at 1F1B's activation
+  memory — plus what that does to PipeFisher: less idle room means a
+  longer curvature-refresh interval, the same tension §3.3 frames for
+  Chimera.
+* :func:`run_schedule_panel` — one Fig. 3-style panel for *any*
+  registered schedule (the CLI's ``--schedule`` entry point), so a newly
+  registered spec is runnable end-to-end without touching the CLI.
+
+Both evaluate through the shared sweep engine: every (1F1B, ZB-H1) pair
+per depth shares compiled schedule templates across the micro-batch
+sizes, and reports are bit-identical to per-point
+``PipeFisherRun.execute()`` (asserted in ``tests/sweep/`` and pinned by
+``tests/experiments/goldens/zb.json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.arch import ARCHITECTURES
+from repro.perfmodel.hardware import P100
+from repro.pipefisher.runner import PipeFisherReport, PipeFisherRun
+from repro.pipeline.bubbles import bubble_fraction
+from repro.sweep.engine import SweepEngine, default_engine
+
+
+def baseline_bubble_fraction(report: PipeFisherReport) -> float:
+    """Idle fraction of the baseline (no K-FAC) step template."""
+    return bubble_fraction(report.base_template,
+                           (0.0, report.baseline_step_time))
+
+
+@dataclass
+class ZeroBubbleRow:
+    """One grid point: the 1F1B baseline and its ZB-H1 counterpart."""
+
+    arch: str
+    b_micro: int
+    depth: int
+    n_micro: int
+    one_f_one_b: PipeFisherReport
+    zero_bubble: PipeFisherReport
+
+    @property
+    def step_speedup(self) -> float:
+        """Baseline step-time advantage of ZB-H1 (> 1 is faster)."""
+        return (self.one_f_one_b.baseline_step_time
+                / self.zero_bubble.baseline_step_time)
+
+    @property
+    def bubble_1f1b(self) -> float:
+        return baseline_bubble_fraction(self.one_f_one_b)
+
+    @property
+    def bubble_zb(self) -> float:
+        return baseline_bubble_fraction(self.zero_bubble)
+
+
+@dataclass
+class ZeroBubbleSweepResult:
+    rows: dict[tuple[int, int], ZeroBubbleRow]  #: (b_micro, depth) -> row
+
+
+def run_zb_sweep(
+    arch_name: str = "BERT-Base",
+    b_micro_values=(4, 16, 32),
+    depth_values=(4, 8, 16),
+    n_micro_factor: int = 1,
+    engine: SweepEngine | None = None,
+) -> ZeroBubbleSweepResult:
+    """The Fig. 6-style ZB-H1 vs 1F1B grid (N_micro = factor * D, P100)."""
+    engine = default_engine() if engine is None else engine
+    arch = ARCHITECTURES[arch_name]
+    rows: dict[tuple[int, int], ZeroBubbleRow] = {}
+    for depth in depth_values:
+        for b in b_micro_values:
+            reports = {}
+            for sched in ("1f1b", "zb1f1b"):
+                reports[sched] = engine.run(PipeFisherRun(
+                    schedule=sched,
+                    arch=arch,
+                    hardware=P100,
+                    b_micro=b,
+                    depth=depth,
+                    n_micro=n_micro_factor * depth,
+                ))
+            rows[(b, depth)] = ZeroBubbleRow(
+                arch=arch_name,
+                b_micro=b,
+                depth=depth,
+                n_micro=n_micro_factor * depth,
+                one_f_one_b=reports["1f1b"],
+                zero_bubble=reports["zb1f1b"],
+            )
+    return ZeroBubbleSweepResult(rows=rows)
+
+
+def format_zb_sweep(result: ZeroBubbleSweepResult) -> str:
+    arch = next(iter(result.rows.values())).arch if result.rows else "?"
+    lines = [
+        f"ZB-H1 zero-bubble vs 1F1B ({arch} blocks, P100, same devices, "
+        "same activation memory)",
+        f"{'B_micro':>8s} {'D':>4s} "
+        f"{'1f1b bub':>9s} {'zb bub':>8s} "
+        f"{'1f1b util':>10s} {'zb util':>8s} "
+        f"{'step x':>7s} {'zb PF util':>11s} {'zb refresh':>11s}",
+    ]
+    for (b, d), row in sorted(result.rows.items()):
+        f, z = row.one_f_one_b, row.zero_bubble
+        lines.append(
+            f"{b:8d} {d:4d} "
+            f"{row.bubble_1f1b:9.3f} {row.bubble_zb:8.3f} "
+            f"{f.baseline_utilization:10.3f} {z.baseline_utilization:8.3f} "
+            f"{row.step_speedup:7.3f} {z.pipefisher_utilization:11.3f} "
+            f"{z.refresh_steps:11d}"
+        )
+    return "\n".join(lines)
+
+
+# -- single-schedule panel (the CLI's --schedule entry point) -------------------
+
+
+@dataclass
+class SchedulePanel:
+    """A Fig. 3-style PipeFisher panel for one registered schedule."""
+
+    schedule: str
+    report: PipeFisherReport
+
+    @property
+    def baseline_bubble(self) -> float:
+        return baseline_bubble_fraction(self.report)
+
+
+def run_schedule_panel(
+    schedule: str = "zb1f1b",
+    arch_name: str = "BERT-Base",
+    b_micro: int = 32,
+    depth: int = 4,
+    n_micro: int = 8,
+    layers_per_stage: int = 3,
+    engine: SweepEngine | None = None,
+) -> SchedulePanel:
+    """Run any registered schedule at the paper's Fig. 3 configuration."""
+    engine = default_engine() if engine is None else engine
+    report = engine.run(PipeFisherRun(
+        schedule=schedule,
+        arch=ARCHITECTURES[arch_name],
+        hardware=P100,
+        b_micro=b_micro,
+        depth=depth,
+        n_micro=n_micro,
+        layers_per_stage=layers_per_stage,
+    ))
+    return SchedulePanel(schedule=schedule, report=report)
+
+
+def format_schedule_panel(panel: SchedulePanel) -> str:
+    r = panel.report
+    return "\n".join([
+        f"schedule {panel.schedule}: {r.num_devices} devices",
+        f"  baseline step time   {r.baseline_step_time * 1000:9.1f} ms",
+        f"  baseline GPU util    {r.baseline_utilization:9.1%}",
+        f"  baseline bubble frac {panel.baseline_bubble:9.1%}",
+        f"  PipeFisher step time {r.pipefisher_step_time * 1000:9.1f} ms "
+        f"(+{r.step_time_overhead:.1%})",
+        f"  PipeFisher GPU util  {r.pipefisher_utilization:9.1%}",
+        f"  curvature refresh    every {r.refresh_steps} steps",
+    ])

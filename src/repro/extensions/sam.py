@@ -22,7 +22,7 @@ from repro.nn.module import Parameter
 from repro.optim.base import Optimizer, global_grad_norm
 from repro.perfmodel.costs import StageCosts
 from repro.pipefisher.workqueue import KFACWorkItem, KFACWorkQueue
-from repro.pipeline.schedules import ChimeraSchedule, ScheduleBuilder
+from repro.pipeline.schedules import ScheduleBuilder
 
 
 class SAM:
@@ -96,13 +96,8 @@ def build_sam_queues(
     for dev in range(builder.num_devices):
         q = queues[dev]
         for s in builder.stages_of_device(dev):
-            if isinstance(builder, ChimeraSchedule):
-                base = dev // cfg.dp
-                pipes = ["down" if s == base else "up"]
-                micro = range(cfg.n_micro // 2)
-            else:
-                pipes = [None]
-                micro = range(cfg.n_micro)
+            pipes = [builder.spec.pipe_of_stage(cfg, dev, s)]
+            micro = builder.spec.microbatches(cfg)
             for pipe in pipes:
                 for m in micro:
                     fwd_id = f"sam{next(counter)}.d{dev}"

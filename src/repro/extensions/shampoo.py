@@ -26,7 +26,7 @@ from repro.nn.module import Parameter
 from repro.optim.base import Optimizer
 from repro.perfmodel.costs import StageCosts
 from repro.pipefisher.workqueue import KFACWorkItem, KFACWorkQueue
-from repro.pipeline.schedules import ChimeraSchedule, ScheduleBuilder
+from repro.pipeline.schedules import ScheduleBuilder
 
 
 def matrix_inverse_root(mat: np.ndarray, root: int, damping: float) -> np.ndarray:
@@ -125,13 +125,8 @@ def build_shampoo_queues(
         q = queues[dev]
         stages = builder.stages_of_device(dev)
         for s in stages:
-            if isinstance(builder, ChimeraSchedule):
-                base = dev // cfg.dp
-                pipes = ["down" if s == base else "up"]
-                micro = range(cfg.n_micro // 2)
-            else:
-                pipes = [None]
-                micro = range(cfg.n_micro)
+            pipes = [builder.spec.pipe_of_stage(cfg, dev, s)]
+            micro = builder.spec.microbatches(cfg)
             for pipe in pipes:
                 stat_ids: dict[tuple, list[str]] = {}
                 for m in micro:

@@ -14,10 +14,12 @@ for every prediction:
   2), and Fig. 5's (curv+inv)/bubble ratios land in the paper's 2-10 band.
 * ``kernel_density``: Nsight counts only kernel-active time as utilized;
   0.88 reproduces GPipe/Adam's 41.7% baseline utilization (Fig. 3).
-* ``HOST_OVERHEAD_S``: uncolored per-step host time (optimizer invocation,
+* **host overhead**: uncolored per-step host time (optimizer invocation,
   data loading, launch overhead).  The GPipe/1F1B runs in the paper's
-  codebase show substantially larger inter-step gaps than the
-  authors' optimized Chimera implementation, hence per-family values.
+  codebase show substantially larger inter-step gaps than the authors'
+  optimized Chimera implementation, hence per-family values — declared on
+  each schedule's :class:`~repro.pipeline.spec.ScheduleSpec`
+  (``host_overhead_s``) and resolved through the registry here.
 * ``SYNC_KERNEL_DENSITY``: allreduce (sync-grad/sync-curvature) intervals
   are partially kernel-active; 0.75 interpolates between the 2-replica
   (Fig. 4) and 64-replica (Fig. 7) observations.
@@ -29,25 +31,18 @@ EXPERIMENTS.md records paper-vs-model for each figure.
 
 from __future__ import annotations
 
-#: Uncolored host-side overhead per optimization step, seconds, by schedule.
-#: Interleaved-1F1B shares the Megatron/PipeDream code-family overhead of
-#: plain 1F1B (same runtime, one extra scheduling loop level).
-HOST_OVERHEAD_S: dict[str, float] = {
-    "gpipe": 0.145,
-    "1f1b": 0.145,
-    "chimera": 0.055,
-    "interleaved": 0.145,
-}
-
 #: Fraction of an allreduce interval that is kernel-active (colored).
 SYNC_KERNEL_DENSITY = 0.75
 
 
 def host_overhead(schedule: str) -> float:
-    """Per-step uncolored host overhead for a schedule family."""
-    try:
-        return HOST_OVERHEAD_S[schedule]
-    except KeyError:
-        raise ValueError(
-            f"unknown schedule {schedule!r}; choose from {sorted(HOST_OVERHEAD_S)}"
-        )
+    """Per-step uncolored host overhead of a schedule family (seconds).
+
+    Sourced from the schedule registry: every registered
+    :class:`~repro.pipeline.spec.ScheduleSpec` declares its
+    ``host_overhead_s``.  Unknown names raise ``ValueError`` listing the
+    registered schedules.
+    """
+    from repro.pipeline.spec import get_spec
+
+    return get_spec(schedule).host_overhead_s

@@ -32,6 +32,19 @@ class WorkCosts:
     def t_curv(self) -> float:
         return self.t_curv_a + self.t_curv_b
 
+    @property
+    def t_bwd_input(self) -> float:
+        """Input-grad (dgrad) half of the backward, for zero-bubble
+        schedules.  Transformer blocks are GEMM-dominated and dgrad and
+        wgrad each replay roughly the forward's FLOPs, so the split is
+        even (0.5 is exact in floats, keeping the halves' sum exact)."""
+        return 0.5 * self.t_bwd
+
+    @property
+    def t_bwd_weight(self) -> float:
+        """Weight-grad (wgrad) half of the backward (deferrable work)."""
+        return self.t_bwd - self.t_bwd_input
+
 
 @dataclass(frozen=True)
 class StageCosts:
@@ -52,6 +65,16 @@ class StageCosts:
     @property
     def t_bwd(self) -> float:
         return self.block.t_bwd * self.layers_per_stage
+
+    @property
+    def t_bwd_input(self) -> float:
+        """Input-grad half of the stage backward (zero-bubble B tasks)."""
+        return self.block.t_bwd_input * self.layers_per_stage
+
+    @property
+    def t_bwd_weight(self) -> float:
+        """Weight-grad half of the stage backward (zero-bubble W tasks)."""
+        return self.block.t_bwd_weight * self.layers_per_stage
 
     @property
     def t_curv(self) -> float:

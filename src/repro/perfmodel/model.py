@@ -28,13 +28,25 @@ from repro.perfmodel.calibration import host_overhead
 from repro.perfmodel.costs import StageCosts, compute_stage_costs
 from repro.perfmodel.hardware import Hardware
 from repro.perfmodel.memory import MemoryBreakdown, MemoryModel
+from repro.pipeline.spec import get_spec, schedule_specs
 
-#: (C_f, C_b) at N_micro = D, as functions of D.
-SCHEDULE_CRITICAL_PATH = {
-    "gpipe": lambda d: (2 * d - 1, 2 * d - 1),
-    "1f1b": lambda d: (2 * d - 1, 2 * d - 1),
-    "chimera": lambda d: (d, 2 * d - 2),
-}
+
+def _critical_paths() -> dict:
+    """(C_f, C_b) at N_micro = D per schedule, from the registry.
+
+    Schedules whose spec declares no analytic critical path (interleaved)
+    are excluded — the simulator covers them instead.
+    """
+    return {
+        name: spec.critical_path
+        for name, spec in schedule_specs().items()
+        if spec.critical_path is not None
+    }
+
+
+#: Import-time snapshot kept for compatibility; the model itself resolves
+#: through the registry so late-registered schedules work too.
+SCHEDULE_CRITICAL_PATH = _critical_paths()
 
 
 @dataclass(frozen=True)
@@ -70,7 +82,8 @@ class PipelinePerfModel:
     arch, hardware:
         Architecture (Table 3 row) and device model.
     schedule:
-        ``"gpipe"``, ``"1f1b"`` or ``"chimera"``.
+        Any registered schedule whose spec declares an analytic critical
+        path (``"gpipe"``, ``"1f1b"``, ``"chimera"``, ``"zb1f1b"``).
     layers_per_stage:
         Transformer blocks per pipeline stage (1 in the perf-model figures).
     include_overhead:
@@ -88,11 +101,13 @@ class PipelinePerfModel:
         include_overhead: bool = False,
         factor_blocks: int = 1,
     ) -> None:
-        if schedule not in SCHEDULE_CRITICAL_PATH:
+        spec = get_spec(schedule)  # unknown names raise, listing all
+        if spec.critical_path is None:
             raise ValueError(
                 f"unknown schedule {schedule!r}; choose from "
-                f"{sorted(SCHEDULE_CRITICAL_PATH)}"
+                f"{sorted(_critical_paths())}"
             )
+        self._spec = spec
         self.arch = arch
         self.hardware = hardware
         self.schedule = schedule
@@ -126,7 +141,7 @@ class PipelinePerfModel:
         costs = self.stage_costs(b_micro)
         t_f = costs.t_fwd
         t_b = costs.t_bwd + (t_f if recompute else 0.0)
-        cf, cb = SCHEDULE_CRITICAL_PATH[self.schedule](depth)
+        cf, cb = self._spec.critical_path(depth)
         extra = n_micro - depth
         t_pipe = (cf + extra) * t_f + (cb + extra) * t_b
         if self.include_overhead:
@@ -166,7 +181,7 @@ class PipelinePerfModel:
         t_naive = t_pipe + t_prec + t_curv_total + t_inv
         thr_naive = seqs / t_naive
 
-        stages_per_device = 2 if self.schedule == "chimera" else 1
+        stages_per_device = self._spec.stages_per_device(1)
         mem = MemoryModel(
             self.arch,
             layers_per_stage=self.layers_per_stage,

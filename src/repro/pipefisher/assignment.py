@@ -131,11 +131,16 @@ class BubbleFiller:
         #: False to model the very first cycle after initialization.
         self.steady_state = steady_state
         self.span = template.makespan
+        #: Trigger events by canonical kind.  A zero-bubble split backward
+        #: satisfies "backward" triggers at its *input-grad* end: the
+        #: error signal a B-factor needs is the output gradient, which the
+        #: input-grad pass produces (weight-grads consume it, not make it).
         self._event_end: dict[tuple, float] = {}
         for e in template.timeline.events:
-            if e.kind in ("forward", "backward"):
+            kind = "backward" if e.kind == "backward_input" else e.kind
+            if kind in ("forward", "backward"):
                 key = (
-                    e.kind,
+                    kind,
                     e.meta["stage"],
                     e.meta["micro_batch"],
                     e.meta.get("pipeline"),

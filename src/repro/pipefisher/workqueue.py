@@ -13,7 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.perfmodel.costs import StageCosts
-from repro.pipeline.schedules import ChimeraSchedule, ScheduleBuilder
+from repro.pipeline.schedules import ScheduleBuilder
 
 
 @dataclass
@@ -90,10 +90,9 @@ class KFACWorkQueue:
 
 
 def _microbatches_of(builder: ScheduleBuilder, pipeline: str | None) -> range:
-    n = builder.config.n_micro
-    if isinstance(builder, ChimeraSchedule):
-        return range(n // 2)
-    return range(n)
+    """Micro-batches per pipeline, as the schedule spec declares them
+    (Chimera splits ``n_micro`` across its bidirectional pair)."""
+    return builder.spec.microbatches(builder.config)
 
 
 def build_device_queues(
@@ -129,14 +128,9 @@ def build_device_queues(
     for dev in range(builder.num_devices):
         q = queues[dev]
         stages = builder.stages_of_device(dev)
-        pipes_of_stage: dict[int, list[str | None]] = {}
-        if isinstance(builder, ChimeraSchedule):
-            base = dev // cfg.dp
-            for s in stages:
-                pipes_of_stage[s] = ["down" if s == base else "up"]
-        else:
-            for s in stages:
-                pipes_of_stage[s] = [None]
+        pipes_of_stage: dict[int, list[str | None]] = {
+            s: [builder.spec.pipe_of_stage(cfg, dev, s)] for s in stages
+        }
 
         curv_ids: dict[tuple, list[str]] = {}
         all_curv_ids: list[str] = []

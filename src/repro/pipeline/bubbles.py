@@ -9,6 +9,8 @@ from repro.profiler.timeline import Timeline
 OCCUPYING_KINDS = {
     "forward",
     "backward",
+    "backward_input",
+    "backward_weight",
     "recompute",
     "curvature",
     "inversion",

@@ -15,9 +15,14 @@ Eligibility (activation-memory admission control) uses two meta keys:
 
 * ``inflight_key``/``inflight_limit`` on a FORWARD: the forward may start
   only while fewer than ``limit`` micro-batches are in flight for that key.
-* ``inflight_release`` on a BACKWARD: the slot is freed at the backward's
-  simulated *end* time (a forward elsewhere can never be admitted at a
-  simulated time before the backward that frees its slot has finished).
+* ``inflight_release`` on the releasing task — the full BACKWARD, or the
+  input-grad (BACKWARD_INPUT) half when the schedule splits the backward:
+  the slot is freed at that task's simulated *end* time (a forward
+  elsewhere can never be admitted at a simulated time before the task
+  that frees its slot has finished).  Zero-bubble weight-grad tasks
+  neither hold nor release slots: they consume saved tensors accounted
+  to the already-released micro-batch, so deferring them into bubbles
+  cannot deadlock admission.
 
 The run is deterministic: every tie — equal priorities, equal event
 times — is broken by task id or insertion order, never by hash order, so

@@ -1,0 +1,401 @@
+"""Declarative schedule specifications and the schedule registry.
+
+A :class:`ScheduleSpec` declares *everything* the rest of the codebase
+needs to know about one pipeline schedule, as data:
+
+* the **task-graph program** — forward/backward phase priorities, the
+  per-stage in-flight (activation-memory) policy, and whether the
+  backward pass is split into input-grad (B) and weight-grad (W) halves
+  (zero-bubble schedules);
+* the **device topology** — stage -> device mapping, stages hosted per
+  device, allreduce groups, and the (possibly bidirectional) pipelines a
+  micro-batch traverses;
+* the **host-overhead model** (the per-family calibration constant that
+  used to live in a string-keyed dict in ``perfmodel.calibration``);
+* the **analytic critical path** of §3.3 / Table 1, when the schedule
+  has one;
+* the **closed-form span bounds** the executor invariant tests check
+  fuzzed simulations against; and
+* the **structural keys** the sweep engine needs to canonicalize points
+  onto shared templates (stages per device, allreduce group size,
+  whether ``virtual_chunks`` shapes the graph).
+
+One generic builder (:class:`repro.pipeline.schedules.ScheduleBuilder`)
+executes the program; :func:`repro.pipeline.schedules.make_schedule`,
+``perfmodel`` and the sweep engine all resolve schedules through
+:func:`get_spec`, so adding a schedule is *one* :func:`register_schedule`
+call — no string-compare dispatch site anywhere needs editing.
+
+Every callable field takes the :class:`~repro.pipeline.schedules.PipelineConfig`
+first, so a spec is a pure description: it holds no state and can be
+shared across configs, builders, and sweep templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+# -- default (unidirectional) topology helpers ----------------------------------
+
+
+def _uni_num_devices(cfg) -> int:
+    return cfg.depth * cfg.dp
+
+
+def _uni_device(cfg, stage: int, replica: int, pipeline=None) -> int:
+    return stage * cfg.dp + replica
+
+
+def _uni_stages(cfg, dev: int) -> list[int]:
+    return [dev // cfg.dp]
+
+
+def _uni_dp_group(cfg, dev: int) -> list[int]:
+    stage = dev // cfg.dp
+    return [stage * cfg.dp + r for r in range(cfg.dp)]
+
+
+def _one_pipeline(cfg) -> tuple:
+    return (None,)
+
+
+def _no_pipe(cfg, dev: int, stage: int):
+    return None
+
+
+def _all_microbatches(cfg) -> range:
+    return range(cfg.n_micro)
+
+
+def _one_stage_per_device(virtual_chunks: int) -> int:
+    return 1
+
+
+def _dp_group_size(dp: int) -> int:
+    return dp
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """Declarative description of one pipeline schedule.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``make_schedule``/CLI name).
+    description:
+        One-line human description (examples enumerate it).
+    fwd_priority, bwd_priority:
+        ``(cfg, micro_batch, stage) -> tuple`` — the phase/priority rule
+        the executor's ready heaps compare.  This *is* the schedule: GPipe
+        phases forwards before backwards, 1F1B inverts that, Chimera and
+        interleaved reorder by injection index.
+    inflight_limit:
+        ``(cfg, stage) -> int`` — activation-memory admission limit for
+        forwards of that stage.
+    split_backward:
+        Zero-bubble schedules split the backward into an input-grad (B)
+        task on the critical path and a deferrable weight-grad (W) task.
+    wgt_priority:
+        ``(cfg, micro_batch, stage) -> tuple`` for W tasks (split only).
+        Declared *below* forwards so W work sinks into what the schedule
+        would otherwise leave as bubbles.
+    num_devices, device_of, stages_of_device, dp_group, pipe_of_stage:
+        Device topology (``device_of`` takes ``(cfg, stage, replica,
+        pipeline)``; ``pipe_of_stage`` resolves which pipeline a device
+        runs a stage for — Chimera's down/up pair, ``None`` elsewhere).
+    pipelines:
+        ``(cfg) -> tuple`` of pipeline tags a replica's task graph
+        contains (``(None,)`` except Chimera's ``("down", "up")``).
+    microbatches:
+        ``(cfg) -> range`` of micro-batch indices per pipeline (Chimera
+        splits ``n_micro`` across its pair).
+    validate:
+        Structural constraint check, raising ``ValueError`` (Chimera
+        evenness, interleaved divisibility); ``None`` when unconstrained.
+    uses_virtual_chunks:
+        Whether ``virtual_chunks`` shapes the task graph (sweep-template
+        canonicalization zeroes the key for schedules that ignore it).
+    stages_per_device:
+        ``(virtual_chunks) -> int`` — constant within the family; the
+        sweep engine's structural mirror of ``stages_of_device``.
+    group_size:
+        ``(dp) -> int`` — allreduce group size before
+        ``world_multiplier`` (Chimera's pair doubles the replication).
+    host_overhead_s:
+        Per-step uncolored host overhead (seconds) of the schedule's
+        code family — see ``perfmodel.calibration`` for the fit.
+    critical_path:
+        ``(depth) -> (C_f, C_b)`` §3.3 / Table 1 constants at
+        ``N_micro = depth``, or ``None`` when the analytic model does not
+        cover the schedule (interleaved).
+    span_bounds:
+        ``(cfg) -> (lo, hi)`` closed-form bounds on the simulated
+        one-step span (no data parallelism, no host overhead — the
+        Table 1 regime).  ``lo == hi`` declares an exact closed form;
+        the invariant fuzz tests assert every simulation obeys this.
+    """
+
+    name: str
+    description: str
+    # -- task-graph program --
+    fwd_priority: Callable
+    bwd_priority: Callable
+    inflight_limit: Callable
+    split_backward: bool = False
+    wgt_priority: Callable | None = None
+    # -- device topology --
+    num_devices: Callable = _uni_num_devices
+    device_of: Callable = _uni_device
+    stages_of_device: Callable = _uni_stages
+    dp_group: Callable = _uni_dp_group
+    pipelines: Callable = _one_pipeline
+    pipe_of_stage: Callable = _no_pipe
+    microbatches: Callable = _all_microbatches
+    validate: Callable | None = None
+    # -- structural keys (sweep-template canonicalization) --
+    uses_virtual_chunks: bool = False
+    stages_per_device: Callable = _one_stage_per_device
+    group_size: Callable = _dp_group_size
+    # -- models --
+    host_overhead_s: float = 0.145
+    critical_path: Callable | None = None
+    # -- closed-form bounds for the invariant tests --
+    span_bounds: Callable | None = None
+
+
+# -- registry -------------------------------------------------------------------
+
+_REGISTRY: dict[str, ScheduleSpec] = {}
+
+
+def register_schedule(spec: ScheduleSpec) -> ScheduleSpec:
+    """Add a spec to the registry (the single point of schedule dispatch)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"schedule {spec.name!r} is already registered")
+    if spec.split_backward and spec.wgt_priority is None:
+        raise ValueError(
+            f"schedule {spec.name!r} splits the backward but declares no "
+            "weight-grad priority"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> ScheduleSpec:
+    """Resolve a schedule name, or raise listing every registered name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown schedule {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+
+
+def schedule_names() -> list[str]:
+    """Registered schedule names, sorted (CLI choices, test parametrize)."""
+    return sorted(_REGISTRY)
+
+
+def schedule_specs() -> dict[str, ScheduleSpec]:
+    """A snapshot of the registry (name -> spec)."""
+    return dict(_REGISTRY)
+
+
+# -- the paper's schedules -------------------------------------------------------
+
+
+def _unidirectional_exact_span(cfg) -> tuple[float, float]:
+    """GPipe / 1F1B (with flush): span == (N + D - 1)(Tf + Tb), exactly."""
+    span = (cfg.n_micro + cfg.depth - 1) * (cfg.costs.t_fwd + cfg.costs.t_bwd)
+    return span, span
+
+
+GPIPE = register_schedule(ScheduleSpec(
+    name="gpipe",
+    description="GPipe: all forwards, then all backwards (Huang et al. 2019)",
+    fwd_priority=lambda cfg, m, s: (0, m),
+    bwd_priority=lambda cfg, m, s: (1, cfg.n_micro - 1 - m),
+    inflight_limit=lambda cfg, s: cfg.n_micro,  # every micro-batch in flight
+    host_overhead_s=0.145,
+    critical_path=lambda d: (2 * d - 1, 2 * d - 1),
+    span_bounds=_unidirectional_exact_span,
+))
+
+
+ONE_F_ONE_B = register_schedule(ScheduleSpec(
+    name="1f1b",
+    description="1F1B / PipeDream-Flush (Narayanan et al. 2019)",
+    fwd_priority=lambda cfg, m, s: (1, m),
+    bwd_priority=lambda cfg, m, s: (0, m),
+    inflight_limit=lambda cfg, s: cfg.depth - s,
+    host_overhead_s=0.145,
+    critical_path=lambda d: (2 * d - 1, 2 * d - 1),
+    span_bounds=_unidirectional_exact_span,
+))
+
+
+# -- Chimera (Li & Hoefler 2021): two bidirectional pipelines -------------------
+
+
+def _chimera_validate(cfg) -> None:
+    if cfg.depth % 2 != 0:
+        raise ValueError("Chimera needs an even number of stages")
+    if cfg.n_micro % 2 != 0:
+        raise ValueError("Chimera needs an even number of micro-batches")
+
+
+def _chimera_device(cfg, stage: int, replica: int, pipeline=None) -> int:
+    base = stage if pipeline != "up" else cfg.depth - 1 - stage
+    return base * cfg.dp + replica
+
+
+def _chimera_stages(cfg, dev: int) -> list[int]:
+    base = dev // cfg.dp
+    return sorted({base, cfg.depth - 1 - base})
+
+
+def _chimera_dp_group(cfg, dev: int) -> list[int]:
+    base = dev // cfg.dp
+    mirror = cfg.depth - 1 - base
+    group = set()
+    for b in (base, mirror):
+        for r in range(cfg.dp):
+            group.add(b * cfg.dp + r)
+    return sorted(group)
+
+
+def _chimera_span_bounds(cfg) -> tuple[float, float]:
+    """Table 1 critical path below, a generously slacked GPipe flush above."""
+    tf, tb = cfg.costs.t_fwd, cfg.costs.t_bwd
+    extra = cfg.n_micro - cfg.depth
+    lower = max(cfg.n_micro * (tf + tb),
+                cfg.depth * tf + (2 * cfg.depth - 2) * tb + extra * (tf + tb))
+    upper = 1.25 * (cfg.n_micro + cfg.depth - 1) * (tf + tb)
+    return lower, upper
+
+
+CHIMERA = register_schedule(ScheduleSpec(
+    name="chimera",
+    description="Chimera: two interlocked bidirectional pipelines "
+                "(Li & Hoefler 2021)",
+    fwd_priority=lambda cfg, m, s: (1, m),
+    bwd_priority=lambda cfg, m, s: (0, m),
+    inflight_limit=lambda cfg, s: cfg.depth - s,
+    num_devices=_uni_num_devices,
+    device_of=_chimera_device,
+    stages_of_device=_chimera_stages,
+    dp_group=_chimera_dp_group,
+    pipelines=lambda cfg: ("down", "up"),
+    pipe_of_stage=lambda cfg, dev, s: "down" if s == dev // cfg.dp else "up",
+    microbatches=lambda cfg: range(cfg.n_micro // 2),
+    validate=_chimera_validate,
+    stages_per_device=lambda v: 2,
+    group_size=lambda dp: 2 * dp,  # the pipeline pair replicates weights
+    host_overhead_s=0.055,
+    critical_path=lambda d: (d, 2 * d - 2),
+    span_bounds=_chimera_span_bounds,
+))
+
+
+# -- interleaved 1F1B (Megatron-LM virtual stages, Narayanan et al. 2021) -------
+
+
+def _interleaved_physical_depth(cfg) -> int:
+    return cfg.depth // cfg.virtual_chunks
+
+
+def _interleaved_validate(cfg) -> None:
+    v = cfg.virtual_chunks
+    if v < 2:
+        raise ValueError(f"interleaved 1F1B needs virtual_chunks >= 2, got {v}")
+    if cfg.depth % v != 0:
+        raise ValueError(
+            f"depth {cfg.depth} not divisible by virtual_chunks {v}"
+        )
+    if cfg.depth // v < 2:
+        raise ValueError(
+            f"interleaving {cfg.depth} stages over {v} chunks leaves "
+            "fewer than 2 devices; reduce virtual_chunks"
+        )
+
+
+def _interleaved_fwd_priority(cfg, m: int, s: int) -> tuple:
+    p = _interleaved_physical_depth(cfg)
+    return (0, m + (s // p) * p)
+
+
+def _interleaved_bwd_priority(cfg, m: int, s: int) -> tuple:
+    p = _interleaved_physical_depth(cfg)
+    return (1, m + ((cfg.depth - 1 - s) // p) * p)
+
+
+def _interleaved_span_bounds(cfg) -> tuple[float, float]:
+    """Theoretical (P-1)(Tf+Tb) chunk bubble from above, with at most
+    ``depth`` chunk slots of asymmetric-cost slack."""
+    tfb = cfg.costs.t_fwd + cfg.costs.t_bwd
+    p = _interleaved_physical_depth(cfg)
+    work = cfg.n_micro * cfg.virtual_chunks * tfb
+    return work + (p - 1) * tfb, work + (p - 1) * tfb + cfg.depth * tfb
+
+
+INTERLEAVED = register_schedule(ScheduleSpec(
+    name="interleaved",
+    description="Interleaved 1F1B with virtual stage chunks (Megatron-LM)",
+    fwd_priority=_interleaved_fwd_priority,
+    bwd_priority=_interleaved_bwd_priority,
+    inflight_limit=lambda cfg, s: cfg.depth - s,
+    num_devices=lambda cfg: _interleaved_physical_depth(cfg) * cfg.dp,
+    device_of=lambda cfg, s, r, pipe=None: (
+        (s % _interleaved_physical_depth(cfg)) * cfg.dp + r
+    ),
+    stages_of_device=lambda cfg, dev: [
+        dev // cfg.dp + k * _interleaved_physical_depth(cfg)
+        for k in range(cfg.virtual_chunks)
+    ],
+    validate=_interleaved_validate,
+    uses_virtual_chunks=True,
+    stages_per_device=lambda v: v,
+    host_overhead_s=0.145,
+    critical_path=None,  # the §3.3 analytic model does not cover it
+    span_bounds=_interleaved_span_bounds,
+))
+
+
+# -- ZB-H1 zero-bubble 1F1B (Qi et al., ICLR 2024) -------------------------------
+
+
+def _zb_span_bounds(cfg) -> tuple[float, float]:
+    """Occupancy lower bound; 1F1B's flush plus non-preemption slack above.
+
+    Lower: the last stage starts its first forward no earlier than
+    ``(D-1) Tf`` and then owes ``N (Tf + Tb_in + Tw)`` of serial work.
+    Upper: the greedy executor may start a weight-grad right before an
+    input-grad becomes ready, delaying the critical path by at most one
+    ``Tw`` per pipeline rank on top of 1F1B's ``(N + D - 1)(Tf + Tb)``
+    flush (the same full-backward total, just split).
+    """
+    tf, tb = cfg.costs.t_fwd, cfg.costs.t_bwd
+    lo = (cfg.depth - 1) * tf + cfg.n_micro * (tf + tb)
+    hi = (cfg.n_micro + cfg.depth - 1) * (tf + tb) \
+        + cfg.depth * cfg.costs.t_bwd_weight
+    return lo, hi
+
+
+ZB1F1B = register_schedule(ScheduleSpec(
+    name="zb1f1b",
+    description="ZB-H1 zero-bubble 1F1B: split backward, weight-grads "
+                "deferred into the bubbles (Qi et al. 2024)",
+    fwd_priority=lambda cfg, m, s: (1, m),
+    bwd_priority=lambda cfg, m, s: (0, m),   # input-grad: critical path
+    inflight_limit=lambda cfg, s: cfg.depth - s,  # same memory as 1F1B
+    split_backward=True,
+    wgt_priority=lambda cfg, m, s: (2, m),   # below forwards: fills bubbles
+    host_overhead_s=0.145,  # Megatron/PipeDream code family, like 1F1B
+    # W-filled cooldown leaves only the (D-1) Tf warmup ramp as bubble:
+    # T_pipe = N (Tf + Tb) + (D-1) Tf = (2D-1) Tf + D Tb at N = D.
+    critical_path=lambda d: (2 * d - 1, d),
+    span_bounds=_zb_span_bounds,
+))

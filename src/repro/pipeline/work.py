@@ -11,6 +11,10 @@ class WorkKind(str, enum.Enum):
 
     FORWARD = "forward"
     BACKWARD = "backward"
+    #: Zero-bubble split backward: input-grad (B, critical path) and
+    #: weight-grad (W, deferrable into bubbles) halves.
+    BACKWARD_INPUT = "backward_input"
+    BACKWARD_WEIGHT = "backward_weight"
     RECOMPUTE = "recompute"
     CURVATURE = "curvature"
     INVERSION = "inversion"
@@ -25,6 +29,8 @@ class WorkKind(str, enum.Enum):
 COMPUTE_KINDS = {
     WorkKind.FORWARD,
     WorkKind.BACKWARD,
+    WorkKind.BACKWARD_INPUT,
+    WorkKind.BACKWARD_WEIGHT,
     WorkKind.RECOMPUTE,
     WorkKind.CURVATURE,
     WorkKind.INVERSION,

@@ -15,6 +15,8 @@ from repro.profiler.timeline import Timeline
 GLYPHS: dict[str, str] = {
     "forward": "F",
     "backward": "B",
+    "backward_input": "B",
+    "backward_weight": "W",
     "recompute": "r",
     "curvature": "c",
     "inversion": "i",
@@ -35,6 +37,8 @@ _PRIORITY = {
     "recompute": 4,
     "forward": 5,
     "backward": 5,
+    "backward_input": 5,
+    "backward_weight": 5,
 }
 
 
@@ -71,6 +75,11 @@ def render_timeline(
 
     out = "\n".join(rows)
     if show_legend:
-        legend = "  ".join(f"{g}={k}" for k, g in GLYPHS.items())
+        # Kinds sharing a glyph (backward / backward_input) collapse to
+        # one legend entry under the first-listed kind.
+        seen: dict[str, str] = {}
+        for k, g in GLYPHS.items():
+            seen.setdefault(g, k)
+        legend = "  ".join(f"{g}={k}" for g, k in seen.items())
         out += "\n" + f"legend: {legend}  .=idle"
     return out

@@ -19,6 +19,8 @@ from repro.profiler.timeline import Timeline
 COLOR_DENSITY: dict[str, float] = {
     "forward": 0.88,
     "backward": 0.88,
+    "backward_input": 0.88,
+    "backward_weight": 0.88,
     "recompute": 0.88,
     "curvature": 1.0,
     "inversion": 1.0,

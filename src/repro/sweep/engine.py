@@ -51,13 +51,17 @@ from repro.sweep.retime import (
     simulate_compiled,
     tie_margins,
 )
+from repro.pipeline.spec import get_spec
 from repro.sweep.template import (
     DUR_BWD,
+    DUR_BWD_INPUT,
+    DUR_BWD_WEIGHT,
     DUR_FWD,
     DUR_OVERHEAD,
     DUR_PRECOND,
     DUR_SYNC_GRAD,
     DUR_ZERO,
+    N_DUR_CODES,
     QDUR_CURV_A,
     QDUR_CURV_B,
     QDUR_INV,
@@ -216,7 +220,8 @@ class SweepEngine:
             depth=run.depth,
             n_micro=run.n_micro,
             virtual_chunks=(run.virtual_chunks
-                            if run.schedule == "interleaved" else 0),
+                            if get_spec(run.schedule).uses_virtual_chunks
+                            else 0),
             layers_per_stage=run.layers_per_stage,
             dp=run.dp,
             world_multiplier=run.world_multiplier,
@@ -269,9 +274,11 @@ class SweepEngine:
         duration computation operation for operation.
         """
         c = costs
-        durs = [0.0] * 6
+        durs = [0.0] * N_DUR_CODES
         durs[DUR_FWD] = c.t_fwd
         durs[DUR_BWD] = c.t_bwd + (c.t_fwd if cfg.recompute else 0.0)
+        durs[DUR_BWD_INPUT] = c.t_bwd_input + (c.t_fwd if cfg.recompute else 0.0)
+        durs[DUR_BWD_WEIGHT] = c.t_bwd_weight
         if world > 1 and cfg.stage_param_bytes > 0:
             durs[DUR_SYNC_GRAD] = cfg.comm.allreduce_time(
                 cfg.stage_param_bytes * n_stages, world

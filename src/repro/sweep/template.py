@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from repro.pipefisher.workqueue import build_device_queues
 from repro.pipeline.bubbles import OCCUPYING_KINDS
 from repro.pipeline.schedules import PipelineConfig, make_schedule
+from repro.pipeline.spec import get_spec
 from repro.pipeline.work import Task, WorkKind
 
 #: Duration codes: every task's duration is one of these per-point values.
@@ -37,6 +38,9 @@ DUR_SYNC_GRAD = 2
 DUR_PRECOND = 3
 DUR_OVERHEAD = 4
 DUR_ZERO = 5      #: barriers / control tasks
+DUR_BWD_INPUT = 6   #: zero-bubble input-grad (+ recompute forward)
+DUR_BWD_WEIGHT = 7  #: zero-bubble weight-grad (bubble filler material)
+N_DUR_CODES = 8
 
 #: K-FAC work-item duration codes.
 QDUR_CURV_A = 0
@@ -47,6 +51,8 @@ QDUR_SYNC_CURV = 3
 _KIND_TO_DUR = {
     WorkKind.FORWARD: DUR_FWD,
     WorkKind.BACKWARD: DUR_BWD,
+    WorkKind.BACKWARD_INPUT: DUR_BWD_INPUT,
+    WorkKind.BACKWARD_WEIGHT: DUR_BWD_WEIGHT,
     WorkKind.SYNC_GRAD: DUR_SYNC_GRAD,
     WorkKind.PRECONDITION: DUR_PRECOND,
     WorkKind.OVERHEAD: DUR_OVERHEAD,
@@ -89,19 +95,16 @@ class TemplateKey:
 def structural_group_size(schedule: str, dp: int) -> int:
     """Size of one device's allreduce group, before ``world_multiplier``.
 
-    Mirrors ``ScheduleBuilder.dp_group``: Chimera's pipeline pair doubles
-    the replication; every other schedule groups the ``dp`` replicas.
+    The registry's structural mirror of ``ScheduleBuilder.dp_group``:
+    Chimera's pipeline pair doubles the replication; every other schedule
+    groups the ``dp`` replicas.
     """
-    return 2 * dp if schedule == "chimera" else dp
+    return get_spec(schedule).group_size(dp)
 
 
 def stages_per_device(schedule: str, virtual_chunks: int) -> int:
     """Stages hosted per device (constant within a schedule family)."""
-    if schedule == "chimera":
-        return 2
-    if schedule == "interleaved":
-        return virtual_chunks
-    return 1
+    return get_spec(schedule).stages_per_device(virtual_chunks)
 
 
 @dataclass
@@ -202,9 +205,14 @@ def compile_graph(tasks: list[Task], num_devices: int) -> CompiledGraph:
             release_key[i] = key_id(rel)
         if t.device is not None and t.kind.value in OCCUPYING_KINDS:
             occupying_by_device[t.device].append(i)
-        if t.kind in (WorkKind.FORWARD, WorkKind.BACKWARD):
+        if t.kind in (WorkKind.FORWARD, WorkKind.BACKWARD,
+                      WorkKind.BACKWARD_INPUT):
+            # A split backward's input-grad end *is* the "backward"
+            # trigger event (mirrors ``BubbleFiller``'s canonicalization).
+            trig_kind = ("backward" if t.kind is WorkKind.BACKWARD_INPUT
+                         else t.kind.value)
             trigger_idx[(
-                t.kind.value,
+                trig_kind,
                 t.meta["stage"],
                 t.meta["micro_batch"],
                 t.meta.get("pipeline"),

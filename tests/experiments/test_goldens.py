@@ -130,6 +130,24 @@ def test_table3_golden():
     ])
 
 
+def test_zb_sweep_golden():
+    """The zero-bubble fig6-style grid (1F1B vs ZB-H1 per point)."""
+    from repro.experiments.zb import run_zb_sweep
+
+    result = run_zb_sweep()
+    payload = []
+    for key, row in sorted(result.rows.items()):
+        payload.append([
+            list(key),
+            _pf_report(row.one_f_one_b),
+            _pf_report(row.zero_bubble),
+            row.bubble_1f1b,
+            row.bubble_zb,
+            row.step_speedup,
+        ])
+    check("zb", payload)
+
+
 def test_interleaved_sweep_golden():
     from repro.experiments.interleaved import run_interleaved_sweep
 

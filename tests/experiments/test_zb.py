@@ -1,0 +1,87 @@
+"""ZB-H1 acceptance: the zero-bubble schedule must earn its registry row.
+
+The issue's bar: at the paper's BERT-Base Fig. 6 configuration, ZB-H1's
+*measured* bubble fraction (simulated baseline timeline, no K-FAC) beats
+plain 1F1B's — and the whole grid runs end-to-end through the sweep
+engine with reports bit-identical to per-point ``PipeFisherRun.execute``.
+"""
+
+import pytest
+
+from repro.experiments.zb import (
+    baseline_bubble_fraction,
+    run_schedule_panel,
+    run_zb_sweep,
+)
+from repro.perfmodel.arch import BERT_BASE
+from repro.perfmodel.hardware import P100
+from repro.pipefisher.runner import PipeFisherRun
+from repro.pipeline.spec import schedule_names
+from repro.sweep import SweepEngine
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_zb_sweep(engine=SweepEngine())
+
+
+class TestZeroBubbleSweep:
+    def test_zb_beats_1f1b_bubble_fraction_everywhere(self, sweep):
+        """The headline claim, at every fig6 grid point."""
+        for key, row in sweep.rows.items():
+            assert row.bubble_zb < row.bubble_1f1b, key
+
+    def test_zb_is_faster_and_better_utilized(self, sweep):
+        for key, row in sweep.rows.items():
+            f, z = row.one_f_one_b, row.zero_bubble
+            assert z.baseline_step_time < f.baseline_step_time, key
+            assert z.baseline_utilization > f.baseline_utilization, key
+            assert row.step_speedup > 1.0, key
+
+    def test_pipefisher_still_fills_the_smaller_bubbles(self, sweep):
+        """K-FAC work still drains into what ZB-H1 leaves idle, at a
+        refresh no faster than bubblier 1F1B's (the §3.3 tradeoff)."""
+        for key, row in sweep.rows.items():
+            z = row.zero_bubble
+            assert z.pipefisher_utilization > z.baseline_utilization + 0.10, key
+            assert 0.0 < z.step_time_overhead < 0.15, key
+            assert z.refresh_steps >= row.one_f_one_b.refresh_steps, key
+
+    def test_fig6_headline_point(self, sweep):
+        """B_micro=32, D=16 — the deepest fig6 column: a >= 10-point
+        bubble-fraction win at identical activation memory."""
+        row = sweep.rows[(32, 16)]
+        assert row.bubble_1f1b - row.bubble_zb > 0.10
+        assert row.zero_bubble.num_devices == row.one_f_one_b.num_devices
+
+    def test_engine_reports_match_reference(self, sweep):
+        """Template-reused rows must equal the per-point runner exactly."""
+        row = sweep.rows[(32, 8)]
+        ref = PipeFisherRun(schedule="zb1f1b", arch=BERT_BASE, hardware=P100,
+                            b_micro=32, depth=8, n_micro=8).execute()
+        got = row.zero_bubble
+        assert got.baseline_step_time == ref.baseline_step_time
+        assert got.pipefisher_step_time == ref.pipefisher_step_time
+        assert got.baseline_utilization == ref.baseline_utilization
+        assert got.pipefisher_utilization == ref.pipefisher_utilization
+        assert got.refresh_steps == ref.refresh_steps
+        assert (baseline_bubble_fraction(got)
+                == baseline_bubble_fraction(ref))
+
+
+class TestSchedulePanel:
+    @pytest.mark.parametrize("name", schedule_names())
+    def test_every_registered_schedule_runs(self, name):
+        """The CLI's --schedule panel works for any registry entry."""
+        panel = run_schedule_panel(name, engine=SweepEngine())
+        assert panel.schedule == name
+        assert panel.report.baseline_step_time > 0
+        assert 0.0 < panel.baseline_bubble < 1.0
+
+    def test_zb_panel_beats_1f1b_panel(self):
+        engine = SweepEngine()
+        zb = run_schedule_panel("zb1f1b", engine=engine)
+        f = run_schedule_panel("1f1b", engine=engine)
+        assert zb.baseline_bubble < f.baseline_bubble
+        assert (zb.report.baseline_step_time
+                < f.report.baseline_step_time)

@@ -23,6 +23,11 @@ import pytest
 from repro.perfmodel.costs import StageCosts, WorkCosts
 from repro.pipeline import PipelineConfig, make_schedule, simulate_tasks
 from repro.pipeline.bubbles import OCCUPYING_KINDS
+from repro.pipeline.spec import get_spec, schedule_names
+
+#: Every registered schedule family, in registry order — fuzzing is
+#: spec-driven, so a newly registered schedule is covered automatically.
+FAMILIES = tuple(schedule_names())
 
 
 def costs(tf=1.0, tb=2.0, overhead=0.1):
@@ -49,6 +54,9 @@ CASES = {
     "interleaved-v3": ("interleaved", dict(depth=6, n_micro=6,
                                            virtual_chunks=3,
                                            stage_param_bytes=1e8, dp=2)),
+    "zb1f1b": ("zb1f1b", dict(depth=4, n_micro=8)),
+    "zb1f1b-dp": ("zb1f1b", dict(depth=4, n_micro=4, dp=2,
+                                 stage_param_bytes=1e8, precondition=True)),
 }
 
 
@@ -155,7 +163,7 @@ def random_config(seed: int):
     data parallelism with sync-grad traffic.
     """
     rng = random.Random(seed)
-    name = ("gpipe", "1f1b", "chimera", "interleaved")[seed % 4]
+    name = FAMILIES[seed % len(FAMILIES)]
     tf = rng.uniform(0.2, 3.0)
     tb = rng.uniform(0.2, 3.0)
     layers = rng.randint(1, 3)
@@ -189,14 +197,21 @@ def fuzzed(request):
 class TestFuzzedInvariants:
     def test_everything_completes_once(self, fuzzed):
         """Slot accounting: every task ran; per (replica, micro, stage)
-        there is exactly one forward and one backward per step."""
+        there is exactly one forward and one backward — or one input-grad
+        plus one weight-grad for split-backward schedules — per step."""
         name, cfg, tasks, res = fuzzed
         assert len(res.end_times) == len(tasks)
-        fwd = [e for e in res.timeline.events if e.kind == "forward"]
-        bwd = [e for e in res.timeline.events if e.kind == "backward"]
         expected = 2 * cfg.dp * cfg.depth * cfg.n_micro  # 2 steps
-        assert len(fwd) == expected
-        assert len(bwd) == expected
+        counts: dict[str, int] = {}
+        for e in res.timeline.events:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+        assert counts["forward"] == expected
+        if get_spec(name).split_backward:
+            assert counts["backward_input"] == expected
+            assert counts["backward_weight"] == expected
+            assert "backward" not in counts
+        else:
+            assert counts["backward"] == expected
 
     def test_no_device_overlap(self, fuzzed):
         _, _, _, res = fuzzed
@@ -242,16 +257,20 @@ class TestFuzzedInvariants:
 
 
 class TestFuzzedBubbleBounds:
-    """Schedule-specific span/bubble bounds under randomized ragged costs.
+    """Spec-declared span/bubble bounds under randomized ragged costs.
 
-    Evaluated on the pure schedule shape: one step, no host overhead, no
-    data parallelism — the same regime as the paper's Table 1 critical
-    paths.  GPipe and 1F1B hit their closed form exactly; Chimera is
-    bounded between its Table 1 critical path and a generously slacked
-    GPipe-like upper bound; interleaved-1F1B's bubble reaches the
-    theoretical (P-1)(Tf+Tb) chunk bubble from above, with slack bounded
-    by the per-device chunk count (asymmetric costs can serialize a few
-    extra chunk slots, never a full pipeline flush).
+    Every registered :class:`~repro.pipeline.spec.ScheduleSpec` declares
+    closed-form bounds on its one-step span (``span_bounds``), evaluated
+    on the pure schedule shape: one step, no host overhead, no data
+    parallelism — the same regime as the paper's Table 1 critical paths.
+    ``lo == hi`` pins an exact closed form (GPipe and 1F1B hit
+    (N + D - 1)(Tf + Tb) exactly); otherwise the simulated span must stay
+    inside [lo, hi] (Chimera between its Table 1 critical path and a
+    generously slacked GPipe-like flush; interleaved-1F1B reaching the
+    theoretical (P-1)(Tf+Tb) chunk bubble from above with at most
+    ``depth`` chunk slots of asymmetric-cost slack; ZB-H1 between its
+    device-occupancy bound and 1F1B's flush plus weight-grad
+    non-preemption slack).
     """
 
     def _simulate(self, seed, name):
@@ -274,36 +293,12 @@ class TestFuzzedBubbleBounds:
         return cfg, res.makespan
 
     @pytest.mark.parametrize("seed", FUZZ_SEEDS)
-    @pytest.mark.parametrize("name", ["gpipe", "1f1b"])
-    def test_unidirectional_closed_form(self, name, seed):
-        """GPipe and 1F1B (with flush) span == (N + D - 1)(Tf + Tb)."""
+    @pytest.mark.parametrize("name", FAMILIES)
+    def test_span_within_spec_bounds(self, name, seed):
         cfg, span = self._simulate(seed, name)
-        tfb = cfg.costs.t_fwd + cfg.costs.t_bwd
-        assert span == pytest.approx(
-            (cfg.n_micro + cfg.depth - 1) * tfb, rel=1e-9)
-
-    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
-    def test_chimera_critical_path_bounds(self, seed):
-        """Table 1: span >= D*Tf + (2D-2)*Tb (+ extra slots), and never
-        worse than a slacked GPipe flush."""
-        cfg, span = self._simulate(seed, "chimera")
-        tf, tb = cfg.costs.t_fwd, cfg.costs.t_bwd
-        extra = cfg.n_micro - cfg.depth
-        lower = max(cfg.n_micro * (tf + tb),
-                    cfg.depth * tf + (2 * cfg.depth - 2) * tb
-                    + extra * (tf + tb))
-        upper = 1.25 * (cfg.n_micro + cfg.depth - 1) * (tf + tb)
-        assert lower - 1e-9 <= span <= upper
-
-    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
-    def test_interleaved_bubble_bounds(self, seed):
-        """Bubble >= the theoretical (P-1)(Tf+Tb) chunk bubble, with at
-        most ``depth`` chunk slots of asymmetric-cost slack."""
-        cfg, span = self._simulate(seed, "interleaved")
-        tfb = cfg.costs.t_fwd + cfg.costs.t_bwd
-        p = cfg.depth // cfg.virtual_chunks
-        per_device_work = cfg.n_micro * cfg.virtual_chunks * tfb
-        bubble = span - per_device_work
-        theory = (p - 1) * tfb
-        assert bubble >= theory - 1e-9
-        assert bubble <= theory + cfg.depth * tfb
+        lo, hi = get_spec(name).span_bounds(cfg)
+        assert lo <= hi
+        if lo == hi:
+            assert span == pytest.approx(lo, rel=1e-9)
+        else:
+            assert lo - 1e-9 <= span <= hi + 1e-9

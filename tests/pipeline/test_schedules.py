@@ -216,6 +216,86 @@ class TestInterleaved:
                            virtual_chunks=0)
 
 
+class TestZeroBubble:
+    """ZB-H1: split backward, weight-grads deferred into the bubbles."""
+
+    def test_backward_is_split(self):
+        b, res = simulate("zb1f1b", config(n_micro=8))
+        kinds = [e.kind for e in res.timeline.events]
+        assert "backward" not in kinds
+        n_tasks = 4 * 8  # depth * n_micro
+        assert kinds.count("backward_input") == n_tasks
+        assert kinds.count("backward_weight") == n_tasks
+
+    def test_split_durations_sum_to_full_backward(self):
+        c = unit_costs()
+        assert c.t_bwd_input + c.t_bwd_weight == c.t_bwd
+        b, res = simulate("zb1f1b", config(n_micro=4))
+        for e in res.timeline.events:
+            if e.kind == "backward_input":
+                assert e.duration == pytest.approx(1.0)  # Tb/2
+            elif e.kind == "backward_weight":
+                assert e.duration == pytest.approx(1.0)
+
+    def test_weight_grad_follows_own_input_grad(self):
+        b, res = simulate("zb1f1b", config(n_micro=8))
+        b_end = {}
+        for e in res.timeline.events:
+            key = (e.meta.get("micro_batch"), e.meta.get("stage"))
+            if e.kind == "backward_input":
+                b_end[key] = e.end
+        for e in res.timeline.events:
+            if e.kind == "backward_weight":
+                key = (e.meta["micro_batch"], e.meta["stage"])
+                assert e.start >= b_end[key] - 1e-9
+
+    def test_span_matches_zero_bubble_closed_form(self):
+        """Symmetric costs: span = N (Tf + Tb) + (D - 1) Tf — the W-filled
+        cooldown leaves only the warmup ramp as bubble."""
+        _, res = simulate("zb1f1b", config(n_micro=8))
+        assert res.makespan == pytest.approx(8 * 3.0 + 3 * 1.0)
+
+    def test_beats_plain_1f1b_span_and_bubble(self):
+        _, plain = simulate("1f1b", config(n_micro=8))
+        _, zb = simulate("zb1f1b", config(n_micro=8))
+        assert zb.makespan < plain.makespan
+        assert (bubble_fraction(zb.timeline, (0.0, zb.makespan))
+                < bubble_fraction(plain.timeline, (0.0, plain.makespan)))
+
+    def test_same_activation_memory_as_1f1b(self):
+        """The H1 variant: in-flight cap D - stage, released at the
+        input-grad's end, exactly like 1F1B."""
+        b, res = simulate("zb1f1b", config(n_micro=8))
+        for (r, _, stage), peak in res.peak_inflight.items():
+            assert peak <= b.config.depth - stage
+
+    def test_weight_grads_deferred_below_forwards(self):
+        """On the last-stage device, at least one weight-grad runs after
+        a later micro-batch's forward — the deferral that fills bubbles."""
+        b, res = simulate("zb1f1b", config(n_micro=8))
+        last = b.config.depth - 1
+        evs = sorted(res.timeline.device_events(last), key=lambda e: e.start)
+        deferred = 0
+        fwd_seen: list[int] = []
+        for e in evs:
+            if e.kind == "forward":
+                fwd_seen.append(e.meta["micro_batch"])
+            elif e.kind == "backward_weight":
+                if any(m > e.meta["micro_batch"] for m in fwd_seen):
+                    deferred += 1
+        assert deferred > 0
+
+    def test_sync_grad_waits_for_weight_grads(self):
+        cfg = config(n_micro=4, dp=2, stage_param_bytes=1e8)
+        b = make_schedule("zb1f1b", cfg)
+        tasks = {t.tid: t for t in b.build(steps=1)}
+        sync = [t for t in tasks.values() if t.kind.value == "sync_grad"]
+        assert len(sync) == 8
+        for t in sync:
+            assert t.deps
+            assert all(d.startswith("W.") for d in t.deps)
+
+
 class TestDataParallel:
     def test_device_count(self):
         cfg = config(dp=2)
@@ -272,8 +352,12 @@ class TestRecompute:
 
 
 class TestValidation:
-    def test_unknown_schedule(self):
-        with pytest.raises(ValueError):
+    def test_unknown_schedule_lists_registry(self):
+        """The error names every registered schedule (sourced from the
+        registry, so new specs appear without touching make_schedule)."""
+        with pytest.raises(ValueError, match="zb1f1b"):
+            make_schedule("pipedream", config())
+        with pytest.raises(ValueError, match="interleaved"):
             make_schedule("pipedream", config())
 
     def test_config_validation(self):

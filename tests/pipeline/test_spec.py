@@ -1,0 +1,152 @@
+"""The schedule registry: completeness and dispatch-site contracts.
+
+Every string-compare dispatch the codebase used to scatter across six
+layers now resolves through :mod:`repro.pipeline.spec`; these tests pin
+the contract every registered spec must satisfy so that adding a
+schedule is *one* ``register_schedule`` call — if a field is missing or
+inconsistent with the generated builder, the failure happens here, not
+deep inside the sweep engine or an experiment.
+"""
+
+import pytest
+
+from repro.perfmodel.calibration import host_overhead
+from repro.perfmodel.costs import StageCosts, WorkCosts
+from repro.pipeline import (
+    PipelineConfig,
+    ScheduleSpec,
+    get_spec,
+    make_schedule,
+    register_schedule,
+    schedule_names,
+    schedule_specs,
+)
+from repro.pipeline.spec import _REGISTRY
+from repro.sweep.template import stages_per_device, structural_group_size
+
+EXPECTED = {"gpipe", "1f1b", "chimera", "interleaved", "zb1f1b"}
+
+
+def costs(tf=1.0, tb=2.0):
+    block = WorkCosts(t_fwd=tf, t_bwd=tb, t_curv_a=0.1, t_curv_b=0.1,
+                      t_inv=0.3, t_prec=0.05)
+    return StageCosts(block=block, layers_per_stage=1, t_overhead=0.0,
+                      kernel_density=1.0)
+
+
+def valid_config(name: str) -> PipelineConfig:
+    """A small config satisfying every family's structural constraints."""
+    return PipelineConfig(depth=4, n_micro=4, costs=costs(), dp=2,
+                          virtual_chunks=2)
+
+
+class TestRegistry:
+    def test_paper_schedules_registered(self):
+        assert EXPECTED <= set(schedule_names())
+
+    def test_get_spec_unknown_lists_registered_names(self):
+        with pytest.raises(ValueError) as err:
+            get_spec("pipedream")
+        for name in schedule_names():
+            assert name in str(err.value)
+
+    def test_make_schedule_unknown_lists_registered_names(self):
+        with pytest.raises(ValueError) as err:
+            make_schedule("pipedream", valid_config("gpipe"))
+        for name in schedule_names():
+            assert name in str(err.value)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_schedule(get_spec("gpipe"))
+
+    def test_split_backward_requires_wgt_priority(self):
+        with pytest.raises(ValueError, match="weight-grad priority"):
+            register_schedule(ScheduleSpec(
+                name="zb-broken",
+                description="split backward without a W rule",
+                fwd_priority=lambda cfg, m, s: (1, m),
+                bwd_priority=lambda cfg, m, s: (0, m),
+                inflight_limit=lambda cfg, s: cfg.depth - s,
+                split_backward=True,
+            ))
+        assert "zb-broken" not in _REGISTRY
+
+
+class TestEverySpecIsComplete:
+    """Per-spec contract: all dispatch sites must find what they need."""
+
+    @pytest.fixture(params=sorted(EXPECTED))
+    def named(self, request):
+        return request.param, get_spec(request.param)
+
+    def test_host_overhead_defined(self, named):
+        """Regression: ``runner``/``perfmodel`` read the host overhead
+        from the spec — every registered schedule must declare it."""
+        name, spec = named
+        assert isinstance(spec.host_overhead_s, float)
+        assert spec.host_overhead_s >= 0.0
+        assert host_overhead(name) == spec.host_overhead_s
+
+    def test_span_bounds_declared_and_ordered(self, named):
+        name, spec = named
+        assert spec.span_bounds is not None
+        lo, hi = spec.span_bounds(valid_config(name))
+        assert 0.0 < lo <= hi
+
+    def test_structural_keys_match_built_builder(self, named):
+        """The sweep engine's structural canonicalization
+        (stages-per-device, allreduce group size) must agree with what
+        the generated builder actually constructs."""
+        name, spec = named
+        cfg = valid_config(name)
+        builder = make_schedule(name, cfg)
+        assert (len(builder.stages_of_device(0))
+                == stages_per_device(name, cfg.virtual_chunks))
+        assert (len(builder.dp_group(0))
+                == structural_group_size(name, cfg.dp))
+
+    def test_priorities_are_comparable_int_pairs(self, named):
+        """The compiled-template order-key packing assumes uniform
+        non-negative int pairs; specs must keep priorities in that shape."""
+        name, spec = named
+        cfg = valid_config(name)
+        for m in range(cfg.n_micro):
+            for s in range(cfg.depth):
+                for rule in filter(None, (spec.fwd_priority,
+                                          spec.bwd_priority,
+                                          spec.wgt_priority)):
+                    p = rule(cfg, m, s)
+                    assert len(p) == 2
+                    assert all(type(x) is int and x >= 0 for x in p)
+
+    def test_pipelines_and_microbatches_consistent(self, named):
+        """Total emitted (pipe, micro) slots must cover n_micro once."""
+        name, spec = named
+        cfg = valid_config(name)
+        pipes = spec.pipelines(cfg)
+        micro = spec.microbatches(cfg)
+        assert len(pipes) * len(micro) == cfg.n_micro
+
+    def test_host_overhead_unknown_schedule_raises(self):
+        with pytest.raises(ValueError):
+            host_overhead("no-such-schedule")
+
+
+class TestRegisteredEndToEnd:
+    """A registry entry alone must be enough to build and simulate."""
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_builds_and_simulates(self, name):
+        from repro.pipeline import simulate_tasks
+
+        cfg = valid_config(name)
+        builder = make_schedule(name, cfg)
+        res = simulate_tasks(builder.build(steps=1), builder.num_devices)
+        assert res.makespan > 0.0
+        assert len(res.end_times) == len(builder.build(steps=1))
+
+    def test_specs_snapshot_is_copy(self):
+        snap = schedule_specs()
+        snap["bogus"] = None
+        assert "bogus" not in schedule_names()

@@ -37,6 +37,13 @@ CASES = {
                         depth=8, n_micro=8, virtual_chunks=2),
     "interleaved-v4": dict(schedule="interleaved", arch=BERT_BASE, b_micro=16,
                            depth=8, n_micro=8, virtual_chunks=4),
+    "zb1f1b": dict(schedule="zb1f1b", arch=BERT_BASE, b_micro=32, depth=8,
+                   n_micro=8),
+    "zb1f1b-dp": dict(schedule="zb1f1b", arch=BERT_BASE, b_micro=16, depth=4,
+                      n_micro=8, dp=2, layers_per_stage=3),
+    "zb1f1b-recompute": dict(schedule="zb1f1b", arch=BERT_LARGE, b_micro=8,
+                             depth=4, n_micro=6, recompute=True,
+                             inversion_parallel=True, dp=2),
 }
 
 NUMBER_FIELDS = (
@@ -105,6 +112,18 @@ def test_exact_duration_hit_stays_identical(engine):
     assert engine.timing_hits == hits_before + 1
     assert_reports_identical(first, second)
     assert_reports_identical(run.execute(), second)
+
+
+def test_zb_template_reuse_stays_identical(engine):
+    """zb1f1b points sharing one compiled template (only costs differ)
+    must all match the per-point reference — the re-timed path."""
+    for hw in ("P100", "V100"):
+        for b in (8, 32):
+            run = PipeFisherRun(schedule="zb1f1b", arch=BERT_BASE,
+                                hardware=HARDWARE[hw], b_micro=b,
+                                depth=8, n_micro=8)
+            assert_reports_identical(run.execute(), engine.run(run))
+    assert engine.stats()["templates"].hits >= 3  # the 4 points, 1 template
 
 
 def test_materialize_window_builds_eagerly(engine):

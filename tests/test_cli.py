@@ -9,12 +9,28 @@ class TestCLI:
     def test_all_experiments_registered(self):
         assert set(EXPERIMENTS) == {
             "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "fig9-10", "table2", "table3", "interleaved",
+            "fig9-10", "table2", "table3", "interleaved", "zb", "schedule",
         }
 
     def test_fast_excludes_training(self):
         assert "fig7" not in FAST
         assert "fig3" in FAST
+
+    def test_zb_runs(self, capsys):
+        assert main(["zb"]) == 0
+        out = capsys.readouterr().out
+        assert "ZB-H1" in out and "1f1b bub" in out
+
+    def test_schedule_choices_come_from_registry(self, capsys):
+        """--schedule accepts exactly the registered schedule names."""
+        from repro.pipeline.spec import schedule_names
+
+        for name in schedule_names():
+            assert main(["schedule", "--schedule", name]) == 0
+            out = capsys.readouterr().out
+            assert f"schedule {name}" in out
+        with pytest.raises(SystemExit):
+            main(["schedule", "--schedule", "pipedream"])
 
     def test_table3_runs(self, capsys):
         assert main(["table3"]) == 0

@@ -1,0 +1,82 @@
+"""Declarative experiment campaigns: experiments-as-data.
+
+The campaign layer replaces imperative per-figure experiment wiring with
+validated data executed by one runner:
+
+* :class:`CampaignSpec` (:mod:`repro.campaign.spec`) — a serializable
+  declaration of grids, seeds, derived artifacts, and golden bindings;
+  every expanded unit is addressable by a canonical point hash;
+* :class:`CampaignRunner` (:mod:`repro.campaign.runner`) — executes
+  units through the shared sweep engine with a persistent append-only
+  run DB (:mod:`repro.campaign.rundb`), so interrupted campaigns resume
+  without recomputation and shards merge into one result;
+* the registry (:mod:`repro.campaign.registry`) — every experiment
+  module registers its campaign; ``repro campaign list/run/status/diff``
+  (:mod:`repro.campaign.cli`) drives them, and
+  :mod:`repro.campaign.goldens` pins their values bit-exactly.
+"""
+
+from repro.campaign.goldens import (
+    diff_payloads,
+    exact_decode,
+    exact_encode,
+    read_golden,
+    write_golden,
+)
+from repro.campaign.registry import (
+    CampaignEntry,
+    campaign_names,
+    get_campaign,
+    golden_payload,
+    load_builtin_campaigns,
+    register_campaign,
+)
+from repro.campaign.rundb import RunDB, merge_run_dbs
+from repro.campaign.runner import CampaignResult, CampaignRunner, parse_shard
+from repro.campaign.spec import (
+    CampaignSpec,
+    CampaignValidationError,
+    UnitSpec,
+    canonical_json,
+    unit_key,
+)
+from repro.campaign.units import (
+    UnitContext,
+    UnitKind,
+    get_unit_kind,
+    perf_cell,
+    pf_report_row,
+    register_unit_kind,
+    unit_kind_names,
+)
+
+__all__ = [
+    "CampaignEntry",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignValidationError",
+    "RunDB",
+    "UnitContext",
+    "UnitKind",
+    "UnitSpec",
+    "campaign_names",
+    "canonical_json",
+    "diff_payloads",
+    "exact_decode",
+    "exact_encode",
+    "get_campaign",
+    "get_unit_kind",
+    "golden_payload",
+    "load_builtin_campaigns",
+    "merge_run_dbs",
+    "parse_shard",
+    "perf_cell",
+    "pf_report_row",
+    "read_golden",
+    "register_campaign",
+    "register_unit_kind",
+    "unit_key",
+    "unit_kind_names",
+    "write_golden",
+]

@@ -1,0 +1,154 @@
+"""Golden-file encoding, IO, and per-value diffing.
+
+One implementation shared by the three golden flows:
+
+* the pytest regression layer (``tests/experiments/test_goldens.py``)
+  encodes payloads with :func:`exact_encode` and compares committed JSON;
+* ``repro campaign regen-goldens`` (and its legacy alias, the
+  ``REPRO_REGEN_GOLDENS=1`` env var) writes goldens via
+  :func:`write_golden`, so both paths produce identical bytes;
+* ``repro campaign diff`` decodes a committed golden and walks it
+  against a payload rebuilt from run-DB values, printing per-value
+  deltas via :func:`diff_payloads`.
+
+Floats are stored as ``float.hex()`` strings, so every comparison is
+bit-exact rather than approximate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+
+def golden_dir() -> Path:
+    """The committed golden directory (override: ``REPRO_GOLDEN_DIR``)."""
+    env = os.environ.get("REPRO_GOLDEN_DIR")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / "tests" / "experiments" / "goldens"
+
+
+def exact_encode(value):
+    """Recursively replace floats with their hex form (bit-exact in JSON)."""
+    if isinstance(value, bool) or isinstance(value, int) or value is None:
+        return value
+    if isinstance(value, float):
+        return {"float": value.hex()}
+    if isinstance(value, str):
+        return value
+    if isinstance(value, dict):
+        return {"dict": [[exact_encode(k), exact_encode(v)]
+                         for k, v in value.items()]}
+    if isinstance(value, (list, tuple)):
+        return [exact_encode(v) for v in value]
+    raise TypeError(f"cannot golden-encode {type(value).__name__}: {value!r}")
+
+
+def exact_decode(encoded):
+    """Invert :func:`exact_encode` (hex floats back to floats, etc.)."""
+    if isinstance(encoded, dict):
+        if set(encoded) == {"float"}:
+            return float.fromhex(encoded["float"])
+        if set(encoded) == {"dict"}:
+            return {exact_decode(k): exact_decode(v)
+                    for k, v in encoded["dict"]}
+        raise ValueError(f"unrecognized golden encoding: {encoded!r}")
+    if isinstance(encoded, list):
+        return [exact_decode(v) for v in encoded]
+    return encoded
+
+
+def golden_path(name: str) -> Path:
+    return golden_dir() / f"{name}.json"
+
+
+def read_golden(name: str):
+    """The committed *encoded* payload for ``name`` (None if missing)."""
+    path = golden_path(name)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def write_golden(name: str, payload) -> Path:
+    """Encode and write ``payload`` as the committed golden for ``name``."""
+    path = golden_path(name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(exact_encode(payload), indent=1, sort_keys=False) + "\n")
+    return path
+
+
+@dataclass(frozen=True)
+class GoldenDelta:
+    """One diverging value between a golden and a recomputed payload."""
+
+    path: str          #: e.g. "[3][1][0]" — index path into the payload
+    expected: object   #: decoded golden value (None if missing)
+    actual: object     #: decoded recomputed value (None if missing)
+
+    def describe(self) -> str:
+        if isinstance(self.expected, float) and isinstance(self.actual, float):
+            abs_d = self.actual - self.expected
+            rel = abs_d / self.expected if self.expected else float("inf")
+            return (f"{self.path}: golden {self.expected!r} != "
+                    f"actual {self.actual!r} (delta {abs_d:+.3e}, "
+                    f"rel {rel:+.3e})")
+        return f"{self.path}: golden {self.expected!r} != actual {self.actual!r}"
+
+
+def diff_payloads(expected_encoded, actual_payload, max_deltas: int = 0):
+    """Per-value deltas between a committed golden and a fresh payload.
+
+    ``expected_encoded`` is the committed (hex-float) form;
+    ``actual_payload`` is a plain python payload, encoded here.  Returns
+    a list of :class:`GoldenDelta` (empty means bit-identical).
+    """
+    deltas: list[GoldenDelta] = []
+    _walk(expected_encoded, exact_encode(actual_payload), "", deltas)
+    if max_deltas and len(deltas) > max_deltas:
+        return deltas[:max_deltas]
+    return deltas
+
+
+def _decoded(encoded):
+    try:
+        return exact_decode(encoded)
+    except (ValueError, TypeError):
+        return encoded
+
+
+def _walk(exp, act, path: str, out: list) -> None:
+    if exp == act:
+        return
+    if isinstance(exp, dict) and isinstance(act, dict):
+        if set(exp) == {"float"} or set(act) == {"float"}:
+            out.append(GoldenDelta(path or "$", _decoded(exp), _decoded(act)))
+            return
+        if set(exp) == {"dict"} and set(act) == {"dict"}:
+            _walk(exp["dict"], act["dict"], path + ".dict", out)
+            return
+    if isinstance(exp, list) and isinstance(act, list):
+        n = max(len(exp), len(act))
+        for i in range(n):
+            e = exp[i] if i < len(exp) else None
+            a = act[i] if i < len(act) else None
+            _walk(e, a, f"{path}[{i}]", out)
+        return
+    out.append(GoldenDelta(path or "$", _decoded(exp), _decoded(act)))
+
+
+def count_values(encoded) -> int:
+    """Number of leaf values in an encoded payload (for diff reporting)."""
+    if isinstance(encoded, dict):
+        if set(encoded) == {"float"}:
+            return 1
+        if set(encoded) == {"dict"}:
+            return count_values(encoded["dict"])
+        return sum(count_values(v) for v in encoded.values())
+    if isinstance(encoded, list):
+        return sum(count_values(v) for v in encoded)
+    return 1

@@ -1,0 +1,87 @@
+"""The campaign registry: every reproducible experiment, by name.
+
+Experiment modules register their default :class:`CampaignSpec` (plus,
+when the campaign is pinned by a committed golden, a *golden payload
+builder* that reassembles the exact golden structure from recorded unit
+values) at import time.  :func:`load_builtin_campaigns` imports
+:mod:`repro.experiments`, which registers all of them — the CLI and the
+test layer call it before resolving names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.campaign.spec import CampaignSpec
+
+
+@dataclass(frozen=True)
+class CampaignEntry:
+    """A registered campaign: its default spec and golden binding."""
+
+    spec: CampaignSpec
+    #: ``(spec, {unit_key: value}) -> payload`` matching the committed
+    #: golden structure; None for campaigns without a golden.
+    golden_payload: Callable[[CampaignSpec, Mapping], object] | None = None
+
+
+_CAMPAIGNS: dict[str, CampaignEntry] = {}
+
+
+def register_campaign(spec: CampaignSpec,
+                      golden_payload=None,
+                      replace: bool = False) -> CampaignEntry:
+    if spec.name in _CAMPAIGNS and not replace:
+        raise ValueError(f"campaign {spec.name!r} already registered")
+    if (spec.golden is not None) != (golden_payload is not None):
+        raise ValueError(
+            f"campaign {spec.name!r}: golden binding and payload builder "
+            f"must be declared together")
+    entry = CampaignEntry(spec=spec, golden_payload=golden_payload)
+    _CAMPAIGNS[spec.name] = entry
+    return entry
+
+
+def load_builtin_campaigns() -> None:
+    """Import the experiment modules, registering every campaign."""
+    import repro.experiments  # noqa: F401  (registration side effect)
+
+
+def get_campaign(name: str) -> CampaignEntry:
+    load_builtin_campaigns()
+    try:
+        return _CAMPAIGNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown campaign {name!r}; registered: {campaign_names()}"
+        ) from None
+
+
+def campaign_names() -> list[str]:
+    load_builtin_campaigns()
+    return sorted(_CAMPAIGNS)
+
+
+def golden_payload(name: str, values: Mapping | None = None, engine=None):
+    """The golden payload for campaign ``name``.
+
+    With ``values`` (a ``{unit_key: recorded value}`` mapping, e.g. from
+    a run DB), the payload is rebuilt purely from recorded data.  Without
+    it, the campaign is executed ephemerally through ``engine`` (default:
+    the shared engine) first — the path the golden regression tests use.
+    """
+    entry = get_campaign(name)
+    if entry.golden_payload is None:
+        raise ValueError(f"campaign {name!r} has no golden binding")
+    if values is None:
+        from repro.campaign.runner import CampaignRunner
+
+        values = CampaignRunner(engine=engine).run(entry.spec).values()
+    missing = [u.key for u in entry.spec.units() if u.key not in values]
+    if missing:
+        raise ValueError(
+            f"campaign {name!r}: {len(missing)} of "
+            f"{len(entry.spec.units())} units have no recorded value "
+            f"(first missing: {missing[0]})")
+    return entry.golden_payload(entry.spec, values)

@@ -1,0 +1,220 @@
+"""The campaign runner: expand a spec, execute units, persist, resume.
+
+:class:`CampaignRunner` turns a :class:`~repro.campaign.spec.CampaignSpec`
+into executed units through the shared sweep engine:
+
+* **ephemeral mode** (``run_dir=None``) — every unit executes in-process
+  and the live result objects are kept; this is the path the thin
+  ``run_fig*`` experiment wrappers use, so their outputs are
+  bit-identical to the pre-campaign imperative loops (same calls, same
+  order, same engine);
+* **persistent mode** (``run_dir=...``) — each completed unit is
+  recorded in the append-only run DB with its serialized value, elapsed
+  time, and the sweep-engine cache-counter deltas it caused.  A resumed
+  run skips every recorded-done unit without re-executing it, and
+  ``shard=(i, n)`` restricts execution to every n-th unit so workers
+  can split one campaign across processes and merge their DBs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.campaign.rundb import DONE, FAILED, RunDB
+from repro.campaign.spec import CampaignSpec, CampaignValidationError, UnitSpec
+from repro.campaign.units import UnitContext, get_unit_kind
+
+#: Scalar sweep-engine counters surfaced per unit record.
+_ENGINE_COUNTERS = ("runs", "timing_hits", "rescales", "reexecutions")
+#: BoundedCache counters surfaced per unit record, per cache.
+_CACHE_COUNTERS = ("hits", "misses", "evictions")
+_CACHES = ("templates", "stage_costs")
+
+
+def _engine_counters(engine) -> dict:
+    """A flat snapshot of the engine's evaluation + cache counters."""
+    stats = engine.stats()
+    flat = {name: stats[name] for name in _ENGINE_COUNTERS}
+    for cache in _CACHES:
+        cs = stats[cache]
+        for c in _CACHE_COUNTERS:
+            flat[f"{cache}_{c}"] = getattr(cs, c)
+    return flat
+
+
+def _counter_delta(before: dict, after: dict) -> dict:
+    return {k: after[k] - before[k] for k in after}
+
+
+def parse_shard(text: str) -> tuple:
+    """Parse a 1-based ``i/n`` shard selector into 0-based ``(i, n)``."""
+    try:
+        i_str, n_str = text.split("/")
+        i, n = int(i_str), int(n_str)
+    except ValueError:
+        raise CampaignValidationError(
+            f"shard must look like '1/3', got {text!r}") from None
+    if n < 1 or not 1 <= i <= n:
+        raise CampaignValidationError(
+            f"shard index out of range: {text!r} (need 1 <= i <= n)")
+    return i - 1, n
+
+
+def shard_units(units, shard: tuple) -> list:
+    """The (unit, index) pairs assigned to 0-based shard ``(i, n)``.
+
+    Assignment is round-robin on the canonical unit order, so the n
+    shard sets are disjoint and their union is the full campaign —
+    independent of which worker runs which shard.
+    """
+    i, n = shard
+    return [(u, j) for j, u in enumerate(units) if j % n == i]
+
+
+@dataclass
+class CampaignResult:
+    """What one ``CampaignRunner.run`` produced."""
+
+    spec: CampaignSpec
+    #: key -> full record dict (executed this run or reused from the DB).
+    records: dict = field(default_factory=dict)
+    #: key -> live result object (None for units reused from the run DB).
+    objects: dict = field(default_factory=dict)
+    executed: list = field(default_factory=list)  #: keys run this time
+    reused: list = field(default_factory=list)    #: keys served from the DB
+    elapsed_s: float = 0.0
+    engine_delta: dict = field(default_factory=dict)
+
+    def values(self) -> dict:
+        """``{key: serialized value}`` for every completed unit."""
+        return {k: r["value"] for k, r in self.records.items()
+                if r.get("status") == DONE}
+
+    def object_list(self) -> list:
+        """Live objects in canonical unit order (ephemeral runs only)."""
+        return [self.objects[u.key] for u in self.spec.units()]
+
+    @property
+    def resume_hit_rate(self) -> float:
+        total = len(self.executed) + len(self.reused)
+        return len(self.reused) / total if total else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "campaign": self.spec.name,
+            "units": len(self.records),
+            "executed": len(self.executed),
+            "reused": len(self.reused),
+            "resume_hit_rate": self.resume_hit_rate,
+            "elapsed_s": self.elapsed_s,
+            "units_per_s": (len(self.executed) / self.elapsed_s
+                            if self.elapsed_s > 0 else 0.0),
+            "engine": dict(self.engine_delta),
+        }
+
+
+class CampaignRunner:
+    """Execute campaign specs through one shared sweep engine."""
+
+    def __init__(self, engine=None, run_dir=None) -> None:
+        if engine is None:
+            from repro.sweep.engine import default_engine
+
+            engine = default_engine()
+        self.engine = engine
+        self.run_dir = run_dir
+
+    def run(
+        self,
+        spec: CampaignSpec,
+        shard: tuple = (0, 1),
+        resume: bool = True,
+        on_unit=None,
+    ) -> CampaignResult:
+        """Run (or resume) ``spec``, returning the completed state.
+
+        ``on_unit(unit, record)`` is called after each unit completes or
+        is reused — the CLI uses it for progress lines; tests use it as
+        an execution spy.  Exceptions raised by a unit executor are
+        recorded as ``failed`` in the run DB (so an interrupted campaign
+        shows where it stopped) and re-raised.
+        """
+        db = RunDB.open(self.run_dir) if self.run_dir is not None else None
+        if db is not None:
+            db.bind(spec)
+        ctx = UnitContext(engine=self.engine)
+        result = CampaignResult(spec=spec)
+        before_all = _engine_counters(self.engine)
+        # Nothing but this loop touches the engine, so each unit's
+        # "before" snapshot is the previous unit's "after" — one stats
+        # call per unit, not two.
+        before = before_all
+        t0 = time.perf_counter()
+
+        for unit, index in shard_units(spec.units(), shard):
+            key = unit.key
+            params = unit.params_dict()
+            if db is not None and resume:
+                prior = db.done(key)
+                if prior is not None:
+                    result.records[key] = prior
+                    result.objects[key] = None
+                    result.reused.append(key)
+                    if on_unit is not None:
+                        on_unit(unit, prior)
+                    continue
+            kind = get_unit_kind(unit.kind)
+            started = time.perf_counter()
+            try:
+                obj = kind.execute(params, ctx)
+            except Exception as exc:
+                if db is not None:
+                    db.append(self._record(
+                        spec, unit, index, shard, status=FAILED,
+                        value=None, elapsed=time.perf_counter() - started,
+                        engine=_counter_delta(before,
+                                              _engine_counters(self.engine)),
+                        error=f"{type(exc).__name__}: {exc}",
+                    ))
+                raise
+            after = _engine_counters(self.engine)
+            record = self._record(
+                spec, unit, index, shard, status=DONE,
+                value=kind.serialize(obj, params),
+                elapsed=time.perf_counter() - started,
+                engine=_counter_delta(before, after),
+            )
+            before = after
+            if db is not None:
+                db.append(record)
+            result.records[key] = record
+            result.objects[key] = obj
+            result.executed.append(key)
+            if on_unit is not None:
+                on_unit(unit, record)
+
+        result.elapsed_s = time.perf_counter() - t0
+        result.engine_delta = _counter_delta(
+            before_all, _engine_counters(self.engine))
+        return result
+
+    @staticmethod
+    def _record(spec: CampaignSpec, unit: UnitSpec, index: int, shard: tuple,
+                status: str, value, elapsed: float, engine: dict,
+                error: str | None = None) -> dict:
+        rec = {
+            "key": unit.key,
+            "campaign": spec.name,
+            "kind": unit.kind,
+            "params": unit.params_dict(),
+            "index": index,
+            "shard": [shard[0] + 1, shard[1]],
+            "status": status,
+            "value": value,
+            "elapsed_s": elapsed,
+            "engine": engine,
+        }
+        if error is not None:
+            rec["error"] = error
+        return rec

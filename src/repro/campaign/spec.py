@@ -1,0 +1,269 @@
+"""Validated, serializable campaign specifications.
+
+A :class:`CampaignSpec` declares an experiment campaign *as data*: a grid
+of parameter axes (arch x hardware x schedule x depth x n_micro x
+b_micro x ...), optional explicit units for non-product campaigns, seeds,
+the derived artifacts (figure series, table rows, BENCH emissions), and
+the golden binding — everything the campaign runner needs, with no
+imperative wiring.  Specs round-trip through JSON (``to_dict`` /
+``from_dict``), so a campaign can be stored, shipped to a worker, or
+diffed like any other config file.
+
+Every expanded unit is addressable by a **canonical point hash**
+(:func:`unit_key`): the SHA-256 of the canonical JSON encoding of its
+``(kind, params)`` pair.  The hash is what the run DB keys records by, so
+resume and shard-merge semantics never depend on expansion order or on
+the python process that produced a record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, fields
+from functools import cached_property
+
+
+class CampaignValidationError(ValueError):
+    """A campaign spec failed validation."""
+
+
+#: Parameter values must be JSON scalars — they feed the canonical hash.
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _check_scalar(context: str, value) -> None:
+    if isinstance(value, bool) or value is None:
+        return
+    if isinstance(value, _SCALARS):
+        return
+    raise CampaignValidationError(
+        f"{context}: values must be JSON scalars (str/int/float/bool/None), "
+        f"got {type(value).__name__}: {value!r}"
+    )
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, no NaN."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def unit_key(kind: str, params: dict) -> str:
+    """The canonical point hash addressing one unit of work.
+
+    Stable across processes, python versions, and expansion order: it
+    hashes only the unit's *content* (kind + canonicalized params), never
+    the campaign that declared it, so identical points in two campaigns
+    share an address.
+    """
+    digest = hashlib.sha256(
+        canonical_json({"kind": kind, "params": params}).encode()
+    ).hexdigest()
+    return digest[:16]
+
+
+@dataclass(frozen=True)
+class UnitSpec:
+    """One addressable execution unit: a kind plus canonical parameters."""
+
+    kind: str
+    #: Sorted ``(name, value)`` pairs — hashable and order-canonical.
+    params: tuple
+
+    def __post_init__(self):
+        if not self.kind or not isinstance(self.kind, str):
+            raise CampaignValidationError(f"unit kind must be a non-empty "
+                                          f"string, got {self.kind!r}")
+        names = [n for n, _ in self.params]
+        if names != sorted(names):
+            object.__setattr__(self, "params",
+                               tuple(sorted(self.params)))
+        if len(set(names)) != len(names):
+            raise CampaignValidationError(
+                f"duplicate parameter names in unit: {names}")
+        for name, value in self.params:
+            _check_scalar(f"unit param {name!r}", value)
+
+    @classmethod
+    def make(cls, kind: str, **params) -> "UnitSpec":
+        return cls(kind=kind, params=tuple(sorted(params.items())))
+
+    def params_dict(self) -> dict:
+        return dict(self.params)
+
+    @cached_property
+    def key(self) -> str:
+        # cached_property writes to __dict__ directly, which frozen
+        # dataclasses permit — the hash is immutable once computed.
+        return unit_key(self.kind, self.params_dict())
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative experiment campaign.
+
+    Units come from two (combinable) sources, expanded in declaration
+    order by :meth:`units`:
+
+    * ``fixed`` + ``grid``: the cartesian product of the grid axes (last
+      axis varies fastest, matching the nested-loop order of the
+      imperative experiments this layer replaced), every point sharing
+      the fixed parameters and the default ``kind``;
+    * ``explicit_units``: literal :class:`UnitSpec` entries, for
+      campaigns whose points are not a pure product (e.g. the
+      interleaved sweep, whose ``layers_per_stage`` is derived per row).
+
+    ``seeds``, when non-empty, multiplies every unit by a trailing
+    ``seed`` axis.  ``golden`` names the file under
+    ``tests/experiments/goldens/`` the campaign's values are diffable
+    against; ``artifacts`` documents what the campaign derives (figure
+    series, table rows, BENCH emissions) for ``campaign list``.
+    """
+
+    name: str
+    title: str
+    kind: str | None = None
+    fixed: tuple = ()          #: sorted (name, value) pairs
+    grid: tuple = ()           #: (axis, (values...)) pairs, order = loop order
+    explicit_units: tuple = ()
+    seeds: tuple = ()
+    golden: str | None = None
+    artifacts: tuple = ()
+    description: str = ""
+
+    def __post_init__(self):
+        self.validate()
+
+    # -- validation ---------------------------------------------------------------
+
+    def validate(self) -> None:
+        if not self.name or not self.name.replace("_", "").replace(
+                "-", "").isalnum():
+            raise CampaignValidationError(
+                f"campaign name must be a [-_a-zA-Z0-9]+ slug, "
+                f"got {self.name!r}")
+        if not self.title:
+            raise CampaignValidationError(f"{self.name}: title is required")
+        fixed_names = [n for n, _ in self.fixed]
+        if fixed_names != sorted(fixed_names):
+            object.__setattr__(self, "fixed", tuple(sorted(self.fixed)))
+            fixed_names = sorted(fixed_names)
+        for name, value in self.fixed:
+            _check_scalar(f"{self.name}: fixed param {name!r}", value)
+        axis_names = [axis for axis, _ in self.grid]
+        if len(set(axis_names)) != len(axis_names):
+            raise CampaignValidationError(
+                f"{self.name}: duplicate grid axes {axis_names}")
+        overlap = set(axis_names) & set(fixed_names)
+        if overlap:
+            raise CampaignValidationError(
+                f"{self.name}: params both fixed and swept: {sorted(overlap)}")
+        for axis, values in self.grid:
+            if not isinstance(values, tuple) or not values:
+                raise CampaignValidationError(
+                    f"{self.name}: grid axis {axis!r} needs a non-empty "
+                    f"tuple of values, got {values!r}")
+            for v in values:
+                _check_scalar(f"{self.name}: grid axis {axis!r}", v)
+            if len(set(values)) != len(values):
+                raise CampaignValidationError(
+                    f"{self.name}: grid axis {axis!r} repeats values")
+        if (self.grid or self.fixed) and self.kind is None:
+            raise CampaignValidationError(
+                f"{self.name}: grid/fixed campaigns need a default unit kind")
+        for u in self.explicit_units:
+            if not isinstance(u, UnitSpec):
+                raise CampaignValidationError(
+                    f"{self.name}: explicit_units must be UnitSpec, "
+                    f"got {type(u).__name__}")
+        if not self.grid and not self.explicit_units and self.kind is None:
+            raise CampaignValidationError(
+                f"{self.name}: campaign declares no units")
+        for s in self.seeds:
+            if not isinstance(s, int) or isinstance(s, bool):
+                raise CampaignValidationError(
+                    f"{self.name}: seeds must be ints, got {s!r}")
+        keys = [u.key for u in self.units()]
+        if len(set(keys)) != len(keys):
+            raise CampaignValidationError(
+                f"{self.name}: expansion produced duplicate unit keys — "
+                f"two declared points are identical")
+
+    # -- expansion ----------------------------------------------------------------
+
+    def units(self) -> tuple:
+        """Expand to the campaign's addressable units, in canonical order."""
+        out = []
+        if self.grid:
+            axes = [axis for axis, _ in self.grid]
+            for combo in itertools.product(*(v for _, v in self.grid)):
+                params = dict(self.fixed)
+                params.update(zip(axes, combo))
+                out.append(UnitSpec.make(self.kind, **params))
+        elif self.kind is not None and not self.explicit_units:
+            # A kind with no grid is a single-unit campaign (fig4, table3).
+            out.append(UnitSpec.make(self.kind, **dict(self.fixed)))
+        out.extend(self.explicit_units)
+        if self.seeds:
+            out = [
+                UnitSpec.make(u.kind, **{**u.params_dict(), "seed": seed})
+                for u in out
+                for seed in self.seeds
+            ]
+        return tuple(out)
+
+    def unit_keys(self) -> tuple:
+        return tuple(u.key for u in self.units())
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "title": self.title,
+            "kind": self.kind,
+            "fixed": [list(p) for p in self.fixed],
+            "grid": [[axis, list(values)] for axis, values in self.grid],
+            "explicit_units": [
+                {"kind": u.kind, "params": [list(p) for p in u.params]}
+                for u in self.explicit_units
+            ],
+            "seeds": list(self.seeds),
+            "golden": self.golden,
+            "artifacts": list(self.artifacts),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise CampaignValidationError(
+                f"unknown campaign fields: {sorted(unknown)}")
+        return cls(
+            name=data["name"],
+            title=data["title"],
+            kind=data.get("kind"),
+            fixed=tuple((n, v) for n, v in data.get("fixed", ())),
+            grid=tuple((axis, tuple(values))
+                       for axis, values in data.get("grid", ())),
+            explicit_units=tuple(
+                UnitSpec(kind=u["kind"],
+                         params=tuple((n, v) for n, v in u["params"]))
+                for u in data.get("explicit_units", ())
+            ),
+            seeds=tuple(data.get("seeds", ())),
+            golden=data.get("golden"),
+            artifacts=tuple(data.get("artifacts", ())),
+            description=data.get("description", ""),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,183 @@
+"""The unit-kind registry: the execution vocabulary campaigns are written in.
+
+A :class:`UnitKind` pairs an ``execute`` function (params -> live result
+object, evaluated through the shared sweep engine) with a ``serialize``
+function ((live object, params) -> JSON-safe value recorded in the run
+DB).  The
+two generic kinds every simulator campaign is built from live here:
+
+* ``pipefisher`` — one :class:`~repro.pipefisher.runner.PipeFisherRun`
+  point, evaluated through ``engine.run`` (or ``run.execute()`` when
+  ``via_engine`` is false, preserving the exact pre-campaign execution
+  path of the fig. 1/3 panels);
+* ``perf_report`` — one §3.3 analytic :class:`PerfReport` cell, the unit
+  of the fig. 5/6/9-16 grids.
+
+Experiment-specific kinds (the fig. 7 training run, the fig. 8 LR
+schedules, the table 3 architecture check) are registered by their
+experiment modules — importing :mod:`repro.experiments` loads the full
+vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class UnitKind:
+    """One entry of the execution vocabulary."""
+
+    name: str
+    execute: Callable[[dict, "UnitContext"], Any]
+    serialize: Callable[[Any, dict], Any]
+
+
+@dataclass
+class UnitContext:
+    """Shared execution state handed to every unit executor."""
+
+    engine: Any  #: the SweepEngine all units of a campaign run share
+
+
+_KINDS: dict[str, UnitKind] = {}
+
+
+def register_unit_kind(name: str,
+                       execute: Callable[[dict, UnitContext], Any],
+                       serialize: Callable[[Any, dict], Any],
+                       replace: bool = False) -> UnitKind:
+    if name in _KINDS and not replace:
+        raise ValueError(f"unit kind {name!r} already registered")
+    kind = UnitKind(name=name, execute=execute, serialize=serialize)
+    _KINDS[name] = kind
+    return kind
+
+
+def get_unit_kind(name: str) -> UnitKind:
+    try:
+        return _KINDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown unit kind {name!r}; registered: {sorted(_KINDS)}"
+        ) from None
+
+
+def unit_kind_names() -> list[str]:
+    return sorted(_KINDS)
+
+
+# -- pipefisher: one simulated PipeFisherRun point ------------------------------
+
+
+def _execute_pipefisher(params: dict, ctx: UnitContext):
+    from repro.perfmodel.arch import ARCHITECTURES
+    from repro.perfmodel.hardware import HARDWARE
+    from repro.pipefisher.runner import PipeFisherRun
+
+    p = dict(params)
+    via_engine = p.pop("via_engine", True)
+    p.pop("record_bubble", None)  # serializer-only knob
+    if "n_micro_factor" in p:
+        if "n_micro" in p:
+            raise ValueError("give n_micro or n_micro_factor, not both")
+        p["n_micro"] = p.pop("n_micro_factor") * p["depth"]
+    run = PipeFisherRun(
+        schedule=p.pop("schedule"),
+        arch=ARCHITECTURES[p.pop("arch")],
+        hardware=HARDWARE[p.pop("hardware")],
+        **p,
+    )
+    return ctx.engine.run(run) if via_engine else run.execute()
+
+
+def _serialize_pipefisher(report, params: dict):
+    value = {
+        "baseline_step_time": report.baseline_step_time,
+        "baseline_utilization": report.baseline_utilization,
+        "pipefisher_step_time": report.pipefisher_step_time,
+        "pipefisher_utilization": report.pipefisher_utilization,
+        "refresh_steps": report.refresh_steps,
+        "device_refresh_steps": [
+            [int(d), int(s)]
+            for d, s in sorted(report.device_refresh_steps.items())
+        ],
+    }
+    if params and params.get("record_bubble"):
+        from repro.pipeline.bubbles import bubble_fraction
+
+        value["baseline_bubble_fraction"] = bubble_fraction(
+            report.base_template, (0.0, report.baseline_step_time)
+        )
+    return value
+
+
+# -- perf_report: one §3.3 analytic grid cell -----------------------------------
+
+
+def _execute_perf_report(params: dict, ctx: UnitContext):
+    from repro.perfmodel.arch import ARCHITECTURES
+    from repro.perfmodel.hardware import HARDWARE
+
+    p = dict(params)
+    model = ctx.engine.perf_model(
+        ARCHITECTURES[p.pop("arch")],
+        HARDWARE[p.pop("hardware")],
+        p.pop("schedule"),
+        layers_per_stage=p.pop("layers_per_stage", 1),
+    )
+    b_micro = p.pop("b_micro")
+    depth = p.pop("depth")
+    n_micro = p.pop("n_micro_factor", 1) * depth
+    return model.report(b_micro, depth, n_micro=n_micro,
+                        recompute=p.pop("recompute", False))
+
+
+def _serialize_perf_report(r, params: dict):
+    return {
+        "t_fwd": r.t_fwd,
+        "t_bwd": r.t_bwd,
+        "t_pipe": r.t_pipe,
+        "t_bubble": r.t_bubble,
+        "t_curv_total": r.t_curv_total,
+        "t_inv": r.t_inv,
+        "t_prec": r.t_prec,
+        "ratio": r.ratio,
+        "refresh_steps": r.refresh_steps,
+        "throughput_pipeline": r.throughput_pipeline,
+        "throughput_pipefisher": r.throughput_pipefisher,
+        "throughput_kfac_skip": r.throughput_kfac_skip,
+        "throughput_kfac_naive": r.throughput_kfac_naive,
+        "memory_total_gb": r.memory.total_gb(),
+    }
+
+
+#: The 14 values of a golden ``_perf_cell``, in the pinned order.
+PERF_CELL_FIELDS = (
+    "t_fwd", "t_bwd", "t_pipe", "t_bubble", "t_curv_total", "t_inv",
+    "t_prec", "ratio", "refresh_steps", "throughput_pipeline",
+    "throughput_pipefisher", "throughput_kfac_skip",
+    "throughput_kfac_naive", "memory_total_gb",
+)
+
+
+def perf_cell(value: dict) -> list:
+    """A recorded ``perf_report`` value as the golden cell list."""
+    return [value[f] for f in PERF_CELL_FIELDS]
+
+
+def pf_report_row(value: dict) -> list:
+    """A recorded ``pipefisher`` value as the golden ``_pf_report`` list."""
+    return [
+        value["baseline_step_time"],
+        value["baseline_utilization"],
+        value["pipefisher_step_time"],
+        value["pipefisher_utilization"],
+        value["refresh_steps"],
+        [list(item) for item in value["device_refresh_steps"]],
+    ]
+
+
+register_unit_kind("pipefisher", _execute_pipefisher, _serialize_pipefisher)
+register_unit_kind("perf_report", _execute_perf_report, _serialize_perf_report)

@@ -9,6 +9,15 @@ Examples::
     python -m repro.cli table2
     python -m repro.cli all          # everything except the slow fig7
     python -m repro.cli fig7         # the convergence run (~40 s)
+
+The declarative campaign layer has its own subcommand family::
+
+    python -m repro.cli campaign list
+    python -m repro.cli campaign run zb --run-dir runs/zb --shard 1/3
+    python -m repro.cli campaign diff zb
+    python -m repro.cli campaign regen-goldens
+
+(see :mod:`repro.campaign.cli`).
 """
 
 from __future__ import annotations
@@ -131,6 +140,15 @@ FAST = [k for k in EXPERIMENTS if k != "fig7"]
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv[:1] == ["campaign"]:
+        # The campaign family has its own parser (run/list/status/diff/...);
+        # dispatch before the experiment parser sees the arguments.
+        from repro.campaign.cli import main as campaign_main
+        from repro.campaign.registry import load_builtin_campaigns
+
+        load_builtin_campaigns()
+        return campaign_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Reproduce PipeFisher (MLSys 2023) tables and figures.",

@@ -2,16 +2,33 @@
 
 4 stages, 4 micro-batches, 4 devices; PipeFisher fills the bubbles of two
 consecutive steps with one full curvature+inversion refresh.
+
+Registered as the single-unit ``fig1`` campaign (one ``pipefisher`` unit
+with the timeline window materialized); :func:`run_fig1` is a thin
+wrapper that renders the ASCII panels from the live report.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.perfmodel.arch import BERT_BASE
-from repro.perfmodel.hardware import P100
-from repro.pipefisher.runner import PipeFisherReport, PipeFisherRun
+from repro.campaign import CampaignRunner, CampaignSpec, register_campaign
+from repro.pipefisher.runner import PipeFisherReport
 from repro.profiler.ascii_viz import render_timeline
+
+#: The Fig. 1 schematic as campaign-unit parameters.
+FIG1_UNIT_PARAMS = {
+    "schedule": "gpipe",
+    "arch": "BERT-Base",
+    "hardware": "P100",
+    "b_micro": 32,
+    "depth": 4,
+    "n_micro": 4,
+    "layers_per_stage": 3,
+    "window_steps": 2,
+    "materialize_window": True,
+    "via_engine": False,
+}
 
 
 @dataclass
@@ -21,19 +38,25 @@ class Fig1Result:
     pipefisher_art: str
 
 
+def fig1_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="fig1",
+        title="Fig. 1: GPipe vs PipeFisher-for-GPipe schematic",
+        kind="pipefisher",
+        fixed=tuple(sorted(FIG1_UNIT_PARAMS.items())),
+        artifacts=("figure panels: two-step ASCII timelines, both "
+                   "schedules",),
+    )
+
+
+register_campaign(fig1_spec())
+
+
 def run_fig1(width: int = 110) -> Fig1Result:
     """Reproduce the Fig. 1 schematic (as ASCII timelines)."""
-    report = PipeFisherRun(
-        schedule="gpipe",
-        arch=BERT_BASE,
-        hardware=P100,
-        b_micro=32,
-        depth=4,
-        n_micro=4,
-        layers_per_stage=3,
-        window_steps=2,
-        materialize_window=True,
-    ).execute()
+    spec = fig1_spec()
+    result = CampaignRunner().run(spec)
+    report = result.objects[spec.units()[0].key]
     two_steps = (0.0, 2 * report.baseline_step_time)
     gpipe_art = render_timeline(report.baseline_timeline, width=width, window=two_steps)
     pf_window = (0.0, 2 * report.pipefisher_step_time)

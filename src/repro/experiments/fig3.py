@@ -3,15 +3,24 @@
 Setup (caption): pretraining BERT-Base (L=12) with 4 stages (3 layers per
 stage), 4 or 8 GPUs, 4 micro-batches of size 32 per GPU per step, sequence
 length 128, on P100s.
+
+The six panels come from four simulations — per schedule, one plain run
+and one with dp=2 + inversion parallelism — declared as explicit units of
+the registered ``fig3`` campaign; :func:`run_fig3` is a thin wrapper
+rebuilding the panel dict from the unit order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.perfmodel.arch import BERT_BASE
-from repro.perfmodel.hardware import P100
-from repro.pipefisher.runner import PipeFisherReport, PipeFisherRun
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    UnitSpec,
+    register_campaign,
+)
+from repro.pipefisher.runner import PipeFisherReport
 
 #: Paper-reported GPU utilizations for each panel.
 FIG3_PAPER = {
@@ -22,6 +31,24 @@ FIG3_PAPER = {
     "1f1b_pipefisher": 0.887,
     "1f1b_pipefisher_dp": 0.863,
     "max_refresh_steps": 2,
+}
+
+#: Panel name -> extra params on top of the shared Fig. 3 configuration.
+FIG3_PANELS: tuple[tuple[str, dict], ...] = (
+    ("gpipe", {"schedule": "gpipe"}),
+    ("gpipe_dp", {"schedule": "gpipe", "dp": 2, "inversion_parallel": True}),
+    ("1f1b", {"schedule": "1f1b"}),
+    ("1f1b_dp", {"schedule": "1f1b", "dp": 2, "inversion_parallel": True}),
+)
+
+_FIG3_BASE = {
+    "arch": "BERT-Base",
+    "hardware": "P100",
+    "b_micro": 32,
+    "depth": 4,
+    "n_micro": 4,
+    "layers_per_stage": 3,
+    "via_engine": False,
 }
 
 
@@ -41,30 +68,31 @@ class Fig3Result:
         return out
 
 
+def fig3_spec() -> CampaignSpec:
+    units = tuple(
+        UnitSpec.make("pipefisher", **{**_FIG3_BASE, **extra})
+        for _, extra in FIG3_PANELS
+    )
+    return CampaignSpec(
+        name="fig3",
+        title="Fig. 3: GPipe / 1F1B PipeFisher panels (BERT-Base, P100)",
+        explicit_units=units,
+        artifacts=("figure panels: utilization per schedule, plain and "
+                   "dp=2 + inversion-parallel",),
+    )
+
+
+register_campaign(fig3_spec())
+
+
 def run_fig3() -> Fig3Result:
     """Reproduce all six panels of Fig. 3."""
-    panels: dict[str, PipeFisherReport] = {}
-    for sched in ("gpipe", "1f1b"):
-        panels[sched] = PipeFisherRun(
-            schedule=sched,
-            arch=BERT_BASE,
-            hardware=P100,
-            b_micro=32,
-            depth=4,
-            n_micro=4,
-            layers_per_stage=3,
-        ).execute()
-        panels[f"{sched}_dp"] = PipeFisherRun(
-            schedule=sched,
-            arch=BERT_BASE,
-            hardware=P100,
-            b_micro=32,
-            depth=4,
-            n_micro=4,
-            layers_per_stage=3,
-            dp=2,
-            inversion_parallel=True,
-        ).execute()
+    spec = fig3_spec()
+    result = CampaignRunner().run(spec)
+    panels = {
+        name: result.objects[unit.key]
+        for (name, _), unit in zip(FIG3_PANELS, spec.units())
+    }
     return Fig3Result(panels=panels)
 
 

@@ -4,15 +4,19 @@ Setup (caption): BERT-Large (L=24) with 8 stages (3 layers per stage), 8
 GPUs, 8 micro-batches of size 32 per GPU per step, sequence length 128;
 PipeFisher runs with data and inversion parallelism across the pipeline
 pair.
+
+The setup is declared once as :data:`FIG4_UNIT_PARAMS` — the registered
+``fig4`` campaign runs it as a single ``pipefisher`` unit, and table 2's
+campaign reuses the identical unit (same canonical point hash) through
+the sweep engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.perfmodel.arch import BERT_LARGE
-from repro.perfmodel.hardware import P100
-from repro.pipefisher.runner import PipeFisherReport, PipeFisherRun
+from repro.campaign import CampaignRunner, CampaignSpec, register_campaign
+from repro.pipefisher.runner import PipeFisherReport
 from repro.sweep.engine import SweepEngine
 
 FIG4_PAPER = {
@@ -24,27 +28,46 @@ FIG4_PAPER = {
     "pipefisher_step_time_s": 2.4995,
 }
 
+#: The Fig. 4 panel as campaign-unit parameters (shared with table 2).
+FIG4_UNIT_PARAMS = {
+    "schedule": "chimera",
+    "arch": "BERT-Large",
+    "hardware": "P100",
+    "b_micro": 32,
+    "depth": 8,
+    "n_micro": 8,
+    "layers_per_stage": 3,
+    "inversion_parallel": True,
+}
+
 
 @dataclass
 class Fig4Result:
     report: PipeFisherReport
 
 
+def fig4_spec(via_engine: bool = False) -> CampaignSpec:
+    """Fig. 4 as data (``via_engine`` picks the evaluation path; both are
+    bit-identical per the sweep-engine equivalence tests)."""
+    return CampaignSpec(
+        name="fig4",
+        title="Fig. 4: Chimera + BERT-Large PipeFisher panel",
+        kind="pipefisher",
+        fixed=tuple(sorted(
+            {**FIG4_UNIT_PARAMS, "via_engine": via_engine}.items())),
+        artifacts=("figure panel: utilization/step-time/refresh report",),
+    )
+
+
+register_campaign(fig4_spec(via_engine=True))
+
+
 def run_fig4(engine: SweepEngine | None = None) -> Fig4Result:
     """Run the Fig. 4 panel; with ``engine``, evaluate through the sweep
     engine (bit-identical — table 2 routes here with the shared engine)."""
-    run = PipeFisherRun(
-        schedule="chimera",
-        arch=BERT_LARGE,
-        hardware=P100,
-        b_micro=32,
-        depth=8,
-        n_micro=8,
-        layers_per_stage=3,
-        inversion_parallel=True,
-    )
-    report = run.execute() if engine is None else engine.run(run)
-    return Fig4Result(report=report)
+    spec = fig4_spec(via_engine=engine is not None)
+    result = CampaignRunner(engine=engine).run(spec)
+    return Fig4Result(report=result.objects[spec.units()[0].key])
 
 
 def format_fig4(result: Fig4Result) -> str:

@@ -13,6 +13,11 @@ advantage; EXPERIMENTS.md discusses the magnitude gap.
 
 Wall-clock times come from the same source as the paper's: time/step of
 Chimera without/with PipeFisher from the pipeline simulator (Fig. 7 right).
+
+The two training runs live behind the ``fig7_training`` unit kind
+(declared here), so the ``fig7`` campaign can run, resume, and record the
+convergence comparison like any simulator experiment; :func:`run_fig7` is
+a thin wrapper over the single-unit campaign.
 """
 
 from __future__ import annotations
@@ -21,6 +26,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    register_campaign,
+    register_unit_kind,
+)
 from repro.data.corpus import CorpusConfig
 from repro.data.dataloader import PretrainDataLoader
 from repro.kfac.kfac import KFAC
@@ -109,15 +120,11 @@ def _train(
     return trainer.losses
 
 
-def run_fig7(
-    total_steps: int = 160,
-    base_lr: float = 5e-2,
-    batch_size: int = 32,
-    seed: int = 0,
-    nvlamb_step_time_s: float | None = None,
-    kfac_step_time_s: float | None = None,
-) -> Fig7Result:
-    """Train both optimizers and measure the convergence advantage."""
+def _execute_fig7(params: dict, ctx) -> Fig7Result:
+    total_steps = params["total_steps"]
+    base_lr = params["base_lr"]
+    batch_size = params["batch_size"]
+    seed = params["seed"]
     lamb = _train(False, total_steps, base_lr, batch_size, seed)
     kfac = _train(True, total_steps, base_lr, batch_size, seed)
     skip = max(5, total_steps // 10)
@@ -144,9 +151,71 @@ def run_fig7(
         kfac_final=kfac_final,
         kfac_steps_to_nvlamb_final=steps,
         target_ratios=ratios,
-        nvlamb_step_time_s=nvlamb_step_time_s or FIG7_PAPER["nvlamb_step_time_s"],
-        kfac_step_time_s=kfac_step_time_s or FIG7_PAPER["kfac_step_time_s"],
+        nvlamb_step_time_s=(params["nvlamb_step_time_s"]
+                            or FIG7_PAPER["nvlamb_step_time_s"]),
+        kfac_step_time_s=(params["kfac_step_time_s"]
+                          or FIG7_PAPER["kfac_step_time_s"]),
     )
+
+
+def _serialize_fig7(r: Fig7Result, params: dict) -> dict:
+    return {
+        "total_steps": r.total_steps,
+        "nvlamb_final": r.nvlamb_final,
+        "kfac_final": r.kfac_final,
+        "kfac_steps_to_nvlamb_final": r.kfac_steps_to_nvlamb_final,
+        "step_fraction": r.step_fraction,
+        "time_fraction": r.time_fraction,
+        "target_ratios": [[t, ratio] for t, ratio in r.target_ratios.items()],
+        "nvlamb_step_time_s": r.nvlamb_step_time_s,
+        "kfac_step_time_s": r.kfac_step_time_s,
+    }
+
+
+register_unit_kind("fig7_training", _execute_fig7, _serialize_fig7)
+
+
+def fig7_spec(
+    total_steps: int = 160,
+    base_lr: float = 5e-2,
+    batch_size: int = 32,
+    seed: int = 0,
+    nvlamb_step_time_s: float | None = None,
+    kfac_step_time_s: float | None = None,
+) -> CampaignSpec:
+    return CampaignSpec(
+        name="fig7",
+        title="Fig. 7: NVLAMB vs K-FAC convergence (scaled-down training)",
+        kind="fig7_training",
+        fixed=tuple(sorted({
+            "total_steps": total_steps,
+            "base_lr": base_lr,
+            "batch_size": batch_size,
+            "seed": seed,
+            "nvlamb_step_time_s": nvlamb_step_time_s,
+            "kfac_step_time_s": kfac_step_time_s,
+        }.items())),
+        artifacts=("figure curves: loss vs step, both optimizers; "
+                   "step/time fractions to NVLAMB's final loss",),
+    )
+
+
+register_campaign(fig7_spec())
+
+
+def run_fig7(
+    total_steps: int = 160,
+    base_lr: float = 5e-2,
+    batch_size: int = 32,
+    seed: int = 0,
+    nvlamb_step_time_s: float | None = None,
+    kfac_step_time_s: float | None = None,
+) -> Fig7Result:
+    """Train both optimizers and measure the convergence advantage."""
+    spec = fig7_spec(total_steps, base_lr, batch_size, seed,
+                     nvlamb_step_time_s, kfac_step_time_s)
+    result = CampaignRunner().run(spec)
+    return result.objects[spec.units()[0].key]
 
 
 def format_fig7(r: Fig7Result) -> str:

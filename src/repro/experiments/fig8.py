@@ -3,6 +3,9 @@
 Base LR 6e-3, 7,038 total steps, polynomial decay with power 0.5; linear
 warmup of 2,000 (NVLAMB) or 600 (K-FAC) steps — so K-FAC sees larger
 learning rates than NVLAMB until the 2,000th step.
+
+Registered as the single-unit ``fig8`` campaign (unit kind ``fig8_lr``,
+declared here); :func:`run_fig8` is a thin wrapper over it.
 """
 
 from __future__ import annotations
@@ -11,6 +14,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    register_campaign,
+    register_unit_kind,
+)
 from repro.optim.lr_scheduler import kfac_schedule, nvlamb_schedule
 
 
@@ -27,7 +36,9 @@ class Fig8Result:
         return int(ahead[-1]) + 1 if ahead.size else 0
 
 
-def run_fig8(total_steps: int = 7038, base_lr: float = 6e-3) -> Fig8Result:
+def _execute_fig8(params: dict, ctx) -> Fig8Result:
+    total_steps = params["total_steps"]
+    base_lr = params["base_lr"]
     nv = nvlamb_schedule(base_lr=base_lr, total_steps=total_steps)
     kf = kfac_schedule(base_lr=base_lr, total_steps=total_steps)
     return Fig8Result(
@@ -35,3 +46,43 @@ def run_fig8(total_steps: int = 7038, base_lr: float = 6e-3) -> Fig8Result:
         nvlamb_lr=nv.series(total_steps),
         kfac_lr=kf.series(total_steps),
     )
+
+
+def _serialize_fig8(r: Fig8Result, params: dict) -> dict:
+    # A handful of sampled points pins both curves without storing 7k LRs.
+    n = len(r.steps)
+    sample = sorted({0, n // 4, n // 2, 3 * n // 4, n - 1})
+    return {
+        "total_steps": int(r.steps[-1]),
+        "crossover_step": r.crossover_step,
+        "samples": [
+            [int(r.steps[i]), float(r.nvlamb_lr[i]), float(r.kfac_lr[i])]
+            for i in sample
+        ],
+    }
+
+
+register_unit_kind("fig8_lr", _execute_fig8, _serialize_fig8)
+
+
+def fig8_spec(total_steps: int = 7038, base_lr: float = 6e-3) -> CampaignSpec:
+    return CampaignSpec(
+        name="fig8",
+        title="Fig. 8: NVLAMB vs K-FAC learning-rate schedules",
+        kind="fig8_lr",
+        fixed=tuple(sorted({
+            "total_steps": total_steps,
+            "base_lr": base_lr,
+        }.items())),
+        artifacts=("figure curves: LR vs step, both schedules; crossover "
+                   "step",),
+    )
+
+
+register_campaign(fig8_spec())
+
+
+def run_fig8(total_steps: int = 7038, base_lr: float = 6e-3) -> Fig8Result:
+    spec = fig8_spec(total_steps, base_lr)
+    result = CampaignRunner().run(spec)
+    return result.objects[spec.units()[0].key]

@@ -7,16 +7,28 @@ and without PipeFisher, and report the schedule tradeoff the paper's §3.3
 frames for Chimera, extended to Megatron-style virtual stages: fewer
 bubbles mean a faster step and higher baseline utilization, but less idle
 room for K-FAC work and hence a longer curvature-refresh interval.
+
+The rows are registered as the ``interleaved`` campaign: because
+``layers_per_stage`` is derived per row, the spec declares *explicit*
+units (a 1F1B / interleaved pair per row) rather than a grid product.
+:func:`run_interleaved_sweep` is a thin wrapper expanding the same spec
+in-process (bit-identical to the former per-point loop; rows that share
+a structural configuration share one schedule template).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.perfmodel.arch import ARCHITECTURES
-from repro.perfmodel.hardware import P100
-from repro.pipefisher.runner import PipeFisherReport, PipeFisherRun
-from repro.sweep.engine import SweepEngine, default_engine
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    UnitSpec,
+    pf_report_row,
+    register_campaign,
+)
+from repro.pipefisher.runner import PipeFisherReport
+from repro.sweep.engine import SweepEngine
 
 #: Transformer blocks per model (the L of the paper's figure captions).
 MODEL_LAYERS: dict[str, int] = {
@@ -57,45 +69,91 @@ class InterleavedSweepResult:
     rows: dict[tuple[str, int, int], InterleavedRow]
 
 
-def _run_pair(arch_name: str, devices: int, chunks: int, n_micro: int,
-              b_micro: int = 32,
-              engine: SweepEngine | None = None) -> InterleavedRow:
-    engine = default_engine() if engine is None else engine
-    arch = ARCHITECTURES[arch_name]
+def _row_units(arch_name: str, devices: int, chunks: int, n_micro: int,
+               b_micro: int) -> tuple[UnitSpec, UnitSpec]:
+    """The (1F1B, interleaved) unit pair for one sweep row."""
     layers = MODEL_LAYERS[arch_name]
     if layers % (devices * chunks) != 0:
         raise ValueError(
             f"{arch_name}: {layers} layers not divisible into "
             f"{devices} devices x {chunks} chunks"
         )
-    base = engine.run(PipeFisherRun(
+    base = UnitSpec.make(
+        "pipefisher",
         schedule="1f1b",
-        arch=arch,
-        hardware=P100,
+        arch=arch_name,
+        hardware="P100",
         b_micro=b_micro,
         depth=devices,
         n_micro=n_micro,
         layers_per_stage=layers // devices,
-    ))
-    inter = engine.run(PipeFisherRun(
+    )
+    inter = UnitSpec.make(
+        "pipefisher",
         schedule="interleaved",
-        arch=arch,
-        hardware=P100,
+        arch=arch_name,
+        hardware="P100",
         b_micro=b_micro,
         depth=devices * chunks,
         n_micro=n_micro,
         layers_per_stage=layers // (devices * chunks),
         virtual_chunks=chunks,
-    ))
-    return InterleavedRow(
-        arch=arch_name,
-        devices=devices,
-        chunks=chunks,
-        n_micro=n_micro,
-        b_micro=b_micro,
-        one_f_one_b=base,
-        interleaved=inter,
     )
+    return base, inter
+
+
+def interleaved_spec(
+    rows: tuple[tuple[str, int, int, int], ...] = SWEEP_ROWS,
+    b_micro: int = 32,
+) -> CampaignSpec:
+    """The interleaved sweep as data: explicit units, deduplicated.
+
+    Rows may share a 1F1B baseline (same arch, devices, and N_micro);
+    the canonical point hash makes that sharing explicit, so the shared
+    unit is declared — and executed — once.
+    """
+    units: list[UnitSpec] = []
+    seen: set[str] = set()
+    for arch_name, devices, chunks, n_micro in rows:
+        for unit in _row_units(arch_name, devices, chunks, n_micro, b_micro):
+            if unit.key not in seen:
+                seen.add(unit.key)
+                units.append(unit)
+    return CampaignSpec(
+        name="interleaved",
+        title="Interleaved-1F1B vs 1F1B across architectures and chunkings",
+        explicit_units=tuple(units),
+        golden="interleaved",
+        artifacts=("figure series: utilization / step time / refresh per "
+                   "(arch, P, v, N) row, both schedules",),
+    )
+
+
+def _interleaved_payload(spec: CampaignSpec, values) -> list:
+    rows: dict[tuple, tuple[dict, dict]] = {}
+    for inter_unit in spec.units():
+        p = inter_unit.params_dict()
+        if p["schedule"] != "interleaved":
+            continue
+        chunks = p["virtual_chunks"]
+        devices = p["depth"] // chunks
+        base_unit, _ = _row_units(p["arch"], devices, chunks, p["n_micro"],
+                                  p["b_micro"])
+        key = (p["arch"], devices, chunks, p["n_micro"])
+        rows[key] = (values[base_unit.key], values[inter_unit.key])
+    payload = []
+    for key in sorted(rows):
+        f, i = rows[key]
+        payload.append([
+            list(key),
+            pf_report_row(f),
+            pf_report_row(i),
+            f["baseline_step_time"] / i["baseline_step_time"],
+        ])
+    return payload
+
+
+register_campaign(interleaved_spec(), golden_payload=_interleaved_payload)
 
 
 def run_interleaved_sweep(
@@ -106,12 +164,20 @@ def run_interleaved_sweep(
     """Run every row through the shared sweep engine (bit-identical to
     the former per-point ``PipeFisherRun.execute`` loop; rows that share
     a structural configuration share one schedule template)."""
-    engine = default_engine() if engine is None else engine
+    spec = interleaved_spec(rows, b_micro)
+    result = CampaignRunner(engine=engine).run(spec)
     out: dict[tuple[str, int, int, int], InterleavedRow] = {}
     for arch_name, devices, chunks, n_micro in rows:
-        out[(arch_name, devices, chunks, n_micro)] = _run_pair(
-            arch_name, devices, chunks, n_micro, b_micro=b_micro,
-            engine=engine,
+        base_unit, inter_unit = _row_units(arch_name, devices, chunks,
+                                           n_micro, b_micro)
+        out[(arch_name, devices, chunks, n_micro)] = InterleavedRow(
+            arch=arch_name,
+            devices=devices,
+            chunks=chunks,
+            n_micro=n_micro,
+            b_micro=b_micro,
+            one_f_one_b=result.objects[base_unit.key],
+            interleaved=result.objects[inter_unit.key],
         )
     return InterleavedSweepResult(rows=out)
 

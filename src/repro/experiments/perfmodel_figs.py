@@ -6,21 +6,28 @@ Each run returns the same series the paper plots: per-step time breakdown,
 memory breakdown, throughput for the four execution strategies, and the
 (curvature+inversion)/bubble ratio.
 
-All grids evaluate through the shared :class:`repro.sweep.SweepEngine`
-(pass ``engine=`` to use a private one): the engine's bounded stage-cost
-cache computes each distinct ``(arch, hardware, b_micro)`` cost model
-once per sweep instead of twice per grid cell, with results bit-identical
-to the uncached per-point path (pinned by ``tests/experiments/`` goldens).
+The grids are declared as registered :class:`repro.campaign.CampaignSpec`
+data — one ``perf_report`` unit per grid cell — and executed by the
+:class:`repro.campaign.CampaignRunner` through the shared
+:class:`repro.sweep.SweepEngine` (pass ``engine=`` to use a private one).
+The ``run_*`` functions are thin wrappers that expand the same specs
+in-process, so their outputs are bit-identical to the pre-campaign
+imperative loops (pinned by ``tests/experiments/`` goldens); the same
+specs run resumably/shardably via ``python -m repro.cli campaign``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.perfmodel.arch import ARCHITECTURES
-from repro.perfmodel.hardware import HARDWARE
-from repro.perfmodel.model import PerfReport, PipelinePerfModel
-from repro.sweep.engine import SweepEngine, default_engine
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    perf_cell,
+    register_campaign,
+)
+from repro.perfmodel.model import PerfReport
+from repro.sweep.engine import SweepEngine
 
 
 @dataclass
@@ -38,11 +45,153 @@ class PerfFigure:
         return {k: getattr(r, field) for k, r in self.grid.items()}
 
 
-def _model(arch_name: str, hw_name: str, schedule: str,
-           engine: SweepEngine | None) -> PipelinePerfModel:
-    engine = default_engine() if engine is None else engine
-    return engine.perf_model(ARCHITECTURES[arch_name], HARDWARE[hw_name],
-                             schedule)
+def _fixed(**params) -> tuple:
+    return tuple(sorted(params.items()))
+
+
+# -- campaign specs (the declarative form of each figure) -----------------------
+
+
+def fig5_spec(
+    b_micro_values=(8, 16, 32),
+    depth_values=(4, 8, 16),
+    recompute: bool = False,
+) -> CampaignSpec:
+    """Fig. 5 as data: Chimera with BERT-Base blocks on P100, N_micro = D."""
+    return CampaignSpec(
+        name="fig5",
+        title="Fig. 5: Chimera + BERT-Base perf model on P100",
+        kind="perf_report",
+        fixed=_fixed(arch="BERT-Base", hardware="P100", schedule="chimera",
+                     n_micro_factor=1, recompute=recompute),
+        grid=(("b_micro", tuple(b_micro_values)),
+              ("depth", tuple(depth_values))),
+        golden="fig5",
+        artifacts=("figure series: throughput/ratio/memory grid",),
+    )
+
+
+def fig6_spec(
+    arch_name: str = "BERT-Base",
+    hardware_names=("P100", "V100", "RTX3090"),
+    b_micro_values=(1, 2, 4, 8, 16, 32, 64),
+    depth_values=(4, 8, 16, 32),
+    n_micro_factors=(1, 2, 3),
+    name: str = "fig6",
+) -> CampaignSpec:
+    """Fig. 6 (and Figs. 11-16 per architecture) as data."""
+    return CampaignSpec(
+        name=name,
+        title=f"Fig. 6: Chimera+PipeFisher sweep, {arch_name} "
+              f"across hardware / N_micro factors",
+        kind="perf_report",
+        fixed=_fixed(arch=arch_name, schedule="chimera", recompute=False),
+        grid=(("hardware", tuple(hardware_names)),
+              ("n_micro_factor", tuple(n_micro_factors)),
+              ("b_micro", tuple(b_micro_values)),
+              ("depth", tuple(depth_values))),
+        golden=("fig6" if name == "fig6" else None),
+        artifacts=("figure series: one PerfFigure per "
+                   "(hardware, n_micro_factor)",),
+    )
+
+
+def fig9_10_spec(
+    arch_names=("BERT-Base", "BERT-Large"),
+    schedules=("gpipe", "chimera"),
+    b_micro_values=(8, 16, 32),
+    depth_values=(4, 8, 16),
+    recompute: bool = False,
+) -> CampaignSpec:
+    """Figs. 9/10 as data: GPipe/1F1B and Chimera for BERT-Base/-Large."""
+    return CampaignSpec(
+        name="fig9_10",
+        title="Figs. 9-10: perf-model panels per (arch, schedule)",
+        kind="perf_report",
+        fixed=_fixed(hardware="P100", n_micro_factor=1, recompute=recompute),
+        grid=(("arch", tuple(arch_names)),
+              ("schedule", tuple(schedules)),
+              ("b_micro", tuple(b_micro_values)),
+              ("depth", tuple(depth_values))),
+        golden="fig9",
+        artifacts=("figure series: one PerfFigure per (arch, schedule)",),
+    )
+
+
+# -- golden payload builders (the committed golden structures, from values) -----
+
+
+def _cells(units, values) -> dict:
+    return {
+        (u.params_dict()["b_micro"], u.params_dict()["depth"]):
+            perf_cell(values[u.key])
+        for u in units
+    }
+
+
+def _fig5_payload(spec: CampaignSpec, values) -> list:
+    cells = _cells(spec.units(), values)
+    return [[list(k), cells[k]] for k in sorted(cells)]
+
+
+def _grouped_payload(spec: CampaignSpec, values, group_of, sort_groups: bool):
+    order: list = []
+    groups: dict = {}
+    for u in spec.units():
+        p = u.params_dict()
+        g = group_of(p)
+        if g not in groups:
+            order.append(g)
+            groups[g] = {}
+        groups[g][(p["b_micro"], p["depth"])] = perf_cell(values[u.key])
+    if sort_groups:
+        order = sorted(order)
+    return [
+        [list(g), [[list(c), groups[g][c]] for c in sorted(groups[g])]]
+        for g in order
+    ]
+
+
+def _fig6_payload(spec: CampaignSpec, values) -> list:
+    return _grouped_payload(
+        spec, values, lambda p: (p["hardware"], p["n_micro_factor"]),
+        sort_groups=True)
+
+
+def _fig9_payload(spec: CampaignSpec, values) -> list:
+    return _grouped_payload(
+        spec, values, lambda p: (p["arch"], p["schedule"]),
+        sort_groups=False)
+
+
+register_campaign(fig5_spec(), golden_payload=_fig5_payload)
+register_campaign(
+    fig6_spec(b_micro_values=(1, 4, 16, 64), depth_values=(4, 8, 16)),
+    golden_payload=_fig6_payload)
+register_campaign(fig9_10_spec(), golden_payload=_fig9_payload)
+
+
+# -- thin wrappers: the historical run_* API over the campaign layer ------------
+
+
+def _run(spec: CampaignSpec, engine: SweepEngine | None):
+    return CampaignRunner(engine=engine).run(spec)
+
+
+def _figure_from(spec: CampaignSpec, result, select) -> PerfFigure:
+    """Assemble one PerfFigure from the units ``select`` admits."""
+    first: dict | None = None
+    grid: dict[tuple[int, int], PerfReport] = {}
+    for unit in spec.units():
+        p = unit.params_dict()
+        if not select(p):
+            continue
+        first = first or p
+        grid[(p["b_micro"], p["depth"])] = result.objects[unit.key]
+    assert first is not None, "selector matched no units"
+    return PerfFigure(first["arch"], first["hardware"], first["schedule"],
+                      first.get("n_micro_factor", 1), first["recompute"],
+                      grid)
 
 
 def run_fig5(
@@ -52,9 +201,8 @@ def run_fig5(
     engine: SweepEngine | None = None,
 ) -> PerfFigure:
     """Fig. 5: Chimera with BERT-Base blocks on P100, N_micro = D."""
-    model = _model("BERT-Base", "P100", "chimera", engine)
-    grid = model.sweep(list(b_micro_values), list(depth_values), recompute=recompute)
-    return PerfFigure("BERT-Base", "P100", "chimera", 1, recompute, grid)
+    spec = fig5_spec(b_micro_values, depth_values, recompute)
+    return _figure_from(spec, _run(spec, engine), lambda p: True)
 
 
 def run_fig9_10(
@@ -66,9 +214,10 @@ def run_fig9_10(
     engine: SweepEngine | None = None,
 ) -> PerfFigure:
     """Figs. 9/10: GPipe/1F1B and Chimera models for BERT-Base/-Large."""
-    model = _model(arch_name, "P100", schedule, engine)
-    grid = model.sweep(list(b_micro_values), list(depth_values), recompute=recompute)
-    return PerfFigure(arch_name, "P100", schedule, 1, recompute, grid)
+    spec = fig9_10_spec(arch_names=(arch_name,), schedules=(schedule,),
+                        b_micro_values=b_micro_values,
+                        depth_values=depth_values, recompute=recompute)
+    return _figure_from(spec, _run(spec, engine), lambda p: True)
 
 
 def run_fig6_sweep(
@@ -83,16 +232,16 @@ def run_fig6_sweep(
 
     Returns ``{(hardware, n_micro_factor): PerfFigure}``.
     """
+    spec = fig6_spec(arch_name, hardware_names, b_micro_values,
+                     depth_values, n_micro_factors)
+    result = _run(spec, engine)
     out: dict[tuple[str, int], PerfFigure] = {}
     for hw_name in hardware_names:
-        model = _model(arch_name, hw_name, "chimera", engine)
         for factor in n_micro_factors:
-            grid = model.sweep(
-                list(b_micro_values), list(depth_values), n_micro_factor=factor
-            )
-            out[(hw_name, factor)] = PerfFigure(
-                arch_name, hw_name, "chimera", factor, False, grid
-            )
+            out[(hw_name, factor)] = _figure_from(
+                spec, result,
+                lambda p, h=hw_name, f=factor:
+                    p["hardware"] == h and p["n_micro_factor"] == f)
     return out
 
 

@@ -3,14 +3,22 @@
 Verifies our :mod:`repro.perfmodel.arch` presets against the paper's
 table (d_model, d_ff, heads, sequence length, block class) and checks
 that the runnable block classes in :mod:`repro.nn` exist for each.
+
+Registered as the single-unit ``table3`` campaign (unit kind
+``table3_check``, declared here); :func:`run_table3` is a thin wrapper
+over it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.nn.transformer import BLOCK_CLASSES
-from repro.perfmodel.arch import ARCHITECTURES
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    register_campaign,
+    register_unit_kind,
+)
 
 #: The paper's Table 3, verbatim.
 TABLE3_PAPER = {
@@ -30,7 +38,10 @@ class Table3Result:
     runnable_blocks: bool
 
 
-def run_table3() -> Table3Result:
+def _check_architectures(params: dict, ctx) -> Table3Result:
+    from repro.nn.transformer import BLOCK_CLASSES
+    from repro.perfmodel.arch import ARCHITECTURES
+
     rows = {
         name: (a.block_class, a.d_model, a.d_ff, a.num_heads, a.seq_len)
         for name, a in ARCHITECTURES.items()
@@ -39,7 +50,47 @@ def run_table3() -> Table3Result:
     runnable = all(
         a.block_class in BLOCK_CLASSES for a in ARCHITECTURES.values()
     )
-    return Table3Result(rows=rows, matches_paper=matches, runnable_blocks=runnable)
+    return Table3Result(rows=rows, matches_paper=matches,
+                        runnable_blocks=runnable)
+
+
+def _serialize_table3(r: Table3Result, params: dict) -> dict:
+    return {
+        "rows": [[name, list(row)] for name, row in sorted(r.rows.items())],
+        "matches_paper": r.matches_paper,
+        "runnable_blocks": r.runnable_blocks,
+    }
+
+
+register_unit_kind("table3_check", _check_architectures, _serialize_table3)
+
+
+def table3_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="table3",
+        title="Table 3: architecture presets vs the paper (static check)",
+        kind="table3_check",
+        golden="table3",
+        artifacts=("table rows: per-architecture config + runnability",),
+    )
+
+
+def _table3_payload(spec: CampaignSpec, values) -> list:
+    v = values[spec.units()[0].key]
+    return [
+        [[name, list(row)] for name, row in v["rows"]],
+        v["matches_paper"],
+        v["runnable_blocks"],
+    ]
+
+
+register_campaign(table3_spec(), golden_payload=_table3_payload)
+
+
+def run_table3() -> Table3Result:
+    spec = table3_spec()
+    result = CampaignRunner().run(spec)
+    return result.objects[spec.units()[0].key]
 
 
 def format_table3(r: Table3Result) -> str:

@@ -14,7 +14,10 @@ Two drivers:
   registered schedule (the CLI's ``--schedule`` entry point), so a newly
   registered spec is runnable end-to-end without touching the CLI.
 
-Both evaluate through the shared sweep engine: every (1F1B, ZB-H1) pair
+Both are registered campaigns (``zb`` and ``schedule_panel``) built from
+``pipefisher`` units with ``record_bubble`` set, so the run DB carries
+the bubble fractions the golden pins; the ``run_*`` functions are thin
+wrappers expanding the same specs in-process.  Every (1F1B, ZB-H1) pair
 per depth shares compiled schedule templates across the micro-batch
 sizes, and reports are bit-identical to per-point
 ``PipeFisherRun.execute()`` (asserted in ``tests/sweep/`` and pinned by
@@ -25,11 +28,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.perfmodel.arch import ARCHITECTURES
-from repro.perfmodel.hardware import P100
-from repro.pipefisher.runner import PipeFisherReport, PipeFisherRun
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    pf_report_row,
+    register_campaign,
+)
+from repro.pipefisher.runner import PipeFisherReport
 from repro.pipeline.bubbles import bubble_fraction
-from repro.sweep.engine import SweepEngine, default_engine
+from repro.sweep.engine import SweepEngine
 
 
 def baseline_bubble_fraction(report: PipeFisherReport) -> float:
@@ -69,6 +76,56 @@ class ZeroBubbleSweepResult:
     rows: dict[tuple[int, int], ZeroBubbleRow]  #: (b_micro, depth) -> row
 
 
+def zb_spec(
+    arch_name: str = "BERT-Base",
+    b_micro_values=(4, 16, 32),
+    depth_values=(4, 8, 16),
+    n_micro_factor: int = 1,
+) -> CampaignSpec:
+    """The ZB-H1 vs 1F1B grid as data (N_micro = factor * D, P100)."""
+    return CampaignSpec(
+        name="zb",
+        title="ZB-H1 zero-bubble vs 1F1B grid (BERT-Base blocks, P100)",
+        kind="pipefisher",
+        fixed=tuple(sorted({
+            "arch": arch_name,
+            "hardware": "P100",
+            "n_micro_factor": n_micro_factor,
+            "record_bubble": True,
+        }.items())),
+        grid=(("depth", tuple(depth_values)),
+              ("b_micro", tuple(b_micro_values)),
+              ("schedule", ("1f1b", "zb1f1b"))),
+        golden="zb",
+        artifacts=("figure series: bubble fraction / utilization / step "
+                   "speedup per grid point, both schedules",),
+    )
+
+
+def _zb_payload(spec: CampaignSpec, values) -> list:
+    pairs: dict[tuple[int, int], dict[str, dict]] = {}
+    for u in spec.units():
+        p = u.params_dict()
+        pairs.setdefault((p["b_micro"], p["depth"]), {})[p["schedule"]] = (
+            values[u.key])
+    payload = []
+    for key in sorted(pairs):
+        f = pairs[key]["1f1b"]
+        z = pairs[key]["zb1f1b"]
+        payload.append([
+            list(key),
+            pf_report_row(f),
+            pf_report_row(z),
+            f["baseline_bubble_fraction"],
+            z["baseline_bubble_fraction"],
+            f["baseline_step_time"] / z["baseline_step_time"],
+        ])
+    return payload
+
+
+register_campaign(zb_spec(), golden_payload=_zb_payload)
+
+
 def run_zb_sweep(
     arch_name: str = "BERT-Base",
     b_micro_values=(4, 16, 32),
@@ -77,29 +134,24 @@ def run_zb_sweep(
     engine: SweepEngine | None = None,
 ) -> ZeroBubbleSweepResult:
     """The Fig. 6-style ZB-H1 vs 1F1B grid (N_micro = factor * D, P100)."""
-    engine = default_engine() if engine is None else engine
-    arch = ARCHITECTURES[arch_name]
-    rows: dict[tuple[int, int], ZeroBubbleRow] = {}
-    for depth in depth_values:
-        for b in b_micro_values:
-            reports = {}
-            for sched in ("1f1b", "zb1f1b"):
-                reports[sched] = engine.run(PipeFisherRun(
-                    schedule=sched,
-                    arch=arch,
-                    hardware=P100,
-                    b_micro=b,
-                    depth=depth,
-                    n_micro=n_micro_factor * depth,
-                ))
-            rows[(b, depth)] = ZeroBubbleRow(
-                arch=arch_name,
-                b_micro=b,
-                depth=depth,
-                n_micro=n_micro_factor * depth,
-                one_f_one_b=reports["1f1b"],
-                zero_bubble=reports["zb1f1b"],
-            )
+    spec = zb_spec(arch_name, b_micro_values, depth_values, n_micro_factor)
+    result = CampaignRunner(engine=engine).run(spec)
+    pairs: dict[tuple[int, int], dict[str, PipeFisherReport]] = {}
+    for unit in spec.units():
+        p = unit.params_dict()
+        pairs.setdefault((p["b_micro"], p["depth"]), {})[p["schedule"]] = (
+            result.objects[unit.key])
+    rows = {
+        (b, d): ZeroBubbleRow(
+            arch=arch_name,
+            b_micro=b,
+            depth=d,
+            n_micro=n_micro_factor * d,
+            one_f_one_b=reports["1f1b"],
+            zero_bubble=reports["zb1f1b"],
+        )
+        for (b, d), reports in pairs.items()
+    }
     return ZeroBubbleSweepResult(rows=rows)
 
 
@@ -140,6 +192,37 @@ class SchedulePanel:
         return baseline_bubble_fraction(self.report)
 
 
+def schedule_panel_spec(
+    schedule: str = "zb1f1b",
+    arch_name: str = "BERT-Base",
+    b_micro: int = 32,
+    depth: int = 4,
+    n_micro: int = 8,
+    layers_per_stage: int = 3,
+) -> CampaignSpec:
+    """One Fig. 3-style panel for any registered schedule, as data."""
+    return CampaignSpec(
+        name="schedule_panel",
+        title="Fig. 3-style panel for one registered schedule",
+        kind="pipefisher",
+        fixed=tuple(sorted({
+            "schedule": schedule,
+            "arch": arch_name,
+            "hardware": "P100",
+            "b_micro": b_micro,
+            "depth": depth,
+            "n_micro": n_micro,
+            "layers_per_stage": layers_per_stage,
+            "record_bubble": True,
+        }.items())),
+        artifacts=("figure panel: utilization/bubble/refresh for one "
+                   "schedule",),
+    )
+
+
+register_campaign(schedule_panel_spec())
+
+
 def run_schedule_panel(
     schedule: str = "zb1f1b",
     arch_name: str = "BERT-Base",
@@ -150,17 +233,11 @@ def run_schedule_panel(
     engine: SweepEngine | None = None,
 ) -> SchedulePanel:
     """Run any registered schedule at the paper's Fig. 3 configuration."""
-    engine = default_engine() if engine is None else engine
-    report = engine.run(PipeFisherRun(
-        schedule=schedule,
-        arch=ARCHITECTURES[arch_name],
-        hardware=P100,
-        b_micro=b_micro,
-        depth=depth,
-        n_micro=n_micro,
-        layers_per_stage=layers_per_stage,
-    ))
-    return SchedulePanel(schedule=schedule, report=report)
+    spec = schedule_panel_spec(schedule, arch_name, b_micro, depth, n_micro,
+                               layers_per_stage)
+    result = CampaignRunner(engine=engine).run(spec)
+    return SchedulePanel(schedule=schedule,
+                         report=result.objects[spec.units()[0].key])
 
 
 def format_schedule_panel(panel: SchedulePanel) -> str:

@@ -1,0 +1,86 @@
+"""Golden encoding/diffing, and campaign payloads vs the committed files.
+
+``test_campaign_payloads_match_committed_goldens`` is the keystone: for
+every golden-bound campaign, the payload rebuilt from *recorded unit
+values* (the run-DB path ``campaign diff`` uses) must be bit-identical to
+the committed golden that the pytest regression layer pins through the
+live-object ``run_*`` wrappers — proving the two paths agree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.goldens import (
+    count_values,
+    diff_payloads,
+    exact_decode,
+    exact_encode,
+    read_golden,
+    write_golden,
+)
+from repro.campaign.registry import campaign_names, get_campaign, golden_payload
+
+
+def test_exact_encode_decode_round_trip():
+    payload = [1, 2.5, "s", None, True, {"a": 1.25, 2: [3.5]}, [0.1]]
+    encoded = exact_encode(payload)
+    assert encoded[1] == {"float": 2.5.hex()}
+    assert exact_decode(encoded) == payload
+
+
+def test_exact_encode_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        exact_encode(object())
+
+
+def test_write_and_read_golden_round_trip(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_GOLDEN_DIR", str(tmp_path))
+    payload = [1.5, ["x", 2]]
+    path = write_golden("demo", payload)
+    assert path.parent == tmp_path
+    assert read_golden("demo") == exact_encode(payload)
+    assert read_golden("missing") is None
+
+
+def test_diff_payloads_reports_per_value_deltas():
+    golden = exact_encode([1.0, [2.0, "x"], {"a": 3}])
+    assert diff_payloads(golden, [1.0, [2.0, "x"], {"a": 3}]) == []
+    deltas = diff_payloads(golden, [1.0, [2.5, "x"], {"a": 4}])
+    assert len(deltas) == 2
+    assert deltas[0].path == "[1][0]"
+    assert deltas[0].expected == 2.0 and deltas[0].actual == 2.5
+    assert "delta" in deltas[0].describe()
+    # Length mismatches surface as deltas too, not as crashes.
+    assert diff_payloads(golden, [1.0, [2.0, "x"]])
+    assert count_values(golden) == 5
+
+
+def test_every_bound_campaign_declares_a_payload_builder():
+    for name in campaign_names():
+        entry = get_campaign(name)
+        assert (entry.spec.golden is None) == (entry.golden_payload is None)
+
+
+def test_campaign_payloads_match_committed_goldens():
+    """Run-DB-derived payloads are bit-identical to the committed goldens."""
+    bound = [n for n in campaign_names()
+             if get_campaign(n).spec.golden is not None]
+    assert sorted(get_campaign(n).spec.golden for n in bound) == [
+        "fig5", "fig6", "fig9", "interleaved", "table2", "table3", "zb",
+    ]
+    for name in bound:
+        entry = get_campaign(name)
+        committed = read_golden(entry.spec.golden)
+        assert committed is not None, f"{name}: golden file missing"
+        deltas = diff_payloads(committed, golden_payload(name))
+        assert deltas == [], (
+            f"{name}: {len(deltas)} value(s) diverge, e.g. "
+            f"{deltas[0].describe() if deltas else ''}")
+
+
+def test_golden_payload_reports_missing_units():
+    with pytest.raises(ValueError, match="no recorded value"):
+        golden_payload("zb", values={})
+    with pytest.raises(ValueError, match="no golden binding"):
+        golden_payload("fig4")

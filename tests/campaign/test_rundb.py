@@ -1,0 +1,112 @@
+"""Run-DB durability: append-only JSONL, truncation tolerance, merging."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.rundb import DONE, RunDB, merge_run_dbs
+from repro.campaign.spec import CampaignSpec, CampaignValidationError
+
+
+def _spec(name: str = "demo") -> CampaignSpec:
+    return CampaignSpec(
+        name=name, title="t", kind="perf_report",
+        grid=(("b_micro", (1, 2)),),
+    )
+
+
+def _rec(key: str, value, status: str = DONE) -> dict:
+    return {"key": key, "status": status, "value": value}
+
+
+def test_append_reload_last_record_wins(tmp_path):
+    db = RunDB.open(tmp_path / "run")
+    db.append(_rec("k1", 1))
+    db.append(_rec("k2", 2, status="failed"))
+    db.append(_rec("k2", 3))  # retry after failure: last record wins
+    fresh = RunDB.open(tmp_path / "run")
+    assert fresh.values() == {"k1": 1, "k2": 3}
+    assert fresh.done("k1")["value"] == 1
+    assert fresh.done("k2")["value"] == 3
+    assert fresh.status_counts() == {"done": 2}
+
+
+def test_truncated_trailing_line_tolerated(tmp_path):
+    db = RunDB.open(tmp_path / "run")
+    db.append(_rec("k1", 1))
+    db.append(_rec("k2", 2))
+    # A killed writer leaves a partial final line; completed records survive.
+    with db.units_path.open("a") as f:
+        f.write('{"key": "k3", "status": "do')
+    fresh = RunDB.open(tmp_path / "run")
+    assert fresh.values() == {"k1": 1, "k2": 2}
+    assert fresh.skipped_lines == 1
+    # Appending after the corruption starts a clean line again.
+    fresh.append(_rec("k3", 3))
+    again = RunDB.open(tmp_path / "run")
+    assert again.values() == {"k1": 1, "k2": 2, "k3": 3}
+
+
+def test_non_record_lines_tolerated(tmp_path):
+    db = RunDB.open(tmp_path / "run")
+    db.units_path.write_text('42\n{"no_key": true}\n\n')
+    db.reload()
+    assert db.records == {}
+    assert db.skipped_lines == 2
+
+
+def test_bind_pins_the_spec(tmp_path):
+    db = RunDB.open(tmp_path / "run")
+    spec = _spec()
+    db.bind(spec)
+    meta = db.read_meta()
+    assert meta["campaign"] == "demo"
+    assert CampaignSpec.from_dict(meta["spec"]) == spec
+    db.bind(spec)  # idempotent
+    with pytest.raises(CampaignValidationError, match="belongs to campaign"):
+        db.bind(_spec(name="other"))
+    different = CampaignSpec(name="demo", title="t", kind="perf_report",
+                             grid=(("b_micro", (1, 2, 3)),))
+    with pytest.raises(CampaignValidationError, match="different"):
+        db.bind(different)
+
+
+def test_merge_disjoint_sources(tmp_path):
+    spec = _spec()
+    for i, key in enumerate(("k1", "k2")):
+        db = RunDB.open(tmp_path / f"shard{i}")
+        db.bind(spec)
+        db.append(_rec(key, i))
+    out = merge_run_dbs([tmp_path / "shard0", tmp_path / "shard1"],
+                        tmp_path / "merged")
+    assert out.values() == {"k1": 0, "k2": 1}
+    assert out.read_meta()["campaign"] == "demo"
+
+
+def test_merge_conflict_aborts(tmp_path):
+    for i, value in enumerate((1, 2)):
+        db = RunDB.open(tmp_path / f"src{i}")
+        db.append(_rec("k1", value))
+    with pytest.raises(CampaignValidationError, match="merge conflict"):
+        merge_run_dbs([tmp_path / "src0", tmp_path / "src1"],
+                      tmp_path / "merged")
+
+
+def test_merge_rejects_mixed_campaigns(tmp_path):
+    a = RunDB.open(tmp_path / "a")
+    a.bind(_spec(name="one"))
+    b = RunDB.open(tmp_path / "b")
+    b.bind(_spec(name="two"))
+    with pytest.raises(CampaignValidationError, match="different campaigns"):
+        merge_run_dbs([tmp_path / "a", tmp_path / "b"], tmp_path / "merged")
+
+
+def test_records_are_plain_jsonl(tmp_path):
+    """Each line is one self-contained JSON object (greppable, tail-able)."""
+    db = RunDB.open(tmp_path / "run")
+    db.append(_rec("k1", {"x": 1.5}))
+    lines = db.units_path.read_text().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["value"] == {"x": 1.5}

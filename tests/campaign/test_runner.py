@@ -1,0 +1,214 @@
+"""Runner semantics: resume without re-execution, sharding, counter deltas.
+
+The resumability and sharding tests drive a spy unit kind whose executor
+counts every invocation, so "resume re-executes zero completed units" is
+asserted on actual execution counts, not on runner bookkeeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.rundb import DONE, FAILED, RunDB, merge_run_dbs
+from repro.campaign.runner import CampaignRunner, parse_shard, shard_units
+from repro.campaign.spec import CampaignSpec, CampaignValidationError
+from repro.campaign.units import register_unit_kind
+
+#: Execution spy state, reset per test by the ``spy`` fixture.
+SPY = {"calls": [], "fail_on": None}
+
+
+def _execute_spy(params, ctx):
+    if SPY["fail_on"] is not None and params["i"] == SPY["fail_on"]:
+        raise RuntimeError(f"injected failure at unit {params['i']}")
+    SPY["calls"].append(params["i"])
+    return {"i": params["i"], "squared": params["i"] ** 2}
+
+
+register_unit_kind("test_spy", _execute_spy, lambda obj, params: obj)
+
+
+@pytest.fixture
+def spy():
+    SPY["calls"] = []
+    SPY["fail_on"] = None
+    return SPY
+
+
+def _spy_spec(n: int = 6) -> CampaignSpec:
+    return CampaignSpec(
+        name="spy_demo", title="execution-count spy campaign",
+        kind="test_spy", grid=(("i", tuple(range(n))),),
+    )
+
+
+# -- ephemeral mode -------------------------------------------------------------
+
+
+def test_ephemeral_run_keeps_live_objects(spy):
+    spec = _spy_spec(3)
+    result = CampaignRunner().run(spec)
+    assert spy["calls"] == [0, 1, 2]
+    assert [o["i"] for o in result.object_list()] == [0, 1, 2]
+    assert len(result.executed) == 3 and not result.reused
+    assert result.summary()["resume_hit_rate"] == 0.0
+
+
+# -- resumability ---------------------------------------------------------------
+
+
+def test_interrupted_campaign_resumes_with_zero_reexecution(spy, tmp_path):
+    spec = _spy_spec(6)
+    run_dir = tmp_path / "run"
+
+    # Reference: a clean uninterrupted run (no DB).
+    reference = CampaignRunner().run(spec).values()
+    spy["calls"] = []
+
+    # Interrupted run: unit 3 dies mid-campaign.
+    spy["fail_on"] = 3
+    with pytest.raises(RuntimeError, match="injected failure"):
+        CampaignRunner(run_dir=run_dir).run(spec)
+    assert spy["calls"] == [0, 1, 2]
+    db = RunDB.open(run_dir)
+    assert db.status_counts() == {DONE: 3, FAILED: 1}
+
+    # Resume: only the failed and never-started units execute.
+    spy["fail_on"] = None
+    spy["calls"] = []
+    result = CampaignRunner(run_dir=run_dir).run(spec)
+    assert spy["calls"] == [3, 4, 5], "completed units must not re-execute"
+    assert len(result.reused) == 3 and len(result.executed) == 3
+    assert result.resume_hit_rate == 0.5
+
+    # The combined record set is bit-identical to the clean run.
+    assert result.values() == reference
+    assert RunDB.open(run_dir).values() == reference
+
+    # A second resume re-executes nothing at all.
+    spy["calls"] = []
+    again = CampaignRunner(run_dir=run_dir).run(spec)
+    assert spy["calls"] == []
+    assert again.resume_hit_rate == 1.0
+    assert again.values() == reference
+
+
+def test_resume_survives_a_truncated_trailing_record(spy, tmp_path):
+    spec = _spy_spec(4)
+    run_dir = tmp_path / "run"
+    reference = CampaignRunner().run(spec).values()
+    spy["calls"] = []
+
+    CampaignRunner(run_dir=run_dir).run(spec)
+    assert spy["calls"] == [0, 1, 2, 3]
+
+    # Chop the DB mid-record, as a kill -9 during the final append would.
+    db = RunDB.open(run_dir)
+    text = db.units_path.read_text()
+    lines = text.splitlines(keepends=True)
+    db.units_path.write_text("".join(lines[:-1]) + lines[-1][:20])
+
+    spy["calls"] = []
+    result = CampaignRunner(run_dir=run_dir).run(spec)
+    assert spy["calls"] == [3], "only the truncated unit re-executes"
+    assert result.values() == reference
+    # The on-disk DB healed too: the re-appended record starts a clean line.
+    assert RunDB.open(run_dir).values() == reference
+
+
+def test_no_resume_reexecutes_everything(spy, tmp_path):
+    spec = _spy_spec(3)
+    run_dir = tmp_path / "run"
+    CampaignRunner(run_dir=run_dir).run(spec)
+    spy["calls"] = []
+    result = CampaignRunner(run_dir=run_dir).run(spec, resume=False)
+    assert spy["calls"] == [0, 1, 2]
+    assert not result.reused
+
+
+def test_run_dir_rejects_a_different_spec(spy, tmp_path):
+    run_dir = tmp_path / "run"
+    CampaignRunner(run_dir=run_dir).run(_spy_spec(3))
+    with pytest.raises(CampaignValidationError, match="different"):
+        CampaignRunner(run_dir=run_dir).run(_spy_spec(4))
+
+
+# -- sharding -------------------------------------------------------------------
+
+
+def test_parse_shard():
+    assert parse_shard("1/3") == (0, 3)
+    assert parse_shard("3/3") == (2, 3)
+    for bad in ("0/3", "4/3", "x/3", "3", "1/0"):
+        with pytest.raises(CampaignValidationError):
+            parse_shard(bad)
+
+
+def test_shard_sets_are_disjoint_and_complete():
+    units = _spy_spec(7).units()
+    n = 3
+    seen = []
+    for i in range(n):
+        assigned = shard_units(units, (i, n))
+        keys = [u.key for u, _ in assigned]
+        assert not set(keys) & set(seen)
+        seen.extend(keys)
+    assert sorted(seen) == sorted(u.key for u in units)
+
+
+def test_sharded_runs_merge_to_the_single_worker_result(spy, tmp_path):
+    spec = _spy_spec(7)
+    single = CampaignRunner(run_dir=tmp_path / "single").run(spec)
+    spy["calls"] = []
+
+    executed_per_shard = []
+    for i in range(3):
+        CampaignRunner(run_dir=tmp_path / f"shard{i}").run(
+            spec, shard=(i, 3))
+        executed_per_shard.append(list(spy["calls"]))
+        spy["calls"] = []
+    # Every unit executed exactly once across the three workers.
+    flat = [i for calls in executed_per_shard for i in calls]
+    assert sorted(flat) == list(range(7))
+
+    merged = merge_run_dbs(
+        [tmp_path / f"shard{i}" for i in range(3)], tmp_path / "merged")
+    assert merged.values() == RunDB.open(tmp_path / "single").values()
+    assert merged.values() == single.values()
+
+    # Resuming the full campaign from the merged DB re-executes nothing.
+    result = CampaignRunner(run_dir=tmp_path / "merged").run(spec)
+    assert spy["calls"] == []
+    assert result.resume_hit_rate == 1.0
+
+
+# -- engine counter surfacing ---------------------------------------------------
+
+
+def test_records_carry_engine_cache_deltas(tmp_path):
+    from repro.sweep.engine import SweepEngine
+
+    spec = CampaignSpec(
+        name="counters", title="engine counter surfacing",
+        kind="pipefisher",
+        fixed=(("arch", "BERT-Base"), ("b_micro", 4), ("depth", 4),
+               ("hardware", "P100"), ("n_micro", 4)),
+        grid=(("schedule", ("gpipe", "1f1b")),),
+    )
+    result = CampaignRunner(engine=SweepEngine(),
+                            run_dir=tmp_path / "run").run(spec)
+    for record in result.records.values():
+        eng = record["engine"]
+        assert eng["runs"] == 1
+        for cache in ("templates", "stage_costs"):
+            for counter in ("hits", "misses", "evictions"):
+                assert f"{cache}_{counter}" in eng
+    # Both schedules share stage costs: the second unit hits that cache.
+    second = result.records[spec.units()[1].key]["engine"]
+    assert second["stage_costs_hits"] >= 1
+    total = result.summary()["engine"]
+    assert total["runs"] == 2
+    # The per-unit deltas sum to the campaign-level delta.
+    for key in total:
+        assert total[key] == sum(
+            r["engine"][key] for r in result.records.values())

@@ -1,0 +1,154 @@
+"""CampaignSpec validation, expansion order, and serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.spec import (
+    CampaignSpec,
+    CampaignValidationError,
+    UnitSpec,
+    canonical_json,
+    unit_key,
+)
+
+
+def _spec(**overrides) -> CampaignSpec:
+    base = dict(
+        name="demo",
+        title="demo campaign",
+        kind="perf_report",
+        fixed=(("arch", "BERT-Base"), ("hardware", "P100"),
+               ("schedule", "chimera")),
+        grid=(("b_micro", (1, 4)), ("depth", (4, 8))),
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+# -- canonical point hash -------------------------------------------------------
+
+
+def test_unit_key_is_deterministic_and_content_only():
+    k1 = unit_key("pipefisher", {"a": 1, "b": 2.5})
+    k2 = unit_key("pipefisher", {"b": 2.5, "a": 1})
+    assert k1 == k2
+    assert len(k1) == 16
+    assert int(k1, 16) >= 0  # hex
+    assert unit_key("pipefisher", {"a": 1}) != unit_key("other", {"a": 1})
+    assert unit_key("pipefisher", {"a": 1}) != unit_key("pipefisher", {"a": 2})
+
+
+def test_identical_units_share_keys_across_campaigns():
+    """The hash addresses the unit's content, never the declaring campaign."""
+    a = _spec(name="campaign_a")
+    b = _spec(name="campaign_b")
+    assert a.unit_keys() == b.unit_keys()
+
+
+def test_canonical_json_is_stable():
+    assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+    with pytest.raises(ValueError):
+        canonical_json(float("nan"))
+
+
+# -- UnitSpec -------------------------------------------------------------------
+
+
+def test_unit_spec_sorts_params():
+    u = UnitSpec(kind="k", params=(("z", 1), ("a", 2)))
+    assert u.params == (("a", 2), ("z", 1))
+    assert u.params_dict() == {"a": 2, "z": 1}
+
+
+def test_unit_spec_rejects_duplicates_and_non_scalars():
+    with pytest.raises(CampaignValidationError):
+        UnitSpec(kind="k", params=(("a", 1), ("a", 2)))
+    with pytest.raises(CampaignValidationError):
+        UnitSpec.make("k", a=[1, 2])
+    with pytest.raises(CampaignValidationError):
+        UnitSpec(kind="", params=())
+
+
+# -- validation -----------------------------------------------------------------
+
+
+def test_validation_errors():
+    with pytest.raises(CampaignValidationError, match="slug"):
+        _spec(name="not a slug!")
+    with pytest.raises(CampaignValidationError, match="title"):
+        _spec(title="")
+    with pytest.raises(CampaignValidationError, match="duplicate grid axes"):
+        _spec(grid=(("b_micro", (1,)), ("b_micro", (2,))))
+    with pytest.raises(CampaignValidationError, match="both fixed and swept"):
+        _spec(grid=(("arch", ("BERT-Base",)),))
+    with pytest.raises(CampaignValidationError, match="non-empty"):
+        _spec(grid=(("b_micro", ()),))
+    with pytest.raises(CampaignValidationError, match="repeats values"):
+        _spec(grid=(("b_micro", (1, 1)),))
+    with pytest.raises(CampaignValidationError, match="default unit kind"):
+        _spec(kind=None)
+    with pytest.raises(CampaignValidationError, match="declares no units"):
+        CampaignSpec(name="empty", title="t")
+    with pytest.raises(CampaignValidationError, match="seeds must be ints"):
+        _spec(seeds=("x",))
+    with pytest.raises(CampaignValidationError, match="JSON scalars"):
+        _spec(fixed=(("arch", object()),))
+
+
+def test_duplicate_expansion_rejected():
+    u = UnitSpec.make("k", a=1)
+    with pytest.raises(CampaignValidationError, match="duplicate unit keys"):
+        CampaignSpec(name="dup", title="t", explicit_units=(u, u))
+
+
+# -- expansion ------------------------------------------------------------------
+
+
+def test_grid_expansion_order_last_axis_fastest():
+    spec = _spec()
+    points = [(u.params_dict()["b_micro"], u.params_dict()["depth"])
+              for u in spec.units()]
+    assert points == [(1, 4), (1, 8), (4, 4), (4, 8)]
+    for u in spec.units():
+        assert u.params_dict()["arch"] == "BERT-Base"
+
+
+def test_kind_only_campaign_is_single_unit():
+    spec = CampaignSpec(name="single", title="t", kind="table3_check")
+    assert len(spec.units()) == 1
+    assert spec.units()[0].kind == "table3_check"
+    assert spec.units()[0].params == ()
+
+
+def test_seeds_multiply_units():
+    spec = _spec(seeds=(0, 1, 2))
+    assert len(spec.units()) == 4 * 3
+    seeds = [u.params_dict()["seed"] for u in spec.units()]
+    assert seeds[:3] == [0, 1, 2]
+
+
+def test_explicit_units_follow_grid():
+    extra = UnitSpec.make("perf_report", special=True)
+    spec = _spec(explicit_units=(extra,))
+    assert spec.units()[-1] == extra
+    assert len(spec.units()) == 5
+
+
+# -- serialization --------------------------------------------------------------
+
+
+def test_round_trip_through_json():
+    spec = _spec(seeds=(0, 1), golden="demo",
+                 artifacts=("figure series: demo",),
+                 explicit_units=(UnitSpec.make("perf_report", special=True),))
+    back = CampaignSpec.from_json(spec.to_json())
+    assert back == spec
+    assert back.unit_keys() == spec.unit_keys()
+
+
+def test_from_dict_rejects_unknown_fields():
+    data = _spec().to_dict()
+    data["surprise"] = 1
+    with pytest.raises(CampaignValidationError, match="unknown campaign"):
+        CampaignSpec.from_dict(data)

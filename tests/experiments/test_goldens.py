@@ -8,8 +8,10 @@ filler — must preserve these outputs exactly; a diff here means reported
 results changed, which is never an incidental side effect.
 
 Regenerate deliberately (after a change that is *supposed* to move the
-numbers) with::
+numbers) with either of the equivalent paths (both produce identical
+bytes through :mod:`repro.campaign.goldens`)::
 
+    PYTHONPATH=src python -m repro.cli campaign regen-goldens
     REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest tests/experiments/test_goldens.py -q
 
 and review the JSON diff like any other result change.
@@ -17,48 +19,31 @@ and review the JSON diff like any other result change.
 
 from __future__ import annotations
 
-import json
 import os
-from pathlib import Path
 
 import pytest
 
-GOLDEN_DIR = Path(__file__).parent / "goldens"
+from repro.campaign.goldens import exact_encode, read_golden, write_golden
+
 REGEN = os.environ.get("REPRO_REGEN_GOLDENS") == "1"
-
-
-def _exact(value):
-    """Recursively replace floats with their hex form (bit-exact in JSON)."""
-    if isinstance(value, bool) or isinstance(value, int) or value is None:
-        return value
-    if isinstance(value, float):
-        return {"float": value.hex()}
-    if isinstance(value, str):
-        return value
-    if isinstance(value, dict):
-        return {"dict": [[_exact(k), _exact(v)] for k, v in value.items()]}
-    if isinstance(value, (list, tuple)):
-        return [_exact(v) for v in value]
-    raise TypeError(f"cannot golden-encode {type(value).__name__}: {value!r}")
 
 
 def check(name: str, payload) -> None:
     """Compare ``payload`` against ``goldens/<name>.json`` (or regenerate)."""
-    encoded = _exact(payload)
-    path = GOLDEN_DIR / f"{name}.json"
     if REGEN:
-        GOLDEN_DIR.mkdir(exist_ok=True)
-        path.write_text(json.dumps(encoded, indent=1, sort_keys=False) + "\n")
+        write_golden(name, payload)
         return
-    if not path.exists():
+    expected = read_golden(name)
+    if expected is None:
         pytest.fail(
-            f"missing golden {path.name}; generate with REPRO_REGEN_GOLDENS=1"
+            f"missing golden {name}.json; generate with REPRO_REGEN_GOLDENS=1 "
+            "or 'repro campaign regen-goldens'"
         )
-    expected = json.loads(path.read_text())
-    assert encoded == expected, (
+    assert exact_encode(payload) == expected, (
         f"{name}: reported values diverged from the committed golden. If the "
-        "change is intentional, regenerate with REPRO_REGEN_GOLDENS=1 and "
-        "review the JSON diff."
+        "change is intentional, regenerate with REPRO_REGEN_GOLDENS=1 (or "
+        "'repro campaign regen-goldens') and review the JSON diff; "
+        "'repro campaign diff' prints per-value deltas."
     )
 
 

@@ -1,0 +1,110 @@
+"""Monte Carlo replicate throughput: template reuse vs per-seed rebuild.
+
+A stochastic replicate is a pure re-timing pass over a compiled
+template: perturb the duration arrays, re-run the event loop.  The
+naive alternative rebuilds the schedule graph (template compile +
+stage-cost lookup through a fresh engine) for every seed.  Both paths
+are asserted bit-identical per seed, then timed over the same seed set;
+the replicates/sec ratio is asserted **>= 5x** and written to
+``BENCH_mc.json``.
+"""
+
+import gc
+import time
+from contextlib import contextmanager
+
+from benchmarks.conftest import record, write_bench
+from repro.perfmodel.arch import ARCHITECTURES
+from repro.perfmodel.hardware import HARDWARE
+from repro.pipefisher.runner import PipeFisherRun
+from repro.stochastic.mc import replicate_from_point
+from repro.stochastic.model import StochasticModel
+from repro.sweep import SweepEngine
+
+SEEDS = tuple(range(32))
+REPS = 3
+MIN_SPEEDUP = 5.0
+
+#: Jitter + straggler (fault-free), so every replicate exercises the
+#: full perturbation path with a deterministic amount of work per seed.
+MODEL = StochasticModel(jitter_sigma=0.03, straggler_count=1,
+                        straggler_slowdown=1.05)
+
+
+@contextmanager
+def gc_paused():
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+
+
+def mc_run() -> PipeFisherRun:
+    return PipeFisherRun(schedule="1f1b", arch=ARCHITECTURES["BERT-Base"],
+                         hardware=HARDWARE["P100"], b_micro=32, depth=8,
+                         n_micro=16, layers_per_stage=2)
+
+
+def reuse_replicates(run):
+    """One compiled point, one nominal evaluation, N re-timing passes."""
+    engine = SweepEngine()
+    point = engine.compiled_point(run)
+    nominal = engine.nominal_evaluation(point)
+    return [replicate_from_point(point, nominal, MODEL, s) for s in SEEDS]
+
+
+def naive_replicates(run):
+    """A fresh engine per seed: every replicate pays the graph rebuild."""
+    out = []
+    for s in SEEDS:
+        engine = SweepEngine()
+        point = engine.compiled_point(run)
+        nominal = engine.nominal_evaluation(point)
+        out.append(replicate_from_point(point, nominal, MODEL, s))
+    return out
+
+
+def test_mc_template_reuse_speedup(once, benchmark):
+    run = mc_run()
+
+    # -- bit-identity: reuse is an optimization, not an approximation ----------
+    assert reuse_replicates(run) == naive_replicates(run)
+
+    reuse_s = naive_s = float("inf")
+    for rep in range(REPS):
+        with gc_paused():
+            t0 = time.perf_counter()
+            if rep == REPS - 1:
+                once(reuse_replicates, run)
+            else:
+                reuse_replicates(run)
+            reuse_s = min(reuse_s, time.perf_counter() - t0)
+        with gc_paused():
+            t0 = time.perf_counter()
+            naive_replicates(run)
+            naive_s = min(naive_s, time.perf_counter() - t0)
+
+    speedup = naive_s / reuse_s
+    reuse_rate = len(SEEDS) / reuse_s
+    naive_rate = len(SEEDS) / naive_s
+    print(f"\nMC replicates: {len(SEEDS)} seeds; template reuse "
+          f"{reuse_s:.3f}s ({reuse_rate:.0f}/s) vs per-seed rebuild "
+          f"{naive_s:.3f}s ({naive_rate:.0f}/s) => {speedup:.1f}x")
+    assert speedup >= MIN_SPEEDUP, (
+        f"template reuse yields only {speedup:.1f}x over per-seed rebuild "
+        f"(floor {MIN_SPEEDUP:.0f}x)")
+
+    record(benchmark, replicates=len(SEEDS), reuse_s=round(reuse_s, 4),
+           naive_s=round(naive_s, 4), speedup=round(speedup, 1))
+    write_bench(
+        "mc",
+        replicates=len(SEEDS),
+        reuse_s=round(reuse_s, 4),
+        naive_s=round(naive_s, 4),
+        replicates_per_s_reuse=round(reuse_rate, 1),
+        replicates_per_s_naive=round(naive_rate, 1),
+        speedup=round(speedup, 1),
+        min_speedup=MIN_SPEEDUP,
+    )

@@ -5,7 +5,8 @@ Commands::
     campaign list                      # registered campaigns + unit counts
     campaign run NAME [--run-dir D] [--shard i/n] [--no-resume] [-v]
     campaign status --run-dir D        # completion state of a run DB
-    campaign diff NAME [--run-dir D]   # per-value deltas vs the golden
+    campaign diff NAME [--run-dir D] [--rtol R] [--atol A]
+                                       # per-value deltas vs the golden
     campaign regen-goldens [NAME ...]  # first-class golden regeneration
     campaign merge --out D SRC ...     # merge shard run DBs
 
@@ -31,7 +32,7 @@ from repro.campaign.registry import (
     get_campaign,
     golden_payload,
 )
-from repro.campaign.rundb import RunDB, merge_run_dbs
+from repro.campaign.rundb import DONE, RunDB, merge_run_dbs
 from repro.campaign.runner import CampaignRunner, parse_shard
 
 
@@ -101,13 +102,23 @@ def _cmd_status(args) -> int:
               f"({done / total:.0%})" if total else "  empty campaign")
     for status, n in sorted(counts.items()):
         print(f"  {status}: {n}")
+    seed_done: dict = {}
+    for rec in db.records.values():
+        seed = rec.get("params", {}).get("seed")
+        if seed is not None and rec.get("status") == DONE:
+            seed_done[seed] = seed_done.get(seed, 0) + 1
+    if seed_done:
+        print(f"  replicates by seed ({len(seed_done)} seed(s)):")
+        for seed in sorted(seed_done):
+            print(f"    seed {seed}: {seed_done[seed]} done")
     if db.skipped_lines:
         print(f"  tolerated {db.skipped_lines} truncated/corrupt line(s)")
     print(f"  shards seen: {', '.join(f'{i}/{n}' for i, n in shards) or '-'}")
     return 0
 
 
-def _diff_one(name: str, values) -> int:
+def _diff_one(name: str, values, rtol: float = 0.0,
+              atol: float = 0.0) -> int:
     entry = get_campaign(name)
     if entry.spec.golden is None:
         print(f"{name}: no golden binding — skipped")
@@ -122,10 +133,13 @@ def _diff_one(name: str, values) -> int:
     except ValueError as exc:
         print(f"{name}: {exc}")
         return 2
-    deltas = diff_payloads(expected, payload)
+    deltas = diff_payloads(expected, payload, rtol=rtol, atol=atol)
     if not deltas:
+        how = ("bit-exact" if rtol == 0.0 and atol == 0.0
+               else f"within rtol={rtol:g} atol={atol:g}; "
+                    f"non-float values exact")
         print(f"{name}: matches golden {entry.spec.golden}.json "
-              f"({count_values(expected)} values, bit-exact)")
+              f"({count_values(expected)} values, {how})")
         return 0
     print(f"{name}: {len(deltas)} value(s) diverge from "
           f"{entry.spec.golden}.json:")
@@ -149,7 +163,7 @@ def _cmd_diff(args) -> int:
                   f"not {args.name!r}")
             return 2
         values = db.values()
-    return _diff_one(args.name, values)
+    return _diff_one(args.name, values, rtol=args.rtol, atol=args.atol)
 
 
 def _cmd_regen_goldens(args) -> int:
@@ -210,6 +224,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff.add_argument("name")
     p_diff.add_argument("--run-dir", default=None,
                         help="diff recorded values instead of re-running")
+    p_diff.add_argument("--rtol", type=float, default=0.0,
+                        help="relative tolerance for float leaves "
+                             "(default 0.0: bit-exact)")
+    p_diff.add_argument("--atol", type=float, default=0.0,
+                        help="absolute tolerance for float leaves "
+                             "(default 0.0: bit-exact)")
 
     p_regen = sub.add_parser(
         "regen-goldens",

@@ -100,15 +100,25 @@ class GoldenDelta:
         return f"{self.path}: golden {self.expected!r} != actual {self.actual!r}"
 
 
-def diff_payloads(expected_encoded, actual_payload, max_deltas: int = 0):
+def diff_payloads(expected_encoded, actual_payload, max_deltas: int = 0,
+                  rtol: float = 0.0, atol: float = 0.0):
     """Per-value deltas between a committed golden and a fresh payload.
 
     ``expected_encoded`` is the committed (hex-float) form;
     ``actual_payload`` is a plain python payload, encoded here.  Returns
-    a list of :class:`GoldenDelta` (empty means bit-identical).
+    a list of :class:`GoldenDelta` (empty means identical).
+
+    With ``rtol``/``atol`` non-zero, a float pair agreeing within
+    ``atol + rtol * |expected|`` is not a delta.  The tolerance applies
+    *only* to float-vs-float leaves — structure, strings, ints, and every
+    other deterministic value stay exact regardless (the default 0.0/0.0
+    is the bit-exact comparison the regression layer uses).
     """
+    if rtol < 0.0 or atol < 0.0:
+        raise ValueError(f"rtol/atol must be >= 0, got {rtol!r}/{atol!r}")
     deltas: list[GoldenDelta] = []
-    _walk(expected_encoded, exact_encode(actual_payload), "", deltas)
+    _walk(expected_encoded, exact_encode(actual_payload), "", deltas,
+          rtol, atol)
     if max_deltas and len(deltas) > max_deltas:
         return deltas[:max_deltas]
     return deltas
@@ -121,22 +131,34 @@ def _decoded(encoded):
         return encoded
 
 
-def _walk(exp, act, path: str, out: list) -> None:
+def _floats_close(exp, act, rtol: float, atol: float) -> bool:
+    if rtol == 0.0 and atol == 0.0:
+        return False
+    e, a = _decoded(exp), _decoded(act)
+    if not isinstance(e, float) or not isinstance(a, float):
+        return False
+    return abs(a - e) <= atol + rtol * abs(e)
+
+
+def _walk(exp, act, path: str, out: list,
+          rtol: float = 0.0, atol: float = 0.0) -> None:
     if exp == act:
         return
     if isinstance(exp, dict) and isinstance(act, dict):
         if set(exp) == {"float"} or set(act) == {"float"}:
-            out.append(GoldenDelta(path or "$", _decoded(exp), _decoded(act)))
+            if not _floats_close(exp, act, rtol, atol):
+                out.append(
+                    GoldenDelta(path or "$", _decoded(exp), _decoded(act)))
             return
         if set(exp) == {"dict"} and set(act) == {"dict"}:
-            _walk(exp["dict"], act["dict"], path + ".dict", out)
+            _walk(exp["dict"], act["dict"], path + ".dict", out, rtol, atol)
             return
     if isinstance(exp, list) and isinstance(act, list):
         n = max(len(exp), len(act))
         for i in range(n):
             e = exp[i] if i < len(exp) else None
             a = act[i] if i < len(act) else None
-            _walk(e, a, f"{path}[{i}]", out)
+            _walk(e, a, f"{path}[{i}]", out, rtol, atol)
         return
     out.append(GoldenDelta(path or "$", _decoded(exp), _decoded(act)))
 

@@ -10,10 +10,19 @@ test layer call it before resolving names.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
 from repro.campaign.spec import CampaignSpec
+
+
+class SeedPlumbingWarning(UserWarning):
+    """A spec declares ``seeds`` over a kind that never reads them.
+
+    Such a campaign would run N bit-identical replicates per grid point —
+    almost certainly a forgotten ``seed_aware=True`` on the unit kind (or
+    seeds left over from a copied spec)."""
 
 
 @dataclass(frozen=True)
@@ -29,6 +38,28 @@ class CampaignEntry:
 _CAMPAIGNS: dict[str, CampaignEntry] = {}
 
 
+def _audit_seed_plumbing(spec: CampaignSpec) -> None:
+    """Warn when declared seeds cannot reach any unit's executor.
+
+    Kinds registered later (or never) are skipped — the audit only speaks
+    when a kind is known and known to ignore the seed param."""
+    if not spec.seeds:
+        return
+    from repro.campaign.units import kind_seed_aware
+
+    kinds = sorted({u.kind for u in spec.units()})
+    verdicts = {k: kind_seed_aware(k) for k in kinds}
+    deaf = [k for k, aware in verdicts.items() if aware is False]
+    if deaf and not any(verdicts[k] for k in kinds):
+        warnings.warn(
+            f"campaign {spec.name!r} declares seeds={spec.seeds} but no "
+            f"unit kind of {kinds} is seed-aware — every seed would "
+            f"recompute the same result",
+            SeedPlumbingWarning,
+            stacklevel=3,
+        )
+
+
 def register_campaign(spec: CampaignSpec,
                       golden_payload=None,
                       replace: bool = False) -> CampaignEntry:
@@ -38,6 +69,7 @@ def register_campaign(spec: CampaignSpec,
         raise ValueError(
             f"campaign {spec.name!r}: golden binding and payload builder "
             f"must be declared together")
+    _audit_seed_plumbing(spec)
     entry = CampaignEntry(spec=spec, golden_payload=golden_payload)
     _CAMPAIGNS[spec.name] = entry
     return entry

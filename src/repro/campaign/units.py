@@ -32,6 +32,10 @@ class UnitKind:
     name: str
     execute: Callable[[dict, "UnitContext"], Any]
     serialize: Callable[[Any, dict], Any]
+    #: True when ``execute`` reads the ``seed`` param — specs that declare
+    #: ``seeds`` over a kind that ignores them would silently run the same
+    #: unit N times, so registration audits this (see registry.py).
+    seed_aware: bool = False
 
 
 @dataclass
@@ -47,10 +51,12 @@ _KINDS: dict[str, UnitKind] = {}
 def register_unit_kind(name: str,
                        execute: Callable[[dict, UnitContext], Any],
                        serialize: Callable[[Any, dict], Any],
-                       replace: bool = False) -> UnitKind:
+                       replace: bool = False,
+                       seed_aware: bool = False) -> UnitKind:
     if name in _KINDS and not replace:
         raise ValueError(f"unit kind {name!r} already registered")
-    kind = UnitKind(name=name, execute=execute, serialize=serialize)
+    kind = UnitKind(name=name, execute=execute, serialize=serialize,
+                    seed_aware=seed_aware)
     _KINDS[name] = kind
     return kind
 
@@ -66,6 +72,12 @@ def get_unit_kind(name: str) -> UnitKind:
 
 def unit_kind_names() -> list[str]:
     return sorted(_KINDS)
+
+
+def kind_seed_aware(name: str) -> bool | None:
+    """Whether a kind reads the seed param (None if not yet registered)."""
+    kind = _KINDS.get(name)
+    return None if kind is None else kind.seed_aware
 
 
 # -- pipefisher: one simulated PipeFisherRun point ------------------------------

@@ -98,6 +98,12 @@ def _schedule(schedule: str = "zb1f1b") -> None:
     print(format_schedule_panel(run_schedule_panel(schedule)))
 
 
+def _robustness() -> None:
+    from repro.experiments.robustness import format_robustness, run_robustness
+
+    print(format_robustness(run_robustness()))
+
+
 def _fig9_10() -> None:
     from repro.experiments.perfmodel_figs import format_perf_figure, run_fig9_10
 
@@ -133,6 +139,7 @@ EXPERIMENTS = {
     "interleaved": _interleaved,
     "zb": _zb,
     "schedule": _schedule,
+    "robustness": _robustness,
 }
 
 #: "all" excludes the training run, which dominates wall-clock time.

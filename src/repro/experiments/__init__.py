@@ -29,6 +29,10 @@ from repro.experiments.zb import (
     run_schedule_panel,
     format_schedule_panel,
 )
+from repro.experiments.robustness import (
+    run_robustness,
+    format_robustness,
+)
 
 __all__ = [
     "run_fig1",
@@ -54,4 +58,6 @@ __all__ = [
     "format_zb_sweep",
     "run_schedule_panel",
     "format_schedule_panel",
+    "run_robustness",
+    "format_robustness",
 ]

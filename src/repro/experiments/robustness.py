@@ -1,0 +1,189 @@
+"""Schedule robustness under stochastic cluster behavior (extension).
+
+The question this experiment answers: *which registered schedule
+degrades least when the cluster misbehaves* — by default under a single
+5% straggler, the failure mode pipeline-parallel training meets first in
+practice.  Every registered schedule (``gpipe``/``1f1b``/``chimera``/
+``interleaved``/``zb1f1b``) runs the same Fig. 3-scale configuration as
+a Monte Carlo campaign: ``CampaignSpec.seeds`` multiplies each schedule
+point into replicates, each replicate is one seeded re-timing pass
+through the compiled sweep-engine template (common random numbers across
+schedules, so the comparison is paired), and the report reduces spans to
+means with percentile confidence intervals.
+
+The degradation ranking is pinned by
+``tests/experiments/goldens/robustness.json``; ``repro robustness``
+prints the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.campaign import CampaignRunner, CampaignSpec, register_campaign
+from repro.pipeline.spec import schedule_names
+from repro.stochastic.model import StochasticModel
+from repro.stochastic.stats import Summary, summarize
+from repro.sweep.engine import SweepEngine
+
+#: The headline scenario: one device running 5% slow.
+DEFAULT_MODEL = StochasticModel(straggler_count=1, straggler_slowdown=1.05)
+
+#: Replicates per schedule in the default campaign.
+DEFAULT_SEEDS = tuple(range(8))
+
+
+def robustness_spec(
+    arch_name: str = "BERT-Base",
+    hardware: str = "P100",
+    b_micro: int = 32,
+    depth: int = 4,
+    n_micro: int = 8,
+    layers_per_stage: int = 3,
+    model: StochasticModel = DEFAULT_MODEL,
+    seeds=DEFAULT_SEEDS,
+) -> CampaignSpec:
+    """All registered schedules x Monte Carlo seeds, as data.
+
+    The pipeline configuration is the ``schedule_panel`` one — valid for
+    every registered schedule (even depth and ``n_micro % depth == 0``
+    satisfy chimera and interleaved alike).
+    """
+    return CampaignSpec(
+        name="robustness",
+        title="Schedule robustness under a stochastic cluster "
+              "(MC replicates, 5% straggler default)",
+        kind="stochastic",
+        fixed=tuple(sorted({
+            "arch": arch_name,
+            "hardware": hardware,
+            "b_micro": b_micro,
+            "depth": depth,
+            "n_micro": n_micro,
+            "layers_per_stage": layers_per_stage,
+            **model.as_params(),
+        }.items())),
+        grid=(("schedule", tuple(schedule_names())),),
+        seeds=tuple(seeds),
+        golden="robustness",
+        artifacts=("degradation ranking: mean span / bubble / utilization "
+                   "with percentile CIs per schedule",),
+    )
+
+
+@dataclass
+class RobustnessRow:
+    """One schedule's Monte Carlo reductions."""
+
+    schedule: str
+    nominal_span: float
+    span: Summary
+    bubble_fraction: Summary
+    utilization: Summary
+    degradation: Summary  #: span / nominal span, per replicate
+
+    @property
+    def mean_degradation(self) -> float:
+        return self.degradation.mean
+
+
+@dataclass
+class RobustnessResult:
+    model: StochasticModel
+    seeds: tuple
+    rows: dict  #: schedule -> RobustnessRow
+
+    def ranking(self) -> list:
+        """Schedules least-degraded first (ties broken by name)."""
+        return sorted(self.rows.values(),
+                      key=lambda r: (r.mean_degradation, r.schedule))
+
+
+def _rows_from_values(spec: CampaignSpec, values) -> dict:
+    """Group recorded replicates by schedule and reduce.
+
+    ``spec.units()`` is schedule-major, seed-minor, so per-schedule
+    replicate lists come out in seed order — the deterministic fold order
+    the summaries pin.
+    """
+    by_schedule: dict[str, list] = {}
+    for u in spec.units():
+        p = u.params_dict()
+        by_schedule.setdefault(p["schedule"], []).append(values[u.key])
+    rows = {}
+    for schedule, reps in by_schedule.items():
+        rows[schedule] = RobustnessRow(
+            schedule=schedule,
+            nominal_span=reps[0]["nominal_span"],
+            span=summarize([r["span"] for r in reps]),
+            bubble_fraction=summarize([r["bubble_fraction"] for r in reps]),
+            utilization=summarize([r["utilization"] for r in reps]),
+            degradation=summarize([r["span_degradation"] for r in reps]),
+        )
+    return rows
+
+
+def _robustness_payload(spec: CampaignSpec, values) -> list:
+    rows = _rows_from_values(spec, values)
+    payload = [
+        [
+            schedule,
+            rows[schedule].nominal_span,
+            rows[schedule].span.as_list(),
+            rows[schedule].bubble_fraction.as_list(),
+            rows[schedule].utilization.as_list(),
+            rows[schedule].degradation.as_list(),
+        ]
+        for schedule in sorted(rows)
+    ]
+    ranking = [
+        [r.schedule, r.mean_degradation]
+        for r in sorted(rows.values(),
+                        key=lambda r: (r.mean_degradation, r.schedule))
+    ]
+    return [payload, ranking]
+
+
+register_campaign(robustness_spec(), golden_payload=_robustness_payload)
+
+
+def run_robustness(
+    model: StochasticModel = DEFAULT_MODEL,
+    seeds=DEFAULT_SEEDS,
+    engine: SweepEngine | None = None,
+    **config,
+) -> RobustnessResult:
+    """Run the robustness campaign in-process and reduce to rows."""
+    spec = robustness_spec(model=model, seeds=seeds, **config)
+    result = CampaignRunner(engine=engine).run(spec)
+    return RobustnessResult(
+        model=model,
+        seeds=tuple(seeds),
+        rows=_rows_from_values(spec, result.values()),
+    )
+
+
+def format_robustness(result: RobustnessResult) -> str:
+    m = result.model
+    knobs = ", ".join(f"{k}={v:g}" for k, v in m.as_params().items()
+                      if v not in (0, 0.0))
+    lines = [
+        f"schedule robustness: {len(result.seeds)} Monte Carlo replicates "
+        f"per schedule ({knobs or 'identity model'})",
+        f"{'schedule':12s} {'nominal':>9s} {'mean span':>10s} "
+        f"{'span CI95':>21s} {'p95':>9s} {'degrade':>8s} {'util':>6s}",
+    ]
+    for row in result.ranking():
+        s = row.span
+        lines.append(
+            f"{row.schedule:12s} {row.nominal_span * 1000:8.1f}m "
+            f"{s.mean * 1000:9.1f}m "
+            f"[{s.ci95_lo * 1000:8.1f}m,{s.ci95_hi * 1000:8.1f}m] "
+            f"{s.p95 * 1000:8.1f}m {row.mean_degradation:8.4f} "
+            f"{row.utilization.mean:6.3f}"
+        )
+    best = result.ranking()[0]
+    lines.append(
+        f"least degraded: {best.schedule} "
+        f"(mean span {best.mean_degradation:.4f}x nominal)")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Stochastic cluster simulation: seeded perturbation models and Monte
+Carlo replication over the compiled sweep-engine templates.
+
+Importing this package registers the ``stochastic`` campaign unit kind.
+"""
+
+from repro.stochastic.mc import (
+    METRICS,
+    MonteCarloResult,
+    monte_carlo,
+    run_replicate,
+)
+from repro.stochastic.model import StochasticModel
+from repro.stochastic.perturb import (
+    FAILURE_HORIZON_STEPS,
+    Perturbation,
+    perturbed_durations,
+    replicate_rng,
+    sample_perturbation,
+    table_durations,
+)
+from repro.stochastic.stats import Summary, percentile, summarize
+
+import repro.stochastic.units  # noqa: F401  (unit-kind registration)
+
+__all__ = [
+    "FAILURE_HORIZON_STEPS",
+    "METRICS",
+    "MonteCarloResult",
+    "Perturbation",
+    "StochasticModel",
+    "Summary",
+    "monte_carlo",
+    "percentile",
+    "perturbed_durations",
+    "replicate_rng",
+    "run_replicate",
+    "sample_perturbation",
+    "summarize",
+    "table_durations",
+]

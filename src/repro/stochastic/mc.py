@@ -1,0 +1,185 @@
+"""Monte Carlo replication of a pipeline point through the sweep engine.
+
+One replicate = one seed: sample a :class:`~repro.stochastic.perturb.Perturbation`,
+apply it to the compiled point's duration arrays, and re-run both task
+graphs (baseline and PipeFisher) through
+:func:`~repro.sweep.retime.simulate_compiled` with the sampled fault
+trace.  The template is compiled once and the nominal evaluation is
+cached in the engine, so replicates cost two event-loop passes each —
+``benchmarks/test_mc_scaling.py`` pins the resulting replicates/sec
+advantage over per-seed graph rebuilds in ``BENCH_mc.json``.
+
+The bubble filler is deliberately *not* re-run per replicate: K-FAC
+bubble placement models the steady state the operator tunes for, while a
+replicate models one perturbed step — its span, bubble fraction, and
+utilization are the robustness metrics.  Nominal values ride along in
+each replicate record so degradation ratios need no second lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.profiler.utilization import COLOR_DENSITY
+from repro.stochastic.model import StochasticModel
+from repro.stochastic.perturb import (
+    perturbed_durations,
+    sample_perturbation,
+    table_durations,
+)
+from repro.stochastic.stats import Summary, summarize
+from repro.sweep.retime import device_bubbles, simulate_compiled
+
+#: Replicate metrics every summary reduces (keys of each replicate dict).
+METRICS = ("span", "pf_span", "bubble_fraction", "utilization",
+           "span_degradation")
+
+
+def compiled_bubble_fraction(graph, sim) -> float:
+    """Idle fraction of the simulated step across all devices.
+
+    Sums every device's idle intervals over ``[0, makespan]`` (the same
+    merge the bubble filler's interval scan uses, with no minimum-bubble
+    cutoff) and normalizes by total device-time.  Restart downtime that
+    falls *inside* a task's footprint counts as busy — the device is
+    occupied redoing lost work; downtime before a delayed start shows up
+    as idle.
+    """
+    span = sim.makespan
+    idle = 0.0
+    for dev in range(graph.num_devices):
+        for a, b in device_bubbles(graph, sim, dev, span, 0.0):
+            idle += b - a
+    return idle / (graph.num_devices * span)
+
+
+def compiled_utilization(graph, sim) -> float:
+    """Density-weighted busy fraction over ``[0, makespan]``.
+
+    The same fold as the engine's windowed utilization, applied to a
+    perturbed timing.
+    """
+    t1 = sim.makespan
+    total = 0.0
+    start = sim.start
+    end = sim.ev_end
+    kind = graph.kind
+    density = COLOR_DENSITY
+    for i in sim.ev_order:
+        e = end[i]
+        s = start[i]
+        if e <= 0.0 or s >= t1:
+            continue
+        total += (min(e, t1) - max(s, 0.0)) * density.get(kind[i], 1.0)
+    return total / (graph.num_devices * t1)
+
+
+def _downtime(restarts) -> float:
+    total = 0.0
+    for _, _, fail, resume, _ in restarts:
+        total += resume - fail
+    return total
+
+
+def _lost_work(restarts) -> float:
+    total = 0.0
+    for _, _, _, _, lost in restarts:
+        total += lost
+    return total
+
+
+def replicate_from_point(point, nominal, model: StochasticModel,
+                         seed: int) -> dict:
+    """Execute one seed against a compiled point; returns the JSON record.
+
+    ``point`` is a :class:`~repro.sweep.engine.CompiledPoint`; ``nominal``
+    its engine evaluation (the time unit and degradation reference).
+    """
+    template = point.template
+    time_unit = nominal.base.makespan
+    p = sample_perturbation(model, seed, template.num_devices, time_unit)
+    faults = p.faults()
+    base_td = perturbed_durations(
+        template.base_graph, table_durations(template.base_graph,
+                                             point.base_durs), p)
+    pf_td = perturbed_durations(
+        template.pf_graph, table_durations(template.pf_graph,
+                                           point.pf_durs), p)
+    base = simulate_compiled(template.base_graph, point.base_durs,
+                             task_durs=base_td, faults=faults)
+    pf = simulate_compiled(template.pf_graph, point.pf_durs,
+                           task_durs=pf_td, faults=faults)
+    return {
+        "seed": seed,
+        "span": base.makespan,
+        "pf_span": pf.makespan,
+        "bubble_fraction": compiled_bubble_fraction(template.base_graph,
+                                                    base),
+        "utilization": compiled_utilization(template.base_graph, base),
+        "span_degradation": base.makespan / nominal.base.makespan,
+        "nominal_span": nominal.base.makespan,
+        "nominal_pf_span": nominal.pf.makespan,
+        "n_restarts": len(base.restarts) + len(pf.restarts),
+        "downtime_s": _downtime(base.restarts) + _downtime(pf.restarts),
+        "lost_work_s": _lost_work(base.restarts) + _lost_work(pf.restarts),
+    }
+
+
+def run_replicate(run, model: StochasticModel, seed: int,
+                  engine=None) -> dict:
+    """One Monte Carlo replicate of ``run`` (a ``PipeFisherRun``).
+
+    The single-unit entry point the campaign ``stochastic`` unit kind
+    executes — replicates sharing an engine share the compiled template
+    and the cached nominal evaluation.
+    """
+    if engine is None:
+        from repro.sweep.engine import default_engine
+
+        engine = default_engine()
+    point = engine.compiled_point(run)
+    nominal = engine.nominal_evaluation(point)
+    return replicate_from_point(point, nominal, model, seed)
+
+
+@dataclass
+class MonteCarloResult:
+    """Replicates of one (run, model) pair plus their reductions."""
+
+    model: StochasticModel
+    seeds: tuple
+    replicates: list = field(default_factory=list)  #: dicts, seed order
+
+    def series(self, metric: str) -> list:
+        return [r[metric] for r in self.replicates]
+
+    def summary(self, metric: str) -> Summary:
+        return summarize(self.series(metric))
+
+    def summaries(self) -> dict:
+        """``{metric: Summary}`` for every standard metric."""
+        return {m: self.summary(m) for m in METRICS}
+
+
+def monte_carlo(run, model: StochasticModel, seeds,
+                engine=None) -> MonteCarloResult:
+    """Map seeds to replicates of ``run`` under ``model`` and collect.
+
+    The driver behind the ``robustness`` experiment: one compiled point,
+    one nominal evaluation, then one re-timing pass per seed.  The same
+    (run, model, seed) triple always produces the bit-identical replicate
+    dict — ``CampaignSpec.seeds`` shards and resumes over exactly these.
+    """
+    if engine is None:
+        from repro.sweep.engine import default_engine
+
+        engine = default_engine()
+    point = engine.compiled_point(run)
+    nominal = engine.nominal_evaluation(point)
+    seeds = tuple(seeds)
+    return MonteCarloResult(
+        model=model,
+        seeds=seeds,
+        replicates=[replicate_from_point(point, nominal, model, s)
+                    for s in seeds],
+    )

@@ -1,0 +1,137 @@
+"""The :class:`StochasticModel` spec: seeded cluster-perturbation knobs.
+
+A model is *pure data* — a frozen, JSON-round-trippable dataclass whose
+canonical hash keys Monte Carlo replicates into the campaign run DB
+(same model + same seed + same pipeline point => same unit address).
+The knobs cover the three fleet behaviors the ROADMAP's stochastic item
+names:
+
+* **jitter** — every device's compute durations are multiplied by an
+  independent lognormal factor ``exp(N(0, jitter_sigma))``, the standard
+  multiplicative model for kernel-time wander;
+* **stragglers** — ``straggler_count`` devices (sampled without
+  replacement per replicate) run ``straggler_slowdown`` times slower
+  (1.05 is the paper-question "5% straggler");
+* **preemptions** — each device fails as a Poisson process with
+  ``preemption_rate`` expected failures per nominal step, restarts after
+  ``restart_delay_frac`` of a nominal step of downtime, and loses the
+  in-flight work since the last checkpoint (``checkpoint_interval_frac``
+  of a nominal step between checkpoints; 0 means only task boundaries
+  checkpoint, so a failure redoes the whole in-flight task).
+
+Fractions are expressed in units of the *nominal* (unperturbed) step
+span, so one model is meaningful across architectures and hardware.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields
+from math import isfinite
+
+import json
+
+from repro.campaign.spec import canonical_json
+
+#: Fields whose values must be finite floats >= 0.
+_NONNEG_FLOATS = ("jitter_sigma", "preemption_rate", "restart_delay_frac",
+                  "checkpoint_interval_frac")
+
+
+@dataclass(frozen=True)
+class StochasticModel:
+    """Seeded duration-perturbation + fault model for one replicate."""
+
+    jitter_sigma: float = 0.0
+    straggler_count: int = 0
+    straggler_slowdown: float = 1.0
+    preemption_rate: float = 0.0
+    restart_delay_frac: float = 0.0
+    checkpoint_interval_frac: float = 0.0
+
+    def __post_init__(self) -> None:
+        # Normalize ints to floats so the canonical JSON (hence the
+        # replicate's unit hash) is identical for 2 and 2.0.
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if f.name == "straggler_count":
+                if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                    raise ValueError(
+                        f"straggler_count must be an int >= 0, got {v!r}")
+                continue
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                raise ValueError(f"{f.name} must be a number, got {v!r}")
+            v = float(v)
+            if not isfinite(v):
+                raise ValueError(f"{f.name} must be finite, got {v!r}")
+            object.__setattr__(self, f.name, v)
+        for name in _NONNEG_FLOATS:
+            if getattr(self, name) < 0.0:
+                raise ValueError(
+                    f"{name} must be >= 0, got {getattr(self, name)!r}")
+        if self.straggler_slowdown <= 0.0:
+            raise ValueError(
+                f"straggler_slowdown must be > 0, "
+                f"got {self.straggler_slowdown!r}")
+
+    # -- semantics ----------------------------------------------------------------
+
+    @property
+    def is_identity(self) -> bool:
+        """True when every replicate reproduces the nominal timing."""
+        return (self.jitter_sigma == 0.0
+                and (self.straggler_count == 0
+                     or self.straggler_slowdown == 1.0)
+                and self.preemption_rate == 0.0)
+
+    @property
+    def has_faults(self) -> bool:
+        return self.preemption_rate > 0.0
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StochasticModel":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown StochasticModel fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "StochasticModel":
+        return cls.from_dict(json.loads(text))
+
+    def canonical_key(self) -> str:
+        """A content hash in the campaign unit-key format (16 hex chars)."""
+        digest = hashlib.sha256(
+            canonical_json({"stochastic_model": self.to_dict()}).encode()
+        ).hexdigest()
+        return digest[:16]
+
+    # -- campaign param plumbing --------------------------------------------------
+
+    def as_params(self) -> dict:
+        """The model flattened to JSON-scalar campaign unit params."""
+        return self.to_dict()
+
+    @classmethod
+    def from_params(cls, params: dict) -> "StochasticModel":
+        """Pop this model's fields *out of* a flat unit-param dict.
+
+        The inverse of :meth:`as_params` against a mutable dict that also
+        carries pipeline params — the ``stochastic`` unit kind separates
+        the two vocabularies with this.
+        """
+        kwargs = {}
+        for f in fields(cls):
+            if f.name in params:
+                kwargs[f.name] = params.pop(f.name)
+        return cls(**kwargs)

@@ -1,0 +1,88 @@
+"""Replicate reduction: deterministic means, percentiles, and CIs.
+
+Pure-python arithmetic in a fixed fold order, so summaries of
+bit-identical replicate sets are themselves bit-identical — goldens can
+pin them.  Percentiles use sorted linear interpolation (numpy's default
+``linear`` method); the mean CI is the normal approximation
+``mean ± 1.96 * std / sqrt(n)``, which is what a Monte Carlo report
+wants at the replicate counts campaigns run (intervals collapse to the
+mean at ``n == 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import floor, sqrt
+
+#: Two-sided 95% normal quantile.
+_Z95 = 1.96
+
+
+def percentile(sorted_values: list, q: float) -> float:
+    """Linear-interpolated ``q``-quantile (``0 <= q <= 1``) of sorted data."""
+    if not sorted_values:
+        raise ValueError("percentile of empty data")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q!r}")
+    k = (len(sorted_values) - 1) * q
+    lo = floor(k)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = k - lo
+    return sorted_values[lo] + (sorted_values[hi] - sorted_values[lo]) * frac
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean + spread + percentile confidence interval of one metric."""
+
+    n: int
+    mean: float
+    std: float          #: sample standard deviation (ddof=1; 0.0 at n=1)
+    lo: float           #: min
+    hi: float           #: max
+    p5: float
+    p50: float
+    p95: float
+    ci95_lo: float      #: normal-approx CI on the mean
+    ci95_hi: float
+
+    def as_list(self) -> list:
+        """The summary as a golden-friendly flat list (field order)."""
+        return [self.n, self.mean, self.std, self.lo, self.hi,
+                self.p5, self.p50, self.p95, self.ci95_lo, self.ci95_hi]
+
+
+def summarize(values) -> Summary:
+    """Reduce one metric's replicate values to a :class:`Summary`.
+
+    The fold order is the input order for the mean and the squared
+    deviations, and sorted order for the percentiles — both deterministic
+    for a deterministic replicate sequence.
+    """
+    vals = list(values)
+    n = len(vals)
+    if n == 0:
+        raise ValueError("summarize of empty data")
+    total = 0.0
+    for v in vals:
+        total += v
+    mean = total / n
+    sq = 0.0
+    for v in vals:
+        d = v - mean
+        sq += d * d
+    std = sqrt(sq / (n - 1)) if n > 1 else 0.0
+    s = sorted(vals)
+    half = _Z95 * std / sqrt(n)
+    return Summary(
+        n=n,
+        mean=mean,
+        std=std,
+        lo=s[0],
+        hi=s[-1],
+        p5=percentile(s, 0.05),
+        p50=percentile(s, 0.50),
+        p95=percentile(s, 0.95),
+        ci95_lo=mean - half,
+        ci95_hi=mean + half,
+    )

@@ -1,0 +1,47 @@
+"""The ``stochastic`` campaign unit kind: one Monte Carlo replicate.
+
+Unit params are the flat union of two vocabularies: the pipeline point
+(schedule/arch/hardware/b_micro/depth/n_micro, the ``pipefisher``
+vocabulary) and the :class:`~repro.stochastic.model.StochasticModel`
+fields, plus the ``seed`` the campaign layer appends when a spec
+declares ``seeds``.  :meth:`StochasticModel.from_params` pops the model
+fields back out; the remainder builds the ``PipeFisherRun``.
+
+The replicate dict is already JSON-scalar, so serialization is the
+identity — the run DB record *is* the replicate.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.units import UnitContext, register_unit_kind
+from repro.stochastic.mc import run_replicate
+from repro.stochastic.model import StochasticModel
+
+
+def _execute_stochastic(params: dict, ctx: UnitContext) -> dict:
+    from repro.perfmodel.arch import ARCHITECTURES
+    from repro.perfmodel.hardware import HARDWARE
+    from repro.pipefisher.runner import PipeFisherRun
+
+    p = dict(params)
+    seed = p.pop("seed", 0)
+    model = StochasticModel.from_params(p)
+    if "n_micro_factor" in p:
+        if "n_micro" in p:
+            raise ValueError("give n_micro or n_micro_factor, not both")
+        p["n_micro"] = p.pop("n_micro_factor") * p["depth"]
+    run = PipeFisherRun(
+        schedule=p.pop("schedule"),
+        arch=ARCHITECTURES[p.pop("arch")],
+        hardware=HARDWARE[p.pop("hardware")],
+        **p,
+    )
+    return run_replicate(run, model, seed, engine=ctx.engine)
+
+
+def _serialize_stochastic(value: dict, params: dict) -> dict:
+    return value
+
+
+register_unit_kind("stochastic", _execute_stochastic, _serialize_stochastic,
+                   seed_aware=True)

@@ -74,6 +74,24 @@ from repro.sweep.template import (
 )
 
 
+@dataclass(frozen=True)
+class CompiledPoint:
+    """One sweep point resolved to its compiled structure + durations.
+
+    The template is shared (cached per :class:`TemplateKey`); the
+    duration tables are this point's timing.  Consumers that re-time the
+    same structure many ways — the Monte Carlo replicator perturbs these
+    tables per seed — hold a ``CompiledPoint`` and call
+    :func:`~repro.sweep.retime.simulate_compiled` directly, skipping
+    every per-point graph rebuild.
+    """
+
+    template: ScheduleTemplate
+    base_durs: tuple
+    pf_durs: tuple
+    qdurs: tuple
+
+
 @dataclass
 class _Evaluation:
     """Everything computed for one (template, duration table) pair."""
@@ -202,6 +220,23 @@ class SweepEngine:
         None).
         """
         self.runs += 1
+        point = self.compiled_point(run, costs)
+        evaluation = self._evaluate(point.template, point.base_durs,
+                                    point.pf_durs, point.qdurs)
+        return self._build_report(run, point.template, point.qdurs,
+                                  evaluation)
+
+    def compiled_point(self, run: PipeFisherRun,
+                       costs: StageCosts | None = None) -> CompiledPoint:
+        """Resolve ``run`` to its cached template + duration tables.
+
+        The structural half of :meth:`run`: the template is compiled (or
+        served from the cache) and the point's duration tables are
+        computed, but nothing is simulated.  Re-timing consumers — the
+        stochastic Monte Carlo driver, ad-hoc what-if scripts — pair this
+        with :meth:`nominal_evaluation` and
+        :func:`~repro.sweep.retime.simulate_compiled`.
+        """
         if costs is None:
             costs = self.stage_costs(run.arch, run.hardware, run.b_micro,
                                      run.layers_per_stage, run.schedule)
@@ -254,10 +289,19 @@ class SweepEngine:
         qdurs[QDUR_CURV_B] = block.t_curv_b
         qdurs[QDUR_INV] = block.t_inv / 2.0
         qdurs[QDUR_SYNC_CURV] = sync_curv_s
-        qdurs = tuple(qdurs)
 
-        evaluation = self._evaluate(template, base_durs, pf_durs, qdurs)
-        return self._build_report(run, template, qdurs, evaluation)
+        return CompiledPoint(template=template, base_durs=base_durs,
+                             pf_durs=pf_durs, qdurs=tuple(qdurs))
+
+    def nominal_evaluation(self, point: CompiledPoint) -> _Evaluation:
+        """The deterministic (unperturbed) evaluation of a compiled point.
+
+        Served from the template's timing cache when available — Monte
+        Carlo replicates share one nominal evaluation as their reference
+        timing and time unit.
+        """
+        return self._evaluate(point.template, point.base_durs,
+                              point.pf_durs, point.qdurs)
 
     def run_many(self, runs) -> list[PipeFisherReport]:
         """Evaluate an iterable of points through the shared caches."""

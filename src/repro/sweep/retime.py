@@ -8,6 +8,11 @@ Two paths, both bit-identical to the reference per-point pipeline:
   float operation and tie-break is replicated in the reference's order
   (ready heaps compare precomputed ``order_key``s that encode the
   reference's ``(priority, tid)`` order), so times match bit for bit.
+  It optionally re-times with an explicit per-task duration array and a
+  :class:`DeviceFaults` failure/restart plan — the stochastic replicate
+  path (:mod:`repro.stochastic`), which perturbs durations per device
+  and injects restart-from-checkpoint downtime without rebuilding the
+  graph.
 * :func:`rescale_timing` — when a new point's durations are exactly a
   power-of-two multiple of an already-timed point's, the simulated clock
   can be scaled instead of re-run: multiplying by 2**k only shifts float
@@ -44,6 +49,27 @@ _TIME_EPS = 1e-12
 _EPS = 1e-9
 
 
+@dataclass(frozen=True)
+class DeviceFaults:
+    """A per-device failure/restart plan the executor replays at dispatch.
+
+    ``failure_times[d]`` is an ascending tuple of absolute instants at
+    which device ``d`` fails.  A failure striking a running task loses the
+    work since the last checkpoint (every ``checkpoint_every`` seconds of
+    task progress when positive; only completed-task boundaries when 0 —
+    the whole in-flight attempt is redone), takes ``restart_delay``
+    seconds of downtime, and re-executes the lost work on the same device.
+    A failure striking an idle device only delays its next start past the
+    downtime window.  Stochastic models sample these traces per replicate
+    (:mod:`repro.stochastic.perturb`); the executor itself stays
+    deterministic given the trace.
+    """
+
+    failure_times: tuple
+    restart_delay: float = 0.0
+    checkpoint_every: float = 0.0
+
+
 @dataclass
 class CompiledSim:
     """Timing of one compiled graph (the ``SimulationResult`` essentials).
@@ -55,6 +81,11 @@ class CompiledSim:
     holds each task's *dispatch-computed* ``start + duration``, which is
     what the reference records on its timeline events; bubbles, colored
     time, and K-FAC trigger readiness all read event ends.
+
+    ``restarts`` holds one ``(device, task, fail_time, resume_time,
+    lost_work)`` tuple per fault the simulation replayed (empty for
+    deterministic runs) — the "extra tasks" a failure injects, exposed so
+    reports can render downtime and re-executed work.
     """
 
     start: list[float]
@@ -63,19 +94,37 @@ class CompiledSim:
     #: Task indices in dispatch order — the timeline's insertion order.
     ev_order: list[int]
     makespan: float
+    restarts: tuple = ()
 
 
-def simulate_compiled(g: CompiledGraph, durs: tuple) -> CompiledSim:
+def simulate_compiled(
+    g: CompiledGraph,
+    durs: tuple | None,
+    task_durs: list | None = None,
+    faults: DeviceFaults | None = None,
+) -> CompiledSim:
     """Run the executor's event loop over compiled arrays.
 
-    ``durs[g.dur_code[i]]`` is task i's duration.  Mirrors
-    ``simulate_tasks`` exactly: same heap orders, same
-    simultaneous-completion draining, same in-flight admission/parking,
-    same float additions.
+    ``durs[g.dur_code[i]]`` is task i's duration; ``task_durs``, when
+    given, overrides the table with an explicit per-task duration array
+    (the stochastic perturbation path — per-device jitter makes durations
+    task-dependent).  With neither override nor faults the result is
+    bit-identical to the reference ``simulate_tasks``: same heap orders,
+    same simultaneous-completion draining, same in-flight
+    admission/parking, same float additions (``task_durs[i]`` is
+    precomputed as exactly ``durs[dur_code[i]]``).
+
+    ``faults`` injects the failure/restart semantics of
+    :class:`DeviceFaults`: each dispatch folds the device's pending
+    failures into the task's execution window — restart downtime plus
+    re-execution of un-checkpointed work — before the completion event is
+    scheduled.  Control tasks (``device is None``) never fail.
     """
     n = g.n
     device = g.device
-    dur_code = g.dur_code
+    if task_durs is None:
+        task_durs = [durs[c] for c in g.dur_code]
+    tdur = task_durs
     order_key = g.order_key
     dependents = g.dependents
     ikey = g.inflight_key
@@ -96,6 +145,60 @@ def simulate_compiled(g: CompiledGraph, durs: tuple) -> CompiledSim:
     events: list[tuple[float, int, int]] = []
     seq = 0
     remaining = n
+
+    if faults is not None:
+        fail_times = faults.failure_times
+        fail_cursor = [0] * g.num_devices
+        restart_delay = faults.restart_delay
+        checkpoint_every = faults.checkpoint_every
+        restarts: list[tuple] = []
+
+        def run_with_faults(dev: int, now: float, dur: float,
+                            idx: int) -> tuple[float, float]:
+            """Fold device ``dev``'s pending failures into one execution.
+
+            Failures that struck while the device sat idle push the start
+            past their downtime windows (no work lost); failures landing
+            inside the attempt lose the progress since the last
+            checkpoint, cost ``restart_delay`` of downtime, and resume
+            with the surviving remainder.  Returns (start, end).
+            """
+            times = fail_times[dev]
+            n_times = len(times)
+            cur = fail_cursor[dev]
+            st = now
+            while cur < n_times and times[cur] <= st:
+                f = times[cur]
+                cur += 1
+                resume = f + restart_delay
+                if resume > st:
+                    restarts.append((dev, idx, f, resume, 0.0))
+                    st = resume
+            attempt = st
+            left = dur
+            while cur < n_times and times[cur] < attempt + left:
+                f = times[cur]
+                cur += 1
+                if f <= attempt:
+                    # The device is already down (failure during restart
+                    # downtime): the outage extends, no new work is lost.
+                    resume = f + restart_delay
+                    if resume > attempt:
+                        restarts.append((dev, idx, f, resume, 0.0))
+                        attempt = resume
+                    continue
+                done = f - attempt
+                preserved = 0.0
+                if checkpoint_every > 0.0:
+                    last_ckpt = (f // checkpoint_every) * checkpoint_every
+                    if last_ckpt > attempt:
+                        preserved = min(done, last_ckpt - attempt)
+                left -= preserved
+                resume = f + restart_delay
+                restarts.append((dev, idx, f, resume, done - preserved))
+                attempt = resume
+            fail_cursor[dev] = cur
+            return st, attempt + left
 
     def promote(idx: int, now: float, dirty: set) -> None:
         nonlocal remaining
@@ -149,9 +252,13 @@ def simulate_compiled(g: CompiledGraph, durs: tuple) -> CompiledSim:
             heappop(heap)
             if key >= 0:
                 inflight[key] += 1
-            t_end = now + durs[dur_code[idx]]
+            if faults is None:
+                st = now
+                t_end = now + tdur[idx]
+            else:
+                st, t_end = run_with_faults(dev, now, tdur[idx], idx)
             device_free[dev] = t_end
-            start[idx] = now
+            start[idx] = st
             ev_end[idx] = t_end
             ev_order.append(idx)
             heappush(events, (t_end, seq, idx))
@@ -179,7 +286,8 @@ def simulate_compiled(g: CompiledGraph, durs: tuple) -> CompiledSim:
             "in-flight limits"
         )
     return CompiledSim(start=start, end=end, ev_end=ev_end,
-                       ev_order=ev_order, makespan=max(end))
+                       ev_order=ev_order, makespan=max(end),
+                       restarts=tuple(restarts) if faults is not None else ())
 
 
 # -- exact rescaling ------------------------------------------------------------

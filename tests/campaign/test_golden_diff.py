@@ -56,6 +56,38 @@ def test_diff_payloads_reports_per_value_deltas():
     assert count_values(golden) == 5
 
 
+class TestDiffTolerance:
+    GOLDEN = exact_encode([1.0, [100.0, "x"], {"a": 3}])
+
+    def test_default_stays_bit_exact(self):
+        nudged = [1.0 + 1e-12, [100.0, "x"], {"a": 3}]
+        assert len(diff_payloads(self.GOLDEN, nudged)) == 1
+        assert diff_payloads(self.GOLDEN, nudged, rtol=1e-9) == []
+
+    def test_atol_absorbs_absolute_drift(self):
+        drifted = [1.05, [100.0, "x"], {"a": 3}]
+        assert diff_payloads(self.GOLDEN, drifted, atol=0.1) == []
+        assert len(diff_payloads(self.GOLDEN, drifted, atol=0.01)) == 1
+
+    def test_rtol_scales_with_expected_value(self):
+        # 1% drift on both floats: rtol=0.02 clears both, atol=0.02 only
+        # the small one.
+        drifted = [1.01, [101.0, "x"], {"a": 3}]
+        assert diff_payloads(self.GOLDEN, drifted, rtol=0.02) == []
+        assert len(diff_payloads(self.GOLDEN, drifted, atol=0.02)) == 1
+
+    def test_tolerance_never_excuses_non_floats(self):
+        assert len(diff_payloads(self.GOLDEN, [1.0, [100.0, "y"], {"a": 4}],
+                                 rtol=10.0, atol=10.0)) == 2
+        # Float-vs-int type drift is structural, not a tolerance matter.
+        assert len(diff_payloads(self.GOLDEN, [1.0, [100.0, "x"], {"a": 3.0}],
+                                 rtol=10.0, atol=10.0)) == 1
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            diff_payloads(self.GOLDEN, [1.0], rtol=-1.0)
+
+
 def test_every_bound_campaign_declares_a_payload_builder():
     for name in campaign_names():
         entry = get_campaign(name)
@@ -67,7 +99,8 @@ def test_campaign_payloads_match_committed_goldens():
     bound = [n for n in campaign_names()
              if get_campaign(n).spec.golden is not None]
     assert sorted(get_campaign(n).spec.golden for n in bound) == [
-        "fig5", "fig6", "fig9", "interleaved", "table2", "table3", "zb",
+        "fig5", "fig6", "fig9", "interleaved", "robustness", "table2",
+        "table3", "zb",
     ]
     for name in bound:
         entry = get_campaign(name)

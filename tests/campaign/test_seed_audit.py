@@ -1,0 +1,108 @@
+"""Seed plumbing: declared seeds must reach an executor that reads them."""
+
+import warnings
+
+import pytest
+
+from repro.campaign.registry import (
+    SeedPlumbingWarning,
+    campaign_names,
+    get_campaign,
+    register_campaign,
+)
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.units import kind_seed_aware
+
+
+def _unregister(name):
+    from repro.campaign import registry
+
+    registry._CAMPAIGNS.pop(name, None)
+
+
+class TestKindSeedAwareness:
+    def test_stochastic_kind_reads_seeds(self):
+        import repro.stochastic  # noqa: F401  (registers the kind)
+
+        assert kind_seed_aware("stochastic") is True
+
+    def test_pipefisher_kind_does_not(self):
+        assert kind_seed_aware("pipefisher") is False
+
+    def test_unknown_kind_is_none(self):
+        assert kind_seed_aware("no_such_kind") is None
+
+
+class TestRegistrationAudit:
+    def test_seeds_over_deaf_kind_warns(self):
+        spec = CampaignSpec(
+            name="seedaudit_deaf",
+            title="t",
+            kind="pipefisher",
+            fixed=(("arch", "BERT-Base"), ("b_micro", 4), ("depth", 4),
+                   ("hardware", "P100"), ("n_micro", 4),
+                   ("schedule", "1f1b")),
+            seeds=(0, 1),
+        )
+        try:
+            with pytest.warns(SeedPlumbingWarning, match="no unit kind"):
+                register_campaign(spec)
+        finally:
+            _unregister("seedaudit_deaf")
+
+    def test_seeds_over_seed_aware_kind_is_silent(self):
+        import repro.stochastic  # noqa: F401
+
+        spec = CampaignSpec(
+            name="seedaudit_aware",
+            title="t",
+            kind="stochastic",
+            fixed=(("arch", "BERT-Base"), ("b_micro", 4), ("depth", 4),
+                   ("hardware", "P100"), ("n_micro", 4),
+                   ("schedule", "1f1b")),
+            seeds=(0, 1),
+        )
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", SeedPlumbingWarning)
+                register_campaign(spec)
+        finally:
+            _unregister("seedaudit_aware")
+
+    def test_no_seeds_never_warns(self):
+        spec = CampaignSpec(
+            name="seedaudit_noseeds",
+            title="t",
+            kind="pipefisher",
+            fixed=(("arch", "BERT-Base"), ("b_micro", 4), ("depth", 4),
+                   ("hardware", "P100"), ("n_micro", 4),
+                   ("schedule", "1f1b")),
+        )
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", SeedPlumbingWarning)
+                register_campaign(spec)
+        finally:
+            _unregister("seedaudit_noseeds")
+
+
+class TestRegisteredSpecsPlumbSeeds:
+    def test_every_seeded_campaign_reaches_unit_params(self):
+        # For every registered spec that declares seeds: each expanded
+        # unit carries the seed param, and its kind actually reads it.
+        for name in campaign_names():
+            spec = get_campaign(name).spec
+            if not spec.seeds:
+                continue
+            for u in spec.units():
+                assert "seed" in u.params_dict(), (
+                    f"{name}: unit {u.key} lost the seed param")
+                assert kind_seed_aware(u.kind) is True, (
+                    f"{name}: kind {u.kind!r} ignores declared seeds")
+
+    def test_registered_specs_reimport_cleanly(self):
+        # The audit must stay silent for everything shipped in-tree.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", SeedPlumbingWarning)
+            for name in campaign_names():
+                get_campaign(name)

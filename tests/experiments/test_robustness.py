@@ -1,0 +1,61 @@
+"""Robustness experiment: golden pin + shard/merge replicate invariance.
+
+The golden locks the full Monte Carlo report — per-schedule span /
+bubble / utilization / degradation summaries and the degradation
+ranking — so the "which schedule degrades least" answer is
+regression-locked.  The shard tests assert the acceptance criterion
+that the same seed produces bit-identical replicates no matter how the
+campaign is split across workers.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.registry import golden_payload
+from repro.campaign.rundb import merge_run_dbs
+from repro.campaign.runner import CampaignRunner
+from repro.experiments.robustness import (
+    DEFAULT_MODEL,
+    format_robustness,
+    robustness_spec,
+    run_robustness,
+)
+from tests.experiments.test_goldens import check
+
+
+def test_robustness_golden():
+    check("robustness", golden_payload("robustness"))
+
+
+def test_run_robustness_agrees_with_payload():
+    # The live-object wrapper and the run-DB payload path reduce the
+    # same replicates: the ranking must match value for value.
+    result = run_robustness()
+    payload_ranking = golden_payload("robustness")[1]
+    live_ranking = [[r.schedule, r.mean_degradation]
+                    for r in result.ranking()]
+    assert live_ranking == payload_ranking
+
+
+def test_report_names_least_degraded_schedule():
+    result = run_robustness()
+    text = format_robustness(result)
+    assert f"least degraded: {result.ranking()[0].schedule}" in text
+    # All five registered schedules are ranked.
+    assert len(result.rows) == 5
+
+
+def test_sharded_replicates_bit_identical(tmp_path):
+    spec = robustness_spec(model=DEFAULT_MODEL, seeds=(0, 1, 2))
+    whole = CampaignRunner(run_dir=tmp_path / "whole").run(spec)
+
+    for i in (1, 2, 3):
+        CampaignRunner(run_dir=tmp_path / f"s{i}").run(spec, shard=(i - 1, 3))
+    merged = merge_run_dbs(
+        [tmp_path / "s1", tmp_path / "s2", tmp_path / "s3"],
+        tmp_path / "merged")
+
+    assert merged.values() == whole.values()
+    # Resuming the merged DB re-executes nothing.
+    resumed = CampaignRunner(run_dir=tmp_path / "merged").run(spec)
+    assert resumed.summary()["executed"] == 0
+    assert resumed.summary()["reused"] == len(spec.units())

@@ -16,6 +16,7 @@ schedule-builder refactors are exercised far beyond the hand-picked
 examples.  Seeds are fixed — every CI run checks the same configs.
 """
 
+import dataclasses
 import random
 
 import pytest
@@ -24,6 +25,14 @@ from repro.perfmodel.costs import StageCosts, WorkCosts
 from repro.pipeline import PipelineConfig, make_schedule, simulate_tasks
 from repro.pipeline.bubbles import OCCUPYING_KINDS
 from repro.pipeline.spec import get_spec, schedule_names
+from repro.stochastic import (
+    Perturbation,
+    StochasticModel,
+    perturbed_durations,
+    sample_perturbation,
+)
+from repro.sweep.retime import simulate_compiled
+from repro.sweep.template import compile_graph
 
 #: Every registered schedule family, in registry order — fuzzing is
 #: spec-driven, so a newly registered schedule is covered automatically.
@@ -302,3 +311,166 @@ class TestFuzzedBubbleBounds:
             assert span == pytest.approx(lo, rel=1e-9)
         else:
             assert lo - 1e-9 <= span <= hi + 1e-9
+
+
+# -- stochastic re-timing fuzzing ------------------------------------------------
+
+#: 20 stochastic seeds x every registered schedule family.
+STOCH_SEEDS = range(20)
+
+#: Every stochastic fuzz replicate mixes all three perturbation families.
+STOCH_MODEL = StochasticModel(jitter_sigma=0.03, straggler_count=1,
+                              straggler_slowdown=1.2, preemption_rate=0.5,
+                              restart_delay_frac=0.02,
+                              checkpoint_interval_frac=0.1)
+
+
+@pytest.fixture(params=[(n, s) for n in FAMILIES for s in STOCH_SEEDS],
+                scope="module", ids=lambda p: f"{p[0]}-seed{p[1]}")
+def stochastic_fuzzed(request):
+    """One schedule compiled once, timed clean and under a seeded
+    perturbation (jitter + straggler + preemptions) — the Monte Carlo
+    replicate path, over the same topology distribution as the
+    deterministic fuzzers."""
+    name, seed = request.param
+    rng = random.Random(20_000 + seed)
+    tf = rng.uniform(0.2, 3.0)
+    tb = rng.uniform(0.2, 3.0)
+    depth, n_micro, virtual_chunks = random_topology(rng, name)
+    block = WorkCosts(t_fwd=tf, t_bwd=tb, t_curv_a=0.1, t_curv_b=0.1,
+                      t_inv=0.3, t_prec=0.05)
+    cfg = PipelineConfig(
+        depth=depth,
+        n_micro=n_micro,
+        costs=StageCosts(block=block, layers_per_stage=rng.randint(1, 3),
+                         t_overhead=0.0, kernel_density=1.0),
+        virtual_chunks=virtual_chunks,
+    )
+    builder = make_schedule(name, cfg)
+    tasks = builder.build(steps=1)
+    graph = compile_graph(tasks, builder.num_devices)
+    clean_durs = [t.duration for t in tasks]
+    clean = simulate_compiled(graph, None, task_durs=clean_durs)
+    p = sample_perturbation(STOCH_MODEL, seed, graph.num_devices,
+                            clean.makespan)
+    durs = perturbed_durations(graph, clean_durs, p)
+    sim = simulate_compiled(graph, None, task_durs=durs, faults=p.faults())
+    return dict(name=name, tasks=tasks, graph=graph, clean=clean, p=p,
+                durs=durs, sim=sim, clean_durs=clean_durs)
+
+
+class TestStochasticFuzzedInvariants:
+    """The deterministic invariants must survive seeded re-timing."""
+
+    def test_no_device_overlap(self, stochastic_fuzzed):
+        f = stochastic_fuzzed
+        g, sim = f["graph"], f["sim"]
+        by_dev: dict = {}
+        for i in range(g.n):
+            if g.device[i] is not None and g.kind[i] in OCCUPYING_KINDS:
+                by_dev.setdefault(g.device[i], []).append(
+                    (sim.start[i], sim.ev_end[i]))
+        for dev, ivals in by_dev.items():
+            ivals.sort()
+            for (s0, e0), (s1, e1) in zip(ivals, ivals[1:]):
+                assert s1 >= e0 - 1e-9, (
+                    f"device {dev}: [{s0}, {e0}) overlaps [{s1}, {e1})")
+
+    def test_dependency_order(self, stochastic_fuzzed):
+        f = stochastic_fuzzed
+        sim = f["sim"]
+        idx = {t.tid: i for i, t in enumerate(f["tasks"])}
+        for t in f["tasks"]:
+            for d in t.deps:
+                assert sim.start[idx[t.tid]] >= sim.ev_end[idx[d]] - 1e-9, (
+                    f"{t.tid} started before dep {d} ended under faults")
+
+    def test_inflight_slots_never_exceed_limits(self, stochastic_fuzzed):
+        f = stochastic_fuzzed
+        sim = f["sim"]
+        idx = {t.tid: i for i, t in enumerate(f["tasks"])}
+        limits: dict = {}
+        by_key: dict = {}
+        release_end: dict = {}
+        for t in f["tasks"]:
+            key = t.meta.get("inflight_key")
+            if key is not None:
+                limits[key] = t.meta["inflight_limit"]
+                by_key.setdefault(key, []).append(sim.start[idx[t.tid]])
+            rel = t.meta.get("inflight_release")
+            if rel is not None:
+                release_end.setdefault(rel, []).append(
+                    sim.ev_end[idx[t.tid]])
+        assert limits, "schedule emitted no admission-controlled forwards"
+        for key, starts in by_key.items():
+            ends = sorted(release_end.get(key, []))
+            if len(ends) < len(starts):
+                continue
+            marks = ([(s, +1) for s in sorted(starts)]
+                     + [(e - 1e-12, -1) for e in ends])
+            occupancy = peak = 0
+            for _, delta in sorted(marks):
+                occupancy += delta
+                peak = max(peak, occupancy)
+            assert peak <= limits[key]
+
+    def test_restarts_well_formed(self, stochastic_fuzzed):
+        f = stochastic_fuzzed
+        g, sim, p = f["graph"], f["sim"], f["p"]
+        delay = p.restart_delay
+        for dev, idx, fail, resume, lost in sim.restarts:
+            assert g.device[idx] == dev
+            assert 0.0 <= fail < resume
+            assert resume == pytest.approx(fail + delay)
+            assert lost >= 0.0
+            assert sim.ev_end[idx] >= resume
+
+    @staticmethod
+    def _require_monotone_family(name):
+        # Chimera and interleaved run several stages per device; a delay
+        # can reorder the ready queue into a *shorter* overall span (the
+        # classic Graham scheduling anomaly), so span monotonicity is
+        # only an invariant for the single-stage-per-device families.
+        if name in ("chimera", "interleaved"):
+            pytest.skip(f"{name}: multi-stage-per-device, span not "
+                        f"monotone under delays (Graham anomalies)")
+
+    def test_span_monotone_under_pure_slowdown(self, stochastic_fuzzed):
+        """All device factors >= 1 and no faults: the perturbed span can
+        only grow when each device runs a single stage."""
+        f = stochastic_fuzzed
+        self._require_monotone_family(f["name"])
+        p = f["p"]
+        slow = Perturbation(
+            seed=p.seed,
+            device_factor=tuple(max(1.0, x) for x in p.device_factor),
+            failure_times=((),) * f["graph"].num_devices,
+            restart_delay=0.0,
+            checkpoint_every=0.0,
+        )
+        durs = perturbed_durations(f["graph"], f["clean_durs"], slow)
+        sim = simulate_compiled(f["graph"], None, task_durs=durs)
+        assert sim.makespan >= f["clean"].makespan - 1e-9
+
+    def test_span_monotone_under_added_faults(self, stochastic_fuzzed):
+        """Same durations, faults added: the span never shrinks."""
+        f = stochastic_fuzzed
+        self._require_monotone_family(f["name"])
+        no_faults = simulate_compiled(f["graph"], None, task_durs=f["durs"])
+        assert f["sim"].makespan >= no_faults.makespan - 1e-9
+        if any(f["p"].failure_times):
+            assert f["sim"].makespan >= no_faults.makespan
+
+    def test_faultless_path_matches_reference_executor(
+            self, stochastic_fuzzed):
+        """A jitter-only replicate is just a re-timing: it must agree bit
+        for bit with the reference simulate_tasks on the re-priced tasks."""
+        f = stochastic_fuzzed
+        repriced = [dataclasses.replace(t, duration=d)
+                    for t, d in zip(f["tasks"], f["durs"])]
+        ref = simulate_tasks(repriced, f["graph"].num_devices)
+        sim = simulate_compiled(f["graph"], None, task_durs=f["durs"])
+        assert sim.makespan == ref.makespan
+        for i, t in enumerate(f["tasks"]):
+            assert sim.start[i] == ref.start_times[t.tid]
+            assert sim.ev_end[i] == ref.end_times[t.tid]

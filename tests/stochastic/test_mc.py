@@ -1,0 +1,99 @@
+"""Monte Carlo replication through the shared sweep engine."""
+
+import pytest
+
+from repro.perfmodel.arch import ARCHITECTURES
+from repro.perfmodel.hardware import HARDWARE
+from repro.pipefisher.runner import PipeFisherRun
+from repro.stochastic import (
+    METRICS,
+    StochasticModel,
+    monte_carlo,
+    run_replicate,
+)
+from repro.sweep.engine import SweepEngine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return SweepEngine()
+
+
+@pytest.fixture(scope="module")
+def run():
+    return PipeFisherRun(schedule="1f1b", arch=ARCHITECTURES["BERT-Base"],
+                         hardware=HARDWARE["P100"], b_micro=32, depth=4,
+                         n_micro=8, layers_per_stage=3)
+
+
+STRAGGLER = StochasticModel(straggler_count=1, straggler_slowdown=1.05)
+FAULTY = StochasticModel(jitter_sigma=0.02, preemption_rate=1.0,
+                         restart_delay_frac=0.05,
+                         checkpoint_interval_frac=0.1)
+
+
+class TestReplicate:
+    def test_identity_model_reproduces_nominal(self, run, engine):
+        r = run_replicate(run, StochasticModel(), 0, engine=engine)
+        assert r["span"] == r["nominal_span"]
+        assert r["pf_span"] == r["nominal_pf_span"]
+        assert r["span_degradation"] == 1.0
+        assert r["n_restarts"] == 0
+
+    def test_same_seed_bit_identical(self, run, engine):
+        a = run_replicate(run, FAULTY, 3, engine=engine)
+        b = run_replicate(run, FAULTY, 3, engine=engine)
+        assert a == b
+
+    def test_fresh_engine_bit_identical(self, run, engine):
+        a = run_replicate(run, STRAGGLER, 1, engine=engine)
+        b = run_replicate(run, STRAGGLER, 1, engine=SweepEngine())
+        assert a == b
+
+    def test_straggler_never_speeds_up(self, run, engine):
+        for seed in range(5):
+            r = run_replicate(run, STRAGGLER, seed, engine=engine)
+            assert r["span"] >= r["nominal_span"]
+            assert r["span_degradation"] >= 1.0
+
+    def test_faulty_replicate_records_restart_costs(self, run, engine):
+        rows = [run_replicate(run, FAULTY, s, engine=engine)
+                for s in range(5)]
+        assert any(r["n_restarts"] > 0 for r in rows)
+        for r in rows:
+            if r["n_restarts"] == 0:
+                assert r["downtime_s"] == 0.0 and r["lost_work_s"] == 0.0
+            else:
+                assert r["downtime_s"] >= 0.0
+                assert r["lost_work_s"] >= 0.0
+
+    def test_replicate_values_are_json_scalars(self, run, engine):
+        r = run_replicate(run, FAULTY, 0, engine=engine)
+        assert all(isinstance(v, (int, float)) for v in r.values())
+
+    def test_bubble_and_utilization_in_range(self, run, engine):
+        r = run_replicate(run, STRAGGLER, 2, engine=engine)
+        assert 0.0 <= r["bubble_fraction"] < 1.0
+        assert 0.0 < r["utilization"] <= 1.0
+
+
+class TestMonteCarlo:
+    def test_replicates_match_single_runs(self, run, engine):
+        mc = monte_carlo(run, STRAGGLER, range(4), engine=engine)
+        assert mc.seeds == (0, 1, 2, 3)
+        for seed, rep in zip(mc.seeds, mc.replicates):
+            assert rep == run_replicate(run, STRAGGLER, seed, engine=engine)
+
+    def test_summaries_cover_all_metrics(self, run, engine):
+        mc = monte_carlo(run, STRAGGLER, range(4), engine=engine)
+        summaries = mc.summaries()
+        assert set(summaries) == set(METRICS)
+        for s in summaries.values():
+            assert s.n == 4
+            assert s.ci95_lo <= s.mean <= s.ci95_hi
+            assert s.lo <= s.p5 <= s.p50 <= s.p95 <= s.hi
+
+    def test_degradation_summary_is_anchored_at_nominal(self, run, engine):
+        mc = monte_carlo(run, STRAGGLER, range(6), engine=engine)
+        s = mc.summary("span_degradation")
+        assert s.lo >= 1.0

@@ -1,0 +1,89 @@
+"""StochasticModel: validation, round-trip, canonical keying."""
+
+import pytest
+
+from repro.stochastic.model import StochasticModel
+
+
+class TestValidation:
+    def test_defaults_are_identity(self):
+        m = StochasticModel()
+        assert m.is_identity
+        assert not m.has_faults
+
+    def test_straggler_only_at_unit_slowdown_is_identity(self):
+        assert StochasticModel(straggler_count=2).is_identity
+        assert not StochasticModel(
+            straggler_count=2, straggler_slowdown=1.05).is_identity
+
+    def test_preemption_means_faults(self):
+        assert StochasticModel(preemption_rate=0.5).has_faults
+
+    @pytest.mark.parametrize("field", [
+        "jitter_sigma", "preemption_rate", "restart_delay_frac",
+        "checkpoint_interval_frac",
+    ])
+    def test_negative_fractions_rejected(self, field):
+        with pytest.raises(ValueError, match=">= 0"):
+            StochasticModel(**{field: -0.1})
+
+    def test_nonpositive_slowdown_rejected(self):
+        with pytest.raises(ValueError, match="straggler_slowdown"):
+            StochasticModel(straggler_slowdown=0.0)
+
+    def test_fractional_straggler_count_rejected(self):
+        with pytest.raises(ValueError, match="straggler_count"):
+            StochasticModel(straggler_count=1.5)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValueError):
+            StochasticModel(straggler_count=True)
+        with pytest.raises(ValueError):
+            StochasticModel(jitter_sigma=True)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            StochasticModel(jitter_sigma=float("inf"))
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        m = StochasticModel(jitter_sigma=0.02, straggler_count=1,
+                            straggler_slowdown=1.05, preemption_rate=0.5,
+                            restart_delay_frac=0.1,
+                            checkpoint_interval_frac=0.25)
+        assert StochasticModel.from_json(m.to_json()) == m
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            StochasticModel.from_dict({"jitter": 0.1})
+
+    def test_int_float_normalization_gives_same_key(self):
+        # 2 and 2.0 must address the same campaign unit.
+        a = StochasticModel(straggler_slowdown=2)
+        b = StochasticModel(straggler_slowdown=2.0)
+        assert a == b
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_canonical_key_distinguishes_models(self):
+        keys = {
+            StochasticModel().canonical_key(),
+            StochasticModel(jitter_sigma=0.01).canonical_key(),
+            StochasticModel(straggler_count=1,
+                            straggler_slowdown=1.05).canonical_key(),
+        }
+        assert len(keys) == 3
+        for k in keys:
+            assert len(k) == 16
+
+    def test_from_params_pops_model_fields_only(self):
+        params = {"schedule": "1f1b", "depth": 4, "jitter_sigma": 0.02,
+                  "straggler_count": 1, "straggler_slowdown": 1.05}
+        m = StochasticModel.from_params(params)
+        assert m.jitter_sigma == 0.02
+        assert m.straggler_count == 1
+        assert params == {"schedule": "1f1b", "depth": 4}
+
+    def test_as_params_from_params_round_trip(self):
+        m = StochasticModel(preemption_rate=1.0, restart_delay_frac=0.05)
+        assert StochasticModel.from_params(dict(m.as_params())) == m

@@ -1,0 +1,86 @@
+"""Perturbation sampling: the pinned determinism contract."""
+
+import pytest
+
+from repro.stochastic.model import StochasticModel
+from repro.stochastic.perturb import (
+    FAILURE_HORIZON_STEPS,
+    replicate_rng,
+    sample_perturbation,
+)
+
+JITTER = StochasticModel(jitter_sigma=0.05)
+STRAGGLER = StochasticModel(straggler_count=1, straggler_slowdown=1.05)
+FAULTY = StochasticModel(preemption_rate=1.0, restart_delay_frac=0.1,
+                         checkpoint_interval_frac=0.2)
+
+
+class TestStream:
+    def test_same_seed_same_perturbation(self):
+        a = sample_perturbation(FAULTY, 7, 4, 2.0)
+        b = sample_perturbation(FAULTY, 7, 4, 2.0)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = sample_perturbation(JITTER, 0, 4, 1.0)
+        b = sample_perturbation(JITTER, 1, 4, 1.0)
+        assert a.device_factor != b.device_factor
+
+    def test_stream_is_namespaced(self):
+        # The raw stream must not collide with a bare Random(seed).
+        import random
+
+        assert replicate_rng(3).random() != random.Random(3).random()
+
+    def test_straggler_choice_invariant_across_slowdown(self):
+        # Common random numbers: changing the slowdown knob must not
+        # change *which* device straggles under a given seed.
+        mild = StochasticModel(straggler_count=1, straggler_slowdown=1.05)
+        harsh = StochasticModel(straggler_count=1, straggler_slowdown=2.0)
+        for seed in range(10):
+            a = sample_perturbation(mild, seed, 8, 1.0).device_factor
+            b = sample_perturbation(harsh, seed, 8, 1.0).device_factor
+            assert [i for i, f in enumerate(a) if f != 1.0] == \
+                   [i for i, f in enumerate(b) if f != 1.0]
+
+    def test_identity_model_is_all_nominal(self):
+        p = sample_perturbation(StochasticModel(), 5, 4, 1.0)
+        assert p.device_factor == (1.0, 1.0, 1.0, 1.0)
+        assert not p.has_faults
+        assert p.faults() is None
+
+
+class TestKnobs:
+    def test_jitter_factors_positive(self):
+        p = sample_perturbation(JITTER, 0, 16, 1.0)
+        assert all(f > 0.0 for f in p.device_factor)
+        assert any(f != 1.0 for f in p.device_factor)
+
+    def test_straggler_count_capped_at_devices(self):
+        m = StochasticModel(straggler_count=10, straggler_slowdown=1.5)
+        p = sample_perturbation(m, 0, 4, 1.0)
+        assert all(f == 1.5 for f in p.device_factor)
+
+    def test_exactly_count_stragglers(self):
+        m = StochasticModel(straggler_count=2, straggler_slowdown=1.5)
+        p = sample_perturbation(m, 0, 8, 1.0)
+        assert sum(1 for f in p.device_factor if f == 1.5) == 2
+
+    def test_failure_times_ascending_within_horizon(self):
+        p = sample_perturbation(FAULTY, 3, 4, 2.0)
+        horizon = FAILURE_HORIZON_STEPS * 2.0
+        assert p.has_faults
+        for times in p.failure_times:
+            assert list(times) == sorted(times)
+            assert all(0.0 < t < horizon for t in times)
+
+    def test_fault_scales_follow_time_unit(self):
+        p = sample_perturbation(FAULTY, 3, 4, 2.0)
+        assert p.restart_delay == pytest.approx(0.2)
+        assert p.checkpoint_every == pytest.approx(0.4)
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError, match="num_devices"):
+            sample_perturbation(JITTER, 0, 0, 1.0)
+        with pytest.raises(ValueError, match="time_unit"):
+            sample_perturbation(JITTER, 0, 4, 0.0)

@@ -1,0 +1,56 @@
+"""Replicate reduction: percentile interpolation and Summary fields."""
+
+import pytest
+
+from repro.stochastic.stats import Summary, percentile, summarize
+
+
+class TestPercentile:
+    def test_endpoints(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 1.0) == 4.0
+
+    def test_linear_interpolation(self):
+        assert percentile([0.0, 10.0], 0.25) == 2.5
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.95) == 7.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestSummarize:
+    def test_known_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == 2.5
+        assert s.std == pytest.approx((5.0 / 3.0) ** 0.5)
+        assert (s.lo, s.hi) == (1.0, 4.0)
+        assert s.p50 == 2.5
+        assert s.ci95_lo < s.mean < s.ci95_hi
+
+    def test_order_invariant_value_sensitive_fold(self):
+        # Same multiset, same order => bit-identical summary.
+        assert summarize([3.0, 1.0, 2.0]) == summarize([3.0, 1.0, 2.0])
+
+    def test_single_replicate_collapses(self):
+        s = summarize([5.0])
+        assert s == Summary(n=1, mean=5.0, std=0.0, lo=5.0, hi=5.0,
+                            p5=5.0, p50=5.0, p95=5.0,
+                            ci95_lo=5.0, ci95_hi=5.0)
+
+    def test_as_list_matches_field_order(self):
+        s = summarize([1.0, 3.0])
+        assert s.as_list() == [s.n, s.mean, s.std, s.lo, s.hi,
+                               s.p5, s.p50, s.p95, s.ci95_lo, s.ci95_hi]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

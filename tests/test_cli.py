@@ -10,6 +10,7 @@ class TestCLI:
         assert set(EXPERIMENTS) == {
             "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
             "fig9-10", "table2", "table3", "interleaved", "zb", "schedule",
+            "robustness",
         }
 
     def test_fast_excludes_training(self):

@@ -7,6 +7,13 @@ stage-cost lookup through a fresh engine) for every seed.  Both paths
 are asserted bit-identical per seed, then timed over the same seed set;
 the replicates/sec ratio is asserted **>= 5x** and written to
 ``BENCH_mc.json``.
+
+On top of template reuse, :func:`~repro.stochastic.mc.replicate_batch`
+re-times every fault-free replicate of a seed block as one native
+``(n_seeds, n_tasks)`` pass per graph.  Its absolute throughput is
+asserted against a floor of 3x the pre-batching scalar rate recorded in
+this benchmark's history (564.8 replicates/s), after asserting the
+records bit-identical to the scalar path's.
 """
 
 import gc
@@ -17,13 +24,19 @@ from benchmarks.conftest import record, write_bench
 from repro.perfmodel.arch import ARCHITECTURES
 from repro.perfmodel.hardware import HARDWARE
 from repro.pipefisher.runner import PipeFisherRun
-from repro.stochastic.mc import replicate_from_point
+from repro.stochastic.mc import replicate_batch, replicate_from_point
 from repro.stochastic.model import StochasticModel
 from repro.sweep import SweepEngine
 
 SEEDS = tuple(range(32))
+#: A larger block for the batched-throughput measurement: amortizes the
+#: one-off marshalling so the rate reflects the per-replicate cost.
+BATCH_SEEDS = tuple(range(256))
 REPS = 3
 MIN_SPEEDUP = 5.0
+#: 3x the scalar template-reuse rate this benchmark recorded before the
+#: batched path existed.
+MIN_BATCH_RATE = 3.0 * 564.8
 
 #: Jitter + straggler (fault-free), so every replicate exercises the
 #: full perturbation path with a deterministic amount of work per seed.
@@ -66,6 +79,22 @@ def naive_replicates(run):
     return out
 
 
+def scalar_block(run, seeds):
+    """Template reuse, scalar replicate loop over ``seeds``."""
+    engine = SweepEngine()
+    point = engine.compiled_point(run)
+    nominal = engine.nominal_evaluation(point)
+    return [replicate_from_point(point, nominal, MODEL, s) for s in seeds]
+
+
+def batched_block(run, seeds):
+    """Template reuse plus the native batched re-timing pass."""
+    engine = SweepEngine()
+    point = engine.compiled_point(run)
+    nominal = engine.nominal_evaluation(point)
+    return replicate_batch(point, nominal, MODEL, seeds)
+
+
 def test_mc_template_reuse_speedup(once, benchmark):
     run = mc_run()
 
@@ -96,8 +125,30 @@ def test_mc_template_reuse_speedup(once, benchmark):
         f"template reuse yields only {speedup:.1f}x over per-seed rebuild "
         f"(floor {MIN_SPEEDUP:.0f}x)")
 
+    # -- batched replicate throughput ------------------------------------------
+    # Bit-identity first (batching is an execution mode, not a model
+    # change), then min-of-REPS over the larger seed block.
+    scalar_ref = scalar_block(run, BATCH_SEEDS)
+    assert batched_block(run, BATCH_SEEDS) == scalar_ref
+
+    batched_s = float("inf")
+    for _ in range(REPS):
+        with gc_paused():
+            t0 = time.perf_counter()
+            batched_block(run, BATCH_SEEDS)
+            batched_s = min(batched_s, time.perf_counter() - t0)
+    batched_rate = len(BATCH_SEEDS) / batched_s
+    batch_speedup = batched_rate / reuse_rate
+    print(f"MC batched replicates: {len(BATCH_SEEDS)} seeds in "
+          f"{batched_s:.3f}s ({batched_rate:.0f}/s, {batch_speedup:.1f}x "
+          f"the scalar reuse rate; floor {MIN_BATCH_RATE:.0f}/s)")
+    assert batched_rate >= MIN_BATCH_RATE, (
+        f"batched replicates run at {batched_rate:.0f}/s, below the "
+        f"{MIN_BATCH_RATE:.0f}/s floor (3x the pre-batching scalar rate)")
+
     record(benchmark, replicates=len(SEEDS), reuse_s=round(reuse_s, 4),
-           naive_s=round(naive_s, 4), speedup=round(speedup, 1))
+           naive_s=round(naive_s, 4), speedup=round(speedup, 1),
+           batched_rate=round(batched_rate, 1))
     write_bench(
         "mc",
         replicates=len(SEEDS),
@@ -107,4 +158,8 @@ def test_mc_template_reuse_speedup(once, benchmark):
         replicates_per_s_naive=round(naive_rate, 1),
         speedup=round(speedup, 1),
         min_speedup=MIN_SPEEDUP,
+        batch_replicates=len(BATCH_SEEDS),
+        batched_s=round(batched_s, 4),
+        replicates_per_s_batched=round(batched_rate, 1),
+        min_replicates_per_s_batched=round(MIN_BATCH_RATE, 1),
     )

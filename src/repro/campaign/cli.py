@@ -3,7 +3,7 @@
 Commands::
 
     campaign list                      # registered campaigns + unit counts
-    campaign run NAME [--run-dir D] [--shard i/n] [--no-resume] [-v]
+    campaign run NAME [--run-dir D] [--shard i/n] [--jobs N] [--no-resume] [-v]
     campaign status --run-dir D        # completion state of a run DB
     campaign diff NAME [--run-dir D] [--rtol R] [--atol A]
                                        # per-value deltas vs the golden
@@ -51,6 +51,15 @@ def _cmd_list(args) -> int:
 def _cmd_run(args) -> int:
     entry = get_campaign(args.name)
     shard = parse_shard(args.shard) if args.shard else (0, 1)
+    if args.jobs is not None and args.jobs > 1:
+        if args.shard:
+            print("error: --jobs cannot be combined with --shard "
+                  "(jobs shards internally)", file=sys.stderr)
+            return 2
+        if not args.run_dir:
+            print("error: --jobs requires --run-dir (workers share state "
+                  "through the run DB)", file=sys.stderr)
+            return 2
     runner = CampaignRunner(run_dir=args.run_dir)
 
     def progress(unit, record):
@@ -62,7 +71,8 @@ def _cmd_run(args) -> int:
 
     result_reused: set = set()
     result = runner.run(entry.spec, shard=shard,
-                        resume=not args.no_resume, on_unit=progress)
+                        resume=not args.no_resume, on_unit=progress,
+                        jobs=args.jobs)
     result_reused.update(result.reused)
     s = result.summary()
     total = len(entry.spec.units())
@@ -76,9 +86,24 @@ def _cmd_run(args) -> int:
           f"{eng['templates_evictions']}e, "
           f"stage-cost cache {eng['stage_costs_hits']}h/"
           f"{eng['stage_costs_misses']}m/{eng['stage_costs_evictions']}e")
+    if eng.get("native_evals") or eng.get("delta_retimes") \
+            or eng.get("batched_points"):
+        print(f"  batched: {eng.get('batched_points', 0)} batched points, "
+              f"{eng.get('native_evals', 0)} native evals, "
+              f"{eng.get('delta_retimes', 0)} delta re-times")
+    phases = _phase_seconds(eng)
+    if any(phases.values()):
+        print("  phases: " + ", ".join(
+            f"{name} {secs:.3f}s" for name, secs in sorted(phases.items())))
     if args.run_dir:
         print(f"  run DB: {args.run_dir}")
     return 0
+
+
+def _phase_seconds(engine: dict) -> dict:
+    """The ``phase_<name>_s`` keys of an engine-counter dict, by phase."""
+    return {k[len("phase_"):-len("_s")]: v for k, v in engine.items()
+            if k.startswith("phase_") and k.endswith("_s")}
 
 
 def _cmd_status(args) -> int:
@@ -111,6 +136,16 @@ def _cmd_status(args) -> int:
         print(f"  replicates by seed ({len(seed_done)} seed(s)):")
         for seed in sorted(seed_done):
             print(f"    seed {seed}: {seed_done[seed]} done")
+    phase_totals: dict = {}
+    for rec in db.records.values():
+        if rec.get("status") != DONE:
+            continue
+        for phase, secs in _phase_seconds(rec.get("engine", {})).items():
+            phase_totals[phase] = phase_totals.get(phase, 0.0) + secs
+    if phase_totals:
+        print("  engine phase seconds: " + ", ".join(
+            f"{name} {secs:.3f}" for name, secs
+            in sorted(phase_totals.items())))
     if db.skipped_lines:
         print(f"  tolerated {db.skipped_lines} truncated/corrupt line(s)")
     print(f"  shards seen: {', '.join(f'{i}/{n}' for i, n in shards) or '-'}")
@@ -214,6 +249,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run only every n-th unit (1-based, e.g. 1/3)")
     p_run.add_argument("--no-resume", action="store_true",
                        help="re-execute units even if recorded done")
+    p_run.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="run N worker processes over the run DB "
+                            "(requires --run-dir; excludes --shard)")
     p_run.add_argument("-v", "--verbose", action="store_true",
                        help="one progress line per unit")
 

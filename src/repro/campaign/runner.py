@@ -18,28 +18,38 @@ into executed units through the shared sweep engine:
 
 from __future__ import annotations
 
+import shutil
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
-from repro.campaign.rundb import DONE, FAILED, RunDB
+from repro.campaign.rundb import DONE, FAILED, RunDB, merge_run_dbs
 from repro.campaign.spec import CampaignSpec, CampaignValidationError, UnitSpec
 from repro.campaign.units import UnitContext, get_unit_kind
 
 #: Scalar sweep-engine counters surfaced per unit record.
-_ENGINE_COUNTERS = ("runs", "timing_hits", "rescales", "reexecutions")
+_ENGINE_COUNTERS = ("runs", "timing_hits", "rescales", "reexecutions",
+                    "native_evals", "delta_retimes", "batched_points")
 #: BoundedCache counters surfaced per unit record, per cache.
 _CACHE_COUNTERS = ("hits", "misses", "evictions")
 _CACHES = ("templates", "stage_costs")
 
 
 def _engine_counters(engine) -> dict:
-    """A flat snapshot of the engine's evaluation + cache counters."""
+    """A flat snapshot of the engine's evaluation + cache counters.
+
+    Includes the per-phase wall-clock attribution as ``phase_<name>_s``
+    keys, so each unit record (and ``campaign status``) can say where a
+    campaign's time went.
+    """
     stats = engine.stats()
-    flat = {name: stats[name] for name in _ENGINE_COUNTERS}
+    flat = {name: stats.get(name, 0) for name in _ENGINE_COUNTERS}
     for cache in _CACHES:
         cs = stats[cache]
         for c in _CACHE_COUNTERS:
             flat[f"{cache}_{c}"] = getattr(cs, c)
+    for phase, seconds in stats.get("phase_s", {}).items():
+        flat[f"phase_{phase}_s"] = seconds
     return flat
 
 
@@ -131,6 +141,7 @@ class CampaignRunner:
         shard: tuple = (0, 1),
         resume: bool = True,
         on_unit=None,
+        jobs: int | None = None,
     ) -> CampaignResult:
         """Run (or resume) ``spec``, returning the completed state.
 
@@ -139,7 +150,16 @@ class CampaignRunner:
         an execution spy.  Exceptions raised by a unit executor are
         recorded as ``failed`` in the run DB (so an interrupted campaign
         shows where it stopped) and re-raised.
+
+        ``jobs=N`` (persistent mode only) splits the campaign into N
+        round-robin shards, runs each in a worker process against its
+        own copy of the run DB, merges the worker DBs back, and resumes
+        serially to assemble the full result — the merged DB is
+        bit-identical to a single-worker run's.
         """
+        if jobs is not None and jobs > 1:
+            return self._run_jobs(spec, shard=shard, resume=resume,
+                                  on_unit=on_unit, jobs=jobs)
         db = RunDB.open(self.run_dir) if self.run_dir is not None else None
         if db is not None:
             db.bind(spec)
@@ -199,6 +219,63 @@ class CampaignRunner:
             before_all, _engine_counters(self.engine))
         return result
 
+    def _run_jobs(self, spec: CampaignSpec, shard: tuple, resume: bool,
+                  on_unit, jobs: int) -> CampaignResult:
+        """Fan a persistent campaign out over ``jobs`` worker processes.
+
+        Each worker runs one round-robin shard against a private run-DB
+        copy seeded with the parent's completed units (so resume skips
+        them); the parent merges the worker DBs back and replays the
+        campaign serially from the merged DB to build the result.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        if self.run_dir is None:
+            raise CampaignValidationError(
+                "jobs > 1 requires a run_dir (workers share state "
+                "through the run DB)")
+        if shard != (0, 1):
+            raise CampaignValidationError(
+                "jobs cannot be combined with an explicit shard")
+        t0 = time.perf_counter()
+        parent = Path(self.run_dir)
+        db = RunDB.open(parent)
+        db.bind(spec)
+        worker_dirs = []
+        for i in range(jobs):
+            wd = parent / f"worker-{i + 1}"
+            wd.mkdir(parents=True, exist_ok=True)
+            for name in ("units.jsonl", "meta.json"):
+                src = parent / name
+                if src.exists():
+                    shutil.copyfile(src, wd / name)
+                elif (wd / name).exists():
+                    (wd / name).unlink()
+            worker_dirs.append(wd)
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_shard_worker, spec, (i, jobs), str(wd), resume)
+                for i, wd in enumerate(worker_dirs)
+            ]
+            outcomes = [f.result() for f in futures]
+        merge_run_dbs([str(wd) for wd in worker_dirs], str(parent))
+
+        # Serial resume over the merged DB: every unit is now done, so
+        # this pass only assembles records (and fires on_unit) in
+        # canonical order without re-executing anything.
+        result = self.run(spec, resume=True, on_unit=on_unit)
+        executed = [key for keys, _ in outcomes for key in keys]
+        executed_set = set(executed)
+        result.executed = executed
+        result.reused = [k for k in result.reused if k not in executed_set]
+        delta = dict(result.engine_delta)
+        for _, worker_delta in outcomes:
+            for k, v in worker_delta.items():
+                delta[k] = delta.get(k, 0) + v
+        result.engine_delta = delta
+        result.elapsed_s = time.perf_counter() - t0
+        return result
+
     @staticmethod
     def _record(spec: CampaignSpec, unit: UnitSpec, index: int, shard: tuple,
                 status: str, value, elapsed: float, engine: dict,
@@ -218,3 +295,18 @@ class CampaignRunner:
         if error is not None:
             rec["error"] = error
         return rec
+
+
+def _shard_worker(spec: CampaignSpec, shard: tuple, run_dir: str,
+                  resume: bool) -> tuple:
+    """Run one shard of ``spec`` in a worker process.
+
+    Module-level so the pool pickles it by reference.  Returns the
+    executed unit keys plus the engine-counter delta this shard caused,
+    for the parent to fold into the merged result.
+    """
+    from repro.sweep.engine import SweepEngine
+
+    runner = CampaignRunner(engine=SweepEngine(), run_dir=run_dir)
+    result = runner.run(spec, shard=shard, resume=resume)
+    return result.executed, result.engine_delta

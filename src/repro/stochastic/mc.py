@@ -20,6 +20,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is a de-facto hard dep
+    np = None
+
 from repro.profiler.utilization import COLOR_DENSITY
 from repro.stochastic.model import StochasticModel
 from repro.stochastic.perturb import (
@@ -125,6 +130,92 @@ def replicate_from_point(point, nominal, model: StochasticModel,
     }
 
 
+def replicate_batch(point, nominal, model: StochasticModel,
+                    seeds) -> list[dict]:
+    """Batched :func:`replicate_from_point` over a seed block.
+
+    Perturbations are still sampled per seed (the RNG draw order is the
+    contract), but fault-free replicates — the overwhelming majority
+    under jitter/straggler models — are re-timed as one
+    ``(n_seeds, n_tasks)`` native pass per graph, with bubble fraction
+    and utilization folded natively as well.  Fault-carrying seeds, and
+    any row the native core rejects, fall back to the scalar reference;
+    either way every record is bit-identical to the scalar path's.
+    """
+    from repro.sweep import batch as _batch
+    from repro.sweep import native as _native
+
+    template = point.template
+    g_base, g_pf = template.base_graph, template.pf_graph
+    ga_b = ga_p = None
+    if np is not None and _native.available():
+        ga_b = _native.graph_arrays(g_base)
+        ga_p = _native.graph_arrays(g_pf)
+    if ga_b is None or ga_p is None:
+        return [replicate_from_point(point, nominal, model, s)
+                for s in seeds]
+
+    seeds = list(seeds)
+    time_unit = nominal.base.makespan
+    records: list = [None] * len(seeds)
+    fault_free: list = []
+    for i, seed in enumerate(seeds):
+        p = sample_perturbation(model, seed, template.num_devices,
+                                time_unit)
+        if p.has_faults:
+            records[i] = replicate_from_point(point, nominal, model, seed)
+        else:
+            fault_free.append((i, p))
+    if not fault_free:
+        return records
+
+    def perturbed_matrix(graph, ga, durs):
+        # Rows replicate ``perturbed_durations`` exactly: control tasks
+        # keep the table value, device tasks multiply by the device's
+        # sampled factor (one IEEE float64 product, same as python's).
+        n = graph.n
+        device = np.fromiter(
+            ((-1 if d is None else d) for d in graph.device), np.int64, n)
+        ctrl = device < 0
+        task_idx = np.maximum(device, 0)
+        table = np.asarray(durs, np.float64)[ga.dur_code]
+        rows = np.empty((len(fault_free), n), np.float64)
+        for row, (_, p) in enumerate(fault_free):
+            fac = np.asarray(p.device_factor, np.float64)[task_idx]
+            rows[row] = np.where(ctrl, table, table * fac)
+        return rows
+
+    gb = _batch.simulate_graph_batch(
+        g_base, task_durs=perturbed_matrix(g_base, ga_b, point.base_durs))
+    gp = _batch.simulate_graph_batch(
+        g_pf, task_durs=perturbed_matrix(g_pf, ga_p, point.pf_durs))
+    bubble = util = None
+    if gb is not None:
+        bubble, util = _native.mc_metrics_batch(
+            gb.ga, gb.start, gb.ev_end, gb.ev_order, gb.makespan)
+    for row, (i, _) in enumerate(fault_free):
+        seed = seeds[i]
+        if (gb is None or gp is None or bubble is None
+                or not (gb.ok(row) and gp.ok(row))):
+            records[i] = replicate_from_point(point, nominal, model, seed)
+            continue
+        span = float(gb.makespan[row])
+        records[i] = {
+            "seed": seed,
+            "span": span,
+            "pf_span": float(gp.makespan[row]),
+            "bubble_fraction": float(bubble[row]),
+            "utilization": float(util[row]),
+            "span_degradation": span / nominal.base.makespan,
+            "nominal_span": nominal.base.makespan,
+            "nominal_pf_span": nominal.pf.makespan,
+            "n_restarts": 0,
+            "downtime_s": 0.0,
+            "lost_work_s": 0.0,
+        }
+    return records
+
+
 def run_replicate(run, model: StochasticModel, seed: int,
                   engine=None) -> dict:
     """One Monte Carlo replicate of ``run`` (a ``PipeFisherRun``).
@@ -161,14 +252,19 @@ class MonteCarloResult:
         return {m: self.summary(m) for m in METRICS}
 
 
-def monte_carlo(run, model: StochasticModel, seeds,
-                engine=None) -> MonteCarloResult:
+def monte_carlo(run, model: StochasticModel, seeds, engine=None,
+                batch: bool = True, jobs: int | None = None
+                ) -> MonteCarloResult:
     """Map seeds to replicates of ``run`` under ``model`` and collect.
 
     The driver behind the ``robustness`` experiment: one compiled point,
     one nominal evaluation, then one re-timing pass per seed.  The same
     (run, model, seed) triple always produces the bit-identical replicate
-    dict — ``CampaignSpec.seeds`` shards and resumes over exactly these.
+    dict — ``CampaignSpec.seeds`` shards and resumes over exactly these —
+    regardless of execution mode: ``batch=True`` (default) vectorizes
+    fault-free replicates through the native core, ``jobs=N`` splits the
+    seed range into contiguous blocks across N worker processes, and
+    ``batch=False, jobs=None`` is the scalar reference loop.
     """
     if engine is None:
         from repro.sweep.engine import default_engine
@@ -177,9 +273,56 @@ def monte_carlo(run, model: StochasticModel, seeds,
     point = engine.compiled_point(run)
     nominal = engine.nominal_evaluation(point)
     seeds = tuple(seeds)
-    return MonteCarloResult(
-        model=model,
-        seeds=seeds,
-        replicates=[replicate_from_point(point, nominal, model, s)
-                    for s in seeds],
-    )
+    if jobs is not None and jobs > 1 and len(seeds) > 1:
+        replicates = _monte_carlo_pool(point, nominal, model, seeds,
+                                       jobs, batch)
+    elif batch:
+        replicates = replicate_batch(point, nominal, model, seeds)
+    else:
+        replicates = [replicate_from_point(point, nominal, model, s)
+                      for s in seeds]
+    return MonteCarloResult(model=model, seeds=seeds,
+                            replicates=replicates)
+
+
+def _mc_worker(template, base_durs, pf_durs, qdurs, model, seeds,
+               nominal_span, nominal_pf_span, batch) -> list[dict]:
+    """Replicate one contiguous seed block in a worker process.
+
+    Module-level so the pool can pickle it by reference; the nominal
+    evaluation travels as its two consumed scalars.
+    """
+    from types import SimpleNamespace
+
+    from repro.sweep.engine import CompiledPoint
+
+    point = CompiledPoint(template=template, base_durs=base_durs,
+                          pf_durs=pf_durs, qdurs=qdurs)
+    nominal = SimpleNamespace(
+        base=SimpleNamespace(makespan=nominal_span),
+        pf=SimpleNamespace(makespan=nominal_pf_span))
+    if batch:
+        return replicate_batch(point, nominal, model, seeds)
+    return [replicate_from_point(point, nominal, model, s) for s in seeds]
+
+
+def _monte_carlo_pool(point, nominal, model: StochasticModel, seeds,
+                      jobs: int, batch: bool) -> list[dict]:
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.sweep.pool import picklable_template
+
+    stripped = picklable_template(point.template)
+    per = -(-len(seeds) // jobs)
+    blocks = [seeds[lo:lo + per] for lo in range(0, len(seeds), per)]
+    replicates: list[dict] = []
+    with ProcessPoolExecutor(max_workers=jobs) as ex:
+        futures = [
+            ex.submit(_mc_worker, stripped, point.base_durs, point.pf_durs,
+                      point.qdurs, model, block, nominal.base.makespan,
+                      nominal.pf.makespan, batch)
+            for block in blocks
+        ]
+        for fut in futures:
+            replicates.extend(fut.result())
+    return replicates

@@ -1,0 +1,708 @@
+/* Native batch re-timing core for the sweep engine.
+ *
+ * A line-for-line transliteration of the pure-python hot loops in
+ * repro/sweep/retime.py — simulate_compiled (the event-driven executor,
+ * deterministic no-fault path), fill_compiled (the K-FAC bubble
+ * filler), device_bubbles, and the utilization folds — driven over a
+ * whole batch of duration tables sharing one compiled template.
+ *
+ * Bit-identity contract: every float operation (additions along
+ * dependency chains, tie-epsilon comparisons, min/max clips, fold
+ * sums) is performed on IEEE-754 doubles in exactly the order the
+ * python reference performs it, with contraction disabled (the build
+ * uses -ffp-contract=off and no fast-math), so results match python
+ * bit for bit.  Heap pops are deterministic because every heap key is
+ * unique — ready heaps compare the packed int64 order_key, the event
+ * heap compares (t_end, seq) — and a binary min-heap's pop sequence
+ * depends only on the key multiset, not its internal layout.
+ *
+ * Anything this core cannot replicate exactly — fault replay, tuple
+ * order keys, filler errors (which carry python-built messages), or a
+ * segment-buffer overflow — is reported through per-point status codes
+ * and the caller falls back to the python path for that point.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define TIME_EPS 1e-12  /* executor tie epsilon */
+#define EPS 1e-9        /* filler placement epsilon */
+
+/* status codes (per point) */
+#define ST_OK 0
+#define ST_DEADLOCK 1
+#define ST_NO_BUBBLES 2
+#define ST_NO_PROGRESS 3
+#define ST_MAX_STEPS 4
+#define ST_SEG_OVERFLOW 5
+
+typedef struct {
+    int32_t n;             /* tasks */
+    int32_t num_devices;
+    int32_t n_keys;        /* distinct in-flight keys */
+    int32_t n_zero;        /* zero-dep tasks */
+    int32_t n_disp;        /* dispatched (device) tasks == len(ev_order) */
+    const int32_t *device;     /* -1 for control tasks */
+    const int64_t *order_key;  /* packed (priority, tid-rank), unique */
+    const int32_t *ndeps;
+    const int64_t *dep_off;    /* n+1 CSR offsets */
+    const int32_t *dep_lst;
+    const int32_t *ikey;       /* in-flight admission key id, -1 none */
+    const int32_t *ilim;
+    const int32_t *rkey;       /* released key id, -1 none */
+    const int32_t *zero_dep;
+    const int64_t *occ_off;    /* num_devices+1: occupying tasks CSR */
+    const int32_t *occ_lst;
+    const double *density;     /* COLOR_DENSITY per task */
+} Graph;
+
+typedef struct {
+    int32_t num_devices;
+    int32_t n_items;           /* total K-FAC items across devices */
+    const int32_t *q_off;      /* num_devices+1: item offsets (global ids) */
+    const int32_t *codes;      /* per global item: qdur code */
+    const int32_t *trig;       /* per global item: pf trigger task, -1 deps */
+    const int32_t *ndep_init;  /* per global item: len(dep_positions) */
+    const int64_t *dep_out_off;/* n_items+1: dependents CSR (local pos) */
+    const int32_t *dep_out;
+    const double *qdensity;    /* COLOR_DENSITY per item kind */
+} QDesc;
+
+/* -- simulation ---------------------------------------------------------------- */
+
+typedef struct {
+    const Graph *g;
+    const double *tdur;
+    double *start, *end, *evend;
+    int32_t *evorder;
+    int n_ev;
+    int32_t *missing;
+    double *device_free;
+    int64_t *rk;           /* ready heaps, device-major [D][n] */
+    int32_t *rv;
+    int32_t *rsz;
+    int64_t *pk;           /* parked lists, key-major [K][n] */
+    int32_t *pv;
+    int32_t *psz;
+    int32_t *inflight;
+    double *et;            /* event heap */
+    int32_t *es, *ei;
+    int esz, seq;
+    int32_t *stack;
+    uint8_t *dirty;
+    int remaining;
+} Sim;
+
+static void ready_push(Sim *s, int dev, int64_t key, int32_t val) {
+    const int n = s->g->n;
+    int64_t *K = s->rk + (size_t)dev * n;
+    int32_t *V = s->rv + (size_t)dev * n;
+    int i = s->rsz[dev]++;
+    while (i > 0) {
+        int p = (i - 1) >> 1;
+        if (K[p] <= key) break;
+        K[i] = K[p]; V[i] = V[p];
+        i = p;
+    }
+    K[i] = key; V[i] = val;
+}
+
+static void ready_pop(Sim *s, int dev) {
+    const int n = s->g->n;
+    int64_t *K = s->rk + (size_t)dev * n;
+    int32_t *V = s->rv + (size_t)dev * n;
+    int m = --s->rsz[dev];
+    int64_t key = K[m]; int32_t val = V[m];
+    int i = 0;
+    for (;;) {
+        int c = 2 * i + 1;
+        if (c >= m) break;
+        if (c + 1 < m && K[c + 1] < K[c]) c++;
+        if (K[c] >= key) break;
+        K[i] = K[c]; V[i] = V[c];
+        i = c;
+    }
+    if (m > 0) { K[i] = key; V[i] = val; }
+}
+
+static inline int evless(double t1, int32_t s1, double t2, int32_t s2) {
+    return t1 < t2 || (t1 == t2 && s1 < s2);
+}
+
+static void ev_push(Sim *s, double t, int32_t sq, int32_t idx) {
+    int i = s->esz++;
+    while (i > 0) {
+        int p = (i - 1) >> 1;
+        if (!evless(t, sq, s->et[p], s->es[p])) break;
+        s->et[i] = s->et[p]; s->es[i] = s->es[p]; s->ei[i] = s->ei[p];
+        i = p;
+    }
+    s->et[i] = t; s->es[i] = sq; s->ei[i] = idx;
+}
+
+static int ev_pop(Sim *s) {
+    int idx = s->ei[0];
+    int m = --s->esz;
+    double t = s->et[m]; int32_t sq = s->es[m], v = s->ei[m];
+    int i = 0;
+    for (;;) {
+        int c = 2 * i + 1;
+        if (c >= m) break;
+        if (c + 1 < m && evless(s->et[c + 1], s->es[c + 1], s->et[c], s->es[c]))
+            c++;
+        if (!evless(s->et[c], s->es[c], t, sq)) break;
+        s->et[i] = s->et[c]; s->es[i] = s->es[c]; s->ei[i] = s->ei[c];
+        i = c;
+    }
+    if (m > 0) { s->et[i] = t; s->es[i] = sq; s->ei[i] = v; }
+    return idx;
+}
+
+static void promote(Sim *s, int32_t idx, double now) {
+    const Graph *g = s->g;
+    int sp = 0;
+    s->stack[sp++] = idx;
+    while (sp) {
+        int cur = s->stack[--sp];
+        int dev = g->device[cur];
+        if (dev < 0) {
+            s->start[cur] = now;
+            s->end[cur] = now;
+            s->evend[cur] = now;
+            s->remaining--;
+            for (int64_t j = g->dep_off[cur]; j < g->dep_off[cur + 1]; j++) {
+                int dep = g->dep_lst[j];
+                if (--s->missing[dep] == 0) s->stack[sp++] = dep;
+            }
+        } else {
+            ready_push(s, dev, g->order_key[cur], cur);
+            s->dirty[dev] = 1;
+        }
+    }
+}
+
+static void finish(Sim *s, int idx, double t_end) {
+    const Graph *g = s->g;
+    s->end[idx] = t_end;
+    s->remaining--;
+    s->dirty[g->device[idx]] = 1;
+    int rel = g->rkey[idx];
+    if (rel >= 0) {
+        s->inflight[rel]--;
+        int m = s->psz[rel];
+        if (m) {
+            const int n = g->n;
+            int64_t *K = s->pk + (size_t)rel * n;
+            int32_t *V = s->pv + (size_t)rel * n;
+            for (int j = 0; j < m; j++) {
+                int dev = g->device[V[j]];
+                ready_push(s, dev, K[j], V[j]);
+                s->dirty[dev] = 1;
+            }
+            s->psz[rel] = 0;
+        }
+    }
+    for (int64_t j = g->dep_off[idx]; j < g->dep_off[idx + 1]; j++) {
+        int dep = g->dep_lst[j];
+        if (--s->missing[dep] == 0) promote(s, dep, t_end);
+    }
+}
+
+static void dispatch(Sim *s, int dev, double now) {
+    const Graph *g = s->g;
+    if (s->device_free[dev] > now + TIME_EPS) return;
+    const int n = g->n;
+    int64_t *K = s->rk + (size_t)dev * n;
+    int32_t *V = s->rv + (size_t)dev * n;
+    while (s->rsz[dev]) {
+        int64_t key0 = K[0];
+        int idx = V[0];
+        int key = g->ikey[idx];
+        if (key >= 0 && s->inflight[key] >= g->ilim[idx]) {
+            ready_pop(s, dev);
+            int m = s->psz[key]++;
+            s->pk[(size_t)key * n + m] = key0;
+            s->pv[(size_t)key * n + m] = idx;
+            continue;
+        }
+        ready_pop(s, dev);
+        if (key >= 0) s->inflight[key]++;
+        double t_end = now + s->tdur[idx];
+        s->device_free[dev] = t_end;
+        s->start[idx] = now;
+        s->evend[idx] = t_end;
+        s->evorder[s->n_ev++] = idx;
+        ev_push(s, t_end, s->seq++, idx);
+        return;
+    }
+}
+
+static int sim_one(const Graph *g, const double *tdur,
+                   double *start, double *end, double *evend,
+                   int32_t *evorder, double *mk_out, Sim *s) {
+    const int n = g->n, D = g->num_devices, K = g->n_keys;
+    memcpy(s->missing, g->ndeps, n * sizeof(int32_t));
+    for (int i = 0; i < n; i++) { start[i] = 0.0; end[i] = 0.0; evend[i] = 0.0; }
+    for (int d = 0; d < D; d++) s->device_free[d] = 0.0;
+    memset(s->rsz, 0, D * sizeof(int32_t));
+    if (K) {
+        memset(s->psz, 0, K * sizeof(int32_t));
+        memset(s->inflight, 0, K * sizeof(int32_t));
+    }
+    memset(s->dirty, 0, D);
+    s->g = g; s->tdur = tdur;
+    s->start = start; s->end = end; s->evend = evend;
+    s->evorder = evorder; s->n_ev = 0;
+    s->esz = 0; s->seq = 0;
+    s->remaining = n;
+
+    for (int z = 0; z < g->n_zero; z++) promote(s, g->zero_dep[z], 0.0);
+    for (int d = 0; d < D; d++)
+        if (s->dirty[d]) { s->dirty[d] = 0; dispatch(s, d, 0.0); }
+
+    while (s->esz) {
+        double now = s->et[0];
+        double thr = now + TIME_EPS;
+        while (s->esz && s->et[0] <= thr)
+            finish(s, ev_pop(s), now);
+        for (int d = 0; d < D; d++)
+            if (s->dirty[d]) { s->dirty[d] = 0; dispatch(s, d, now); }
+    }
+    if (s->remaining > 0) return ST_DEADLOCK;
+    double mk = end[0];
+    for (int i = 1; i < n; i++)
+        if (end[i] > mk) mk = end[i];
+    *mk_out = mk;
+    return ST_OK;
+}
+
+/* -- bubbles ------------------------------------------------------------------- */
+
+typedef struct { double s, e; } Iv;
+
+static int cmp_iv(const void *a, const void *b) {
+    const Iv *x = (const Iv *)a, *y = (const Iv *)b;
+    if (x->s < y->s) return -1;
+    if (x->s > y->s) return 1;
+    if (x->e < y->e) return -1;
+    if (x->e > y->e) return 1;
+    return 0;
+}
+
+/* device_bubbles: sort occupying (start, ev_end) pairs, merge with the
+ * 1e-12 touch tolerance, complement within (0, span), drop <= min_bubble.
+ * Returns the bubble count written into `idle`. */
+static int bubbles_one(const Graph *g, const double *start,
+                       const double *evend, int dev, double span,
+                       double min_bubble, Iv *work, Iv *idle) {
+    int m = 0;
+    for (int64_t j = g->occ_off[dev]; j < g->occ_off[dev + 1]; j++) {
+        int t = g->occ_lst[j];
+        work[m].s = start[t];
+        work[m].e = evend[t];
+        m++;
+    }
+    qsort(work, m, sizeof(Iv), cmp_iv);
+    int nm = 0;  /* merge in place into work[0..nm) */
+    for (int k = 0; k < m; k++) {
+        if (nm && work[k].s <= work[nm - 1].e + 1e-12) {
+            if (work[k].e > work[nm - 1].e) work[nm - 1].e = work[k].e;
+        } else {
+            work[nm++] = work[k];
+        }
+    }
+    int ni = 0;
+    double cursor = 0.0;
+    for (int k = 0; k < nm; k++) {
+        double b0 = work[k].s, b1 = work[k].e;
+        if (b0 >= span) break;
+        double b0c = b0 > 0.0 ? b0 : 0.0;   /* max(b0, 0.0) */
+        double b1c = b1 < span ? b1 : span; /* min(b1, span) */
+        if (b0c > cursor) { idle[ni].s = cursor; idle[ni].e = b0c; ni++; }
+        if (b1c > cursor) cursor = b1c;     /* cursor = max(cursor, b1c) */
+    }
+    if (cursor < span) { idle[ni].s = cursor; idle[ni].e = span; ni++; }
+    int out = 0;
+    for (int k = 0; k < ni; k++)
+        if (idle[k].e - idle[k].s > min_bubble) idle[out++] = idle[k];
+    return out;
+}
+
+/* -- bubble filler ------------------------------------------------------------- */
+
+static inline int feasible(double remaining, double room, double min_chunk) {
+    if (room < remaining - EPS)
+        return !(room < min_chunk - EPS || remaining - room < min_chunk);
+    return room > EPS;
+}
+
+typedef struct { double r; int32_t p; } Cand;
+
+/* insert (r, p) keeping the array sorted ascending by (r, p) */
+static void cand_insort(Cand *a, int *n, double r, int32_t p) {
+    int lo = 0, hi = *n;
+    while (lo < hi) {
+        int mid = (lo + hi) >> 1;
+        if (a[mid].r < r || (a[mid].r == r && a[mid].p < p)) lo = mid + 1;
+        else hi = mid;
+    }
+    memmove(a + lo + 1, a + lo, (*n - lo) * sizeof(Cand));
+    a[lo].r = r; a[lo].p = p;
+    (*n)++;
+}
+
+static int cmp_cand(const void *x, const void *y) {
+    const Cand *a = (const Cand *)x, *b = (const Cand *)y;
+    if (a->r < b->r) return -1;
+    if (a->r > b->r) return 1;
+    if (a->p < b->p) return -1;
+    if (a->p > b->p) return 1;
+    return 0;
+}
+
+typedef struct {
+    double *dur, *placed, *dep_max_end;
+    int32_t *dep_count;
+    Cand *future, *now;
+    Iv *work, *idle;
+    int32_t *seg_head, *seg_tail;  /* per global item chain */
+    int32_t *seg_next;             /* per segment */
+} FillWs;
+
+/* Fill one point's queues.  Segments stream into (seg_item, seg_s, seg_e)
+ * in placement order with per-item chains for the c_kfac fold. */
+static int fill_one(const Graph *pf, const QDesc *q,
+                    const double *start, const double *evend, double span,
+                    const double *qd, int max_steps, double min_bubble,
+                    double min_chunk, int seg_cap,
+                    int32_t *dev_steps, int32_t *seg_item,
+                    double *seg_s, double *seg_e, int32_t *seg_count,
+                    double *c_kfac_out, FillWs *w) {
+    const int D = q->num_devices;
+    int nseg = 0;
+    for (int i = 0; i < q->n_items; i++) w->seg_head[i] = -1;
+
+    for (int dev = 0; dev < D; dev++) {
+        int base = q->q_off[dev];
+        int n = q->q_off[dev + 1] - base;
+        if (n == 0) { dev_steps[dev] = 0; continue; }
+        int nb = bubbles_one(pf, start, evend, dev, span, min_bubble,
+                             w->work, w->idle);
+        if (nb == 0) return ST_NO_BUBBLES;
+        const Iv *bubbles0 = w->idle;
+        double *dur = w->dur, *placed = w->placed;
+        double *dep_max_end = w->dep_max_end;
+        int32_t *dep_count = w->dep_count;
+        for (int pos = 0; pos < n; pos++) {
+            dur[pos] = qd[q->codes[base + pos]];
+            placed[pos] = 0.0;
+            dep_count[pos] = 0;
+            dep_max_end[pos] = 0.0;
+        }
+        Cand *future = w->future, *now = w->now;
+        int nf = 0, nn = 0;
+        for (int pos = 0; pos < n; pos++) {
+            int ti = q->trig[base + pos];
+            if (ti >= 0) {
+                future[nf].r = evend[ti] - span;
+                future[nf].p = pos;
+                nf++;
+            } else {
+                dep_count[pos] = q->ndep_init[base + pos];
+            }
+        }
+        qsort(future, nf, sizeof(Cand), cmp_cand);
+
+        int remaining = n;
+        double last_placed_duration = -1.0;
+        int steps_used = 0;
+        int step;
+        for (step = 0; step < max_steps; step++) {
+            double offset = (double)step * span;
+            for (int bi = 0; bi < nb; bi++) {
+                double b1 = bubbles0[bi].e + offset;
+                double t = bubbles0[bi].s + offset;
+                for (;;) {
+                    if (b1 - t <= EPS) break;
+                    if (nf && future[0].r <= t) {
+                        int k = 1;
+                        while (k < nf && future[k].r <= t) k++;
+                        for (int j = 0; j < k; j++)
+                            cand_insort(now, &nn, -future[j].r, future[j].p);
+                        memmove(future, future + k, (nf - k) * sizeof(Cand));
+                        nf -= k;
+                    }
+                    int win_at = -1, win_pos = -1;
+                    double win_ready = 0.0;
+                    int from_future = 0;
+                    double st = t;
+                    double room_now = b1 - t;
+                    for (int j = 0; j < nn; j++) {
+                        int pos = now[j].p;
+                        if (feasible(dur[pos] - placed[pos], room_now,
+                                     min_chunk)) {
+                            win_at = j; win_pos = pos;
+                            win_ready = -now[j].r;
+                            break;
+                        }
+                    }
+                    if (win_pos < 0) {
+                        for (int j = 0; j < nf; j++) {
+                            double r = future[j].r;
+                            if (r >= b1) break;
+                            int pos = future[j].p;
+                            if (feasible(dur[pos] - placed[pos], b1 - r,
+                                         min_chunk)) {
+                                win_at = j; win_pos = pos; win_ready = r;
+                                st = r;
+                                from_future = 1;
+                                break;
+                            }
+                        }
+                    }
+                    if (win_pos < 0) break;
+                    double rem = dur[win_pos] - placed[win_pos];
+                    double room = b1 - st;
+                    double piece = rem < room ? rem : room;
+                    double e = st + piece;
+                    if (nseg >= seg_cap) return ST_SEG_OVERFLOW;
+                    int gi = base + win_pos;
+                    seg_item[nseg] = gi;
+                    seg_s[nseg] = st;
+                    seg_e[nseg] = e;
+                    w->seg_next[nseg] = -1;
+                    if (w->seg_head[gi] < 0) w->seg_head[gi] = nseg;
+                    else w->seg_next[w->seg_tail[gi]] = nseg;
+                    w->seg_tail[gi] = nseg;
+                    nseg++;
+                    placed[win_pos] = placed[win_pos] + (e - st);
+                    t = e;
+                    if (dur[win_pos] - placed[win_pos] <= 1e-12) {
+                        remaining--;
+                        if (from_future) {
+                            memmove(future + win_at, future + win_at + 1,
+                                    (nf - win_at - 1) * sizeof(Cand));
+                            nf--;
+                        } else {
+                            memmove(now + win_at, now + win_at + 1,
+                                    (nn - win_at - 1) * sizeof(Cand));
+                            nn--;
+                        }
+                        double item_end = e;
+                        for (int64_t dj = q->dep_out_off[gi];
+                             dj < q->dep_out_off[gi + 1]; dj++) {
+                            int dpos = q->dep_out[dj];
+                            dep_count[dpos]--;
+                            if (item_end > dep_max_end[dpos])
+                                dep_max_end[dpos] = item_end;
+                            if (dep_count[dpos] == 0)
+                                cand_insort(future, &nf, dep_max_end[dpos],
+                                            dpos);
+                        }
+                    } else if (from_future) {
+                        memmove(future + win_at, future + win_at + 1,
+                                (nf - win_at - 1) * sizeof(Cand));
+                        nf--;
+                        cand_insort(now, &nn, -win_ready, win_pos);
+                    }
+                }
+                if (remaining == 0) { steps_used = step + 1; break; }
+            }
+            if (remaining == 0) { steps_used = step + 1; break; }
+            double total = 0.0;
+            for (int pos = 0; pos < n; pos++) total += placed[pos];
+            if (total <= last_placed_duration + EPS) return ST_NO_PROGRESS;
+            last_placed_duration = total;
+        }
+        if (remaining != 0) return ST_MAX_STEPS;
+        dev_steps[dev] = steps_used;
+    }
+    *seg_count = nseg;
+
+    /* c_kfac: devices ascending, items in inventory order, segments in
+     * placement order — the reference _pf_utilization fold order. */
+    double c_kfac = 0.0;
+    for (int gi = 0; gi < q->n_items; gi++) {
+        double rho = q->qdensity[gi];
+        for (int si = w->seg_head[gi]; si >= 0; si = w->seg_next[si])
+            c_kfac += (seg_e[si] - seg_s[si]) * rho;
+    }
+    *c_kfac_out = c_kfac;
+    return ST_OK;
+}
+
+/* -- utilization folds --------------------------------------------------------- */
+
+static double windowed_util(const Graph *g, const double *start,
+                            const double *evend, const int32_t *evorder,
+                            double t1) {
+    double total = 0.0;
+    for (int k = 0; k < g->n_disp; k++) {
+        int i = evorder[k];
+        double e = evend[i], s = start[i];
+        if (e <= 0.0 || s >= t1) continue;
+        double ee = e < t1 ? e : t1;   /* min(e, t1) */
+        double ss = s > 0.0 ? s : 0.0; /* max(s, 0.0) */
+        total += (ee - ss) * g->density[i];
+    }
+    return total / ((double)g->num_devices * (t1 - 0.0));
+}
+
+/* -- exported batch entry points ------------------------------------------------ */
+
+int repro_sim_batch(const Graph *g, int32_t P, const double *td,
+                    double *start, double *end, double *evend,
+                    int32_t *evorder, double *mk, int32_t *status) {
+    const int n = g->n, D = g->num_devices, K = g->n_keys > 0 ? g->n_keys : 1;
+    Sim s;
+    s.missing = malloc((size_t)n * sizeof(int32_t));
+    s.device_free = malloc((size_t)D * sizeof(double));
+    s.rk = malloc((size_t)D * n * sizeof(int64_t));
+    s.rv = malloc((size_t)D * n * sizeof(int32_t));
+    s.rsz = malloc((size_t)D * sizeof(int32_t));
+    s.pk = malloc((size_t)K * n * sizeof(int64_t));
+    s.pv = malloc((size_t)K * n * sizeof(int32_t));
+    s.psz = malloc((size_t)K * sizeof(int32_t));
+    s.inflight = malloc((size_t)K * sizeof(int32_t));
+    s.et = malloc((size_t)n * sizeof(double));
+    s.es = malloc((size_t)n * sizeof(int32_t));
+    s.ei = malloc((size_t)n * sizeof(int32_t));
+    s.stack = malloc((size_t)n * sizeof(int32_t));
+    s.dirty = malloc((size_t)D);
+    if (!s.missing || !s.device_free || !s.rk || !s.rv || !s.rsz || !s.pk
+        || !s.pv || !s.psz || !s.inflight || !s.et || !s.es || !s.ei
+        || !s.stack || !s.dirty) {
+        status[0] = -1;
+        goto done;
+    }
+    for (int p = 0; p < P; p++) {
+        status[p] = sim_one(g, td + (size_t)p * n,
+                            start + (size_t)p * n, end + (size_t)p * n,
+                            evend + (size_t)p * n,
+                            evorder + (size_t)p * g->n_disp, mk + p, &s);
+    }
+done:
+    free(s.missing); free(s.device_free); free(s.rk); free(s.rv);
+    free(s.rsz); free(s.pk); free(s.pv); free(s.psz); free(s.inflight);
+    free(s.et); free(s.es); free(s.ei); free(s.stack); free(s.dirty);
+    return 0;
+}
+
+int repro_fill_batch(const Graph *pf, const QDesc *q, int32_t P,
+                     const double *start, const double *evend,
+                     const double *mk, const double *qd,
+                     const int32_t *evorder, int32_t max_steps,
+                     double min_bubble, double min_chunk, int32_t seg_cap,
+                     int32_t *dev_steps, int32_t *refresh,
+                     int32_t *seg_item, double *seg_s, double *seg_e,
+                     int32_t *seg_count, double *pf_util, int32_t *status) {
+    const int n = pf->n, D = pf->num_devices;
+    int n_items_max = 0, occ_max = 0;
+    for (int d = 0; d < D; d++) {
+        int m = q->q_off[d + 1] - q->q_off[d];
+        if (m > n_items_max) n_items_max = m;
+        int o = (int)(pf->occ_off[d + 1] - pf->occ_off[d]);
+        if (o > occ_max) occ_max = o;
+    }
+    if (n_items_max < 1) n_items_max = 1;
+    FillWs w;
+    w.dur = malloc((size_t)n_items_max * sizeof(double));
+    w.placed = malloc((size_t)n_items_max * sizeof(double));
+    w.dep_max_end = malloc((size_t)n_items_max * sizeof(double));
+    w.dep_count = malloc((size_t)n_items_max * sizeof(int32_t));
+    w.future = malloc((size_t)(n_items_max + 1) * sizeof(Cand));
+    w.now = malloc((size_t)(n_items_max + 1) * sizeof(Cand));
+    w.work = malloc((size_t)(occ_max + 2) * sizeof(Iv));
+    w.idle = malloc((size_t)(occ_max + 2) * sizeof(Iv));
+    w.seg_head = malloc((size_t)(q->n_items > 0 ? q->n_items : 1)
+                        * sizeof(int32_t));
+    w.seg_tail = malloc((size_t)(q->n_items > 0 ? q->n_items : 1)
+                        * sizeof(int32_t));
+    w.seg_next = malloc((size_t)(seg_cap > 0 ? seg_cap : 1)
+                        * sizeof(int32_t));
+    if (!w.dur || !w.placed || !w.dep_max_end || !w.dep_count || !w.future
+        || !w.now || !w.work || !w.idle || !w.seg_head || !w.seg_tail
+        || !w.seg_next) {
+        status[0] = -1;
+        goto done;
+    }
+    for (int p = 0; p < P; p++) {
+        double c_kfac = 0.0;
+        int st = fill_one(pf, q, start + (size_t)p * n,
+                          evend + (size_t)p * n, mk[p], qd + (size_t)p * 4,
+                          max_steps, min_bubble, min_chunk, seg_cap,
+                          dev_steps + (size_t)p * D,
+                          seg_item + (size_t)p * seg_cap,
+                          seg_s + (size_t)p * seg_cap,
+                          seg_e + (size_t)p * seg_cap,
+                          seg_count + p, &c_kfac, &w);
+        status[p] = st;
+        if (st != ST_OK) continue;
+        int32_t *steps = dev_steps + (size_t)p * D;
+        int r = 1;
+        for (int d = 0; d < D; d++)
+            if (steps[d] > r) r = steps[d];
+        refresh[p] = r;
+        const double *pstart = start + (size_t)p * n;
+        const double *pevend = evend + (size_t)p * n;
+        const int32_t *pev = evorder + (size_t)p * pf->n_disp;
+        double c_template = 0.0;
+        for (int k = 0; k < pf->n_disp; k++) {
+            int i = pev[k];
+            c_template += (pevend[i] - pstart[i]) * pf->density[i];
+        }
+        double pf_colored = (double)r * c_template + c_kfac;
+        pf_util[p] = pf_colored / ((double)(pf->num_devices * r) * mk[p]);
+    }
+done:
+    free(w.dur); free(w.placed); free(w.dep_max_end); free(w.dep_count);
+    free(w.future); free(w.now); free(w.work); free(w.idle);
+    free(w.seg_head); free(w.seg_tail); free(w.seg_next);
+    return 0;
+}
+
+int repro_windowed_util_batch(const Graph *g, int32_t P, const double *start,
+                              const double *evend, const int32_t *evorder,
+                              const double *mk, double *util) {
+    const int n = g->n;
+    for (int p = 0; p < P; p++)
+        util[p] = windowed_util(g, start + (size_t)p * n,
+                                evend + (size_t)p * n,
+                                evorder + (size_t)p * g->n_disp, mk[p]);
+    return 0;
+}
+
+int repro_mc_metrics_batch(const Graph *g, int32_t P, const double *start,
+                           const double *evend, const int32_t *evorder,
+                           const double *mk, double *bubble_frac,
+                           double *util) {
+    const int n = g->n, D = g->num_devices;
+    int occ_max = 0;
+    for (int d = 0; d < D; d++) {
+        int o = (int)(g->occ_off[d + 1] - g->occ_off[d]);
+        if (o > occ_max) occ_max = o;
+    }
+    Iv *work = malloc((size_t)(occ_max + 2) * sizeof(Iv));
+    Iv *idle = malloc((size_t)(occ_max + 2) * sizeof(Iv));
+    if (!work || !idle) {
+        free(work); free(idle);
+        return -1;
+    }
+    for (int p = 0; p < P; p++) {
+        const double *ps = start + (size_t)p * n;
+        const double *pe = evend + (size_t)p * n;
+        double span = mk[p];
+        double idle_total = 0.0;
+        for (int dev = 0; dev < D; dev++) {
+            int ni = bubbles_one(g, ps, pe, dev, span, 0.0, work, idle);
+            for (int k = 0; k < ni; k++)
+                idle_total += idle[k].e - idle[k].s;
+        }
+        bubble_frac[p] = idle_total / ((double)D * span);
+        util[p] = windowed_util(g, ps, pe,
+                                evorder + (size_t)p * g->n_disp, span);
+    }
+    free(work); free(idle);
+    return 0;
+}

@@ -1,0 +1,248 @@
+"""Batched re-timing: evaluate many duration tables of one template at once.
+
+A compiled template is already integer arrays, so a batch of points
+sharing it can be advanced as one ``(n_points, n_tasks)`` pass through
+the native core (:mod:`repro.sweep.native`): one C call runs the
+event-driven executor for every point, one fills every point's bubbles,
+one folds every utilization.  Each function degrades per point — a row
+the core cannot handle (deadlock, filler failure, structural feature it
+doesn't model) comes back ``None`` and the caller re-runs that point
+through the pure-python reference path, which also raises the
+reference's exact errors.
+
+Everything returned is reference-typed: :class:`~repro.sweep.retime.CompiledSim`
+rows hold python floats (``ndarray.tolist`` preserves bits), and
+:class:`NativeFill` quacks like :class:`~repro.sweep.retime.CompiledFill`
+with the per-item segment lists materialized lazily — sweeps that only
+read scalar report fields never pay for segment-tuple construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is a de-facto hard dep
+    np = None
+
+from repro.sweep import native
+from repro.sweep.retime import CompiledSim, fill_compiled, simulate_compiled
+
+
+def batching_supported(template) -> bool:
+    """Can this template's points be evaluated through the native core?"""
+    return (
+        np is not None
+        and native.available()
+        and native.graph_arrays(template.base_graph) is not None
+        and native.graph_arrays(template.pf_graph) is not None
+        and native.queue_arrays(template) is not None
+    )
+
+
+def _row_sim(ga, start, end, ev_end, ev_order, mk, i) -> CompiledSim:
+    """One batch row as a reference-typed sim (python floats, exact)."""
+    return CompiledSim(
+        start=start[i].tolist(),
+        end=end[i].tolist(),
+        ev_end=ev_end[i].tolist(),
+        ev_order=ev_order[i, :ga.n_disp].tolist(),
+        makespan=float(mk[i]),
+    )
+
+
+@dataclass
+class GraphBatch:
+    """Native sim output for one graph over a point batch."""
+
+    ga: object                 #: the graph's GraphArrays
+    start: object              #: (P, n) float64
+    end: object
+    ev_end: object
+    ev_order: object           #: (P, n_disp) int32
+    makespan: object           #: (P,) float64
+    status: object             #: (P,) int32; 0 == valid row
+
+    def ok(self, i: int) -> bool:
+        return self.status[i] == 0
+
+    def sim(self, i: int) -> CompiledSim:
+        return _row_sim(self.ga, self.start, self.end, self.ev_end,
+                        self.ev_order, self.makespan, i)
+
+
+def simulate_graph_batch(graph, durs_list=None, task_durs=None
+                         ) -> GraphBatch | None:
+    """One native pass of the executor over a batch of duration tables.
+
+    ``durs_list`` is a sequence of per-code duration tuples (expanded to
+    per-task durations exactly like the reference's
+    ``[durs[c] for c in dur_code]``); ``task_durs`` is an explicit
+    ``(P, n)`` per-task duration matrix (the Monte Carlo perturbation
+    path).  Returns None when the native core cannot run this graph —
+    callers loop :func:`~repro.sweep.retime.simulate_compiled` instead.
+    """
+    if np is None or not native.available():
+        return None
+    ga = native.graph_arrays(graph)
+    if ga is None:
+        return None
+    if task_durs is None:
+        table = np.asarray(durs_list, np.float64)
+        task_durs = np.ascontiguousarray(table[:, ga.dur_code])
+    start, end, ev_end, ev_order, mk, status = native.sim_batch(
+        ga, task_durs)
+    bad = status != 0
+    if bad.any():
+        # Failed rows carry partial data; neutralize them so whole-batch
+        # folds (utilization, metrics) stay in bounds.  Their values are
+        # never consumed — callers fall back per failed row.
+        ev_order[bad] = 0
+        start[bad] = 0.0
+        ev_end[bad] = 0.0
+        mk[bad] = 1.0
+    return GraphBatch(ga=ga, start=start, end=end, ev_end=ev_end,
+                      ev_order=ev_order, makespan=mk, status=status)
+
+
+def simulate_compiled_batch(graph, durs_list=None, task_durs=None
+                            ) -> list[CompiledSim]:
+    """Batch variant of :func:`~repro.sweep.retime.simulate_compiled`.
+
+    Bit-identical to calling the reference per point (the property tests
+    fuzz this); rows the native core rejects — and the whole batch when
+    the core is unavailable — run through the reference itself.
+    """
+    if durs_list is not None:
+        P = len(durs_list)
+    else:
+        P = len(task_durs)
+
+    def reference(i: int) -> CompiledSim:
+        td = None
+        if task_durs is not None:
+            row = task_durs[i]
+            td = row if isinstance(row, list) else list(row)
+        return simulate_compiled(
+            graph, durs_list[i] if durs_list is not None else None,
+            task_durs=td)
+
+    gb = simulate_graph_batch(graph, durs_list, _as_matrix(task_durs))
+    if gb is None:
+        return [reference(i) for i in range(P)]
+    return [gb.sim(i) if gb.ok(i) else reference(i) for i in range(P)]
+
+
+def _as_matrix(task_durs):
+    if task_durs is None or np is None:
+        return task_durs
+    return np.ascontiguousarray(np.asarray(task_durs, np.float64))
+
+
+class NativeFill:
+    """A :class:`~repro.sweep.retime.CompiledFill` built from the native
+    segment stream, with the per-item tuple lists materialized lazily."""
+
+    __slots__ = ("device_steps", "span", "_qa", "_seg_item", "_seg_s",
+                 "_seg_e", "_segments")
+
+    def __init__(self, qa, device_steps: dict, span: float,
+                 seg_item, seg_s, seg_e) -> None:
+        self.device_steps = device_steps
+        self.span = span
+        self._qa = qa
+        self._seg_item = seg_item
+        self._seg_s = seg_s
+        self._seg_e = seg_e
+        self._segments = None
+
+    @property
+    def segments(self) -> dict:
+        if self._segments is None:
+            q_off = self._qa.q_off_list
+            segs = {dev: [[] for _ in range(q_off[dev + 1] - q_off[dev])]
+                    for dev in range(len(q_off) - 1)}
+            dev = 0
+            for gi, s, e in zip(self._seg_item.tolist(),
+                                self._seg_s.tolist(),
+                                self._seg_e.tolist()):
+                while q_off[dev + 1] <= gi or q_off[dev] > gi:
+                    dev = dev + 1 if q_off[dev + 1] <= gi else 0
+                segs[dev][gi - q_off[dev]].append((s, e))
+            self._segments = segs
+        return self._segments
+
+
+@dataclass
+class FillBatch:
+    """Native fill output over a point batch."""
+
+    qa: object
+    device_steps: object       #: (P, D) int32
+    refresh: object            #: (P,) int32
+    seg_item: object
+    seg_s: object
+    seg_e: object
+    seg_count: object
+    pf_util: object            #: (P,) float64, the reference fold
+    status: object
+
+    def ok(self, i: int) -> bool:
+        return self.status[i] == 0
+
+    def fill(self, i: int, span: float) -> NativeFill:
+        m = int(self.seg_count[i])
+        steps = self.device_steps[i]
+        return NativeFill(
+            self.qa,
+            {dev: int(steps[dev]) for dev in range(steps.shape[0])},
+            span,
+            self.seg_item[i, :m].copy(),
+            self.seg_s[i, :m].copy(),
+            self.seg_e[i, :m].copy(),
+        )
+
+
+def fill_graph_batch(template, pf_batch: GraphBatch, qdurs_list
+                     ) -> FillBatch | None:
+    """One native pass of the bubble filler over a simulated batch."""
+    if np is None or not native.available():
+        return None
+    qa = native.queue_arrays(template)
+    if qa is None:
+        return None
+    qd = np.ascontiguousarray(np.asarray(qdurs_list, np.float64))
+    (dev_steps, refresh, seg_item, seg_s, seg_e, seg_count, pf_util,
+     status) = native.fill_batch(
+        pf_batch.ga, qa, pf_batch.start, pf_batch.ev_end,
+        pf_batch.makespan, qd, pf_batch.ev_order)
+    return FillBatch(qa=qa, device_steps=dev_steps, refresh=refresh,
+                     seg_item=seg_item, seg_s=seg_s, seg_e=seg_e,
+                     seg_count=seg_count, pf_util=pf_util, status=status)
+
+
+def fill_compiled_batch(template, sims, qdurs_list) -> list:
+    """Batch variant of :func:`~repro.sweep.retime.fill_compiled`.
+
+    ``sims`` may be a :class:`GraphBatch` (zero-copy native path) or a
+    list of :class:`CompiledSim`.  Failing rows re-run the reference,
+    which raises the reference's errors.
+    """
+    if isinstance(sims, GraphBatch):
+        fb = fill_graph_batch(template, sims, qdurs_list)
+        if fb is None:
+            return [fill_compiled(template, sims.sim(i), qdurs_list[i])
+                    for i in range(len(qdurs_list))]
+        return [fb.fill(i, float(sims.makespan[i])) if fb.ok(i)
+                else fill_compiled(template, sims.sim(i), qdurs_list[i])
+                for i in range(len(qdurs_list))]
+    return [fill_compiled(template, sim, qd)
+            for sim, qd in zip(sims, qdurs_list)]
+
+
+def windowed_utilization_batch(graph_batch: GraphBatch):
+    """The engine's windowed-utilization fold for every valid row."""
+    return native.windowed_util_batch(
+        graph_batch.ga, graph_batch.start, graph_batch.ev_end,
+        graph_batch.ev_order, graph_batch.makespan)

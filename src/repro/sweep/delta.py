@@ -1,0 +1,344 @@
+"""Delta re-timing: replay only the suffix a duration change can reach.
+
+``simulate_recording`` is :func:`~repro.sweep.retime.simulate_compiled`
+(fault-free flavor) instrumented with two cheap observations per run:
+the event loop's *round* structure (one round per distinct completion
+time, exactly the reference's outer ``while events`` iteration), and the
+first round at which each duration code is dispatched.  Durations enter
+the simulation **only** at dispatch (``t_end = now + tdur[idx]``), so if
+two tables differ in a set of codes none of which dispatches before
+round ``r0``, every round before ``r0`` is bit-identical between them —
+:func:`resume` restores the latest recorded checkpoint at or before
+``r0`` and replays just the reachable suffix with the new table.  Two
+degenerate cases fall out for free: a change confined to codes the graph
+never dispatches (or an identical table) reuses the recorded sim
+outright, and a change to a round-0 code returns None (no prefix to
+share — the caller runs the reference).
+
+Checkpoints are kept with a doubling stride (at most
+:data:`MAX_CHECKPOINTS` live snapshots regardless of round count), so
+recording costs O(n) memory and a few list copies, and a resume replays
+at most ~half the schedule plus one stride.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.sweep.retime import _TIME_EPS, CompiledSim
+
+#: Live snapshots kept per recording; past this the stride doubles.
+MAX_CHECKPOINTS = 24
+
+
+@dataclass
+class _Checkpoint:
+    """Full event-loop state at the top of one round."""
+
+    round_no: int
+    n_ev: int                  #: len(ev_order) so far
+    missing: list
+    start: list
+    end: list
+    ev_end: list
+    device_free: list
+    ready: list                #: per-device heap snapshots
+    parked: list               #: per-key parked-entry snapshots
+    inflight: list
+    events: list
+    seq: int
+    remaining: int
+
+
+@dataclass
+class DeltaTrace:
+    """One recorded execution, resumable under changed duration tables."""
+
+    graph: object
+    durs: tuple
+    sim: CompiledSim
+    first_round: dict          #: dur code -> first round it dispatched in
+    checkpoints: list          #: _Checkpoint, ascending round_no
+
+
+def simulate_recording(g, durs: tuple) -> tuple[CompiledSim, DeltaTrace]:
+    """Run the reference event loop, recording resume points.
+
+    Bit-identical to ``simulate_compiled(g, durs)`` — the loop body is
+    the same operations in the same order; the instrumentation only
+    copies state *between* rounds.
+    """
+    n = g.n
+    device = g.device
+    tdur = [durs[c] for c in g.dur_code]
+    dur_code = g.dur_code
+    order_key = g.order_key
+    dependents = g.dependents
+    ikey = g.inflight_key
+    ilim = g.inflight_limit
+    rkey = g.release_key
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    missing = list(g.ndeps)
+    start = [0.0] * n
+    end = [0.0] * n
+    ev_end = [0.0] * n
+    device_free = [0.0] * g.num_devices
+    ready: list[list] = [[] for _ in range(g.num_devices)]
+    parked: list[list] = [[] for _ in range(g.n_inflight_keys)]
+    inflight = [0] * g.n_inflight_keys
+    ev_order: list[int] = []
+    events: list[tuple[float, int, int]] = []
+    seq = 0
+    remaining = n
+
+    round_no = 0
+    first_round: dict[int, int] = {}
+    checkpoints: list[_Checkpoint] = []
+    stride = 1
+
+    def promote(idx: int, now: float, dirty: set) -> None:
+        nonlocal remaining
+        stack = [idx]
+        while stack:
+            cur = stack.pop()
+            if device[cur] is None:
+                start[cur] = now
+                end[cur] = now
+                ev_end[cur] = now
+                remaining -= 1
+                for dep in dependents[cur]:
+                    missing[dep] -= 1
+                    if missing[dep] == 0:
+                        stack.append(dep)
+            else:
+                heappush(ready[device[cur]], (order_key[cur], cur))
+                dirty.add(device[cur])
+
+    def finish(idx: int, t_end: float, dirty: set) -> None:
+        nonlocal remaining
+        end[idx] = t_end
+        remaining -= 1
+        dirty.add(device[idx])
+        rel = rkey[idx]
+        if rel >= 0:
+            inflight[rel] -= 1
+            if parked[rel]:
+                for entry in parked[rel]:
+                    heappush(ready[device[entry[1]]], entry)
+                    dirty.add(device[entry[1]])
+                parked[rel].clear()
+        for dep in dependents[idx]:
+            missing[dep] -= 1
+            if missing[dep] == 0:
+                promote(dep, t_end, dirty)
+
+    def dispatch(dev: int, now: float) -> None:
+        nonlocal seq
+        if device_free[dev] > now + _TIME_EPS:
+            return
+        heap = ready[dev]
+        while heap:
+            entry = heap[0]
+            idx = entry[1]
+            key = ikey[idx]
+            if key >= 0 and inflight[key] >= ilim[idx]:
+                heappop(heap)
+                parked[key].append(entry)
+                continue
+            heappop(heap)
+            if key >= 0:
+                inflight[key] += 1
+            code = dur_code[idx]
+            if code not in first_round:
+                first_round[code] = round_no
+            t_end = now + tdur[idx]
+            device_free[dev] = t_end
+            start[idx] = now
+            ev_end[idx] = t_end
+            ev_order.append(idx)
+            heappush(events, (t_end, seq, idx))
+            seq += 1
+            return
+
+    def snapshot() -> _Checkpoint:
+        return _Checkpoint(
+            round_no=round_no,
+            n_ev=len(ev_order),
+            missing=list(missing),
+            start=list(start),
+            end=list(end),
+            ev_end=list(ev_end),
+            device_free=list(device_free),
+            ready=[list(h) for h in ready],
+            parked=[list(p) for p in parked],
+            inflight=list(inflight),
+            events=list(events),
+            seq=seq,
+            remaining=remaining,
+        )
+
+    dirty: set[int] = set()
+    for i in g.zero_dep:
+        promote(i, 0.0, dirty)
+    for dev in sorted(dirty):
+        dispatch(dev, 0.0)
+
+    while events:
+        round_no += 1
+        if (round_no - 1) % stride == 0:
+            checkpoints.append(snapshot())
+            if len(checkpoints) > MAX_CHECKPOINTS:
+                del checkpoints[1::2]
+                stride *= 2
+        now = events[0][0]
+        dirty = set()
+        while events and events[0][0] <= now + _TIME_EPS:
+            _, _, idx = heappop(events)
+            finish(idx, now, dirty)
+        for dev in sorted(dirty):
+            dispatch(dev, now)
+
+    if remaining > 0:
+        raise RuntimeError(
+            f"deadlock: {remaining} tasks cannot run; check deps and "
+            "in-flight limits"
+        )
+    sim = CompiledSim(start=start, end=end, ev_end=ev_end,
+                      ev_order=ev_order, makespan=max(end))
+    trace = DeltaTrace(graph=g, durs=tuple(durs), sim=sim,
+                       first_round=first_round, checkpoints=checkpoints)
+    return sim, trace
+
+
+def resume(trace: DeltaTrace, durs: tuple) -> CompiledSim | None:
+    """Re-time ``trace.graph`` under ``durs`` from the shared prefix.
+
+    Returns a sim bit-identical to ``simulate_compiled(graph, durs)``,
+    or None when no recorded prefix is reusable (the change reaches
+    round 0, or the table length differs) — callers fall back to a full
+    execution.
+    """
+    ref = trace.durs
+    if len(durs) != len(ref):
+        return None
+    changed = [c for c in range(len(ref)) if durs[c] != ref[c]]
+    live = [trace.first_round[c] for c in changed
+            if c in trace.first_round]
+    if not live:
+        # The recorded execution never dispatches a changed code: every
+        # operation would replay identically, so the sim *is* the result.
+        return trace.sim
+    r0 = min(live)
+    ck = None
+    for cand in trace.checkpoints:
+        if cand.round_no <= r0:
+            ck = cand
+        else:
+            break
+    if ck is None:
+        return None
+
+    g = trace.graph
+    device = g.device
+    tdur = [durs[c] for c in g.dur_code]
+    order_key = g.order_key
+    dependents = g.dependents
+    ikey = g.inflight_key
+    ilim = g.inflight_limit
+    rkey = g.release_key
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    missing = list(ck.missing)
+    start = list(ck.start)
+    end = list(ck.end)
+    ev_end = list(ck.ev_end)
+    device_free = list(ck.device_free)
+    ready = [list(h) for h in ck.ready]
+    parked = [list(p) for p in ck.parked]
+    inflight = list(ck.inflight)
+    ev_order = list(trace.sim.ev_order[:ck.n_ev])
+    events = list(ck.events)
+    seq = ck.seq
+    remaining = ck.remaining
+
+    def promote(idx: int, now: float, dirty: set) -> None:
+        nonlocal remaining
+        stack = [idx]
+        while stack:
+            cur = stack.pop()
+            if device[cur] is None:
+                start[cur] = now
+                end[cur] = now
+                ev_end[cur] = now
+                remaining -= 1
+                for dep in dependents[cur]:
+                    missing[dep] -= 1
+                    if missing[dep] == 0:
+                        stack.append(dep)
+            else:
+                heappush(ready[device[cur]], (order_key[cur], cur))
+                dirty.add(device[cur])
+
+    def finish(idx: int, t_end: float, dirty: set) -> None:
+        nonlocal remaining
+        end[idx] = t_end
+        remaining -= 1
+        dirty.add(device[idx])
+        rel = rkey[idx]
+        if rel >= 0:
+            inflight[rel] -= 1
+            if parked[rel]:
+                for entry in parked[rel]:
+                    heappush(ready[device[entry[1]]], entry)
+                    dirty.add(device[entry[1]])
+                parked[rel].clear()
+        for dep in dependents[idx]:
+            missing[dep] -= 1
+            if missing[dep] == 0:
+                promote(dep, t_end, dirty)
+
+    def dispatch(dev: int, now: float) -> None:
+        nonlocal seq
+        if device_free[dev] > now + _TIME_EPS:
+            return
+        heap = ready[dev]
+        while heap:
+            entry = heap[0]
+            idx = entry[1]
+            key = ikey[idx]
+            if key >= 0 and inflight[key] >= ilim[idx]:
+                heappop(heap)
+                parked[key].append(entry)
+                continue
+            heappop(heap)
+            if key >= 0:
+                inflight[key] += 1
+            t_end = now + tdur[idx]
+            device_free[dev] = t_end
+            start[idx] = now
+            ev_end[idx] = t_end
+            ev_order.append(idx)
+            heappush(events, (t_end, seq, idx))
+            seq += 1
+            return
+
+    while events:
+        now = events[0][0]
+        dirty: set[int] = set()
+        while events and events[0][0] <= now + _TIME_EPS:
+            _, _, idx = heappop(events)
+            finish(idx, now, dirty)
+        for dev in sorted(dirty):
+            dispatch(dev, now)
+
+    if remaining > 0:
+        raise RuntimeError(
+            f"deadlock: {remaining} tasks cannot run; check deps and "
+            "in-flight limits"
+        )
+    return CompiledSim(start=start, end=end, ev_end=ev_end,
+                       ev_order=ev_order, makespan=max(end))

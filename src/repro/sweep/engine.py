@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
+from itertools import islice
+from time import perf_counter
 
 from repro.perfmodel.arch import TransformerArch
 from repro.perfmodel.calibration import host_overhead
@@ -40,6 +42,8 @@ from repro.pipefisher.workqueue import KFACWorkItem, KFACWorkQueue
 from repro.pipeline.comm import CommModel
 from repro.profiler.timeline import Timeline, TimelineEvent
 from repro.profiler.utilization import COLOR_DENSITY
+from repro.sweep import batch as _batch
+from repro.sweep import delta as _delta
 from repro.sweep.cache import BoundedCache
 from repro.sweep.retime import (
     CompiledFill,
@@ -48,7 +52,6 @@ from repro.sweep.retime import (
     fill_compiled,
     rescale_safe,
     rescale_timing,
-    simulate_compiled,
     tie_margins,
 )
 from repro.pipeline.spec import get_spec
@@ -133,6 +136,15 @@ class SweepEngine:
         self.timing_hits = 0
         self.rescales = 0
         self.reexecutions = 0
+        #: Re-executions served by the native core (subset of the above).
+        self.native_evals = 0
+        #: Re-executions served by a delta suffix replay (subset as well).
+        self.delta_retimes = 0
+        #: Points evaluated through a multi-point vectorized pass.
+        self.batched_points = 0
+        #: Wall-clock seconds per evaluation phase (see :meth:`stats`).
+        self.phase_s = dict.fromkeys(
+            ("template_build", "retime", "fill", "report"), 0.0)
 
     # -- caches -------------------------------------------------------------------
 
@@ -144,9 +156,20 @@ class SweepEngine:
         self.timing_hits = 0
         self.rescales = 0
         self.reexecutions = 0
+        self.native_evals = 0
+        self.delta_retimes = 0
+        self.batched_points = 0
+        self.phase_s = dict.fromkeys(self.phase_s, 0.0)
 
     def stats(self) -> dict:
-        """Cache and evaluation counters, for tests and reporting."""
+        """Cache and evaluation counters, for tests and reporting.
+
+        ``phase_s`` attributes the engine's wall-clock between template
+        compilation (+ cost models), re-timing (rescale checks, event
+        simulation), bubble filling, and report assembly, so a sweep's
+        speedup is attributable to a phase.  Pool workers' phase time is
+        folded in as worker CPU seconds.
+        """
         timings = sum(len(t.timings) for t in self._templates.values())
         return {
             "templates": self._templates.stats(),
@@ -156,6 +179,10 @@ class SweepEngine:
             "timing_hits": self.timing_hits,
             "rescales": self.rescales,
             "reexecutions": self.reexecutions,
+            "native_evals": self.native_evals,
+            "delta_retimes": self.delta_retimes,
+            "batched_points": self.batched_points,
+            "phase_s": dict(self.phase_s),
         }
 
     def stage_costs(
@@ -237,6 +264,14 @@ class SweepEngine:
         with :meth:`nominal_evaluation` and
         :func:`~repro.sweep.retime.simulate_compiled`.
         """
+        t_begin = perf_counter()
+        try:
+            return self._compiled_point(run, costs)
+        finally:
+            self.phase_s["template_build"] += perf_counter() - t_begin
+
+    def _compiled_point(self, run: PipeFisherRun,
+                        costs: StageCosts | None = None) -> CompiledPoint:
         if costs is None:
             costs = self.stage_costs(run.arch, run.hardware, run.b_micro,
                                      run.layers_per_stage, run.schedule)
@@ -303,9 +338,195 @@ class SweepEngine:
         return self._evaluate(point.template, point.base_durs,
                               point.pf_durs, point.qdurs)
 
-    def run_many(self, runs) -> list[PipeFisherReport]:
-        """Evaluate an iterable of points through the shared caches."""
-        return [self.run(r) for r in runs]
+    def run_many(self, runs, jobs: int | None = None, window: int = 64):
+        """Evaluate any iterable of points, streaming reports lazily.
+
+        Points are consumed in windows of ``window``; each window's
+        uncached duration tables are grouped by template and evaluated
+        as one vectorized batch through the native core (falling back
+        per point where unsupported), then reports stream out in input
+        order.  Results, and the evolution of every cache and counter a
+        consumer can observe, are identical to looping :meth:`run`.
+
+        ``jobs=N`` (N > 1) fans each window's uncached evaluations out
+        to a pool of N worker processes, which receive pickled
+        (stripped) templates from this engine's shared template cache
+        and return plain timing payloads; reports are still assembled —
+        bit-identically — in this process, in input order.
+        """
+        if jobs is not None and jobs > 1:
+            return self._run_many_pool(runs, jobs, window)
+        return self._run_many_seq(runs, window)
+
+    def _run_many_seq(self, runs, window: int):
+        def gen():
+            it = iter(runs)
+            while True:
+                chunk = list(islice(it, window))
+                if not chunk:
+                    return
+                points = [None] * len(chunk)
+                for i, r in enumerate(chunk):
+                    self.runs += 1
+                    points[i] = self.compiled_point(r)
+                primed = self._prime_batch(points)
+                yield from self._consume(chunk, points, primed)
+        return gen()
+
+    def _run_many_pool(self, runs, jobs: int, window: int):
+        def gen():
+            from concurrent.futures import ProcessPoolExecutor
+            from repro.sweep import pool as _pool
+            ex = ProcessPoolExecutor(max_workers=jobs)
+            try:
+                it = iter(runs)
+                while True:
+                    chunk = list(islice(it, window * jobs))
+                    if not chunk:
+                        return
+                    points = [None] * len(chunk)
+                    for i, r in enumerate(chunk):
+                        self.runs += 1
+                        points[i] = self.compiled_point(r)
+                    primed = self._prime_pool(ex, _pool, points, jobs)
+                    yield from self._consume(chunk, points, primed)
+            finally:
+                ex.shutdown()
+        return gen()
+
+    def _consume(self, chunk, points, primed):
+        """Yield the window's reports in order, committing primed work.
+
+        Primed evaluations enter the timing cache at consumption time —
+        the same order a sequential loop would put them — so LRU
+        eviction, rescale candidacy, and every counter evolve exactly
+        as without batching.
+        """
+        for r, p in zip(chunk, points):
+            dur_key = (p.base_durs, p.pf_durs, p.qdurs)
+            ev = primed.pop((id(p.template), dur_key), None)
+            if ev is not None:
+                p.template.timings.put(dur_key, ev)
+            else:
+                ev = self._evaluate(p.template, *dur_key)
+            yield self._build_report(r, p.template, p.qdurs, ev)
+
+    def _group_uncached(self, points):
+        """The window's distinct un-evaluated duration tables, grouped
+        per template in first-appearance order."""
+        groups: dict[int, tuple] = {}
+        seen: set = set()
+        for p in points:
+            dur_key = (p.base_durs, p.pf_durs, p.qdurs)
+            k = (id(p.template), dur_key)
+            if k in seen or dur_key in p.template.timings:
+                continue
+            seen.add(k)
+            groups.setdefault(id(p.template), (p.template, []))[1].append(
+                dur_key)
+        return groups
+
+    def _prime_batch(self, points) -> dict:
+        """Evaluate a window's uncached tables template-by-template.
+
+        Exact pow2 rescales are peeled off first (cheap, python); the
+        rest of each group runs through the native core as one
+        vectorized pass.  Rows that cannot be primed (no native core,
+        fallback-needed statuses) are simply absent — :meth:`_consume`
+        sends them through the sequential path.
+        """
+        primed: dict = {}
+        for template, keys in self._group_uncached(points).values():
+            rest = []
+            for dur_key in keys:
+                ev = self._try_rescale(template, *dur_key)
+                if ev is not None:
+                    self.rescales += 1
+                    primed[(id(template), dur_key)] = ev
+                else:
+                    rest.append(dur_key)
+            if len(rest) > 1 and _batch.batching_supported(template):
+                evaluated = self._batch_execute(template, rest)
+                for dur_key, ev in evaluated.items():
+                    self.reexecutions += 1
+                    self.native_evals += 1
+                    self.batched_points += 1
+                    primed[(id(template), dur_key)] = ev
+        return primed
+
+    def _prime_pool(self, ex, _pool, points, jobs: int) -> dict:
+        """Pool flavor of :meth:`_prime_batch`: rescales stay local,
+        everything else is sharded across the worker processes."""
+        primed: dict = {}
+        tasks = []
+        for template, keys in self._group_uncached(points).values():
+            rest = []
+            for dur_key in keys:
+                ev = self._try_rescale(template, *dur_key)
+                if ev is not None:
+                    self.rescales += 1
+                    primed[(id(template), dur_key)] = ev
+                else:
+                    rest.append(dur_key)
+            if rest:
+                tasks.append((template, rest))
+        futures = []
+        for template, rest in tasks:
+            stripped = _pool.picklable_template(template)
+            per = max(1, -(-len(rest) // jobs))
+            for lo in range(0, len(rest), per):
+                part = rest[lo:lo + per]
+                futures.append(
+                    (template, part,
+                     ex.submit(_pool.eval_worker, stripped, part)))
+        for template, part, fut in futures:
+            payloads, retime_s, fill_s = fut.result()
+            self.phase_s["retime"] += retime_s
+            self.phase_s["fill"] += fill_s
+            for dur_key, payload in zip(part, payloads):
+                ev = _pool.evaluation_from_payload(payload)
+                self.reexecutions += 1
+                if payload["native"]:
+                    self.native_evals += 1
+                self.batched_points += 1
+                primed[(id(template), dur_key)] = ev
+        return primed
+
+    def _batch_execute(self, template, keys: list) -> dict:
+        """Natively evaluate many duration tables of one template.
+
+        Returns ``{dur_key: _Evaluation}``; rows needing the python
+        fallback are omitted rather than evaluated here, so the caller's
+        sequential path raises the reference's errors where it would.
+        """
+        t_begin = perf_counter()
+        gb_b = _batch.simulate_graph_batch(
+            template.base_graph, [k[0] for k in keys])
+        gb_p = _batch.simulate_graph_batch(
+            template.pf_graph, [k[1] for k in keys])
+        if gb_b is None or gb_p is None:
+            self.phase_s["retime"] += perf_counter() - t_begin
+            return {}
+        base_util = _batch.windowed_utilization_batch(gb_b)
+        self.phase_s["retime"] += perf_counter() - t_begin
+        t_begin = perf_counter()
+        fb = _batch.fill_graph_batch(template, gb_p, [k[2] for k in keys])
+        out: dict = {}
+        if fb is not None:
+            for i, dur_key in enumerate(keys):
+                if not (gb_b.ok(i) and gb_p.ok(i) and fb.ok(i)):
+                    continue
+                pf = gb_p.sim(i)
+                out[dur_key] = _Evaluation(
+                    base=gb_b.sim(i),
+                    pf=pf,
+                    fill=fb.fill(i, pf.makespan),
+                    base_util=float(base_util[i]),
+                    pf_util=float(fb.pf_util[i]),
+                    refresh=max(int(fb.refresh[i]), 1),
+                )
+        self.phase_s["fill"] += perf_counter() - t_begin
+        return out
 
     # -- internals ----------------------------------------------------------------
 
@@ -335,7 +556,14 @@ class SweepEngine:
 
     def _evaluate(self, template: ScheduleTemplate, base_durs: tuple,
                   pf_durs: tuple, qdurs: tuple) -> _Evaluation:
-        """Time + fill one duration table (cache, rescale, or re-execute)."""
+        """Time + fill one duration table.
+
+        The pipeline, cheapest first: timing-cache hit → exact pow2
+        rescale of a cached timing → native single-point execution →
+        delta suffix replay of the last recorded execution → full
+        reference re-execution.  Every path produces bit-identical
+        values; they differ only in cost.
+        """
         timings: BoundedCache = template.timings
         dur_key = (base_durs, pf_durs, qdurs)
         cached = timings.get(dur_key)
@@ -343,7 +571,29 @@ class SweepEngine:
             self.timing_hits += 1
             return cached
 
-        base = pf = None
+        evaluation = self._try_rescale(template, base_durs, pf_durs, qdurs)
+        if evaluation is not None:
+            self.rescales += 1
+        else:
+            evaluation = self._execute_one(template, base_durs, pf_durs,
+                                           qdurs)
+            self.reexecutions += 1
+        timings.put(dur_key, evaluation)
+        return evaluation
+
+    def _try_rescale(self, template: ScheduleTemplate, base_durs: tuple,
+                     pf_durs: tuple, qdurs: tuple) -> _Evaluation | None:
+        """An evaluation exactly rescaled from a cached timing, or None.
+
+        A pow2 ratio between full duration tables rescales every float
+        exactly (same mantissas, shifted exponents), provided no
+        event-order tie sits closer than the margin — the reference
+        arithmetic would land on the same schedule, so this *is* the
+        re-execution's result.
+        """
+        timings: BoundedCache = template.timings
+        t_begin = perf_counter()
+        match = None
         for ref_key, ref in timings.items():
             a = exact_pow2_ratio(
                 base_durs + pf_durs + qdurs,
@@ -354,16 +604,69 @@ class SweepEngine:
             if ref.margins is None:
                 ref.margins = tie_margins([ref.base, ref.pf])
             if rescale_safe(a, *ref.margins):
-                base = rescale_timing(ref.base, a)
-                pf = rescale_timing(ref.pf, a)
+                match = (ref, a)
                 break
-        if base is None:
-            base = simulate_compiled(template.base_graph, base_durs)
-            pf = simulate_compiled(template.pf_graph, pf_durs)
-            self.reexecutions += 1
-        else:
-            self.rescales += 1
+        if match is None:
+            self.phase_s["retime"] += perf_counter() - t_begin
+            return None
+        ref, a = match
+        base = rescale_timing(ref.base, a)
+        pf = rescale_timing(ref.pf, a)
+        self.phase_s["retime"] += perf_counter() - t_begin
+        return self._fill_evaluation(template, base, pf, qdurs)
 
+    def _execute_one(self, template: ScheduleTemplate, base_durs: tuple,
+                     pf_durs: tuple, qdurs: tuple) -> _Evaluation:
+        """Fully evaluate one duration table (native, delta, or python)."""
+        t_begin = perf_counter()
+        base = pf = None
+        gb_p = None
+        if _batch.batching_supported(template):
+            gb_b = _batch.simulate_graph_batch(
+                template.base_graph, [base_durs])
+            gb_p = _batch.simulate_graph_batch(template.pf_graph, [pf_durs])
+            if (gb_b is not None and gb_p is not None
+                    and gb_b.ok(0) and gb_p.ok(0)):
+                base = gb_b.sim(0)
+                pf = gb_p.sim(0)
+                base_util = float(
+                    _batch.windowed_utilization_batch(gb_b)[0])
+                self.native_evals += 1
+            else:
+                gb_p = None
+        if base is None:
+            base, delta_b = self._sim_delta(template, "base",
+                                            template.base_graph, base_durs)
+            pf, delta_p = self._sim_delta(template, "pf",
+                                          template.pf_graph, pf_durs)
+            if delta_b or delta_p:
+                self.delta_retimes += 1
+            base_util = self._windowed_utilization(template.base_graph, base)
+        self.phase_s["retime"] += perf_counter() - t_begin
+
+        if gb_p is not None:
+            t_begin = perf_counter()
+            fb = _batch.fill_graph_batch(template, gb_p, [qdurs])
+            if fb is not None and fb.ok(0):
+                evaluation = _Evaluation(
+                    base=base,
+                    pf=pf,
+                    fill=fb.fill(0, pf.makespan),
+                    base_util=base_util,
+                    pf_util=float(fb.pf_util[0]),
+                    refresh=max(int(fb.refresh[0]), 1),
+                )
+                self.phase_s["fill"] += perf_counter() - t_begin
+                return evaluation
+            self.phase_s["fill"] += perf_counter() - t_begin
+        return self._fill_evaluation(template, base, pf, qdurs,
+                                     base_util=base_util)
+
+    def _fill_evaluation(self, template: ScheduleTemplate, base: CompiledSim,
+                         pf: CompiledSim, qdurs: tuple,
+                         base_util: float | None = None) -> _Evaluation:
+        """The reference fill + utilization folds around timed sims."""
+        t_begin = perf_counter()
         fill = fill_compiled(template, pf, qdurs)
         refresh = max(fill.device_steps.values(), default=1)
         refresh = max(refresh, 1)
@@ -371,12 +674,34 @@ class SweepEngine:
             base=base,
             pf=pf,
             fill=fill,
-            base_util=self._windowed_utilization(template.base_graph, base),
+            base_util=(self._windowed_utilization(template.base_graph, base)
+                       if base_util is None else base_util),
             pf_util=self._pf_utilization(template, pf, fill, qdurs, refresh),
             refresh=refresh,
         )
-        timings.put(dur_key, evaluation)
+        self.phase_s["fill"] += perf_counter() - t_begin
         return evaluation
+
+    def _sim_delta(self, template: ScheduleTemplate, slot: str, graph,
+                   durs: tuple) -> tuple[CompiledSim, bool]:
+        """Simulate ``durs``, replaying a recorded suffix when possible.
+
+        Each graph keeps the trace of its most recent full execution on
+        the template (bounded memory: one trace per graph); a table
+        whose changed codes all dispatch late resumes from the deepest
+        shared checkpoint instead of replaying the whole schedule.
+        """
+        traces = getattr(template, "_delta_traces", None)
+        if traces is None:
+            traces = template._delta_traces = {}
+        trace = traces.get(slot)
+        if trace is not None and trace.graph is graph:
+            resumed = _delta.resume(trace, durs)
+            if resumed is not None:
+                return resumed, True
+        sim, trace = _delta.simulate_recording(graph, durs)
+        traces[slot] = trace
+        return sim, False
 
     @staticmethod
     def _windowed_utilization(graph, sim: CompiledSim) -> float:
@@ -425,6 +750,7 @@ class SweepEngine:
         behind the report's lazy sources: sweeps that only read numbers
         never pay for per-item/per-event object construction.
         """
+        t_begin = perf_counter()
         base_graph, base_sim = template.base_graph, ev.base
         pf_graph, pf_sim = template.pf_graph, ev.pf
         report = PipeFisherReport(
@@ -445,6 +771,7 @@ class SweepEngine:
         if run.materialize_window:
             report.baseline_timeline
             report.pipefisher_timeline
+        self.phase_s["report"] += perf_counter() - t_begin
         return report
 
 

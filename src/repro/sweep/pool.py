@@ -1,0 +1,149 @@
+"""Process-pool evaluation of sweep points sharing cached templates.
+
+The parent engine resolves structure (templates, cost models, duration
+tables) and workers do only the numeric half: each receives one pickled
+*stripped* template — timings cache and native handles dropped, so the
+payload is plain lists — plus a slice of duration tables, evaluates
+them (native core when the worker can compile/load it, reference python
+otherwise), and returns plain timing payloads.  The parent rebuilds
+reference-typed evaluations from the payloads; since both paths compute
+python floats through the same operations, pooled results are
+bit-identical to in-process ones.
+
+Used by ``SweepEngine.run_many(jobs=N)`` and, one level up, by
+``CampaignRunner`` (shard-per-worker) and ``stochastic.monte_carlo``
+(seed-block-per-worker).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from time import perf_counter
+
+from repro.sweep.retime import CompiledFill, CompiledSim
+
+
+def picklable_template(template):
+    """A copy of ``template`` safe to send to a worker process.
+
+    The timings cache stays home (workers get explicit tables; shipping
+    cached evaluations would be dead weight) and the graphs are
+    shallow-copied so cached ctypes marshalling handles — process-local
+    pointers — don't ride along.
+    """
+    return dataclasses.replace(
+        template,
+        base_graph=dataclasses.replace(template.base_graph),
+        pf_graph=dataclasses.replace(template.pf_graph),
+        timings=None,
+    )
+
+
+def _sim_payload(sim: CompiledSim) -> tuple:
+    return (sim.start, sim.end, sim.ev_end, sim.ev_order, sim.makespan)
+
+
+def _sim_from_payload(p: tuple) -> CompiledSim:
+    return CompiledSim(start=p[0], end=p[1], ev_end=p[2], ev_order=p[3],
+                       makespan=p[4])
+
+
+def evaluation_payload(ev) -> dict:
+    """One evaluation as plain picklable data (segments materialized)."""
+    return {
+        "base": _sim_payload(ev.base),
+        "pf": _sim_payload(ev.pf),
+        "segments": ev.fill.segments,
+        "device_steps": dict(ev.fill.device_steps),
+        "span": ev.fill.span,
+        "base_util": ev.base_util,
+        "pf_util": ev.pf_util,
+        "refresh": ev.refresh,
+        "native": getattr(ev, "_native", False),
+    }
+
+
+def evaluation_from_payload(payload: dict):
+    """Rebuild a reference-typed evaluation from a worker payload."""
+    from repro.sweep.engine import _Evaluation
+    return _Evaluation(
+        base=_sim_from_payload(payload["base"]),
+        pf=_sim_from_payload(payload["pf"]),
+        fill=CompiledFill(segments=payload["segments"],
+                          device_steps=payload["device_steps"],
+                          span=payload["span"]),
+        base_util=payload["base_util"],
+        pf_util=payload["pf_util"],
+        refresh=payload["refresh"],
+    )
+
+
+def eval_worker(template, dur_keys: list) -> tuple:
+    """Evaluate ``dur_keys`` tables of ``template`` in a worker process.
+
+    Returns ``(payloads, retime_seconds, fill_seconds)`` with payloads
+    in input order.  Must stay module-level: the pool pickles it by
+    reference.
+    """
+    from repro.sweep import batch as _batch
+    from repro.sweep.engine import SweepEngine, _Evaluation
+    from repro.sweep.retime import fill_compiled, simulate_compiled
+
+    payloads = [None] * len(dur_keys)
+    retime_s = 0.0
+    fill_s = 0.0
+    todo = list(range(len(dur_keys)))
+
+    if _batch.batching_supported(template):
+        t_begin = perf_counter()
+        gb_b = _batch.simulate_graph_batch(
+            template.base_graph, [dur_keys[i][0] for i in todo])
+        gb_p = _batch.simulate_graph_batch(
+            template.pf_graph, [dur_keys[i][1] for i in todo])
+        base_util = (_batch.windowed_utilization_batch(gb_b)
+                     if gb_b is not None else None)
+        retime_s += perf_counter() - t_begin
+        t_begin = perf_counter()
+        fb = (_batch.fill_graph_batch(
+            template, gb_p, [dur_keys[i][2] for i in todo])
+            if gb_p is not None else None)
+        if gb_b is not None and gb_p is not None and fb is not None:
+            remaining = []
+            for row, i in enumerate(todo):
+                if not (gb_b.ok(row) and gb_p.ok(row) and fb.ok(row)):
+                    remaining.append(i)
+                    continue
+                pf = gb_p.sim(row)
+                ev = _Evaluation(
+                    base=gb_b.sim(row), pf=pf,
+                    fill=fb.fill(row, pf.makespan),
+                    base_util=float(base_util[row]),
+                    pf_util=float(fb.pf_util[row]),
+                    refresh=max(int(fb.refresh[row]), 1),
+                )
+                ev._native = True
+                payloads[i] = evaluation_payload(ev)
+            todo = remaining
+        fill_s += perf_counter() - t_begin
+
+    for i in todo:
+        base_durs, pf_durs, qdurs = dur_keys[i]
+        t_begin = perf_counter()
+        base = simulate_compiled(template.base_graph, base_durs)
+        pf = simulate_compiled(template.pf_graph, pf_durs)
+        bu = SweepEngine._windowed_utilization(template.base_graph, base)
+        retime_s += perf_counter() - t_begin
+        t_begin = perf_counter()
+        fill = fill_compiled(template, pf, qdurs)
+        refresh = max(fill.device_steps.values(), default=1)
+        refresh = max(refresh, 1)
+        ev = _Evaluation(
+            base=base, pf=pf, fill=fill, base_util=bu,
+            pf_util=SweepEngine._pf_utilization(template, pf, fill, qdurs,
+                                                refresh),
+            refresh=refresh,
+        )
+        payloads[i] = evaluation_payload(ev)
+        fill_s += perf_counter() - t_begin
+
+    return payloads, retime_s, fill_s

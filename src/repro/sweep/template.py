@@ -147,16 +147,24 @@ class CompiledGraph:
 
 
 def _pack_order_keys(tasks: list[Task], rank: list[int]) -> list:
-    """One comparable per task, ordered exactly like ``(priority, tid)``."""
+    """One comparable per task, ordered exactly like ``(priority, tid)``.
+
+    The empty priority ``()`` (the builders' "run first" marker, e.g. the
+    optimizer-step control task) sorts before every non-empty tuple, so
+    it packs to the bare rank and every int-pair priority shifts up one
+    slot — keeping the whole graph on int keys, which is what lets the
+    native batch core (``repro.sweep.native``) accept it.
+    """
     n = len(tasks)
     prios = [t.priority for t in tasks]
     if all(
-        len(p) == 2 and type(p[0]) is int and type(p[1]) is int
-        and p[0] >= 0 and p[1] >= 0
+        p == () or (
+            len(p) == 2 and type(p[0]) is int and type(p[1]) is int
+            and p[0] >= 0 and p[1] >= 0)
         for p in prios
     ):
-        m1 = max(p[1] for p in prios) + 1
-        return [(p[0] * m1 + p[1]) * n + rank[i]
+        m1 = max((p[1] for p in prios if p), default=0) + 1
+        return [rank[i] if not p else (p[0] * m1 + p[1] + 1) * n + rank[i]
                 for i, p in enumerate(prios)]
     return [(p, rank[i]) for i, p in enumerate(prios)]
 

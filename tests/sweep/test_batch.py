@@ -1,0 +1,183 @@
+"""Batched re-timing must be bit-identical to the per-point reference.
+
+Property tests for the PR's core invariant: every path that evaluates a
+compiled point — native batched sim/fill, delta re-timing, the
+``run_many`` streaming loop, and the process pool — produces exactly
+the values the pure-python :func:`~repro.sweep.retime.simulate_compiled`
+path does (``==`` on floats, no tolerances).  One fuzz case per
+registered schedule family, 20 seeds each.
+"""
+
+import random
+
+import pytest
+
+from repro.perfmodel.arch import BERT_BASE
+from repro.perfmodel.hardware import HARDWARE, P100
+from repro.pipefisher.runner import PipeFisherRun
+from repro.sweep import SweepEngine
+from repro.sweep import batch as sweep_batch
+from repro.sweep import native
+from repro.sweep.retime import fill_compiled, simulate_compiled
+from tests.sweep.test_engine_equivalence import (
+    CASES,
+    assert_reports_identical,
+)
+
+#: One representative case per registered schedule family.
+SCHEDULE_CASES = ("gpipe", "1f1b", "chimera", "interleaved", "zb1f1b")
+FUZZ_SEEDS = 20
+
+pytestmark = pytest.mark.skipif(
+    not native.available(),
+    reason="native core unavailable (the python reference is the "
+           "fallback these tests compare against)")
+
+
+def _point(name):
+    run = PipeFisherRun(hardware=P100, **CASES[name])
+    return SweepEngine().compiled_point(run)
+
+
+def _fuzz_tables(base, n, lo=0.25, hi=4.0):
+    """n jittered copies of a per-code duration table (python floats)."""
+    out = []
+    for seed in range(n):
+        rng = random.Random((hash(tuple(base)) ^ seed) & 0xFFFFFFFF)
+        out.append(tuple(d * rng.uniform(lo, hi) for d in base))
+    return out
+
+
+def _assert_sims_equal(ref, got):
+    assert ref.start == got.start
+    assert ref.end == got.end
+    assert ref.ev_end == got.ev_end
+    assert ref.ev_order == got.ev_order
+    assert ref.makespan == got.makespan
+
+
+@pytest.mark.parametrize("name", SCHEDULE_CASES)
+def test_simulate_batch_matches_reference(name):
+    point = _point(name)
+    for graph, durs in ((point.template.base_graph, point.base_durs),
+                        (point.template.pf_graph, point.pf_durs)):
+        tables = _fuzz_tables(durs, FUZZ_SEEDS)
+        sims = sweep_batch.simulate_compiled_batch(graph, tables)
+        assert len(sims) == FUZZ_SEEDS
+        for table, got in zip(tables, sims):
+            _assert_sims_equal(simulate_compiled(graph, table), got)
+
+
+@pytest.mark.parametrize("name", SCHEDULE_CASES)
+def test_fill_batch_matches_reference(name):
+    point = _point(name)
+    template = point.template
+    pf_tables = _fuzz_tables(point.pf_durs, FUZZ_SEEDS)
+    q_tables = _fuzz_tables(point.qdurs, FUZZ_SEEDS, lo=0.5, hi=2.0)
+    sims = sweep_batch.simulate_compiled_batch(template.pf_graph, pf_tables)
+    gb = sweep_batch.simulate_graph_batch(template.pf_graph, pf_tables)
+    assert gb is not None and all(gb.ok(i) for i in range(FUZZ_SEEDS))
+    fills = sweep_batch.fill_compiled_batch(template, gb, q_tables)
+    for sim, qd, got in zip(sims, q_tables, fills):
+        ref = fill_compiled(template, sim, qd)
+        assert ref.span == got.span
+        assert dict(ref.device_steps) == dict(got.device_steps)
+        assert ref.segments == got.segments
+
+
+def test_failed_rows_fall_back_per_point():
+    """A row the native core rejects must re-run the reference, and the
+    other rows of the batch must stay native and untouched."""
+    point = _point("chimera")
+    graph = point.template.base_graph
+    tables = _fuzz_tables(point.base_durs, 4)
+    gb = sweep_batch.simulate_graph_batch(graph, tables)
+    gb.status[1] = native.ST_MAX_STEPS  # pretend row 1 failed
+    sims = [gb.sim(i) if gb.ok(i) else simulate_compiled(graph, tables[i])
+            for i in range(4)]
+    for table, got in zip(tables, sims):
+        _assert_sims_equal(simulate_compiled(graph, table), got)
+
+
+def _grid_runs():
+    runs = []
+    for hw in ("P100", "V100", "RTX3090"):
+        for b in (4, 8, 16, 32):
+            runs.append(PipeFisherRun(
+                schedule="chimera", arch=BERT_BASE, hardware=HARDWARE[hw],
+                b_micro=b, depth=8, n_micro=8))
+    for b in (8, 16, 32):
+        runs.append(PipeFisherRun(
+            schedule="zb1f1b", arch=BERT_BASE, hardware=P100,
+            b_micro=b, depth=8, n_micro=8))
+    return runs
+
+
+def test_run_many_matches_sequential():
+    runs = _grid_runs()
+    seq_engine = SweepEngine()
+    refs = [seq_engine.run(r) for r in runs]
+    eng = SweepEngine()
+    got = list(eng.run_many(runs, window=4))
+    assert len(got) == len(refs)
+    for ref, g in zip(refs, got):
+        assert_reports_identical(ref, g)
+    # Counter fidelity: the streaming loop evolves the caches exactly as
+    # the sequential loop does.
+    s_ref, s_got = seq_engine.stats(), eng.stats()
+    for key in ("runs", "timing_hits", "rescales", "reexecutions"):
+        assert s_got[key] == s_ref[key], key
+    assert s_got["batched_points"] > 0
+
+
+def test_run_many_streams_lazily_from_any_iterable():
+    runs = _grid_runs()
+    consumed = []
+
+    def feed():
+        for r in runs:
+            consumed.append(r)
+            yield r
+
+    gen = SweepEngine().run_many(feed(), window=4)
+    assert len(consumed) == 0  # nothing pulled until first next()
+    first = next(gen)
+    assert first is not None
+    assert len(consumed) <= 4  # one window, not the whole grid
+    rest = list(gen)
+    assert len(rest) == len(runs) - 1
+    assert len(consumed) == len(runs)
+
+
+def test_run_many_pool_matches_sequential():
+    runs = _grid_runs()
+    refs = [SweepEngine().run(r) for r in runs]
+    got = list(SweepEngine().run_many(runs, jobs=2, window=4))
+    for ref, g in zip(refs, got):
+        assert_reports_identical(ref, g)
+
+
+def test_run_many_without_native_matches(monkeypatch):
+    monkeypatch.setenv(native.DISABLE_ENV, "1")
+    assert not native.available()
+    runs = _grid_runs()[:6]
+    refs = [SweepEngine().run(r) for r in runs]
+    eng = SweepEngine()
+    got = list(eng.run_many(runs, window=4))
+    for ref, g in zip(refs, got):
+        assert_reports_identical(ref, g)
+    assert eng.stats()["batched_points"] == 0
+    assert eng.stats()["native_evals"] == 0
+
+
+def test_engine_phase_counters():
+    eng = SweepEngine()
+    run = PipeFisherRun(hardware=P100, **CASES["chimera"])
+    eng.run(run)
+    stats = eng.stats()
+    phases = stats["phase_s"]
+    assert set(phases) == {"template_build", "retime", "fill", "report"}
+    assert phases["template_build"] > 0.0
+    assert all(v >= 0.0 for v in phases.values())
+    eng.clear()
+    assert all(v == 0.0 for v in eng.stats()["phase_s"].values())

@@ -1,0 +1,130 @@
+"""Delta re-timing must replay to bit-identical simulations.
+
+:mod:`repro.sweep.delta` records an execution with round-numbered
+checkpoints and replays only the suffix affected by a duration-code
+change.  The contract: ``resume`` either returns exactly what a full
+:func:`~repro.sweep.retime.simulate_compiled` run of the new table
+returns, or ``None`` (caller re-runs in full).  No tolerances.
+"""
+
+import pytest
+
+from repro.perfmodel.hardware import P100
+from repro.pipefisher.runner import PipeFisherRun
+from repro.sweep import SweepEngine
+from repro.sweep import delta as sweep_delta
+from repro.sweep import native
+from repro.sweep.retime import simulate_compiled
+from tests.sweep.test_engine_equivalence import CASES
+
+SCHEDULE_CASES = ("gpipe", "1f1b", "chimera", "interleaved", "zb1f1b")
+
+
+def _point(name):
+    run = PipeFisherRun(hardware=P100, **CASES[name])
+    return SweepEngine().compiled_point(run)
+
+
+def _assert_sims_equal(ref, got):
+    assert ref.start == got.start
+    assert ref.end == got.end
+    assert ref.ev_end == got.ev_end
+    assert ref.ev_order == got.ev_order
+    assert ref.makespan == got.makespan
+
+
+def _graphs(point):
+    yield point.template.base_graph, point.base_durs
+    yield point.template.pf_graph, point.pf_durs
+
+
+@pytest.mark.parametrize("name", SCHEDULE_CASES)
+def test_recording_matches_reference(name):
+    for graph, durs in _graphs(_point(name)):
+        sim, trace = sweep_delta.simulate_recording(graph, durs)
+        _assert_sims_equal(simulate_compiled(graph, durs), sim)
+        assert trace.sim is sim
+        assert trace.checkpoints
+
+
+@pytest.mark.parametrize("name", SCHEDULE_CASES)
+def test_resume_single_code_changes(name):
+    """Every single-code change either resumes bit-identically or
+    declines (None); late-dispatched codes must actually resume."""
+    for graph, durs in _graphs(_point(name)):
+        _, trace = sweep_delta.simulate_recording(graph, durs)
+        resumed_some = False
+        for code in range(len(durs)):
+            changed = tuple(d * 1.5 if c == code else d
+                            for c, d in enumerate(durs))
+            got = sweep_delta.resume(trace, changed)
+            if got is None:
+                continue
+            resumed_some = True
+            _assert_sims_equal(simulate_compiled(graph, changed), got)
+        assert resumed_some
+
+
+@pytest.mark.parametrize("name", ("chimera", "zb1f1b"))
+def test_resume_multi_code_changes(name):
+    for graph, durs in _graphs(_point(name)):
+        _, trace = sweep_delta.simulate_recording(graph, durs)
+        late = sorted(trace.first_round, key=trace.first_round.get)[-2:]
+        changed = tuple(d * 0.75 if c in late else d
+                        for c, d in enumerate(durs))
+        got = sweep_delta.resume(trace, changed)
+        assert got is not None  # the two latest codes share a checkpoint
+        _assert_sims_equal(simulate_compiled(graph, changed), got)
+
+
+def test_resume_unchanged_table_reuses_outright():
+    point = _point("chimera")
+    graph, durs = point.template.base_graph, point.base_durs
+    _, trace = sweep_delta.simulate_recording(graph, durs)
+    assert sweep_delta.resume(trace, tuple(durs)) is trace.sim
+
+
+def test_resume_unused_code_change_reuses_outright():
+    """Changing a code the graph never dispatches can't affect timing."""
+    point = _point("chimera")
+    graph, durs = point.template.base_graph, point.base_durs
+    _, trace = sweep_delta.simulate_recording(graph, durs)
+    unused = [c for c in range(len(durs)) if c not in trace.first_round]
+    if not unused:
+        pytest.skip("every duration code is dispatched by this graph")
+    changed = tuple(d * 9.0 if c == unused[0] else d
+                    for c, d in enumerate(durs))
+    assert sweep_delta.resume(trace, changed) is trace.sim
+
+
+def test_engine_counts_delta_retimes(monkeypatch):
+    """With the native core off, a late-code change through the engine
+    must take the delta path — and still match a full re-execution."""
+    monkeypatch.setenv(native.DISABLE_ENV, "1")
+    assert not native.available()
+    eng = SweepEngine()
+    run = PipeFisherRun(hardware=P100, **CASES["chimera"])
+    point = eng.compiled_point(run)
+    template = point.template
+    eng._evaluate(template, point.base_durs, point.pf_durs, point.qdurs)
+    assert eng.delta_retimes == 0
+
+    def bump_latest(trace, durs):
+        code = max(trace.first_round, key=trace.first_round.get)
+        return tuple(d * 1.5 if c == code else d
+                     for c, d in enumerate(durs))
+
+    new_base = bump_latest(template._delta_traces["base"], point.base_durs)
+    new_pf = bump_latest(template._delta_traces["pf"], point.pf_durs)
+    got = eng._evaluate(template, new_base, new_pf, point.qdurs)
+    assert eng.delta_retimes == 1
+    ref_eng = SweepEngine()
+    ref_point = ref_eng.compiled_point(run)
+    ref = ref_eng._evaluate(ref_point.template, new_base, new_pf,
+                            point.qdurs)
+    _assert_sims_equal(ref.base, got.base)
+    _assert_sims_equal(ref.pf, got.pf)
+    assert ref.fill.segments == got.fill.segments
+    assert ref.base_util == got.base_util
+    assert ref.pf_util == got.pf_util
+    assert ref.refresh == got.refresh

@@ -1,0 +1,150 @@
+"""Planning-service throughput, latency percentiles, and warm hit rate.
+
+Drives a live :class:`ServiceServer` (ThreadingHTTPServer on a loopback
+port, in-process) through a cold pass of distinct ``/sweep`` grids and a
+warm pass repeating them byte-for-byte.  The cold pass pays unit
+execution; the warm pass must be answered entirely from the
+canonical-hash result store — its hit rate is asserted **1.0** and its
+unit cost 0.  A concurrent phase fans the warm grid set across client
+threads to measure request throughput under parallel load, and the
+served values are asserted bit-identical to a :class:`CampaignRunner`
+pass over the same grids on a fresh engine.
+
+``BENCH_service.json`` records throughput (requests/s, cold and
+concurrent-warm), client-side p50/p99 latency per phase, and the
+cold-vs-warm store hit rates — the service perf trajectory the next PR
+compares against.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from benchmarks.conftest import record, write_bench
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import canonical_json
+from repro.service import PlanningService, ServiceClient, ServiceServer
+from repro.service.jobs import spec_from_request, sweep_request
+from repro.service.metrics import percentile
+from repro.sweep import SweepEngine
+
+SCHEDULES = ("gpipe", "1f1b", "chimera", "zb1f1b")
+DEPTHS = (4, 8, 16)
+B_MICROS = (8, 32)
+CLIENT_THREADS = 8
+WARM_ROUNDS = 3
+CONCURRENT_REPS = 3
+
+
+def _bodies():
+    """One small sweep body per (schedule, depth) — distinct grids."""
+    return [
+        {"kind": "perf_report",
+         "fixed": {"arch": "BERT-Large", "hardware": "P100",
+                   "schedule": schedule, "depth": depth},
+         "grid": {"b_micro": list(B_MICROS)}}
+        for schedule in SCHEDULES
+        for depth in DEPTHS
+    ]
+
+
+def _timed_pass(client, bodies):
+    latencies, responses = [], []
+    t0 = time.perf_counter()
+    for body in bodies:
+        s0 = time.perf_counter()
+        responses.append(client.post("/sweep", body))
+        latencies.append(time.perf_counter() - s0)
+    return time.perf_counter() - t0, sorted(latencies), responses
+
+
+def _p(ms_sorted, q):
+    return round(percentile(ms_sorted, q) * 1000.0, 3)
+
+
+def test_service_scaling(once, benchmark):
+    bodies = _bodies()
+    service = PlanningService(engine=SweepEngine())
+
+    with ServiceServer(service) as server:
+        client = ServiceClient(server.url)
+
+        # -- cold pass: every grid is new; all units execute --------------------
+        cold_s, cold_lat, cold_resp = once(_timed_pass, client, bodies)
+        assert all(r["mode"] == "inline" for r in cold_resp)
+        assert all(r["cached"] == 0 for r in cold_resp)
+        units = sum(r["executed"] for r in cold_resp)
+        assert units == len(bodies) * len(B_MICROS)
+        cold_hit_rate = service.store.stats()["hit_rate"]
+
+        # -- warm pass: identical requests must all be store hits ---------------
+        warm_s, warm_lat, warm_resp = _timed_pass(client, bodies)
+        assert all(r["executed"] == 0 for r in warm_resp)
+        assert all(r["cost_units"] == 0 for r in warm_resp)
+        warm_hits = sum(r["cached"] for r in warm_resp)
+        warm_hit_rate = warm_hits / units
+        assert warm_hit_rate == 1.0, (
+            f"warm repeat served {warm_hits}/{units} units from the store; "
+            f"every repeated canonical hash must hit")
+        # Byte-identical unit payloads (the bookkeeping counters differ).
+        assert [r["units"] for r in warm_resp] == \
+            [r["units"] for r in cold_resp]
+
+        # -- concurrent warm load: many clients, one engine ---------------------
+        # Best-of-REPS: a single TCP accept stall would otherwise swing
+        # the recorded throughput by an order of magnitude.
+        rounds = bodies * WARM_ROUNDS
+        concurrent_s = float("inf")
+        for _ in range(CONCURRENT_REPS):
+            t0 = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+                results = list(pool.map(
+                    lambda b: client.post("/sweep", b), rounds))
+            concurrent_s = min(concurrent_s, time.perf_counter() - t0)
+            assert all(r["executed"] == 0 for r in results)
+
+        snap = client.metrics()
+        assert snap["requests"]["sweep"]["count"] == \
+            2 * len(bodies) + CONCURRENT_REPS * len(rounds)
+
+    # -- bit-identity vs a campaign run of the same grids on a fresh engine ----
+    reference = {}
+    runner = CampaignRunner(engine=SweepEngine())
+    for body in bodies:
+        result = runner.run(spec_from_request(sweep_request(body)))
+        reference.update(
+            {k: rec["value"] for k, rec in result.records.items()})
+    for response in cold_resp:
+        for unit in response["units"]:
+            assert canonical_json(unit["value"]) == \
+                canonical_json(reference[unit["key"]]), unit["key"]
+
+    cold_rps = len(bodies) / cold_s
+    warm_rps = len(bodies) / warm_s
+    concurrent_rps = len(rounds) / concurrent_s
+    print(f"\nservice: {len(bodies)} grids / {units} units; "
+          f"cold {cold_rps:.0f} req/s (p50 {_p(cold_lat, .5)} ms, "
+          f"p99 {_p(cold_lat, .99)} ms), "
+          f"warm {warm_rps:.0f} req/s (p50 {_p(warm_lat, .5)} ms, "
+          f"p99 {_p(warm_lat, .99)} ms), "
+          f"{CLIENT_THREADS}-thread warm {concurrent_rps:.0f} req/s; "
+          f"hit rate cold {cold_hit_rate:.2f} -> warm {warm_hit_rate:.2f}")
+
+    record(benchmark, cold_rps=round(cold_rps, 1),
+           warm_rps=round(warm_rps, 1),
+           concurrent_rps=round(concurrent_rps, 1),
+           warm_hit_rate=warm_hit_rate)
+    write_bench(
+        "service",
+        grids=len(bodies),
+        units=units,
+        cold_requests_per_s=round(cold_rps, 1),
+        warm_requests_per_s=round(warm_rps, 1),
+        concurrent_requests_per_s=round(concurrent_rps, 1),
+        concurrent_client_threads=CLIENT_THREADS,
+        cold_p50_ms=_p(cold_lat, 0.50),
+        cold_p99_ms=_p(cold_lat, 0.99),
+        warm_p50_ms=_p(warm_lat, 0.50),
+        warm_p99_ms=_p(warm_lat, 0.99),
+        cold_store_hit_rate=round(cold_hit_rate, 3),
+        warm_store_hit_rate=warm_hit_rate,
+    )

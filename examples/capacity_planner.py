@@ -6,79 +6,85 @@ target model; which (schedule, depth, micro-batch, recomputation) settings
 fit device memory and maximize throughput — and what curvature-refresh
 frequency would PipeFisher buy you there?
 
-Uses the §3.3 performance/memory models to search the configuration
-space, evaluated through the shared sweep engine so the cost model of
-each (arch, hardware, B_micro) is computed once across the whole
-schedule x depth x recompute search instead of per grid row.
+The search itself lives in :mod:`repro.service.planner` (the §3.3
+performance/memory models, evaluated through the shared sweep engine so
+each (arch, hardware, B_micro) cost model is computed once across the
+whole grid); this script prints it.  "Best" uses the planner's pinned
+tie-break — highest throughput, then lower memory, then schedule
+registration order — not tuple comparison.
 
-Run:  python examples/capacity_planner.py [--arch BERT-Large] [--mem-gb 16]
+Run locally:   python examples/capacity_planner.py [--arch BERT-Large] [--mem-gb 16]
+Or against a running service (``python -m repro.cli serve``)::
+
+    python examples/capacity_planner.py --url http://127.0.0.1:8351
 """
 
 import argparse
 
-from repro.perfmodel import MemoryModel
 from repro.perfmodel.arch import ARCHITECTURES
 from repro.perfmodel.hardware import HARDWARE
-from repro.pipeline.spec import get_spec, schedule_names
-from repro.sweep import default_engine
+
+
+def print_plan(result: dict, engine_stats: str | None = None) -> None:
+    """Render one plan result (local ``Plan.to_dict()`` or service JSON)."""
+    print(f"planning {result['arch']} on {result['hardware']} "
+          f"({result['budget_gb']:.0f} GB budget)\n")
+    print(f"{'schedule':>9s} {'D':>4s} {'B':>4s} {'R':>2s} {'mem GB':>7s} "
+          f"{'thr PF':>8s} {'refresh':>8s}  fits")
+    for p in result["points"]:
+        flag = "R" if p["recompute"] else "-"
+        print(f"{p['schedule']:>9s} {p['depth']:4d} {p['b_micro']:4d} "
+              f"{flag:>2s} {p['mem_gb']:7.2f} {p['throughput']:8.1f} "
+              f"{p['refresh_steps']:8d}  {'yes' if p['fits'] else 'NO'}")
+
+    best = result["best"]
+    if best is None:
+        print("\nno feasible configuration — increase the memory budget")
+        return
+    print(f"\nbest feasible: {best['schedule']} D={best['depth']} "
+          f"B_micro={best['b_micro']}"
+          f"{' +recompute' if best['recompute'] else ''} -> "
+          f"{best['throughput']:.1f} seqs/s, {best['mem_gb']:.1f} GB, "
+          f"curvature refresh every {best['refresh_steps']} steps")
+    if engine_stats:
+        print(engine_stats)
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--arch", default="BERT-Large", choices=sorted(ARCHITECTURES))
+    parser.add_argument("--arch", default="BERT-Large",
+                        choices=sorted(ARCHITECTURES))
     parser.add_argument("--hardware", default="P100", choices=sorted(HARDWARE))
     parser.add_argument("--mem-gb", type=float, default=None,
                         help="memory budget (defaults to the device's)")
     parser.add_argument("--layers-per-stage", type=int, default=1)
+    parser.add_argument("--url", default=None,
+                        help="query a running planning service instead of "
+                             "computing locally (e.g. http://127.0.0.1:8351)")
     args = parser.parse_args()
 
-    arch = ARCHITECTURES[args.arch]
-    hw = HARDWARE[args.hardware]
-    budget = args.mem_gb if args.mem_gb is not None else hw.memory_gb
+    if args.url is not None:
+        from repro.service import ServiceClient
 
-    print(f"planning {arch.name} on {hw.name} ({budget:.0f} GB budget)\n")
-    print(f"{'schedule':>9s} {'D':>4s} {'B':>4s} {'R':>2s} {'mem GB':>7s} "
-          f"{'thr PF':>8s} {'refresh':>8s}  fits")
+        client = ServiceClient(args.url)
+        options = {"layers_per_stage": args.layers_per_stage}
+        if args.mem_gb is not None:
+            options["budget_gb"] = args.mem_gb
+        result = client.plan(args.arch, args.hardware, **options)
+        print_plan(result,
+                   f"(served by {args.url}; {result['cost_units']} units)")
+        return
+
+    from repro.service.planner import plan
+    from repro.sweep import default_engine
 
     engine = default_engine()
-    feasible = []
-    # Every registered schedule the §3.3 analytic model covers — a newly
-    # registered spec joins the search without edits here.
-    for schedule in schedule_names():
-        spec = get_spec(schedule)
-        if spec.critical_path is None:
-            continue
-        stages_dev = spec.stages_per_device(1)
-        model = engine.perf_model(arch, hw, schedule,
-                                  layers_per_stage=args.layers_per_stage)
-        for depth in (4, 8, 16):
-            for b_micro in (8, 16, 32, 64):
-                for recompute in (False, True):
-                    mm = MemoryModel(arch, args.layers_per_stage, stages_dev)
-                    bd = mm.breakdown(b_micro, depth, recompute=recompute)
-                    fits = bd.total_gb() <= budget
-                    r = model.report(b_micro, depth, recompute=recompute)
-                    flag = "R" if recompute else "-"
-                    print(f"{schedule:>9s} {depth:4d} {b_micro:4d} {flag:>2s} "
-                          f"{bd.total_gb():7.2f} {r.throughput_pipefisher:8.1f} "
-                          f"{r.refresh_steps:8d}  {'yes' if fits else 'NO'}")
-                    if fits:
-                        feasible.append(
-                            (r.throughput_pipefisher, schedule, depth, b_micro,
-                             recompute, r.refresh_steps, bd.total_gb())
-                        )
-
-    if not feasible:
-        print("\nno feasible configuration — increase the memory budget")
-        return
-    thr, schedule, depth, b_micro, recompute, refresh, mem = max(feasible)
-    print(f"\nbest feasible: {schedule} D={depth} B_micro={b_micro}"
-          f"{' +recompute' if recompute else ''} -> "
-          f"{thr:.1f} seqs/s, {mem:.1f} GB, curvature refresh every "
-          f"{refresh} steps")
+    result = plan(args.arch, args.hardware, budget_gb=args.mem_gb,
+                  layers_per_stage=args.layers_per_stage, engine=engine)
     costs = engine.stats()["stage_costs"]
-    print(f"(sweep engine: {costs.hits} cost-cache hits / "
-          f"{costs.misses} computes across the search)")
+    print_plan(result.to_dict(),
+               f"(sweep engine: {costs.hits} cost-cache hits / "
+               f"{costs.misses} computes across the search)")
 
 
 if __name__ == "__main__":

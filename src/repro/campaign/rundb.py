@@ -17,6 +17,7 @@ record later.  Shard workers write separate run dirs merged with
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -27,6 +28,34 @@ DONE = "done"
 FAILED = "failed"
 
 _FORMAT_VERSION = 1
+
+
+def _ends_mid_line(path: Path) -> bool:
+    """True when ``path`` is non-empty and lacks a trailing newline.
+
+    Reads exactly one byte (a seek to the end) regardless of file size —
+    appends must stay O(record), not O(file), over a long campaign.
+    """
+    with path.open("rb") as f:
+        f.seek(0, os.SEEK_END)
+        if f.tell() == 0:
+            return False
+        f.seek(-1, os.SEEK_END)
+        return f.read(1) != b"\n"
+
+
+def _write_meta(path: Path, meta: dict) -> None:
+    """Write ``meta.json`` atomically (tmp file + rename).
+
+    The units file heals truncation on the next append, but a
+    half-written meta file would brick the run dir — so the content
+    lands under a temporary name in the same directory and is moved
+    into place with :func:`os.replace`, which is atomic on POSIX and
+    Windows alike.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(meta, indent=1) + "\n")
+    os.replace(tmp, path)
 
 
 @dataclass
@@ -63,11 +92,11 @@ class RunDB:
         """
         meta = self.read_meta()
         if meta is None:
-            self.meta_path.write_text(json.dumps({
+            _write_meta(self.meta_path, {
                 "format_version": _FORMAT_VERSION,
                 "campaign": spec.name,
                 "spec": spec.to_dict(),
-            }, indent=1) + "\n")
+            })
             return
         if meta.get("campaign") != spec.name:
             raise CampaignValidationError(
@@ -79,9 +108,26 @@ class RunDB:
                 f"{spec.name!r} spec; use a fresh run dir")
 
     def read_meta(self) -> dict | None:
+        """The pinned campaign meta, or None when the dir is unbound.
+
+        A corrupt or truncated ``meta.json`` is reported as a
+        :class:`CampaignValidationError` naming the file — actionable
+        (restore it or re-bind a fresh run dir) instead of an unhandled
+        ``JSONDecodeError`` deep in a resume.
+        """
         if not self.meta_path.exists():
             return None
-        return json.loads(self.meta_path.read_text())
+        try:
+            meta = json.loads(self.meta_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CampaignValidationError(
+                f"corrupt campaign meta {self.meta_path}: {exc}; restore "
+                f"the file or start a fresh run dir") from exc
+        if not isinstance(meta, dict):
+            raise CampaignValidationError(
+                f"corrupt campaign meta {self.meta_path}: expected a JSON "
+                f"object, got {type(meta).__name__}")
+        return meta
 
     # -- records ------------------------------------------------------------------
 
@@ -119,8 +165,7 @@ class RunDB:
         if "key" not in record:
             raise ValueError(f"record has no unit key: {record}")
         needs_newline = (self.units_path.exists()
-                         and self.units_path.stat().st_size > 0
-                         and not self.units_path.read_bytes().endswith(b"\n"))
+                         and _ends_mid_line(self.units_path))
         with self.units_path.open("a") as f:
             if needs_newline:
                 f.write("\n")
@@ -163,7 +208,7 @@ def merge_run_dbs(sources, dest) -> RunDB:
             raise CampaignValidationError(
                 "cannot merge run DBs from different campaigns/specs")
     if base_meta is not None and out.read_meta() is None:
-        out.meta_path.write_text(json.dumps(base_meta, indent=1) + "\n")
+        _write_meta(out.meta_path, base_meta)
     for db in srcs:
         for key, rec in db.records.items():
             existing = out.records.get(key)

@@ -18,6 +18,12 @@ The declarative campaign layer has its own subcommand family::
     python -m repro.cli campaign regen-goldens
 
 (see :mod:`repro.campaign.cli`).
+
+The capacity-planning service runs as its own subcommand::
+
+    python -m repro.cli serve --port 8080 --state-dir runs/service
+
+(see :mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -146,6 +152,51 @@ EXPERIMENTS = {
 FAST = [k for k in EXPERIMENTS if k != "fig7"]
 
 
+def _serve(argv: list[str]) -> int:
+    """``python -m repro.cli serve``: run the capacity-planning service."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli serve",
+        description="Serve the capacity-planner HTTP API "
+                    "(POST /plan, POST /sweep, GET /jobs/<id>, "
+                    "GET /results/<hash>, GET /metrics).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8351)
+    parser.add_argument("--state-dir", default=None,
+                        help="directory for the durable result store and job "
+                             "queue (omit for a purely in-memory server)")
+    parser.add_argument("--inline-limit", type=int, default=None,
+                        help="grids up to this many units answer inline; "
+                             "bigger grids become jobs")
+    parser.add_argument("--worker-jobs", type=int, default=1,
+                        help="process shards per queued job (needs "
+                             "--state-dir; 1 = in-process)")
+    parser.add_argument("--budget", type=int, default=None,
+                        help="total unit budget; requests that would exceed "
+                             "it get HTTP 429 (cache hits are free)")
+    args = parser.parse_args(argv)
+
+    from repro.service import PlanningService, ServiceServer
+    from repro.service.app import DEFAULT_INLINE_LIMIT
+
+    service = PlanningService(
+        state_dir=args.state_dir,
+        inline_limit=(args.inline_limit if args.inline_limit is not None
+                      else DEFAULT_INLINE_LIMIT),
+        worker_jobs=args.worker_jobs,
+        budget_units=args.budget,
+    )
+    server = ServiceServer(service, host=args.host, port=args.port)
+    state = args.state_dir if args.state_dir else "in-memory"
+    print(f"capacity planner serving on {server.url} (state: {state})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        server.httpd.server_close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv[:1] == ["campaign"]:
@@ -156,6 +207,8 @@ def main(argv: list[str] | None = None) -> int:
 
         load_builtin_campaigns()
         return campaign_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        return _serve(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Reproduce PipeFisher (MLSys 2023) tables and figures.",

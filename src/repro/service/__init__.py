@@ -1,0 +1,38 @@
+"""Capacity-planner-as-a-service: an HTTP planning API over the sweep engine.
+
+The seventh subsystem of the stack: the sweep engine + campaign substrate
+served at interactive latency to many concurrent clients.
+
+* :mod:`repro.service.planner` — the capacity-planner search as a
+  library (shared by ``examples/capacity_planner.py`` and ``POST /plan``);
+* :mod:`repro.service.store` — the result store, keyed by the same
+  canonical point hash campaigns use, so repeat queries are cache hits
+  and service results are bit-identical to CLI runs;
+* :mod:`repro.service.jobs` — a persistent job queue (append-only JSONL,
+  the run-DB format) whose workers are :class:`CampaignRunner` shards;
+* :mod:`repro.service.metrics` — request counts, p50/p99 latency,
+  hit rates, and per-request unit-cost accounting against an optional
+  budget;
+* :mod:`repro.service.app` — the stdlib HTTP layer
+  (``http.server.ThreadingHTTPServer``) and :class:`PlanningService`;
+* :mod:`repro.service.client` — a stdlib ``urllib`` client.
+
+Start a server with ``python -m repro.cli serve`` (see the README's
+"Service" section for the endpoint reference).
+"""
+
+from repro.service.app import PlanningService, ServiceError, ServiceServer
+from repro.service.client import ServiceClient, ServiceHTTPError
+from repro.service.planner import Plan, PlanPoint, best_point, plan
+
+__all__ = [
+    "Plan",
+    "PlanPoint",
+    "PlanningService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHTTPError",
+    "ServiceServer",
+    "best_point",
+    "plan",
+]

@@ -1,0 +1,459 @@
+"""The planning service: HTTP endpoints over the sweep engine.
+
+Stdlib only (``http.server.ThreadingHTTPServer``), one
+:class:`PlanningService` per server process:
+
+* ``POST /plan`` — the capacity-planner search (arch/hardware/budget →
+  every evaluated configuration + the pinned best), served from the
+  shared engine's cost-model caches;
+* ``POST /sweep`` — an ad-hoc grid expanded to canonical-hash units;
+  small grids answer inline, big grids return a job id;
+* ``GET /jobs/<id>`` — job status + progress;
+* ``GET /results/<hash>`` — one stored unit record by canonical hash;
+* ``GET /metrics`` — request counts, p50/p99 latency, result-store hit
+  rate, flattened engine counters, unit-cost/budget accounting.
+
+Every configuration evaluated anywhere — inline sweep, job, or CLI
+campaign — lands in one result store keyed by the canonical point hash,
+so repeat queries are cache hits and service values are bit-identical
+to ``repro campaign run`` of the same grid.
+
+Concurrency model: the HTTP layer threads freely; evaluation holds one
+service-wide lock (the sweep engine and its caches are not thread-safe),
+so the engine's bit-exact sequential semantics are preserved and warm
+(cache-hit) requests are the concurrency fast path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from time import perf_counter
+
+from repro.campaign.runner import _engine_counters
+from repro.campaign.spec import CampaignValidationError
+from repro.service import planner as planner_mod
+from repro.service.jobs import (
+    FAILED,
+    MAX_UNITS,
+    JobQueue,
+    job_id_for,
+    spec_from_request,
+    sweep_request,
+)
+from repro.service.metrics import BudgetExceeded, Metrics
+from repro.service.store import ResultStore, store_record
+
+#: Grids at or under this many units answer inline by default.
+DEFAULT_INLINE_LIMIT = 32
+
+
+class ServiceError(Exception):
+    """An error with an HTTP status, rendered as a JSON body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_PLAN_FIELDS = {"arch", "hardware", "budget_gb", "mem_gb",
+                "layers_per_stage", "depths", "b_micros", "schedules",
+                "recompute"}
+
+
+def _analytic_schedules() -> list:
+    """The schedules the default planner search covers (for cost estimates)."""
+    from repro.pipeline.spec import get_spec, schedule_names
+
+    return [s for s in schedule_names()
+            if get_spec(s).critical_path is not None]
+
+
+class PlanningService:
+    """The service core, independent of the HTTP layer (unit-testable)."""
+
+    def __init__(
+        self,
+        state_dir=None,
+        engine=None,
+        inline_limit: int = DEFAULT_INLINE_LIMIT,
+        worker_jobs: int = 1,
+        budget_units: int | None = None,
+    ) -> None:
+        from repro.campaign.registry import load_builtin_campaigns
+        from repro.sweep import default_engine
+
+        load_builtin_campaigns()  # the full unit-kind vocabulary
+        self.engine = engine if engine is not None else default_engine()
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self.inline_limit = inline_limit
+        self.worker_jobs = worker_jobs
+        self.lock = threading.RLock()
+        self.store = ResultStore(
+            self.state_dir / "results" if self.state_dir else None)
+        self.metrics = Metrics(budget_units)
+        # Last: the queue may immediately recover + run unfinished jobs,
+        # and the executor reads every attribute above.
+        self.jobs = JobQueue(
+            self._run_job,
+            self.state_dir / "queue" if self.state_dir else None)
+
+    # -- endpoint logic -----------------------------------------------------------
+
+    def plan(self, body: dict) -> dict:
+        """``POST /plan``: the capacity-planner search."""
+        if not isinstance(body, dict):
+            raise ServiceError(400, "plan request must be a JSON object")
+        unknown = set(body) - _PLAN_FIELDS
+        if unknown:
+            raise ServiceError(
+                400, f"unknown plan request fields: {sorted(unknown)}")
+        for required in ("arch", "hardware"):
+            if required not in body:
+                raise ServiceError(400, f"plan request needs {required!r}")
+        budget_gb = body.get("budget_gb", body.get("mem_gb"))
+        kwargs = dict(
+            arch=body["arch"],
+            hardware=body["hardware"],
+            budget_gb=budget_gb,
+            layers_per_stage=int(body.get("layers_per_stage", 1)),
+            engine=self.engine,
+        )
+        for axis, name in (("depths", "depths"), ("b_micros", "b_micros"),
+                           ("schedules", "schedules"),
+                           ("recompute", "recompute_options")):
+            if axis in body:
+                values = body[axis]
+                if not isinstance(values, list) or not values:
+                    raise ServiceError(
+                        400, f"plan {axis!r} needs a non-empty list")
+                kwargs[name] = tuple(values)
+        cost = (len(kwargs.get("depths", planner_mod.DEFAULT_DEPTHS))
+                * len(kwargs.get("b_micros", planner_mod.DEFAULT_B_MICROS))
+                * len(kwargs.get("recompute_options", (False, True)))
+                * len(kwargs.get("schedules", ()) or _analytic_schedules()))
+        self._charge(cost)
+        try:
+            with self.lock:
+                result = planner_mod.plan(**kwargs)
+        except ValueError as exc:
+            self.metrics.refund(cost)
+            raise ServiceError(400, str(exc)) from exc
+        out = result.to_dict()
+        out["cost_units"] = cost
+        return out
+
+    def sweep(self, body: dict) -> dict:
+        """``POST /sweep``: inline answer or enqueued job."""
+        try:
+            request = sweep_request(body if isinstance(body, dict) else None)
+            spec = spec_from_request(request)
+        except CampaignValidationError as exc:
+            raise ServiceError(400, str(exc)) from exc
+        self._check_kind(request["kind"])
+        units = spec.units()
+        if len(units) > MAX_UNITS:
+            raise ServiceError(
+                400, f"sweep expands to {len(units)} units; the per-request "
+                     f"ceiling is {MAX_UNITS}")
+        inline = body.get("inline")
+        if not isinstance(inline, bool):
+            inline = len(units) <= self.inline_limit
+        if inline:
+            records, executed, cost = self._execute_units(units)
+            return {
+                "mode": "inline",
+                "kind": request["kind"],
+                "units": records,
+                "executed": executed,
+                "cached": len(units) - executed,
+                "cost_units": cost,
+            }
+        existing = self.jobs.get(job_id_for(request))
+        if existing is None or existing.get("status") == FAILED:
+            # Charge up front: the budget gates work *before* it starts.
+            self._charge(sum(1 for u in units
+                             if not self.store.contains(u.key)))
+        job = self.jobs.submit(request)
+        return {
+            "mode": "job",
+            "job": job["key"],
+            "status": job["status"],
+            "units": job["units"],
+            "unit_keys": job["unit_keys"],
+            "poll": f"/jobs/{job['key']}",
+        }
+
+    def job_status(self, job_id: str) -> dict:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ServiceError(404, f"unknown job {job_id!r}")
+        done_units = sum(1 for k in job.get("unit_keys", ())
+                         if self.store.contains(k))
+        out = {
+            "job": job["key"],
+            "status": job["status"],
+            "units": job.get("units", 0),
+            "done_units": done_units,
+            "unit_keys": job.get("unit_keys", []),
+            "request": job.get("request"),
+        }
+        if "error" in job:
+            out["error"] = job["error"]
+        return out
+
+    def result(self, key: str) -> dict:
+        rec = self.store.get(key)
+        if rec is None:
+            raise ServiceError(404, f"no result stored under {key!r}")
+        return rec
+
+    def metrics_snapshot(self) -> dict:
+        snap = self.metrics.snapshot()
+        snap["store"] = self.store.stats()
+        snap["jobs"] = self.jobs.counts()
+        with self.lock:
+            snap["engine"] = _engine_counters(self.engine)
+        return snap
+
+    # -- execution ----------------------------------------------------------------
+
+    def _charge(self, cost: int) -> None:
+        try:
+            self.metrics.charge(cost)
+        except BudgetExceeded as exc:
+            raise ServiceError(429, str(exc)) from exc
+
+    @staticmethod
+    def _check_kind(kind: str) -> None:
+        from repro.campaign.units import get_unit_kind
+
+        try:
+            get_unit_kind(kind)
+        except KeyError as exc:
+            raise ServiceError(400, str(exc.args[0])) from exc
+
+    def _execute_units(self, units, charge: bool = True):
+        """Serve ``units`` from the store, executing the misses.
+
+        Store misses run exactly the campaign runner's per-unit calls
+        (``kind.execute`` then ``kind.serialize`` against the shared
+        engine), so the recorded values are bit-identical to a
+        ``repro campaign run`` of the same grid.
+        """
+        from repro.campaign.units import UnitContext, get_unit_kind
+
+        with self.lock:
+            cost = sum(1 for u in units if not self.store.contains(u.key))
+            if charge:
+                self._charge(cost)
+            ctx = UnitContext(engine=self.engine)
+            out = []
+            executed = 0
+            try:
+                for u in units:
+                    rec = self.store.get(u.key)
+                    if rec is None:
+                        kind = get_unit_kind(u.kind)
+                        params = u.params_dict()
+                        started = perf_counter()
+                        try:
+                            obj = kind.execute(params, ctx)
+                        except (KeyError, ValueError) as exc:
+                            raise ServiceError(
+                                400, f"unit {u.key} rejected: {exc}") from exc
+                        rec = self.store.put(store_record(
+                            u.key, u.kind, params,
+                            kind.serialize(obj, params),
+                            perf_counter() - started))
+                        executed += 1
+                    out.append(rec)
+            except ServiceError:
+                if charge:
+                    self.metrics.refund(cost - executed)
+                raise
+            return out, executed, (cost if charge else 0)
+
+    def _run_job(self, job: dict) -> None:
+        """Execute one queued job (called from the queue's worker thread).
+
+        Persistent services run the grid as a real campaign — a
+        :class:`CampaignRunner` over ``<state>/jobs/<id>``, with
+        ``worker_jobs`` process shards when configured — pre-seeded from
+        the result store so repeat units cost nothing.  In-memory
+        services reuse the inline execution path.
+        """
+        spec = spec_from_request(job["request"])
+        if self.state_dir is None:
+            self._execute_units(spec.units(), charge=False)
+            return
+        from repro.campaign.rundb import DONE as REC_DONE
+        from repro.campaign.rundb import RunDB
+        from repro.campaign.runner import CampaignRunner
+
+        run_dir = self.state_dir / "jobs" / job["key"]
+        with self.lock:
+            db = RunDB.open(run_dir)
+            for u in spec.units():
+                rec = self.store.peek(u.key)
+                if rec is not None and db.done(u.key) is None:
+                    db.append(rec)
+            runner = CampaignRunner(engine=self.engine, run_dir=run_dir)
+            result = runner.run(
+                spec,
+                jobs=self.worker_jobs if self.worker_jobs > 1 else None)
+            for rec in result.records.values():
+                if rec.get("status") == REC_DONE:
+                    self.store.put(rec)
+
+
+# -- the HTTP layer ---------------------------------------------------------------
+
+
+_INDEX = {
+    "service": "repro-capacity-planner",
+    "endpoints": {
+        "POST /plan": "capacity-planner search "
+                      "(arch, hardware, [budget_gb, depths, b_micros, "
+                      "schedules, recompute, layers_per_stage])",
+        "POST /sweep": "grid of units ([kind], [fixed], [grid], [inline]) — "
+                       "inline answer or job id",
+        "GET /jobs/<id>": "job status + progress",
+        "GET /results/<hash>": "stored unit record by canonical point hash",
+        "GET /metrics": "request/latency/hit-rate/engine/budget counters",
+    },
+}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP to the bound :class:`PlanningService`."""
+
+    service: PlanningService = None  # bound per server via subclassing
+    server_version = "repro-planner/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # The default handler logs every request to stderr; the service has
+    # /metrics for that.
+    def log_message(self, format, *args):  # noqa: A002 (stdlib signature)
+        pass
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = (json.dumps(payload) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServiceError(400, "request body must be JSON")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(400, f"invalid JSON body: {exc}") from exc
+
+    def _dispatch(self, endpoint: str, fn) -> None:
+        started = perf_counter()
+        error = False
+        cost = 0
+        try:
+            payload = fn()
+            cost = payload.get("cost_units", 0) if isinstance(payload, dict) else 0
+            status = 200
+        except ServiceError as exc:
+            error = True
+            status = exc.status
+            payload = {"error": exc.message, "status": exc.status}
+        except Exception as exc:  # pragma: no cover - defensive 500
+            error = True
+            status = 500
+            payload = {"error": f"{type(exc).__name__}: {exc}", "status": 500}
+        # Observe *before* replying: once the client has the response, a
+        # /metrics scrape must already see this request counted.
+        self.service.metrics.observe(endpoint, perf_counter() - started,
+                                     error=error, cost=cost)
+        self._reply(status, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+        path = self.path.rstrip("/") or "/"
+        if path == "/":
+            self._dispatch("index", lambda: dict(_INDEX))
+        elif path == "/metrics":
+            self._dispatch("metrics", self.service.metrics_snapshot)
+        elif path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            self._dispatch("jobs", lambda: self.service.job_status(job_id))
+        elif path.startswith("/results/"):
+            key = path[len("/results/"):]
+            self._dispatch("results", lambda: self.service.result(key))
+        elif path in ("/plan", "/sweep"):
+            self._dispatch("method", lambda: _method_not_allowed("POST"))
+        else:
+            self._dispatch("unknown", lambda: _not_found(path))
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
+        path = self.path.rstrip("/")
+        if path == "/plan":
+            self._dispatch("plan", lambda: self.service.plan(self._body()))
+        elif path == "/sweep":
+            self._dispatch("sweep", lambda: self.service.sweep(self._body()))
+        elif path in ("", "/metrics") or path.startswith(("/jobs/",
+                                                          "/results/")):
+            self._dispatch("method", lambda: _method_not_allowed("GET"))
+        else:
+            self._dispatch("unknown", lambda: _not_found(path))
+
+
+def _not_found(path: str):
+    raise ServiceError(404, f"no such endpoint: {path}")
+
+
+def _method_not_allowed(use: str):
+    raise ServiceError(405, f"method not allowed; use {use}")
+
+
+class ServiceServer:
+    """A :class:`PlanningService` bound to a listening HTTP server.
+
+    ``port=0`` picks a free port (tests, benchmarks).  Use as a context
+    manager, or call :meth:`start`/:meth:`close` explicitly;
+    :meth:`serve_forever` is the blocking CLI entry.
+    """
+
+    def __init__(self, service: PlanningService, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.service = service
+        handler = type("BoundHandler", (_Handler,), {"service": service})
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+        self.host, self.port = self.httpd.server_address[:2]
+        self.url = f"http://{self.host}:{self.port}"
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "ServiceServer":
+        self._thread = threading.Thread(target=self.httpd.serve_forever,
+                                        name="repro-service-http",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever()
+
+    def close(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

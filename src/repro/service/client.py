@@ -1,0 +1,88 @@
+"""A tiny stdlib HTTP client for the planning service.
+
+``urllib.request`` only — the same no-new-deps rule the server keeps.
+Used by ``examples/capacity_planner.py --url``, the service benchmark,
+and the e2e tests; also a readable spec of the wire protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+
+class ServiceHTTPError(Exception):
+    """A non-2xx service response, with the decoded JSON error body."""
+
+    def __init__(self, status: int, body: dict) -> None:
+        super().__init__(f"HTTP {status}: {body.get('error', body)}")
+        self.status = status
+        self.body = body
+
+
+class ServiceClient:
+    """JSON in, JSON out against one service base URL."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            self.url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {})
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read())
+            except (ValueError, OSError):
+                payload = {"error": exc.reason}
+            raise ServiceHTTPError(exc.code, payload) from None
+
+    def get(self, path: str) -> dict:
+        return self._request("GET", path)
+
+    def post(self, path: str, body: dict) -> dict:
+        return self._request("POST", path, body)
+
+    # -- endpoint wrappers --------------------------------------------------------
+
+    def plan(self, arch: str, hardware: str, **options) -> dict:
+        return self.post("/plan", {"arch": arch, "hardware": hardware,
+                                   **options})
+
+    def sweep(self, grid: dict, kind: str = "perf_report",
+              fixed: dict | None = None, inline: bool | None = None) -> dict:
+        body: dict = {"kind": kind, "grid": grid}
+        if fixed:
+            body["fixed"] = fixed
+        if inline is not None:
+            body["inline"] = inline
+        return self.post("/sweep", body)
+
+    def job(self, job_id: str) -> dict:
+        return self.get(f"/jobs/{job_id}")
+
+    def result(self, key: str) -> dict:
+        return self.get(f"/results/{key}")
+
+    def metrics(self) -> dict:
+        return self.get("/metrics")
+
+    def wait_for_job(self, job_id: str, timeout: float = 60.0,
+                     poll_s: float = 0.05) -> dict:
+        """Poll ``/jobs/<id>`` until the job settles (done/failed)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["status"] in ("done", "failed"):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['status']} after {timeout:.1f}s")
+            time.sleep(poll_s)

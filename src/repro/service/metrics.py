@@ -1,0 +1,117 @@
+"""Service metrics: request counters, latency percentiles, cost budget.
+
+Pure stdlib and deliberately simple: per-endpoint counters plus a
+bounded latency reservoir (the most recent ``RESERVOIR`` observations)
+from which p50/p99 are computed on scrape.  The unit-cost account
+charges each request the number of units it *executes* (result-store
+hits are free), optionally against a hard budget — the service returns
+429 instead of starting work the budget cannot cover.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+#: Latency observations kept per endpoint (most recent first out).
+RESERVOIR = 1024
+
+
+def percentile(sorted_values, q: float) -> float:
+    """The q-quantile (0..1) of an already-sorted sequence.
+
+    Nearest-rank on the sorted reservoir — stable, no interpolation
+    surprises at the tiny sample sizes a fresh server reports.
+    """
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+class BudgetExceeded(Exception):
+    """A request's unit cost does not fit the remaining budget."""
+
+    def __init__(self, cost: int, remaining: int) -> None:
+        super().__init__(
+            f"request needs {cost} unit(s) but only {remaining} remain "
+            f"in the service budget")
+        self.cost = cost
+        self.remaining = remaining
+
+
+class Metrics:
+    """Thread-safe request/latency/cost accounting for one service."""
+
+    def __init__(self, budget_units: int | None = None) -> None:
+        self._lock = threading.Lock()
+        self.started = time.time()
+        self.budget_units = budget_units
+        self.charged_units = 0
+        self._endpoints: dict[str, dict] = {}
+
+    def _endpoint(self, name: str) -> dict:
+        return self._endpoints.setdefault(name, {
+            "count": 0,
+            "errors": 0,
+            "cost_units": 0,
+            "latencies": deque(maxlen=RESERVOIR),
+        })
+
+    def observe(self, endpoint: str, seconds: float, error: bool = False,
+                cost: int = 0) -> None:
+        """Record one finished request."""
+        with self._lock:
+            ep = self._endpoint(endpoint)
+            ep["count"] += 1
+            if error:
+                ep["errors"] += 1
+            ep["cost_units"] += cost
+            ep["latencies"].append(seconds)
+
+    def charge(self, cost: int) -> None:
+        """Debit ``cost`` units, or raise :class:`BudgetExceeded`.
+
+        Atomic check-and-debit: concurrent requests cannot jointly
+        overshoot the budget.  With no budget configured the account
+        still totals ``charged_units`` for the metrics scrape.
+        """
+        with self._lock:
+            if self.budget_units is not None:
+                remaining = self.budget_units - self.charged_units
+                if cost > remaining:
+                    raise BudgetExceeded(cost, remaining)
+            self.charged_units += cost
+
+    def refund(self, cost: int) -> None:
+        """Credit back units charged for work that never ran."""
+        with self._lock:
+            self.charged_units -= cost
+
+    def snapshot(self) -> dict:
+        """The ``GET /metrics`` requests/budget half of the scrape."""
+        with self._lock:
+            requests = {}
+            for name, ep in sorted(self._endpoints.items()):
+                lat = sorted(ep["latencies"])
+                requests[name] = {
+                    "count": ep["count"],
+                    "errors": ep["errors"],
+                    "cost_units": ep["cost_units"],
+                    "p50_ms": percentile(lat, 0.50) * 1000.0,
+                    "p99_ms": percentile(lat, 0.99) * 1000.0,
+                }
+            budget = None
+            if self.budget_units is not None:
+                budget = {
+                    "limit_units": self.budget_units,
+                    "charged_units": self.charged_units,
+                    "remaining_units": self.budget_units - self.charged_units,
+                }
+            return {
+                "uptime_s": time.time() - self.started,
+                "requests": requests,
+                "charged_units": self.charged_units,
+                "budget": budget,
+            }

@@ -1,0 +1,171 @@
+"""The capacity-planner search: which configuration fits and is fastest.
+
+The intro's motivating scenario as a library: given an architecture, a
+device, and a memory budget, search (schedule x depth x micro-batch x
+recompute) through the §3.3 performance and memory models — evaluated
+via the shared sweep engine, so every (arch, hardware, b_micro) cost
+model is computed once across the whole search — and pick the best
+feasible point.  ``examples/capacity_planner.py`` prints this search;
+``POST /plan`` serves it.
+
+"Best" is an explicit, pinned ordering (:func:`best_point`): highest
+PipeFisher throughput, then *lower* memory, then schedule registration
+order.  The seed picked ``max()`` over raw result tuples, which broke
+throughput ties by lexicographic schedule name — registering a new
+schedule could silently flip the reported best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.perfmodel import MemoryModel
+from repro.perfmodel.arch import ARCHITECTURES, TransformerArch
+from repro.perfmodel.hardware import HARDWARE, Hardware
+from repro.pipeline.spec import get_spec, schedule_names, schedule_specs
+
+#: Default search axes (the capacity-planner example's historical grid).
+DEFAULT_DEPTHS = (4, 8, 16)
+DEFAULT_B_MICROS = (8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class PlanPoint:
+    """One evaluated configuration of the planning search."""
+
+    schedule: str
+    depth: int
+    b_micro: int
+    recompute: bool
+    mem_gb: float
+    throughput: float        #: seqs/s under PipeFisher
+    throughput_pipeline: float
+    refresh_steps: int
+    fits: bool
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class Plan:
+    """The full search: every evaluated point plus the pinned best."""
+
+    arch: str
+    hardware: str
+    budget_gb: float
+    layers_per_stage: int
+    points: tuple
+    best: PlanPoint | None
+
+    def feasible(self) -> tuple:
+        return tuple(p for p in self.points if p.fits)
+
+    def to_dict(self) -> dict:
+        return {
+            "arch": self.arch,
+            "hardware": self.hardware,
+            "budget_gb": self.budget_gb,
+            "layers_per_stage": self.layers_per_stage,
+            "points": [p.to_dict() for p in self.points],
+            "feasible": len(self.feasible()),
+            "best": self.best.to_dict() if self.best is not None else None,
+        }
+
+
+def best_point(points) -> PlanPoint | None:
+    """The best feasible point under the pinned tie-break ordering.
+
+    Highest throughput first; throughput ties prefer the *lower*-memory
+    configuration (same speed, more headroom); full ties resolve by
+    schedule registration order, so a newly registered schedule can
+    never displace an established one without actually being faster or
+    leaner.
+    """
+    feasible = [p for p in points if p.fits]
+    if not feasible:
+        return None
+    registry_order = {name: i for i, name in enumerate(schedule_specs())}
+    return max(feasible, key=lambda p: (p.throughput, -p.mem_gb,
+                                        -registry_order[p.schedule]))
+
+
+def _resolve(name_or_obj, table, what: str):
+    if isinstance(name_or_obj, str):
+        try:
+            return table[name_or_obj]
+        except KeyError:
+            raise ValueError(
+                f"unknown {what} {name_or_obj!r}; choose from "
+                f"{sorted(table)}") from None
+    return name_or_obj
+
+
+def plan(
+    arch,
+    hardware,
+    budget_gb: float | None = None,
+    layers_per_stage: int = 1,
+    depths=DEFAULT_DEPTHS,
+    b_micros=DEFAULT_B_MICROS,
+    recompute_options=(False, True),
+    schedules=None,
+    engine=None,
+) -> Plan:
+    """Search the configuration space for ``arch`` on ``hardware``.
+
+    ``arch``/``hardware`` are registry names (or the objects); ``schedules``
+    defaults to every registered schedule the §3.3 analytic model covers —
+    a newly registered spec joins the search without edits here.  The
+    budget defaults to the device's memory.
+    """
+    arch_obj: TransformerArch = _resolve(arch, ARCHITECTURES, "architecture")
+    hw_obj: Hardware = _resolve(hardware, HARDWARE, "hardware")
+    if engine is None:
+        from repro.sweep import default_engine
+
+        engine = default_engine()
+    budget = float(hw_obj.memory_gb if budget_gb is None else budget_gb)
+    if schedules is None:
+        schedules = [s for s in schedule_names()
+                     if get_spec(s).critical_path is not None]
+    else:
+        schedules = list(schedules)
+        for s in schedules:
+            if get_spec(s).critical_path is None:
+                raise ValueError(
+                    f"schedule {s!r} has no analytic critical path — the "
+                    f"planner's §3.3 model cannot cover it")
+
+    points = []
+    for schedule in schedules:
+        spec = get_spec(schedule)
+        stages_dev = spec.stages_per_device(1)
+        model = engine.perf_model(arch_obj, hw_obj, schedule,
+                                  layers_per_stage=layers_per_stage)
+        for depth in depths:
+            for b_micro in b_micros:
+                for recompute in recompute_options:
+                    mm = MemoryModel(arch_obj, layers_per_stage, stages_dev)
+                    bd = mm.breakdown(b_micro, depth, recompute=recompute)
+                    r = model.report(b_micro, depth, recompute=recompute)
+                    points.append(PlanPoint(
+                        schedule=schedule,
+                        depth=int(depth),
+                        b_micro=int(b_micro),
+                        recompute=bool(recompute),
+                        mem_gb=bd.total_gb(),
+                        throughput=r.throughput_pipefisher,
+                        throughput_pipeline=r.throughput_pipeline,
+                        refresh_steps=r.refresh_steps,
+                        fits=bd.total_gb() <= budget,
+                    ))
+
+    return Plan(
+        arch=arch_obj.name,
+        hardware=hw_obj.name,
+        budget_gb=budget,
+        layers_per_stage=layers_per_stage,
+        points=tuple(points),
+        best=best_point(points),
+    )

@@ -486,7 +486,7 @@ class SweepEngine:
             for dur_key, payload in zip(part, payloads):
                 ev = _pool.evaluation_from_payload(payload)
                 self.reexecutions += 1
-                if payload["native"]:
+                if getattr(ev, "_native", False):
                     self.native_evals += 1
                 self.batched_points += 1
                 primed[(id(template), dur_key)] = ev

@@ -64,9 +64,15 @@ def evaluation_payload(ev) -> dict:
 
 
 def evaluation_from_payload(payload: dict):
-    """Rebuild a reference-typed evaluation from a worker payload."""
+    """Rebuild a reference-typed evaluation from a worker payload.
+
+    The ``"native"`` flag rides back onto the evaluation: the parent
+    engine's ``native_evals`` counter and phase attribution read it, and
+    a rebuilt evaluation that is re-serialized (``evaluation_payload``
+    round-trip) must not silently demote native rows to reference ones.
+    """
     from repro.sweep.engine import _Evaluation
-    return _Evaluation(
+    ev = _Evaluation(
         base=_sim_from_payload(payload["base"]),
         pf=_sim_from_payload(payload["pf"]),
         fill=CompiledFill(segments=payload["segments"],
@@ -76,6 +82,8 @@ def evaluation_from_payload(payload: dict):
         pf_util=payload["pf_util"],
         refresh=payload["refresh"],
     )
+    ev._native = bool(payload.get("native", False))
+    return ev
 
 
 def eval_worker(template, dur_keys: list) -> tuple:

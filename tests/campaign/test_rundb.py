@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -101,6 +102,101 @@ def test_merge_rejects_mixed_campaigns(tmp_path):
     b.bind(_spec(name="two"))
     with pytest.raises(CampaignValidationError, match="different campaigns"):
         merge_run_dbs([tmp_path / "a", tmp_path / "b"], tmp_path / "merged")
+
+
+class _ReadCountingFile:
+    """Wraps a binary file handle, counting bytes returned by read()."""
+
+    def __init__(self, fh, counts):
+        self._fh = fh
+        self._counts = counts
+
+    def read(self, n=-1):
+        data = self._fh.read(n)
+        self._counts.append(len(data))
+        return data
+
+    def __getattr__(self, name):
+        return getattr(self._fh, name)
+
+    def __enter__(self):
+        self._fh.__enter__()
+        return self
+
+    def __exit__(self, *exc):
+        return self._fh.__exit__(*exc)
+
+
+def test_append_cost_does_not_scale_with_file_size(tmp_path, monkeypatch):
+    """Append reads O(1) bytes however large units.jsonl has grown.
+
+    The seed implementation re-read the whole file (``read_bytes``) per
+    append just to check the trailing newline — O(n^2) over a campaign.
+    """
+    db = RunDB.open(tmp_path / "run")
+    # ~1 MB of records: any whole-file read is instantly visible below.
+    pad = "x" * 1000
+    for i in range(1000):
+        db.append({"key": f"k{i}", "status": DONE, "value": pad})
+    assert db.units_path.stat().st_size > 1_000_000
+
+    read_sizes: list[int] = []
+    real_open = Path.open
+
+    def spy_open(self, mode="r", *args, **kwargs):
+        fh = real_open(self, mode, *args, **kwargs)
+        if self.name == "units.jsonl" and "r" in mode and "b" in mode:
+            return _ReadCountingFile(fh, read_sizes)
+        return fh
+
+    monkeypatch.setattr(Path, "open", spy_open)
+    monkeypatch.setattr(
+        Path, "read_bytes",
+        lambda self: pytest.fail("append re-read the whole units file"))
+    db.append(_rec("tail", 1))
+    assert sum(read_sizes) <= 1  # the trailing-newline probe byte
+    monkeypatch.undo()
+    assert RunDB.open(tmp_path / "run").done("tail")["value"] == 1
+
+
+def test_append_still_heals_truncation_with_tail_probe(tmp_path):
+    db = RunDB.open(tmp_path / "run")
+    db.append(_rec("k1", 1))
+    with db.units_path.open("a") as f:
+        f.write('{"key": "k2", "status": "do')  # killed mid-append
+    db.append(_rec("k3", 3))
+    fresh = RunDB.open(tmp_path / "run")
+    assert fresh.values() == {"k1": 1, "k3": 3}
+    assert fresh.skipped_lines == 1
+
+
+def test_meta_written_atomically(tmp_path):
+    db = RunDB.open(tmp_path / "run")
+    db.bind(_spec())
+    # No temporary residue: the tmp file was renamed into place.
+    leftovers = [p.name for p in (tmp_path / "run").iterdir()
+                 if p.name not in ("meta.json", "units.jsonl")]
+    assert leftovers == []
+    assert db.read_meta()["campaign"] == "demo"
+
+
+def test_corrupt_meta_is_a_clear_error(tmp_path):
+    db = RunDB.open(tmp_path / "run")
+    db.bind(_spec())
+    db.meta_path.write_text('{"campaign": "demo", "spec": {"na')  # truncated
+    with pytest.raises(CampaignValidationError, match="corrupt campaign meta"):
+        db.read_meta()
+    with pytest.raises(CampaignValidationError, match="corrupt campaign meta"):
+        db.bind(_spec())
+    with pytest.raises(CampaignValidationError, match="corrupt campaign meta"):
+        merge_run_dbs([tmp_path / "run"], tmp_path / "merged")
+
+
+def test_non_object_meta_is_a_clear_error(tmp_path):
+    db = RunDB.open(tmp_path / "run")
+    db.meta_path.write_text('[1, 2]\n')  # valid JSON, wrong shape
+    with pytest.raises(CampaignValidationError, match="expected a JSON"):
+        db.read_meta()
 
 
 def test_records_are_plain_jsonl(tmp_path):

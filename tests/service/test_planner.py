@@ -1,0 +1,134 @@
+"""The capacity-planner search and its pinned best-point ordering.
+
+The seed example picked the best feasible configuration with ``max()``
+over raw result tuples whose second element was the schedule *name* —
+throughput ties broke lexicographically, so registering a new schedule
+could silently flip the reported best.  :func:`best_point` pins the
+ordering: throughput, then lower memory, then registration order.
+"""
+
+import pytest
+
+from repro.pipeline.spec import get_spec, schedule_names
+from repro.service import planner
+from repro.service.planner import Plan, PlanPoint, best_point, plan
+
+
+def _pt(schedule="chimera", thr=100.0, mem=4.0, fits=True, **over):
+    fields = dict(schedule=schedule, depth=4, b_micro=8, recompute=False,
+                  mem_gb=mem, throughput=thr, throughput_pipeline=thr,
+                  refresh_steps=5, fits=fits)
+    fields.update(over)
+    return PlanPoint(**fields)
+
+
+def _analytic():
+    return [s for s in schedule_names()
+            if get_spec(s).critical_path is not None]
+
+
+_CACHE: dict = {}
+
+
+def once(key, fn):
+    """Compute an expensive search once per test module."""
+    if key not in _CACHE:
+        _CACHE[key] = fn()
+    return _CACHE[key]
+
+
+class TestPlanSearch:
+    def test_covers_the_seed_grid(self):
+        p = once("plan-bert-p100", lambda: plan("BERT-Large", "P100",
+                                                budget_gb=16.0))
+        # schedules x depths(3) x b_micros(4) x recompute(2)
+        assert len(p.points) == len(_analytic()) * 3 * 4 * 2
+        assert p.budget_gb == 16.0
+        assert p.best is not None and p.best.fits
+        assert p.best.throughput == max(q.throughput for q in p.feasible())
+
+    def test_budget_defaults_to_device_memory(self):
+        p = once("plan-default-budget",
+                 lambda: plan("BERT-Large", "P100", depths=(4,),
+                              b_micros=(8,), recompute_options=(False,)))
+        from repro.perfmodel.hardware import HARDWARE
+
+        assert p.budget_gb == HARDWARE["P100"].memory_gb
+
+    def test_impossible_budget_has_no_best(self):
+        p = once("plan-tiny-budget",
+                 lambda: plan("BERT-Large", "P100", budget_gb=0.01,
+                              depths=(4,), b_micros=(8,)))
+        assert p.feasible() == ()
+        assert p.best is None
+
+    def test_unknown_names_are_value_errors(self):
+        with pytest.raises(ValueError, match="unknown architecture"):
+            plan("GPT-17", "P100")
+        with pytest.raises(ValueError, match="unknown hardware"):
+            plan("BERT-Large", "Q100")
+        with pytest.raises(ValueError, match="unknown schedule"):
+            plan("BERT-Large", "P100", schedules=["nope"],
+                 depths=(4,), b_micros=(8,))
+
+
+class TestBestPointOrdering:
+    def test_no_feasible_points_is_none(self):
+        assert best_point([_pt(fits=False)]) is None
+        assert best_point([]) is None
+
+    def test_highest_throughput_wins(self):
+        best = best_point([_pt(thr=100.0), _pt(thr=200.0, depth=8),
+                           _pt(thr=150.0, depth=16)])
+        assert best.throughput == 200.0
+
+    def test_infeasible_points_never_win(self):
+        best = best_point([_pt(thr=100.0), _pt(thr=999.0, fits=False)])
+        assert best.throughput == 100.0
+
+    def test_throughput_tie_prefers_lower_memory(self):
+        lean = _pt(thr=100.0, mem=2.0)
+        fat = _pt(thr=100.0, mem=8.0, depth=8)
+        assert best_point([fat, lean]) is lean
+        assert best_point([lean, fat]) is lean
+
+    def test_full_tie_resolves_by_registration_order(self, monkeypatch):
+        # Simulate a schedule registered *after* chimera whose name sorts
+        # lexicographically after it — the seed's max()-over-tuples pick.
+        order = list(planner.schedule_specs())
+        assert "chimera" in order
+        monkeypatch.setattr(planner, "schedule_specs",
+                            lambda: dict.fromkeys([*order, "zzz_new"]))
+        old = _pt(schedule="chimera", thr=100.0, mem=4.0)
+        new = _pt(schedule="zzz_new", thr=100.0, mem=4.0)
+        # The seed ordering (throughput, then name) flips to the newcomer...
+        assert max([(old.throughput, old.schedule), (new.throughput,
+                    new.schedule)])[1] == "zzz_new"
+        # ...the pinned ordering does not.
+        assert best_point([new, old]).schedule == "chimera"
+        assert best_point([old, new]).schedule == "chimera"
+
+    def test_new_schedule_must_actually_be_better_to_win(self, monkeypatch):
+        order = list(planner.schedule_specs())
+        monkeypatch.setattr(planner, "schedule_specs",
+                            lambda: dict.fromkeys([*order, "zzz_new"]))
+        incumbent = _pt(schedule="chimera", thr=100.0, mem=4.0)
+        assert best_point(
+            [incumbent, _pt(schedule="zzz_new", thr=100.0, mem=3.0)]
+        ).schedule == "zzz_new"  # leaner at equal speed: a real win
+        assert best_point(
+            [incumbent, _pt(schedule="zzz_new", thr=100.0, mem=4.0)]
+        ).schedule == "chimera"  # identical point: incumbency holds
+
+
+class TestPlanSerialization:
+    def test_to_dict_round_trips_the_best(self):
+        p: Plan = once("plan-bert-p100", lambda: plan("BERT-Large", "P100",
+                                                      budget_gb=16.0))
+        d = p.to_dict()
+        assert d["feasible"] == len(p.feasible())
+        assert d["best"] == p.best.to_dict()
+        assert len(d["points"]) == len(p.points)
+        assert set(d["points"][0]) == {
+            "schedule", "depth", "b_micro", "recompute", "mem_gb",
+            "throughput", "throughput_pipeline", "refresh_steps", "fits"}

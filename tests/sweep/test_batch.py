@@ -157,6 +157,42 @@ def test_run_many_pool_matches_sequential():
         assert_reports_identical(ref, g)
 
 
+def test_pool_payload_round_trips_native_flag():
+    """The worker's ``native`` flag survives payload → evaluation → payload.
+
+    The seed dropped it in ``evaluation_from_payload``, so a rebuilt
+    evaluation re-serialized (or counted by the parent engine) read as a
+    reference-path row — ``native_evals`` undercounted under ``jobs=N``.
+    """
+    from repro.sweep import pool as sweep_pool
+
+    point = _point("chimera")
+    payloads, _, _ = sweep_pool.eval_worker(
+        sweep_pool.picklable_template(point.template),
+        [(point.base_durs, point.pf_durs, point.qdurs)])
+    assert payloads[0]["native"] is True
+    ev = sweep_pool.evaluation_from_payload(payloads[0])
+    assert ev._native is True
+    assert sweep_pool.evaluation_payload(ev)["native"] is True
+
+
+def test_pool_counter_fidelity_vs_in_process():
+    """``jobs=2`` evolves the engine's evaluation counters exactly as the
+    in-process loop does (same window content: window*jobs == window)."""
+    runs = _grid_runs()
+    seq = SweepEngine()
+    refs = list(seq.run_many(runs, window=8))
+    pooled = SweepEngine()
+    got = list(pooled.run_many(runs, jobs=2, window=4))
+    for ref, g in zip(refs, got):
+        assert_reports_identical(ref, g)
+    s_ref, s_got = seq.stats(), pooled.stats()
+    for key in ("runs", "timing_hits", "rescales", "reexecutions",
+                "native_evals"):
+        assert s_got[key] == s_ref[key], key
+    assert s_got["native_evals"] > 0  # the undercount this test pins
+
+
 def test_run_many_without_native_matches(monkeypatch):
     monkeypatch.setenv(native.DISABLE_ENV, "1")
     assert not native.available()

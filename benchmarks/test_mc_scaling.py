@@ -14,6 +14,13 @@ re-times every fault-free replicate of a seed block as one native
 asserted against a floor of 3x the pre-batching scalar rate recorded in
 this benchmark's history (564.8 replicates/s), after asserting the
 records bit-identical to the scalar path's.
+
+Fault-carrying replicates used to drop out of the batch to the scalar
+fallback; the native restart-replay core now keeps them in the same
+``(n_seeds, n_tasks)`` pass.  A preemption-heavy model (every seed
+draws failures) is asserted bit-identical to the scalar fault path,
+then timed: batched faulty replicates/sec must be **>= 5x** the
+per-seed scalar rate.
 """
 
 import gc
@@ -42,6 +49,13 @@ MIN_BATCH_RATE = 3.0 * 564.8
 #: full perturbation path with a deterministic amount of work per seed.
 MODEL = StochasticModel(jitter_sigma=0.03, straggler_count=1,
                         straggler_slowdown=1.05)
+
+#: Preemption-heavy: rate 1.0 over this horizon makes every seed draw
+#: failures, so the whole block exercises the native restart replay.
+FAULTY_MODEL = StochasticModel(jitter_sigma=0.02, preemption_rate=1.0,
+                               restart_delay_frac=0.05,
+                               checkpoint_interval_frac=0.1)
+MIN_FAULTY_SPEEDUP = 5.0
 
 
 @contextmanager
@@ -79,20 +93,20 @@ def naive_replicates(run):
     return out
 
 
-def scalar_block(run, seeds):
+def scalar_block(run, seeds, model=MODEL):
     """Template reuse, scalar replicate loop over ``seeds``."""
     engine = SweepEngine()
     point = engine.compiled_point(run)
     nominal = engine.nominal_evaluation(point)
-    return [replicate_from_point(point, nominal, MODEL, s) for s in seeds]
+    return [replicate_from_point(point, nominal, model, s) for s in seeds]
 
 
-def batched_block(run, seeds):
+def batched_block(run, seeds, model=MODEL):
     """Template reuse plus the native batched re-timing pass."""
     engine = SweepEngine()
     point = engine.compiled_point(run)
     nominal = engine.nominal_evaluation(point)
-    return replicate_batch(point, nominal, MODEL, seeds)
+    return replicate_batch(point, nominal, model, seeds)
 
 
 def test_mc_template_reuse_speedup(once, benchmark):
@@ -146,9 +160,42 @@ def test_mc_template_reuse_speedup(once, benchmark):
         f"batched replicates run at {batched_rate:.0f}/s, below the "
         f"{MIN_BATCH_RATE:.0f}/s floor (3x the pre-batching scalar rate)")
 
+    # -- faulty-rows batched headline ------------------------------------------
+    # Restart replay in the native core: a preemption-heavy model keeps
+    # every seed on the batched path.  Bit-identity vs the scalar fault
+    # path comes first — restart rows, lost work, and all.
+    faulty_scalar = scalar_block(run, BATCH_SEEDS, FAULTY_MODEL)
+    assert all(r["n_restarts"] > 0 for r in faulty_scalar), \
+        "the faulty benchmark model must fault every seed"
+    assert batched_block(run, BATCH_SEEDS, FAULTY_MODEL) == faulty_scalar
+
+    faulty_scalar_s = faulty_batched_s = float("inf")
+    for _ in range(REPS):
+        with gc_paused():
+            t0 = time.perf_counter()
+            scalar_block(run, BATCH_SEEDS, FAULTY_MODEL)
+            faulty_scalar_s = min(faulty_scalar_s,
+                                  time.perf_counter() - t0)
+        with gc_paused():
+            t0 = time.perf_counter()
+            batched_block(run, BATCH_SEEDS, FAULTY_MODEL)
+            faulty_batched_s = min(faulty_batched_s,
+                                   time.perf_counter() - t0)
+    faulty_rate = len(BATCH_SEEDS) / faulty_batched_s
+    faulty_scalar_rate = len(BATCH_SEEDS) / faulty_scalar_s
+    faulty_speedup = faulty_scalar_s / faulty_batched_s
+    print(f"MC faulty replicates: {len(BATCH_SEEDS)} seeds, all "
+          f"restart-carrying; batched {faulty_batched_s:.3f}s "
+          f"({faulty_rate:.0f}/s) vs scalar {faulty_scalar_s:.3f}s "
+          f"({faulty_scalar_rate:.0f}/s) => {faulty_speedup:.1f}x")
+    assert faulty_speedup >= MIN_FAULTY_SPEEDUP, (
+        f"batched faulty replicates give only {faulty_speedup:.1f}x over "
+        f"the scalar fault path (floor {MIN_FAULTY_SPEEDUP:.0f}x)")
+
     record(benchmark, replicates=len(SEEDS), reuse_s=round(reuse_s, 4),
            naive_s=round(naive_s, 4), speedup=round(speedup, 1),
-           batched_rate=round(batched_rate, 1))
+           batched_rate=round(batched_rate, 1),
+           faulty_speedup=round(faulty_speedup, 1))
     write_bench(
         "mc",
         replicates=len(SEEDS),
@@ -162,4 +209,10 @@ def test_mc_template_reuse_speedup(once, benchmark):
         batched_s=round(batched_s, 4),
         replicates_per_s_batched=round(batched_rate, 1),
         min_replicates_per_s_batched=round(MIN_BATCH_RATE, 1),
+        faulty_scalar_s=round(faulty_scalar_s, 4),
+        faulty_batched_s=round(faulty_batched_s, 4),
+        replicates_per_s_faulty_batched=round(faulty_rate, 1),
+        replicates_per_s_faulty_scalar=round(faulty_scalar_rate, 1),
+        faulty_speedup=round(faulty_speedup, 1),
+        min_faulty_speedup=MIN_FAULTY_SPEEDUP,
     )

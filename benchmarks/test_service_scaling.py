@@ -10,14 +10,26 @@ threads to measure request throughput under parallel load, and the
 served values are asserted bit-identical to a :class:`CampaignRunner`
 pass over the same grids on a fresh engine.
 
+A separate cold-concurrency phase measures what the engine pool buys:
+the seed service held ONE lock across every unit execution, so any
+in-flight cold evaluation head-of-line blocked every other request.
+A mixed batch (a few heavy cold ``stochastic`` grids + many light cold
+``perf_report`` grids) is fanned across client threads against a
+single-lock service and against a pooled one; the light requests'
+mean completion latency must improve **>= 2x**, and the two services'
+responses must be byte-identical — slot routing is a scheduling
+detail, never a results detail.
+
 ``BENCH_service.json`` records throughput (requests/s, cold and
-concurrent-warm), client-side p50/p99 latency per phase, and the
-cold-vs-warm store hit rates — the service perf trajectory the next PR
-compares against.
+concurrent-warm), client-side p50/p99 latency per phase, the
+cold-vs-warm store hit rates, and the cold-concurrency speedup — the
+service perf trajectory the next PR compares against.
 """
 
 import time
 from concurrent.futures import ThreadPoolExecutor
+
+from repro.stochastic.model import StochasticModel
 
 from benchmarks.conftest import record, write_bench
 from repro.campaign.runner import CampaignRunner
@@ -33,6 +45,15 @@ B_MICROS = (8, 32)
 CLIENT_THREADS = 8
 WARM_ROUNDS = 3
 CONCURRENT_REPS = 3
+
+#: Cold-concurrency phase: pool size, floor, and the heavy grids' MC
+#: model (preemption-heavy, so every replicate pays restart replay).
+POOL_SLOTS = 8
+MIN_COLD_CONCURRENCY = 2.0
+HEAVY_SEEDS = 64
+HEAVY_MODEL = StochasticModel(jitter_sigma=0.02, preemption_rate=1.0,
+                              restart_delay_frac=0.05,
+                              checkpoint_interval_frac=0.1)
 
 
 def _bodies():
@@ -59,6 +80,66 @@ def _timed_pass(client, bodies):
 
 def _p(ms_sorted, q):
     return round(percentile(ms_sorted, q) * 1000.0, 3)
+
+
+def _mixed_cold_bodies():
+    """A few heavy cold grids plus many light ones, all store misses."""
+    heavy = [
+        {"kind": "stochastic",
+         "fixed": {"arch": "BERT-Base", "hardware": "P100",
+                   "schedule": schedule, "b_micro": 32, "depth": 8,
+                   "n_micro": 16, "layers_per_stage": 2,
+                   **HEAVY_MODEL.as_params()},
+         "grid": {"seed": list(range(HEAVY_SEEDS))},
+         "inline": True}  # hold the slot lock; that's the point
+        for schedule in SCHEDULES
+    ]
+    light = [
+        {"kind": "perf_report",
+         "fixed": {"arch": "BERT-Large", "hardware": "P100",
+                   "schedule": schedule, "depth": depth},
+         "grid": {"b_micro": list(B_MICROS)}}
+        for schedule in SCHEDULES
+        for depth in (4, 8, 16, 32)
+    ]
+    return heavy, light
+
+
+def _mixed_cold_phase(service):
+    """Fan heavy+light cold requests across threads; time each class.
+
+    In-process (no HTTP) on purpose: the phase measures what the
+    service lock serializes, not socket accept behavior.
+    """
+    heavy, light = _mixed_cold_bodies()
+    requests = [("heavy", b) for b in heavy] + [("light", b) for b in light]
+    latencies = {"heavy": [], "light": []}
+
+    def hit(tagged):
+        tag, body = tagged
+        t0 = time.perf_counter()
+        out = service.sweep(dict(body))
+        latencies[tag].append(time.perf_counter() - t0)
+        return out
+
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+        responses = list(pool.map(hit, requests))
+    total_s = time.perf_counter() - t0
+    assert all(r["mode"] == "inline" and r["cached"] == 0
+               for r in responses)
+    return total_s, latencies, responses
+
+
+def _strip_volatile(responses):
+    """Responses minus per-unit wall clock, for byte comparison."""
+    out = []
+    for r in responses:
+        r = dict(r)
+        r["units"] = [{k: v for k, v in u.items() if k != "elapsed_s"}
+                      for u in r["units"]]
+        out.append(r)
+    return out
 
 
 def test_service_scaling(once, benchmark):
@@ -118,6 +199,37 @@ def test_service_scaling(once, benchmark):
             assert canonical_json(unit["value"]) == \
                 canonical_json(reference[unit["key"]]), unit["key"]
 
+    # -- cold-miss concurrency: single global lock vs the engine pool ----------
+    # Best ratio over REPS fresh service pairs (both passes fully cold
+    # each rep); bit-identical responses asserted on every rep.
+    cold_concurrency = 0.0
+    single_light_ms = pooled_light_ms = float("nan")
+    for _ in range(CONCURRENT_REPS):
+        _, single_lat, single_resp = _mixed_cold_phase(
+            PlanningService(engine=SweepEngine()))
+        _, pooled_lat, pooled_resp = _mixed_cold_phase(
+            PlanningService(engine_pool=POOL_SLOTS))
+        assert canonical_json(_strip_volatile(pooled_resp)) == \
+            canonical_json(_strip_volatile(single_resp)), \
+            "pooled service answered differently from the single-lock one"
+        single_ms = (1000.0 * sum(single_lat["light"])
+                     / len(single_lat["light"]))
+        pooled_ms = (1000.0 * sum(pooled_lat["light"])
+                     / len(pooled_lat["light"]))
+        if single_ms / pooled_ms > cold_concurrency:
+            cold_concurrency = single_ms / pooled_ms
+            single_light_ms, pooled_light_ms = single_ms, pooled_ms
+    heavy_n, light_n = (len(b) for b in _mixed_cold_bodies())
+    print(f"cold concurrency: {heavy_n} heavy + {light_n} light cold "
+          f"grids over {CLIENT_THREADS} threads; light mean latency "
+          f"{single_light_ms:.1f} ms (single lock) -> "
+          f"{pooled_light_ms:.1f} ms (pool of {POOL_SLOTS}) "
+          f"=> {cold_concurrency:.1f}x")
+    assert cold_concurrency >= MIN_COLD_CONCURRENCY, (
+        f"engine pool improves concurrent cold-miss latency only "
+        f"{cold_concurrency:.1f}x over the single lock "
+        f"(floor {MIN_COLD_CONCURRENCY:.0f}x)")
+
     cold_rps = len(bodies) / cold_s
     warm_rps = len(bodies) / warm_s
     concurrent_rps = len(rounds) / concurrent_s
@@ -132,7 +244,8 @@ def test_service_scaling(once, benchmark):
     record(benchmark, cold_rps=round(cold_rps, 1),
            warm_rps=round(warm_rps, 1),
            concurrent_rps=round(concurrent_rps, 1),
-           warm_hit_rate=warm_hit_rate)
+           warm_hit_rate=warm_hit_rate,
+           cold_concurrency_speedup=round(cold_concurrency, 1))
     write_bench(
         "service",
         grids=len(bodies),
@@ -147,4 +260,9 @@ def test_service_scaling(once, benchmark):
         warm_p99_ms=_p(warm_lat, 0.99),
         cold_store_hit_rate=round(cold_hit_rate, 3),
         warm_store_hit_rate=warm_hit_rate,
+        engine_pool_slots=POOL_SLOTS,
+        cold_light_mean_ms_single_lock=round(single_light_ms, 1),
+        cold_light_mean_ms_pooled=round(pooled_light_ms, 1),
+        cold_concurrency_speedup=round(cold_concurrency, 1),
+        min_cold_concurrency_speedup=MIN_COLD_CONCURRENCY,
     )

@@ -29,7 +29,8 @@ from repro.campaign.units import UnitContext, get_unit_kind
 
 #: Scalar sweep-engine counters surfaced per unit record.
 _ENGINE_COUNTERS = ("runs", "timing_hits", "rescales", "reexecutions",
-                    "native_evals", "delta_retimes", "batched_points")
+                    "native_evals", "delta_retimes", "batched_points",
+                    "mc_batched_replicates", "mc_faulty_batched")
 #: BoundedCache counters surfaced per unit record, per cache.
 _CACHE_COUNTERS = ("hits", "misses", "evictions")
 _CACHES = ("templates", "stage_costs")
@@ -304,9 +305,16 @@ def _shard_worker(spec: CampaignSpec, shard: tuple, run_dir: str,
     Module-level so the pool pickles it by reference.  Returns the
     executed unit keys plus the engine-counter delta this shard caused,
     for the parent to fold into the merged result.
+
+    A fresh subprocess only has the generic unit kinds registered at
+    import time; specs carrying experiment kinds (``stochastic``,
+    ``fig8_lr``, ...) need the full registry, so load it here exactly
+    like the parent process does.
     """
+    from repro.campaign.registry import load_builtin_campaigns
     from repro.sweep.engine import SweepEngine
 
+    load_builtin_campaigns()
     runner = CampaignRunner(engine=SweepEngine(), run_dir=run_dir)
     result = runner.run(spec, shard=shard, resume=resume)
     return result.executed, result.engine_delta

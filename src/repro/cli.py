@@ -174,6 +174,13 @@ def _serve(argv: list[str]) -> int:
     parser.add_argument("--budget", type=int, default=None,
                         help="total unit budget; requests that would exceed "
                              "it get HTTP 429 (cache hits are free)")
+    parser.add_argument("--engine-pool", type=int, default=None,
+                        help="engine slots for concurrent cold-miss "
+                             "evaluation (default 4; 1 = the old "
+                             "single-lock behavior)")
+    parser.add_argument("--token", default=None,
+                        help="require 'Authorization: Bearer <token>' on "
+                             "every request (default: no auth)")
     args = parser.parse_args(argv)
 
     from repro.service import PlanningService, ServiceServer
@@ -185,10 +192,14 @@ def _serve(argv: list[str]) -> int:
                       else DEFAULT_INLINE_LIMIT),
         worker_jobs=args.worker_jobs,
         budget_units=args.budget,
+        engine_pool=args.engine_pool,
+        token=args.token,
     )
     server = ServiceServer(service, host=args.host, port=args.port)
     state = args.state_dir if args.state_dir else "in-memory"
-    print(f"capacity planner serving on {server.url} (state: {state})")
+    auth = "bearer token" if args.token else "none"
+    print(f"capacity planner serving on {server.url} (state: {state}, "
+          f"engines: {len(service.pool)}, auth: {auth})")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -18,16 +18,27 @@ campaign — lands in one result store keyed by the canonical point hash,
 so repeat queries are cache hits and service values are bit-identical
 to ``repro campaign run`` of the same grid.
 
-Concurrency model: the HTTP layer threads freely; evaluation holds one
-service-wide lock (the sweep engine and its caches are not thread-safe),
-so the engine's bit-exact sequential semantics are preserved and warm
-(cache-hit) requests are the concurrency fast path.
+Concurrency model: the HTTP layer threads freely; evaluation routes
+each request to one slot of a small :class:`EnginePool` by a
+deterministic structural key and holds only that slot's lock (a sweep
+engine and its caches are not thread-safe, so same-key work stays
+sequential and bit-exact), which lets cold misses for *distinct*
+templates evaluate concurrently.  The result store, metrics, and budget
+accounting are internally locked and stay atomic across slots; unit
+values are deterministic functions of ``(kind, params)``, so responses
+are byte-identical regardless of which slot computed them.
+
+Optionally the service requires a bearer token (``repro serve
+--token``): requests without ``Authorization: Bearer <token>`` are
+rejected with 401 and counted in ``/metrics``.
 """
 
 from __future__ import annotations
 
+import hmac
 import json
 import threading
+import zlib
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from time import perf_counter
@@ -48,6 +59,53 @@ from repro.service.store import ResultStore, store_record
 
 #: Grids at or under this many units answer inline by default.
 DEFAULT_INLINE_LIMIT = 32
+
+#: Engine slots when neither ``engine`` nor ``engine_pool`` is given.
+DEFAULT_ENGINE_POOL = 4
+
+
+class _EngineSlot:
+    """One engine plus the lock serializing all work routed to it."""
+
+    __slots__ = ("engine", "lock")
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self.lock = threading.RLock()
+
+
+class EnginePool:
+    """A fixed set of sweep engines, each guarded by its own lock.
+
+    Work routes by a caller-chosen structural key: the same key always
+    lands on the same slot (engines are not thread-safe and repeated
+    identical requests must serialize for bit-exact cache semantics),
+    while distinct keys usually land on distinct slots and evaluate
+    concurrently.  The hash is ``crc32`` — stable across processes and
+    ``PYTHONHASHSEED`` values, so slot routing is deterministic.
+    """
+
+    def __init__(self, engines) -> None:
+        if not engines:
+            raise ValueError("engine pool needs at least one engine")
+        self.slots = tuple(_EngineSlot(e) for e in engines)
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def slot(self, key: str) -> _EngineSlot:
+        if len(self.slots) == 1:
+            return self.slots[0]
+        return self.slots[zlib.crc32(key.encode("utf-8")) % len(self.slots)]
+
+    def counters(self) -> dict:
+        """Flattened engine counters summed across every slot."""
+        total: dict = {}
+        for s in self.slots:
+            with s.lock:
+                for k, v in _engine_counters(s.engine).items():
+                    total[k] = total.get(k, 0) + v
+        return total
 
 
 class ServiceError(Exception):
@@ -82,16 +140,29 @@ class PlanningService:
         inline_limit: int = DEFAULT_INLINE_LIMIT,
         worker_jobs: int = 1,
         budget_units: int | None = None,
+        engine_pool: int | None = None,
+        token: str | None = None,
     ) -> None:
         from repro.campaign.registry import load_builtin_campaigns
-        from repro.sweep import default_engine
+        from repro.sweep.engine import SweepEngine
 
         load_builtin_campaigns()  # the full unit-kind vocabulary
-        self.engine = engine if engine is not None else default_engine()
+        # ``engine=X`` keeps the injected engine as the sole slot (the
+        # single-lock behavior tests and baseline benchmarks rely on)
+        # unless ``engine_pool`` explicitly widens it with fresh engines.
+        if engine is not None:
+            engines = [engine]
+            if engine_pool is not None and engine_pool > 1:
+                engines += [SweepEngine() for _ in range(engine_pool - 1)]
+        else:
+            n = engine_pool if engine_pool is not None else DEFAULT_ENGINE_POOL
+            engines = [SweepEngine() for _ in range(max(n, 1))]
+        self.pool = EnginePool(engines)
+        self.engine = self.pool.slots[0].engine
+        self.token = token
         self.state_dir = Path(state_dir) if state_dir is not None else None
         self.inline_limit = inline_limit
         self.worker_jobs = worker_jobs
-        self.lock = threading.RLock()
         self.store = ResultStore(
             self.state_dir / "results" if self.state_dir else None)
         self.metrics = Metrics(budget_units)
@@ -120,7 +191,6 @@ class PlanningService:
             hardware=body["hardware"],
             budget_gb=budget_gb,
             layers_per_stage=int(body.get("layers_per_stage", 1)),
-            engine=self.engine,
         )
         for axis, name in (("depths", "depths"), ("b_micros", "b_micros"),
                            ("schedules", "schedules"),
@@ -135,9 +205,13 @@ class PlanningService:
                 * len(kwargs.get("b_micros", planner_mod.DEFAULT_B_MICROS))
                 * len(kwargs.get("recompute_options", (False, True)))
                 * len(kwargs.get("schedules", ()) or _analytic_schedules()))
+        slot = self.pool.slot(
+            "plan:" + json.dumps({k: v for k, v in kwargs.items()
+                                  if k != "engine"}, sort_keys=True))
+        kwargs["engine"] = slot.engine
         self._charge(cost)
         try:
-            with self.lock:
+            with slot.lock:
                 result = planner_mod.plan(**kwargs)
         except ValueError as exc:
             self.metrics.refund(cost)
@@ -215,8 +289,8 @@ class PlanningService:
         snap = self.metrics.snapshot()
         snap["store"] = self.store.stats()
         snap["jobs"] = self.jobs.counts()
-        with self.lock:
-            snap["engine"] = _engine_counters(self.engine)
+        snap["engine"] = self.pool.counters()
+        snap["engine_pool"] = len(self.pool)
         return snap
 
     # -- execution ----------------------------------------------------------------
@@ -236,21 +310,34 @@ class PlanningService:
         except KeyError as exc:
             raise ServiceError(400, str(exc.args[0])) from exc
 
+    @staticmethod
+    def _units_key(units) -> str:
+        """The slot-routing key of a unit batch.
+
+        Canonical unit hashes already encode ``(kind, params)``, so
+        identical requests — which must serialize on one engine — share
+        a key, while different grids usually spread across slots.
+        """
+        return "|".join(u.key for u in units)
+
     def _execute_units(self, units, charge: bool = True):
         """Serve ``units`` from the store, executing the misses.
 
         Store misses run exactly the campaign runner's per-unit calls
-        (``kind.execute`` then ``kind.serialize`` against the shared
+        (``kind.execute`` then ``kind.serialize`` against the slot's
         engine), so the recorded values are bit-identical to a
-        ``repro campaign run`` of the same grid.
+        ``repro campaign run`` of the same grid.  Only the routed slot
+        is locked; the store and budget are internally atomic, so
+        distinct grids execute concurrently.
         """
         from repro.campaign.units import UnitContext, get_unit_kind
 
-        with self.lock:
+        slot = self.pool.slot(self._units_key(units))
+        with slot.lock:
             cost = sum(1 for u in units if not self.store.contains(u.key))
             if charge:
                 self._charge(cost)
-            ctx = UnitContext(engine=self.engine)
+            ctx = UnitContext(engine=slot.engine)
             out = []
             executed = 0
             try:
@@ -295,13 +382,15 @@ class PlanningService:
         from repro.campaign.runner import CampaignRunner
 
         run_dir = self.state_dir / "jobs" / job["key"]
-        with self.lock:
+        units = spec.units()
+        slot = self.pool.slot(self._units_key(units))
+        with slot.lock:
             db = RunDB.open(run_dir)
-            for u in spec.units():
+            for u in units:
                 rec = self.store.peek(u.key)
                 if rec is not None and db.done(u.key) is None:
                     db.append(rec)
-            runner = CampaignRunner(engine=self.engine, run_dir=run_dir)
+            runner = CampaignRunner(engine=slot.engine, run_dir=run_dir)
             result = runner.run(
                 spec,
                 jobs=self.worker_jobs if self.worker_jobs > 1 else None)
@@ -358,6 +447,24 @@ class _Handler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as exc:
             raise ServiceError(400, f"invalid JSON body: {exc}") from exc
 
+    def _authorized(self) -> bool:
+        token = self.service.token
+        if not token:
+            return True
+        header = self.headers.get("Authorization", "")
+        return hmac.compare_digest(header, f"Bearer {token}")
+
+    def _reject_unauthorized(self) -> None:
+        # Drain the unread body so HTTP/1.1 keep-alive stays in sync.
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            self.rfile.read(length)
+        self.service.metrics.auth_reject()
+        self._reply(401, {
+            "error": "unauthorized: send 'Authorization: Bearer <token>'",
+            "status": 401,
+        })
+
     def _dispatch(self, endpoint: str, fn) -> None:
         started = perf_counter()
         error = False
@@ -381,6 +488,9 @@ class _Handler(BaseHTTPRequestHandler):
         self._reply(status, payload)
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+        if not self._authorized():
+            self._reject_unauthorized()
+            return
         path = self.path.rstrip("/") or "/"
         if path == "/":
             self._dispatch("index", lambda: dict(_INDEX))
@@ -398,6 +508,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._dispatch("unknown", lambda: _not_found(path))
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib casing)
+        if not self._authorized():
+            self._reject_unauthorized()
+            return
         path = self.path.rstrip("/")
         if path == "/plan":
             self._dispatch("plan", lambda: self.service.plan(self._body()))

@@ -25,15 +25,19 @@ class ServiceHTTPError(Exception):
 class ServiceClient:
     """JSON in, JSON out against one service base URL."""
 
-    def __init__(self, url: str, timeout: float = 30.0) -> None:
+    def __init__(self, url: str, timeout: float = 30.0,
+                 token: str | None = None) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.token = token
 
     def _request(self, method: str, path: str, body: dict | None = None) -> dict:
         data = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if data else {}
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
         req = urllib.request.Request(
-            self.url + path, data=data, method=method,
-            headers={"Content-Type": "application/json"} if data else {})
+            self.url + path, data=data, method=method, headers=headers)
         try:
             with urllib.request.urlopen(req, timeout=self.timeout) as resp:
                 return json.loads(resp.read())

@@ -49,6 +49,7 @@ class Metrics:
         self.started = time.time()
         self.budget_units = budget_units
         self.charged_units = 0
+        self.auth_rejects = 0
         self._endpoints: dict[str, dict] = {}
 
     def _endpoint(self, name: str) -> dict:
@@ -89,6 +90,11 @@ class Metrics:
         with self._lock:
             self.charged_units -= cost
 
+    def auth_reject(self) -> None:
+        """Count one request turned away by bearer-token auth."""
+        with self._lock:
+            self.auth_rejects += 1
+
     def snapshot(self) -> dict:
         """The ``GET /metrics`` requests/budget half of the scrape."""
         with self._lock:
@@ -113,5 +119,6 @@ class Metrics:
                 "uptime_s": time.time() - self.started,
                 "requests": requests,
                 "charged_units": self.charged_units,
+                "auth_rejects": self.auth_rejects,
                 "budget": budget,
             }

@@ -131,16 +131,23 @@ def replicate_from_point(point, nominal, model: StochasticModel,
 
 
 def replicate_batch(point, nominal, model: StochasticModel,
-                    seeds) -> list[dict]:
+                    seeds, engine=None) -> list[dict]:
     """Batched :func:`replicate_from_point` over a seed block.
 
     Perturbations are still sampled per seed (the RNG draw order is the
-    contract), but fault-free replicates — the overwhelming majority
-    under jitter/straggler models — are re-timed as one
-    ``(n_seeds, n_tasks)`` native pass per graph, with bubble fraction
-    and utilization folded natively as well.  Fault-carrying seeds, and
-    any row the native core rejects, fall back to the scalar reference;
-    either way every record is bit-identical to the scalar path's.
+    contract), but re-timing runs as one ``(n_seeds, n_tasks)`` native
+    pass per graph — fault-carrying seeds included: their per-device
+    failure tables pack into the fault-replay core, whose empty-table
+    rows are bit-identical to the no-fault path, so mixed blocks need no
+    splitting.  Bubble fraction and utilization fold natively as well;
+    restart counts/downtime/lost-work fold in the reference's append
+    order from the native restart rows.  Any row the native core rejects
+    falls back to the scalar reference; either way every record is
+    bit-identical to the scalar path's.
+
+    ``engine``, when given, receives counter credit: ``native_evals`` /
+    ``batched_points`` / ``mc_batched_replicates`` per natively re-timed
+    replicate and ``mc_faulty_batched`` for the fault-carrying subset.
     """
     from repro.sweep import batch as _batch
     from repro.sweep import native as _native
@@ -157,17 +164,10 @@ def replicate_batch(point, nominal, model: StochasticModel,
 
     seeds = list(seeds)
     time_unit = nominal.base.makespan
-    records: list = [None] * len(seeds)
-    fault_free: list = []
-    for i, seed in enumerate(seeds):
-        p = sample_perturbation(model, seed, template.num_devices,
-                                time_unit)
-        if p.has_faults:
-            records[i] = replicate_from_point(point, nominal, model, seed)
-        else:
-            fault_free.append((i, p))
-    if not fault_free:
-        return records
+    perts = [sample_perturbation(model, seed, template.num_devices,
+                                 time_unit) for seed in seeds]
+    faults = [p.faults() for p in perts]
+    any_faults = any(f is not None for f in faults)
 
     def perturbed_matrix(graph, ga, durs):
         # Rows replicate ``perturbed_durations`` exactly: control tasks
@@ -179,28 +179,42 @@ def replicate_batch(point, nominal, model: StochasticModel,
         ctrl = device < 0
         task_idx = np.maximum(device, 0)
         table = np.asarray(durs, np.float64)[ga.dur_code]
-        rows = np.empty((len(fault_free), n), np.float64)
-        for row, (_, p) in enumerate(fault_free):
+        rows = np.empty((len(perts), n), np.float64)
+        for row, p in enumerate(perts):
             fac = np.asarray(p.device_factor, np.float64)[task_idx]
             rows[row] = np.where(ctrl, table, table * fac)
         return rows
 
+    row_faults = faults if any_faults else None
     gb = _batch.simulate_graph_batch(
-        g_base, task_durs=perturbed_matrix(g_base, ga_b, point.base_durs))
+        g_base, task_durs=perturbed_matrix(g_base, ga_b, point.base_durs),
+        faults=row_faults)
     gp = _batch.simulate_graph_batch(
-        g_pf, task_durs=perturbed_matrix(g_pf, ga_p, point.pf_durs))
+        g_pf, task_durs=perturbed_matrix(g_pf, ga_p, point.pf_durs),
+        faults=row_faults)
     bubble = util = None
     if gb is not None:
         bubble, util = _native.mc_metrics_batch(
             gb.ga, gb.start, gb.ev_end, gb.ev_order, gb.makespan)
-    for row, (i, _) in enumerate(fault_free):
-        seed = seeds[i]
+    records: list = [None] * len(seeds)
+    batched = faulty_batched = 0
+    for row, seed in enumerate(seeds):
         if (gb is None or gp is None or bubble is None
                 or not (gb.ok(row) and gp.ok(row))):
-            records[i] = replicate_from_point(point, nominal, model, seed)
+            records[row] = replicate_from_point(point, nominal, model, seed)
             continue
+        if faults[row] is not None:
+            nb, down_b, lost_b = gb.restart_stats(row)
+            npf, down_p, lost_p = gp.restart_stats(row)
+            n_restarts = nb + npf
+            downtime = down_b + down_p
+            lost = lost_b + lost_p
+            faulty_batched += 1
+        else:
+            n_restarts, downtime, lost = 0, 0.0, 0.0
+        batched += 1
         span = float(gb.makespan[row])
-        records[i] = {
+        records[row] = {
             "seed": seed,
             "span": span,
             "pf_span": float(gp.makespan[row]),
@@ -209,10 +223,15 @@ def replicate_batch(point, nominal, model: StochasticModel,
             "span_degradation": span / nominal.base.makespan,
             "nominal_span": nominal.base.makespan,
             "nominal_pf_span": nominal.pf.makespan,
-            "n_restarts": 0,
-            "downtime_s": 0.0,
-            "lost_work_s": 0.0,
+            "n_restarts": n_restarts,
+            "downtime_s": downtime,
+            "lost_work_s": lost,
         }
+    if engine is not None and batched:
+        engine.native_evals += batched
+        engine.batched_points += batched
+        engine.mc_batched_replicates += batched
+        engine.mc_faulty_batched += faulty_batched
     return records
 
 
@@ -262,9 +281,10 @@ def monte_carlo(run, model: StochasticModel, seeds, engine=None,
     (run, model, seed) triple always produces the bit-identical replicate
     dict — ``CampaignSpec.seeds`` shards and resumes over exactly these —
     regardless of execution mode: ``batch=True`` (default) vectorizes
-    fault-free replicates through the native core, ``jobs=N`` splits the
-    seed range into contiguous blocks across N worker processes, and
-    ``batch=False, jobs=None`` is the scalar reference loop.
+    every replicate — fault-carrying seeds included — through the native
+    core, ``jobs=N`` splits the seed range into contiguous blocks across
+    N worker processes, and ``batch=False, jobs=None`` is the scalar
+    reference loop.
     """
     if engine is None:
         from repro.sweep.engine import default_engine
@@ -277,7 +297,8 @@ def monte_carlo(run, model: StochasticModel, seeds, engine=None,
         replicates = _monte_carlo_pool(point, nominal, model, seeds,
                                        jobs, batch)
     elif batch:
-        replicates = replicate_batch(point, nominal, model, seeds)
+        replicates = replicate_batch(point, nominal, model, seeds,
+                                     engine=engine)
     else:
         replicates = [replicate_from_point(point, nominal, model, s)
                       for s in seeds]

@@ -16,12 +16,21 @@
  * heap compares (t_end, seq) — and a binary min-heap's pop sequence
  * depends only on the key multiset, not its internal layout.
  *
- * Anything this core cannot replicate exactly — fault replay, tuple
- * order keys, filler errors (which carry python-built messages), or a
- * segment-buffer overflow — is reported through per-point status codes
- * and the caller falls back to the python path for that point.
+ * The fault path (repro_sim_fault_batch) transliterates the
+ * DeviceFaults restart-replay of simulate_compiled(faults=...): idle
+ * failures delay starts, in-attempt failures lose the work since the
+ * last global-time checkpoint (python float floordiv semantics,
+ * replicated in py_floordiv), failures during restart downtime extend
+ * the outage, and every consumed failure is recorded as a
+ * (device, task, fail, resume, lost) restart row in append order.
+ *
+ * Anything this core cannot replicate exactly — tuple order keys,
+ * filler errors (which carry python-built messages), or a buffer
+ * overflow — is reported through per-point status codes and the
+ * caller falls back to the python path for that point.
  */
 
+#include <math.h>
 #include <stdint.h>
 #include <stdlib.h>
 #include <string.h>
@@ -36,6 +45,24 @@
 #define ST_NO_PROGRESS 3
 #define ST_MAX_STEPS 4
 #define ST_SEG_OVERFLOW 5
+#define ST_REST_OVERFLOW 6
+
+/* CPython float floordiv (floatobject.c float_divmod): fmod-based with
+ * the sign adjustment and the 0.5-snap that keeps div an exact integer.
+ * Needed for `(f // checkpoint_every) * checkpoint_every` bit-identity. */
+static double py_floordiv(double vx, double wx) {
+    double mod = fmod(vx, wx);
+    double div = (vx - mod) / wx;
+    if (mod != 0.0) {
+        if ((wx < 0.0) != (mod < 0.0)) div -= 1.0;
+    }
+    if (div != 0.0) {
+        double floordiv = floor(div);
+        if (div - floordiv > 0.5) floordiv += 1.0;
+        return floordiv;
+    }
+    return copysign(0.0, vx / wx);
+}
 
 typedef struct {
     int32_t n;             /* tasks */
@@ -92,7 +119,75 @@ typedef struct {
     int32_t *stack;
     uint8_t *dirty;
     int remaining;
+    /* fault replay (NULL f_times == no-fault path) */
+    const int64_t *f_off;  /* this row's per-device CSR base, D+1 entries */
+    const double *f_times; /* global failure-time pool */
+    double f_delay, f_ckpt;
+    int32_t *f_cur;        /* per-device failure cursor */
+    int32_t *r_dev, *r_task;           /* restart rows, append order */
+    double *r_fail, *r_resume, *r_lost;
+    int r_cnt, r_cap, r_overflow;
 } Sim;
+
+static void rest_append(Sim *s, int dev, int idx, double f, double resume,
+                        double lost) {
+    if (s->r_cnt >= s->r_cap) { s->r_overflow = 1; return; }
+    int k = s->r_cnt++;
+    s->r_dev[k] = dev; s->r_task[k] = idx;
+    s->r_fail[k] = f; s->r_resume[k] = resume; s->r_lost[k] = lost;
+}
+
+/* Transliteration of run_with_faults in retime.py: fold device `dev`'s
+ * pending failures into one execution window.  Returns the start via
+ * *st_out and the end as the return value. */
+static double run_with_faults(Sim *s, int dev, double now, double dur,
+                              int idx, double *st_out) {
+    const double *times = s->f_times + s->f_off[dev];
+    const int64_t n_times = s->f_off[dev + 1] - s->f_off[dev];
+    int64_t cur = s->f_cur[dev];
+    double st = now;
+    while (cur < n_times && times[cur] <= st) {
+        double f = times[cur];
+        cur++;
+        double resume = f + s->f_delay;
+        if (resume > st) {
+            rest_append(s, dev, idx, f, resume, 0.0);
+            st = resume;
+        }
+    }
+    double attempt = st;
+    double left = dur;
+    while (cur < n_times && times[cur] < attempt + left) {
+        double f = times[cur];
+        cur++;
+        if (f <= attempt) {
+            /* failure during restart downtime: outage extends, no new
+             * work is lost */
+            double resume = f + s->f_delay;
+            if (resume > attempt) {
+                rest_append(s, dev, idx, f, resume, 0.0);
+                attempt = resume;
+            }
+            continue;
+        }
+        double done = f - attempt;
+        double preserved = 0.0;
+        if (s->f_ckpt > 0.0) {
+            double last_ckpt = py_floordiv(f, s->f_ckpt) * s->f_ckpt;
+            if (last_ckpt > attempt) {
+                double cap = last_ckpt - attempt;
+                preserved = done < cap ? done : cap;  /* min(done, cap) */
+            }
+        }
+        left -= preserved;
+        double resume = f + s->f_delay;
+        rest_append(s, dev, idx, f, resume, done - preserved);
+        attempt = resume;
+    }
+    s->f_cur[dev] = (int32_t)cur;
+    *st_out = st;
+    return attempt + left;
+}
 
 static void ready_push(Sim *s, int dev, int64_t key, int32_t val) {
     const int n = s->g->n;
@@ -228,9 +323,15 @@ static void dispatch(Sim *s, int dev, double now) {
         }
         ready_pop(s, dev);
         if (key >= 0) s->inflight[key]++;
-        double t_end = now + s->tdur[idx];
+        double st, t_end;
+        if (s->f_times == NULL) {
+            st = now;
+            t_end = now + s->tdur[idx];
+        } else {
+            t_end = run_with_faults(s, dev, now, s->tdur[idx], idx, &st);
+        }
         s->device_free[dev] = t_end;
-        s->start[idx] = now;
+        s->start[idx] = st;
         s->evend[idx] = t_end;
         s->evorder[s->n_ev++] = idx;
         ev_push(s, t_end, s->seq++, idx);
@@ -256,6 +357,11 @@ static int sim_one(const Graph *g, const double *tdur,
     s->evorder = evorder; s->n_ev = 0;
     s->esz = 0; s->seq = 0;
     s->remaining = n;
+    if (s->f_times) {
+        memset(s->f_cur, 0, D * sizeof(int32_t));
+        s->r_cnt = 0;
+        s->r_overflow = 0;
+    }
 
     for (int z = 0; z < g->n_zero; z++) promote(s, g->zero_dep[z], 0.0);
     for (int d = 0; d < D; d++)
@@ -270,6 +376,7 @@ static int sim_one(const Graph *g, const double *tdur,
             if (s->dirty[d]) { s->dirty[d] = 0; dispatch(s, d, now); }
     }
     if (s->remaining > 0) return ST_DEADLOCK;
+    if (s->f_times && s->r_overflow) return ST_REST_OVERFLOW;
     double mk = end[0];
     for (int i = 1; i < n; i++)
         if (end[i] > mk) mk = end[i];
@@ -556,6 +663,8 @@ int repro_sim_batch(const Graph *g, int32_t P, const double *td,
                     int32_t *evorder, double *mk, int32_t *status) {
     const int n = g->n, D = g->num_devices, K = g->n_keys > 0 ? g->n_keys : 1;
     Sim s;
+    s.f_times = NULL;
+    s.f_cur = NULL;
     s.missing = malloc((size_t)n * sizeof(int32_t));
     s.device_free = malloc((size_t)D * sizeof(double));
     s.rk = malloc((size_t)D * n * sizeof(int64_t));
@@ -586,6 +695,74 @@ done:
     free(s.missing); free(s.device_free); free(s.rk); free(s.rv);
     free(s.rsz); free(s.pk); free(s.pv); free(s.psz); free(s.inflight);
     free(s.et); free(s.es); free(s.ei); free(s.stack); free(s.dirty);
+    return 0;
+}
+
+/* Fault-aware batch: one row per point, each with its own per-device
+ * failure-time table (global CSR: ft_off[p*D+d] .. ft_off[p*D+d+1] slice
+ * ft_times), restart delay, and checkpoint interval.  Rows with empty
+ * tables run the exact same arithmetic as the no-fault path (st = now,
+ * end = now + dur), so mixed batches need no splitting.  Restart rows
+ * stream into (rest_dev, rest_task, rest_fail, rest_resume, rest_lost)
+ * at row stride rest_cap in append order; rest_count[p] rows are valid.
+ * Each failure time is consumed at most once per row (the cursor is
+ * monotone), so rest_cap = max per-row failure total is an exact bound;
+ * ST_REST_OVERFLOW is a defensive per-row status all the same. */
+int repro_sim_fault_batch(const Graph *g, int32_t P, const double *td,
+                          const int64_t *ft_off, const double *ft_times,
+                          const double *delay, const double *ckpt,
+                          int32_t rest_cap,
+                          double *start, double *end, double *evend,
+                          int32_t *evorder, double *mk,
+                          int32_t *rest_dev, int32_t *rest_task,
+                          double *rest_fail, double *rest_resume,
+                          double *rest_lost, int32_t *rest_count,
+                          int32_t *status) {
+    const int n = g->n, D = g->num_devices, K = g->n_keys > 0 ? g->n_keys : 1;
+    Sim s;
+    s.f_times = ft_times;
+    s.r_cap = rest_cap;
+    s.missing = malloc((size_t)n * sizeof(int32_t));
+    s.device_free = malloc((size_t)D * sizeof(double));
+    s.rk = malloc((size_t)D * n * sizeof(int64_t));
+    s.rv = malloc((size_t)D * n * sizeof(int32_t));
+    s.rsz = malloc((size_t)D * sizeof(int32_t));
+    s.pk = malloc((size_t)K * n * sizeof(int64_t));
+    s.pv = malloc((size_t)K * n * sizeof(int32_t));
+    s.psz = malloc((size_t)K * sizeof(int32_t));
+    s.inflight = malloc((size_t)K * sizeof(int32_t));
+    s.et = malloc((size_t)n * sizeof(double));
+    s.es = malloc((size_t)n * sizeof(int32_t));
+    s.ei = malloc((size_t)n * sizeof(int32_t));
+    s.stack = malloc((size_t)n * sizeof(int32_t));
+    s.dirty = malloc((size_t)D);
+    s.f_cur = malloc((size_t)D * sizeof(int32_t));
+    if (!s.missing || !s.device_free || !s.rk || !s.rv || !s.rsz || !s.pk
+        || !s.pv || !s.psz || !s.inflight || !s.et || !s.es || !s.ei
+        || !s.stack || !s.dirty || !s.f_cur) {
+        status[0] = -1;
+        goto done;
+    }
+    for (int p = 0; p < P; p++) {
+        s.f_off = ft_off + (size_t)p * D;
+        s.f_delay = delay[p];
+        s.f_ckpt = ckpt[p];
+        s.r_dev = rest_dev + (size_t)p * rest_cap;
+        s.r_task = rest_task + (size_t)p * rest_cap;
+        s.r_fail = rest_fail + (size_t)p * rest_cap;
+        s.r_resume = rest_resume + (size_t)p * rest_cap;
+        s.r_lost = rest_lost + (size_t)p * rest_cap;
+        status[p] = sim_one(g, td + (size_t)p * n,
+                            start + (size_t)p * n, end + (size_t)p * n,
+                            evend + (size_t)p * n,
+                            evorder + (size_t)p * g->n_disp, mk + p, &s);
+        rest_count[p] = s.r_cnt;
+    }
+done:
+    free(s.missing); free(s.device_free); free(s.rk); free(s.rv);
+    free(s.rsz); free(s.pk); free(s.pv); free(s.psz); free(s.inflight);
+    free(s.et); free(s.es); free(s.ei); free(s.stack); free(s.dirty);
+    free(s.f_cur);
     return 0;
 }
 

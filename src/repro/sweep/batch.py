@@ -72,7 +72,133 @@ class GraphBatch:
                         self.ev_order, self.makespan, i)
 
 
-def simulate_graph_batch(graph, durs_list=None, task_durs=None
+class NativeRestarts:
+    """The restart rows of one fault batch row, materialized lazily.
+
+    Quacks like the reference's ``restarts`` tuple of
+    ``(device, task, fail, resume, lost)`` rows in append order —
+    ``len()`` is free, iteration/indexing/equality build the python
+    tuples on first touch.  ``tolist`` preserves float bits and turns
+    int32 back into python ints, so rows compare ``==`` to the
+    reference's exactly.
+    """
+
+    __slots__ = ("_dev", "_task", "_fail", "_resume", "_lost", "_rows")
+
+    def __init__(self, dev, task, fail, resume, lost) -> None:
+        self._dev = dev
+        self._task = task
+        self._fail = fail
+        self._resume = resume
+        self._lost = lost
+        self._rows = None
+
+    @property
+    def materialized(self) -> bool:
+        return self._rows is not None
+
+    def _materialize(self) -> tuple:
+        if self._rows is None:
+            self._rows = tuple(zip(self._dev.tolist(), self._task.tolist(),
+                                   self._fail.tolist(),
+                                   self._resume.tolist(),
+                                   self._lost.tolist()))
+        return self._rows
+
+    def __len__(self) -> int:
+        return self._dev.shape[0]
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __getitem__(self, i):
+        return self._materialize()[i]
+
+    def __eq__(self, other):
+        if isinstance(other, NativeRestarts):
+            other = other._materialize()
+        return self._materialize() == tuple(other)
+
+    def __repr__(self) -> str:
+        return f"NativeRestarts({self._materialize()!r})"
+
+
+@dataclass
+class FaultBatch(GraphBatch):
+    """Native fault-replay output: a GraphBatch plus restart rows."""
+
+    rest_dev: object = None    #: (P, cap) int32
+    rest_task: object = None   #: (P, cap) int32
+    rest_fail: object = None   #: (P, cap) float64
+    rest_resume: object = None
+    rest_lost: object = None
+    rest_count: object = None  #: (P,) int32 valid rows per point
+
+    def restarts(self, i: int) -> NativeRestarts:
+        m = int(self.rest_count[i])
+        return NativeRestarts(self.rest_dev[i, :m], self.rest_task[i, :m],
+                              self.rest_fail[i, :m], self.rest_resume[i, :m],
+                              self.rest_lost[i, :m])
+
+    def sim(self, i: int) -> CompiledSim:
+        s = super().sim(i)
+        return CompiledSim(start=s.start, end=s.end, ev_end=s.ev_end,
+                           ev_order=s.ev_order, makespan=s.makespan,
+                           restarts=self.restarts(i))
+
+    def restart_stats(self, i: int):
+        """``(n_restarts, downtime, lost_work)`` for row ``i``.
+
+        The float folds run as python left-folds in append order —
+        exactly the reference's ``_downtime``/``_lost_work`` sums — so
+        they are bit-identical to folding the scalar path's tuples.
+        """
+        m = int(self.rest_count[i])
+        down = 0.0
+        for fail, resume in zip(self.rest_fail[i, :m].tolist(),
+                                self.rest_resume[i, :m].tolist()):
+            down += resume - fail
+        lost = 0.0
+        for v in self.rest_lost[i, :m].tolist():
+            lost += v
+        return m, down, lost
+
+
+def pack_faults(faults, num_devices: int):
+    """Pack per-row :class:`~repro.sweep.retime.DeviceFaults` into the
+    native CSR layout: ``(ft_off, ft_times, delay, ckpt)``.
+
+    ``faults`` is one entry per batch row, ``None`` meaning no faults
+    (an empty table — the native fault path is bit-identical to the
+    no-fault path on such rows).  Returns None when a row's failure
+    table does not have exactly ``num_devices`` device lists.
+    """
+    P = len(faults)
+    D = num_devices
+    off = np.zeros(P * D + 1, np.int64)
+    times: list = []
+    delay = np.zeros(P, np.float64)
+    ckpt = np.zeros(P, np.float64)
+    k = 0
+    for p, f in enumerate(faults):
+        ft = None
+        if f is not None:
+            if len(f.failure_times) != D:
+                return None
+            delay[p] = f.restart_delay
+            ckpt[p] = f.checkpoint_every
+            ft = f.failure_times
+        for d in range(D):
+            ts = ft[d] if ft is not None else ()
+            times.extend(ts)
+            k += len(ts)
+            off[p * D + d + 1] = k
+    ft_times = np.asarray(times, np.float64) if times \
+        else np.zeros(0, np.float64)
+    return off, ft_times, delay, ckpt
+
+
+def simulate_graph_batch(graph, durs_list=None, task_durs=None, faults=None
                          ) -> GraphBatch | None:
     """One native pass of the executor over a batch of duration tables.
 
@@ -80,8 +206,12 @@ def simulate_graph_batch(graph, durs_list=None, task_durs=None
     per-task durations exactly like the reference's
     ``[durs[c] for c in dur_code]``); ``task_durs`` is an explicit
     ``(P, n)`` per-task duration matrix (the Monte Carlo perturbation
-    path).  Returns None when the native core cannot run this graph —
-    callers loop :func:`~repro.sweep.retime.simulate_compiled` instead.
+    path).  ``faults``, when given, is one
+    :class:`~repro.sweep.retime.DeviceFaults` or ``None`` per row and
+    routes the batch through the fault-replay core — the result is then
+    a :class:`FaultBatch` carrying restart rows.  Returns None when the
+    native core cannot run this graph — callers loop
+    :func:`~repro.sweep.retime.simulate_compiled` instead.
     """
     if np is None or not native.available():
         return None
@@ -91,8 +221,18 @@ def simulate_graph_batch(graph, durs_list=None, task_durs=None
     if task_durs is None:
         table = np.asarray(durs_list, np.float64)
         task_durs = np.ascontiguousarray(table[:, ga.dur_code])
-    start, end, ev_end, ev_order, mk, status = native.sim_batch(
-        ga, task_durs)
+    if faults is not None:
+        packed = pack_faults(faults, ga.num_devices)
+        if packed is None:
+            return None
+        ft_off, ft_times, delay, ckpt = packed
+        start, end, ev_end, ev_order, mk, rest, status = \
+            native.sim_fault_batch(ga, task_durs, ft_off, ft_times,
+                                   delay, ckpt)
+    else:
+        start, end, ev_end, ev_order, mk, status = native.sim_batch(
+            ga, task_durs)
+        rest = None
     bad = status != 0
     if bad.any():
         # Failed rows carry partial data; neutralize them so whole-batch
@@ -102,8 +242,16 @@ def simulate_graph_batch(graph, durs_list=None, task_durs=None
         start[bad] = 0.0
         ev_end[bad] = 0.0
         mk[bad] = 1.0
-    return GraphBatch(ga=ga, start=start, end=end, ev_end=ev_end,
-                      ev_order=ev_order, makespan=mk, status=status)
+        if rest is not None:
+            rest[5][bad] = 0
+    if rest is None:
+        return GraphBatch(ga=ga, start=start, end=end, ev_end=ev_end,
+                          ev_order=ev_order, makespan=mk, status=status)
+    return FaultBatch(ga=ga, start=start, end=end, ev_end=ev_end,
+                      ev_order=ev_order, makespan=mk, status=status,
+                      rest_dev=rest[0], rest_task=rest[1],
+                      rest_fail=rest[2], rest_resume=rest[3],
+                      rest_lost=rest[4], rest_count=rest[5])
 
 
 def simulate_compiled_batch(graph, durs_list=None, task_durs=None

@@ -142,6 +142,10 @@ class SweepEngine:
         self.delta_retimes = 0
         #: Points evaluated through a multi-point vectorized pass.
         self.batched_points = 0
+        #: Monte Carlo replicates re-timed through a native batch pass.
+        self.mc_batched_replicates = 0
+        #: Fault-carrying subset of the above (restart-replay core).
+        self.mc_faulty_batched = 0
         #: Wall-clock seconds per evaluation phase (see :meth:`stats`).
         self.phase_s = dict.fromkeys(
             ("template_build", "retime", "fill", "report"), 0.0)
@@ -159,6 +163,8 @@ class SweepEngine:
         self.native_evals = 0
         self.delta_retimes = 0
         self.batched_points = 0
+        self.mc_batched_replicates = 0
+        self.mc_faulty_batched = 0
         self.phase_s = dict.fromkeys(self.phase_s, 0.0)
 
     def stats(self) -> dict:
@@ -182,6 +188,8 @@ class SweepEngine:
             "native_evals": self.native_evals,
             "delta_retimes": self.delta_retimes,
             "batched_points": self.batched_points,
+            "mc_batched_replicates": self.mc_batched_replicates,
+            "mc_faulty_batched": self.mc_faulty_batched,
             "phase_s": dict(self.phase_s),
         }
 

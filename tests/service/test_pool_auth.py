@@ -1,0 +1,195 @@
+"""Engine-pool concurrency, bearer-token auth, and worker-shard kinds.
+
+Three service behaviors this file pins down:
+
+* A pooled service (``engine_pool > 1``) answers byte-identically to
+  the single-engine serial pass — slot routing is a lock-contention
+  detail, never a results detail — and concurrent cold misses from
+  many client threads still agree.
+* Bearer-token auth: every endpoint 401s without the exact token,
+  the reject counter ticks, and :class:`ServiceClient` sends the
+  header when constructed with ``token=``.
+* Worker-shard subprocesses can execute *registered* (non-generic)
+  unit kinds: ``worker_jobs=2`` over a ``stochastic`` grid must
+  produce the same records as an in-process campaign run.  Fresh
+  subprocesses only inherit the generic kinds unless the shard worker
+  re-imports the experiment modules — the regression this guards.
+"""
+
+import threading
+
+import pytest
+
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import canonical_json
+from repro.service import (
+    PlanningService,
+    ServiceClient,
+    ServiceHTTPError,
+    ServiceServer,
+)
+from repro.service.app import EnginePool
+from repro.service.jobs import spec_from_request, sweep_request
+from repro.stochastic.model import StochasticModel
+from repro.sweep import SweepEngine
+
+FIXED = {"arch": "BERT-Large", "hardware": "P100", "schedule": "chimera"}
+
+
+def _sweep_body(grid, **over):
+    body = {"kind": "perf_report", "fixed": dict(FIXED), "grid": grid}
+    body.update(over)
+    return body
+
+
+def _stochastic_body(**over):
+    """A ``stochastic``-kind grid: a registered, non-generic unit kind."""
+    model = StochasticModel(jitter_sigma=0.02, preemption_rate=0.5,
+                            restart_delay_frac=0.05,
+                            checkpoint_interval_frac=0.1)
+    body = {
+        "kind": "stochastic",
+        "fixed": {"arch": "BERT-Base", "hardware": "P100",
+                  "schedule": "1f1b", "b_micro": 32, "depth": 4,
+                  "n_micro": 8, "layers_per_stage": 3,
+                  **model.as_params()},
+        "grid": {"seed": [0, 1, 2, 3]},
+    }
+    body.update(over)
+    return body
+
+
+def _values(out):
+    return {u["key"]: canonical_json(u["value"]) for u in out["units"]}
+
+
+def _campaign_values(body):
+    spec = spec_from_request(sweep_request(
+        {k: v for k, v in body.items() if k != "inline"}))
+    result = CampaignRunner(engine=SweepEngine()).run(spec)
+    return {k: canonical_json(rec["value"])
+            for k, rec in result.records.items()}
+
+
+class TestEnginePool:
+    def test_default_service_gets_a_pool(self):
+        svc = PlanningService()
+        assert len(svc.pool) > 1
+        assert svc.metrics_snapshot()["engine_pool"] == len(svc.pool)
+
+    def test_explicit_engine_means_single_slot(self):
+        # The pre-pool constructor contract: tests and benchmarks that
+        # hand in one engine observe exactly that engine's counters.
+        engine = SweepEngine()
+        svc = PlanningService(engine=engine)
+        assert len(svc.pool) == 1
+        assert svc.pool.slots[0].engine is engine
+        assert svc.engine is engine
+
+    def test_pooled_sweep_is_byte_identical_to_serial(self):
+        body = _sweep_body({"depth": [4, 8], "b_micro": [8, 16]})
+        pooled = PlanningService(engine_pool=4).sweep(dict(body))
+        assert pooled["mode"] == "inline" and pooled["executed"] == 4
+        assert _values(pooled) == _campaign_values(body)
+
+    def test_concurrent_cold_misses_agree_with_serial(self):
+        # Distinct single-unit grids land on different slots and
+        # evaluate concurrently; every response must still match the
+        # one-engine serial pass bit for bit.
+        bodies = [_sweep_body({"depth": [d], "b_micro": [b]})
+                  for d in (4, 8) for b in (8, 16)]
+        svc = PlanningService(engine_pool=4)
+        outs = [None] * len(bodies)
+
+        def hit(i):
+            outs[i] = svc.sweep(dict(bodies[i]))
+
+        threads = [threading.Thread(target=hit, args=(i,))
+                   for i in range(len(bodies))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for body, out in zip(bodies, outs):
+            assert _values(out) == _campaign_values(body)
+
+    def test_pool_counters_aggregate_across_slots(self):
+        svc = PlanningService(engine_pool=3)
+        svc.sweep(_sweep_body({"depth": [4, 8], "b_micro": [8, 16]}))
+        from repro.campaign.runner import _engine_counters
+
+        merged = svc.pool.counters()
+        per_slot = [_engine_counters(s.engine) for s in svc.pool.slots]
+        for key, total in merged.items():
+            assert total == pytest.approx(sum(s[key] for s in per_slot))
+        assert any(v > 0 for v in merged.values()), merged
+
+    def test_slot_routing_is_deterministic(self):
+        pool = EnginePool([SweepEngine() for _ in range(4)])
+        picks = {pool.slot("plan:xyz") for _ in range(8)}
+        assert len(picks) == 1
+
+
+class TestWorkerShardKinds:
+    def test_worker_jobs_run_registered_kinds(self, tmp_path):
+        """The satellite regression: ``worker_jobs=2`` + a non-generic
+        kind.  Shard subprocesses start from a blank registry; without
+        the shard worker loading the builtin campaigns the job dies
+        with an unknown-kind error instead of producing records."""
+        body = _stochastic_body(inline=False)
+        svc = PlanningService(state_dir=tmp_path / "state",
+                              engine=SweepEngine(), worker_jobs=2)
+        out = svc.sweep(dict(body))
+        assert out["mode"] == "job"
+        svc.jobs.wait(out["job"])
+        job = svc.job_status(out["job"])
+        assert job["status"] == "done", job.get("error")
+        assert job["done_units"] == job["units"] == 4
+        served = {key: canonical_json(svc.store.get(key)["value"])
+                  for key in job["unit_keys"]}
+        assert served == _campaign_values(body)
+
+    def test_inline_stochastic_sweep_still_works(self):
+        # The in-process path never lost kind registrations; pin it so
+        # the shard fix is comparable against a passing baseline.
+        out = PlanningService(engine=SweepEngine()).sweep(
+            _stochastic_body())
+        assert out["mode"] == "inline" and out["executed"] == 4
+
+
+class TestBearerAuth:
+    @pytest.fixture(scope="class")
+    def live(self):
+        svc = PlanningService(engine=SweepEngine(), token="s3cret")
+        with ServiceServer(svc) as server:
+            yield svc, server
+
+    def test_missing_token_is_401(self, live):
+        svc, server = live
+        with pytest.raises(ServiceHTTPError) as err:
+            ServiceClient(server.url).metrics()
+        assert err.value.status == 401
+        assert "Bearer" in err.value.body["error"]
+
+    def test_wrong_token_is_401_even_on_post(self, live):
+        svc, server = live
+        client = ServiceClient(server.url, token="wrong")
+        with pytest.raises(ServiceHTTPError) as err:
+            client.post("/sweep", _sweep_body({"depth": [4], "b_micro": [8]}))
+        assert err.value.status == 401
+
+    def test_correct_token_serves_and_rejects_are_counted(self, live):
+        svc, server = live
+        client = ServiceClient(server.url, token="s3cret")
+        out = client.post("/sweep", _sweep_body({"depth": [4], "b_micro": [8]}))
+        assert out["mode"] == "inline" and len(out["units"]) == 1
+        snap = client.metrics()
+        # Both 401s above were counted; authorized traffic was not.
+        assert snap["auth_rejects"] == 2
+        assert svc.metrics.auth_rejects == 2
+
+    def test_tokenless_service_accepts_anonymous_requests(self):
+        svc = PlanningService(engine=SweepEngine())
+        with ServiceServer(svc) as server:
+            assert "requests" in ServiceClient(server.url).metrics()
+        assert svc.metrics.auth_rejects == 0
